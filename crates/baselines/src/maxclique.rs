@@ -1,0 +1,172 @@
+//! Exact maximum clique computation.
+//!
+//! A Tomita-style branch-and-bound over bitsets with a greedy-colouring
+//! bound, preceded by degeneracy-based preprocessing. Stands in for MC-BRB
+//! \[8\] in the Table 5/6 experiments, where the paper compares maximum
+//! k-defective cliques against maximum cliques.
+
+use kdc_graph::bitset::{BitMatrix, BitSet};
+use kdc_graph::degeneracy;
+use kdc_graph::graph::{Graph, VertexId};
+
+/// Computes a maximum clique of `g` exactly. Suitable for graphs whose
+/// (lb-core-reduced) size fits a dense bit-matrix.
+pub fn max_clique(g: &Graph) -> Vec<VertexId> {
+    // Initial lower bound: greedy clique along the degeneracy ordering.
+    let mut best: Vec<VertexId> = greedy_clique(g);
+
+    // Core-prune: a clique of size > lb needs vertices of degree ≥ lb.
+    let keep = degeneracy::k_core_vertices(g, best.len().saturating_sub(1));
+    if keep.is_empty() {
+        return best;
+    }
+    let (sub, map) = g.induced_subgraph(&keep);
+    let n = sub.n();
+    let mut matrix = BitMatrix::new(n, n);
+    for (u, v) in sub.edges() {
+        matrix.set(u as usize, v as usize);
+        matrix.set(v as usize, u as usize);
+    }
+
+    // Order candidates by degeneracy ordering for colouring quality.
+    let order = degeneracy::peel(&sub).order;
+    let mut searcher = CliqueSearch {
+        matrix: &matrix,
+        best_local: Vec::new(),
+        best_size: best.len(),
+        current: Vec::new(),
+    };
+    let mut p = BitSet::new(n);
+    for &v in order.iter().rev() {
+        p.insert(v as usize);
+    }
+    searcher.expand(&p);
+    if searcher.best_local.len() > best.len() {
+        best = searcher
+            .best_local
+            .iter()
+            .map(|&v| map[v as usize])
+            .collect();
+    }
+    best.sort_unstable();
+    best
+}
+
+/// Size-only convenience wrapper.
+pub fn max_clique_size(g: &Graph) -> usize {
+    max_clique(g).len()
+}
+
+/// Greedy clique: walk the degeneracy ordering backwards, keeping vertices
+/// adjacent to everything taken so far.
+fn greedy_clique(g: &Graph) -> Vec<VertexId> {
+    let order = degeneracy::peel(g).order;
+    let mut clique: Vec<VertexId> = Vec::new();
+    for &v in order.iter().rev() {
+        if clique.iter().all(|&u| g.has_edge(u, v)) {
+            clique.push(v);
+        }
+    }
+    clique.sort_unstable();
+    clique
+}
+
+struct CliqueSearch<'m> {
+    matrix: &'m BitMatrix,
+    best_local: Vec<u32>,
+    best_size: usize,
+    current: Vec<u32>,
+}
+
+impl CliqueSearch<'_> {
+    /// Tomita-style expansion: greedily colour `p` into independent classes,
+    /// then branch on vertices in descending colour order — a vertex with
+    /// colour `c` extends the current clique to at most `|current| + c + 1`,
+    /// enabling early cut-off.
+    fn expand(&mut self, p: &BitSet) {
+        // Sequential colouring: repeatedly peel a colour class (a maximal
+        // set of mutually non-adjacent vertices of `p`).
+        let mut uncolored = p.clone();
+        let mut ordered: Vec<(u32, u32)> = Vec::new(); // (vertex, colour)
+        let mut color = 0u32;
+        while !uncolored.is_empty() {
+            let mut class_candidates = uncolored.clone();
+            while let Some(v) = class_candidates.first() {
+                ordered.push((v as u32, color));
+                uncolored.remove(v);
+                class_candidates.remove(v);
+                class_candidates.difference_with_words(self.matrix.row(v));
+            }
+            color += 1;
+        }
+
+        // Branch in reverse (descending colour).
+        let mut p_live = p.clone();
+        for &(v, c) in ordered.iter().rev() {
+            if self.current.len() + (c as usize + 1) <= self.best_size {
+                return; // colour bound cuts the rest (all have colour ≤ c)
+            }
+            self.current.push(v);
+            let mut next = p_live.clone();
+            next.intersect_with_words(self.matrix.row(v as usize));
+            if next.is_empty() {
+                if self.current.len() > self.best_size {
+                    self.best_size = self.current.len();
+                    self.best_local = self.current.clone();
+                }
+            } else {
+                self.expand(&next);
+            }
+            self.current.pop();
+            p_live.remove(v as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdc_graph::{gen, named};
+
+    #[test]
+    fn clique_graphs() {
+        assert_eq!(max_clique_size(&gen::complete(6)), 6);
+        assert_eq!(max_clique_size(&Graph::empty(5)), 1);
+        assert_eq!(max_clique_size(&Graph::empty(0)), 0);
+    }
+
+    #[test]
+    fn figure2_max_clique() {
+        let g = named::figure2();
+        let c = max_clique(&g);
+        assert_eq!(c, vec![7, 8, 9, 10, 11], "the K5 on v8..v12");
+    }
+
+    #[test]
+    fn bipartite_max_clique_is_two() {
+        let g = gen::complete_multipartite(&[4, 4]);
+        assert_eq!(max_clique_size(&g), 2);
+        let g3 = gen::complete_multipartite(&[3, 3, 3]);
+        assert_eq!(max_clique_size(&g3), 3);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        let mut rng = gen::seeded_rng(4242);
+        for _ in 0..20 {
+            let g = gen::gnp(18, 0.5, &mut rng);
+            let expected = crate::naive::max_defective_size_naive(&g, 0);
+            let got = max_clique_size(&g);
+            assert_eq!(got, expected);
+            let c = max_clique(&g);
+            assert_eq!(g.missing_edges_within(&c), 0, "result must be a clique");
+        }
+    }
+
+    #[test]
+    fn planted_clique_found() {
+        let mut rng = gen::seeded_rng(9);
+        let (g, planted) = gen::planted_defective_clique(200, 15, 0, 0.03, &mut rng);
+        assert_eq!(max_clique_size(&g), planted.len());
+    }
+}

@@ -1,0 +1,125 @@
+//! An independent brute-force exact solver, used purely as a correctness
+//! oracle for the optimised solvers. It shares no code with the kDC engine:
+//! plain include/exclude enumeration over vertices with missing-edge pruning.
+
+use kdc_graph::{Graph, VertexId};
+
+/// Exact maximum k-defective clique by exhaustive search. Only sensible for
+/// small graphs (roughly `n ≤ 30`).
+///
+/// Returns one maximum solution (ties broken arbitrarily but
+/// deterministically).
+pub fn max_defective_clique_naive(g: &Graph, k: usize) -> Vec<VertexId> {
+    let n = g.n();
+    let mut best: Vec<VertexId> = Vec::new();
+    let mut current: Vec<VertexId> = Vec::new();
+    // missing[i] tracks |Ē(current)| incrementally.
+    recurse(g, k, 0, 0, &mut current, &mut best);
+    debug_assert!(g.is_k_defective_clique(&best, k) || n == 0);
+    best
+}
+
+fn recurse(
+    g: &Graph,
+    k: usize,
+    next: usize,
+    missing: usize,
+    current: &mut Vec<VertexId>,
+    best: &mut Vec<VertexId>,
+) {
+    let n = g.n();
+    if current.len() > best.len() {
+        *best = current.clone();
+    }
+    if next == n {
+        return;
+    }
+    // Even taking every remaining vertex cannot beat best → prune.
+    if current.len() + (n - next) <= best.len() {
+        return;
+    }
+    let v = next as VertexId;
+
+    // Include v if feasible.
+    let new_missing =
+        missing + current.iter().filter(|&&u| !g.has_edge(u, v)).count();
+    if new_missing <= k {
+        current.push(v);
+        recurse(g, k, next + 1, new_missing, current, best);
+        current.pop();
+    }
+    // Exclude v.
+    recurse(g, k, next + 1, missing, current, best);
+}
+
+/// Size-only convenience wrapper.
+pub fn max_defective_size_naive(g: &Graph, k: usize) -> usize {
+    max_defective_clique_naive(g, k).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdc_graph::gen;
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(max_defective_size_naive(&Graph::empty(0), 3), 0);
+        // n isolated vertices: any s with s(s-1)/2 ≤ k fit.
+        assert_eq!(max_defective_size_naive(&Graph::empty(5), 1), 2);
+        assert_eq!(max_defective_size_naive(&Graph::empty(5), 3), 3);
+        assert_eq!(max_defective_size_naive(&Graph::empty(5), 100), 5);
+    }
+
+    #[test]
+    fn clique_is_found() {
+        let g = gen::complete(6);
+        for k in 0..4 {
+            assert_eq!(max_defective_size_naive(&g, k), 6);
+        }
+    }
+
+    #[test]
+    fn cycle5() {
+        // C5: max clique 2; k=1 admits 3 (a path of 2 edges); k=2 admits...
+        // {a,b,c,d} consecutive misses (a,c),(a,d),(b,d) = 3 → size 4 needs k≥3.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(max_defective_size_naive(&g, 0), 2);
+        assert_eq!(max_defective_size_naive(&g, 1), 3);
+        assert_eq!(max_defective_size_naive(&g, 2), 3);
+        assert_eq!(max_defective_size_naive(&g, 3), 4);
+    }
+
+    #[test]
+    fn figure2_ground_truth() {
+        // §2: max clique 5; max 1-defective 5; max 2-defective 6.
+        let g = kdc_graph::named::figure2();
+        assert_eq!(max_defective_size_naive(&g, 0), 5);
+        assert_eq!(max_defective_size_naive(&g, 1), 5);
+        assert_eq!(max_defective_size_naive(&g, 2), 6);
+    }
+
+    #[test]
+    fn figure1_style_growth() {
+        // The paper's Figure 1 narrative: k-defective cliques grow with k.
+        let g = kdc_graph::named::figure2();
+        let mut prev = 0;
+        for k in 0..5 {
+            let s = max_defective_size_naive(&g, k);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn solution_is_verified_defective() {
+        let mut rng = gen::seeded_rng(13);
+        for _ in 0..10 {
+            let g = gen::gnp(12, 0.4, &mut rng);
+            for k in [0, 1, 2, 4] {
+                let c = max_defective_clique_naive(&g, k);
+                assert!(g.is_k_defective_clique(&c, k));
+            }
+        }
+    }
+}

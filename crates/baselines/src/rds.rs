@@ -1,0 +1,165 @@
+//! Russian Doll Search (RDS) for the maximum k-defective clique.
+//!
+//! The first exact algorithm for this problem (Trukhanov et al., Comput.
+//! Optim. Appl. 2013 \[44\]) applies Verfaillie's Russian Doll Search to
+//! hereditary structures: process vertices in reverse of a fixed ordering
+//! `v_1 … v_n` and solve the nested subproblems
+//!
+//! ```text
+//! f(i) = size of the largest k-defective clique that contains v_i and lies
+//!        inside the suffix {v_i, …, v_n}
+//! ```
+//!
+//! using the already-solved dolls as an upper bound: any extension drawn
+//! from the suffix starting at `j` is itself a k-defective clique (the
+//! property is hereditary), so it has at most `g(j) = max_{l ≥ j} f(l)`
+//! vertices, and a partial solution `S` with candidates in suffix `j` can be
+//! pruned once `|S| + g(j) ≤ best`.
+//!
+//! This implementation orders vertices by degeneracy (small suffixes first)
+//! and exists primarily as an *independent* exact solver for
+//! cross-validation; it shares no search machinery with the kDC engine.
+
+use kdc_graph::degeneracy;
+use kdc_graph::graph::{Graph, VertexId};
+
+/// Exact maximum k-defective clique via Russian Doll Search.
+pub fn max_defective_clique_rds(g: &Graph, k: usize) -> Vec<VertexId> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let order = degeneracy::peel(g).order;
+    let mut rank = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i;
+    }
+
+    let mut solver = Rds {
+        g,
+        k,
+        order: &order,
+        // g_best[j] = size of the largest k-defective clique inside the
+        // suffix starting at position j (computed right to left).
+        g_best: vec![0usize; n + 1],
+        best: Vec::new(),
+        current: Vec::new(),
+    };
+
+    for i in (0..n).rev() {
+        let v = solver.order[i];
+        // Subproblem i: solutions containing v, drawn from positions > i.
+        solver.current.clear();
+        solver.current.push(v);
+        let cands: Vec<VertexId> = ((i + 1)..n).map(|j| solver.order[j]).collect();
+        let mut f_i = 1usize; // {v} itself
+        solver.search(&cands, 0, 0, &mut f_i);
+        solver.g_best[i] = f_i.max(solver.g_best[i + 1]);
+    }
+    let mut best = solver.best;
+    if best.is_empty() {
+        // Graphs where the best is a single vertex.
+        best.push(order[n - 1]);
+    }
+    best.sort_unstable();
+    debug_assert!(g.is_k_defective_clique(&best, k));
+    best
+}
+
+/// Size-only convenience wrapper.
+pub fn max_defective_size_rds(g: &Graph, k: usize) -> usize {
+    max_defective_clique_rds(g, k).len()
+}
+
+struct Rds<'g> {
+    g: &'g Graph,
+    k: usize,
+    order: &'g [VertexId],
+    g_best: Vec<usize>,
+    best: Vec<VertexId>,
+    current: Vec<VertexId>,
+}
+
+impl Rds<'_> {
+    /// Include/exclude search over `cands[from..]`; `missing` counts the
+    /// missing edges inside `current`. Updates `f_i` (the subproblem record)
+    /// and the global incumbent.
+    fn search(&mut self, cands: &[VertexId], from: usize, missing: usize, f_i: &mut usize) {
+        if self.current.len() > *f_i {
+            *f_i = self.current.len();
+            if self.current.len() > self.best.len() {
+                self.best = self.current.clone();
+            }
+        }
+        if from == cands.len() {
+            return;
+        }
+        // Russian-doll bound: everything still addable lives in the suffix
+        // of cands[from], whose largest k-defective clique is g_best of the
+        // corresponding position. (cands follow `order`, so the position of
+        // cands[from] is n − (cands.len() − from).)
+        let pos = self.order.len() - (cands.len() - from);
+        let doll = self.g_best[pos];
+        if self.current.len() + doll.min(cands.len() - from) <= *f_i {
+            return;
+        }
+
+        let v = cands[from];
+        // Include v if feasible.
+        let added = self
+            .current
+            .iter()
+            .filter(|&&u| !self.g.has_edge(u, v))
+            .count();
+        if missing + added <= self.k {
+            self.current.push(v);
+            self.search(cands, from + 1, missing + added, f_i);
+            self.current.pop();
+        }
+        // Exclude v.
+        self.search(cands, from + 1, missing, f_i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdc_graph::{gen, named};
+
+    #[test]
+    fn figure2_ground_truth() {
+        let g = named::figure2();
+        for (k, expected) in [(0usize, 5usize), (1, 5), (2, 6), (5, 7)] {
+            assert_eq!(max_defective_size_rds(&g, k), expected, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_random_graphs() {
+        let mut rng = gen::seeded_rng(300);
+        for trial in 0..15 {
+            let g = gen::gnp(15, 0.4, &mut rng);
+            for k in [0usize, 1, 3, 6] {
+                let expected = crate::naive::max_defective_size_naive(&g, k);
+                assert_eq!(max_defective_size_rds(&g, k), expected, "trial {trial} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_edge_cases() {
+        assert!(max_defective_clique_rds(&Graph::empty(0), 2).is_empty());
+        assert_eq!(max_defective_size_rds(&Graph::empty(1), 0), 1);
+        assert_eq!(max_defective_size_rds(&Graph::empty(6), 1), 2);
+        assert_eq!(max_defective_size_rds(&gen::complete(7), 3), 7);
+    }
+
+    #[test]
+    fn solves_mid_size_planted_instance() {
+        let mut rng = gen::seeded_rng(301);
+        let (g, planted) = gen::planted_defective_clique(60, 10, 2, 0.08, &mut rng);
+        let sol = max_defective_clique_rds(&g, 2);
+        assert!(sol.len() >= planted.len());
+        assert!(g.is_k_defective_clique(&sol, 2));
+    }
+}

@@ -1,0 +1,28 @@
+//! Per-node upper-bound cost: the full UB1/UB2/UB3/Eq.(2) evaluation on
+//! instances of varying size and density (§3.2.1/§3.2.3 claim all bounds
+//! are linear-time; this tracks the constants).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdc::probe::bench_bounds;
+use kdc_graph::gen;
+use std::hint::black_box;
+
+fn bench_bound_costs(c: &mut Criterion) {
+    let cases = vec![
+        ("dense-90", gen::gnp(90, 0.3, &mut gen::seeded_rng(21))),
+        ("dense-250", gen::gnp(250, 0.2, &mut gen::seeded_rng(22))),
+        ("sparse-2000", gen::chung_lu(2_000, 8.0, 2.5, &mut gen::seeded_rng(23))),
+    ];
+    let mut group = c.benchmark_group("bounds/all_bounds");
+    for (name, g) in cases {
+        for k in [1usize, 10] {
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                b.iter_custom(|iters| black_box(bench_bounds(&g, &[], k, iters as u32)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_costs);
+criterion_main!(benches);

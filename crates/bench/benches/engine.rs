@@ -1,0 +1,48 @@
+//! Engine ablation: the dense bit-matrix acceleration on vs off (identical
+//! search trees, different adjacency-test and RR4-intersection machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdc::{Solver, SolverConfig};
+use kdc_graph::gen;
+use std::hint::black_box;
+
+fn bench_matrix_ablation(c: &mut Criterion) {
+    let cases = vec![
+        ("gnp-60-04", gen::gnp(60, 0.4, &mut gen::seeded_rng(31))),
+        (
+            "community",
+            gen::community(
+                &gen::CommunityParams {
+                    communities: 3,
+                    community_size: 30,
+                    p_in: 0.6,
+                    p_out: 0.02,
+                },
+                &mut gen::seeded_rng(32),
+            ),
+        ),
+    ];
+    for (name, g) in cases {
+        let mut group = c.benchmark_group(format!("engine/{name}"));
+        group.sample_size(10);
+        let k = 3usize;
+        group.bench_with_input(BenchmarkId::new("bitmatrix", k), &k, |b, &k| {
+            b.iter(|| {
+                let sol = Solver::new(black_box(&g), k, SolverConfig::kdc()).solve();
+                black_box(sol.size())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lists", k), &k, |b, &k| {
+            let mut cfg = SolverConfig::kdc();
+            cfg.matrix_limit = 0;
+            b.iter(|| {
+                let sol = Solver::new(black_box(&g), k, cfg.clone()).solve();
+                black_box(sol.size())
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_matrix_ablation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Initial-solution heuristics: Degen (O(m)) vs Degen-opt (O(δ(G)·m))
+//! across graph families (§3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdc::heuristic::{degen, degen_opt};
+use kdc_graph::gen;
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let graphs = vec![
+        ("powerlaw-10k", gen::chung_lu(10_000, 8.0, 2.5, &mut gen::seeded_rng(11))),
+        ("ba-10k", gen::barabasi_albert(10_000, 5, &mut gen::seeded_rng(12))),
+        (
+            "community-2k",
+            gen::community(
+                &gen::CommunityParams {
+                    communities: 20,
+                    community_size: 100,
+                    p_in: 0.4,
+                    p_out: 0.003,
+                },
+                &mut gen::seeded_rng(13),
+            ),
+        ),
+    ];
+    for (name, g) in graphs {
+        let mut group = c.benchmark_group(format!("heuristic/{name}"));
+        for k in [1usize, 10] {
+            group.bench_with_input(BenchmarkId::new("degen", k), &k, |b, &k| {
+                b.iter(|| black_box(degen(&g, k)).len())
+            });
+            group.bench_with_input(BenchmarkId::new("degen_opt", k), &k, |b, &k| {
+                b.iter(|| black_box(degen_opt(&g, k)).len())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Preprocessing benchmarks: the O(m) Degen pipeline vs the O(δ(G)·m)
+//! Degen-opt + RR6 pipeline (the cost side of Table 4's quality comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdc::solver::preprocess_report;
+use kdc::SolverConfig;
+use kdc_graph::gen;
+use std::hint::black_box;
+
+fn bench_preprocess(c: &mut Criterion) {
+    let graphs = vec![
+        ("powerlaw-5k", gen::chung_lu(5_000, 10.0, 2.4, &mut gen::seeded_rng(7))),
+        ("geometric-5k", gen::random_geometric(5_000, 0.02, &mut gen::seeded_rng(8))),
+    ];
+    for (name, g) in graphs {
+        let mut group = c.benchmark_group(format!("preprocess/{name}"));
+        for k in [1usize, 10] {
+            group.bench_with_input(BenchmarkId::new("kdc", k), &k, |b, &k| {
+                b.iter(|| black_box(preprocess_report(&g, k, &SolverConfig::kdc())).n0)
+            });
+            group.bench_with_input(BenchmarkId::new("degen", k), &k, |b, &k| {
+                b.iter(|| black_box(preprocess_report(&g, k, &SolverConfig::degen())).n0)
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

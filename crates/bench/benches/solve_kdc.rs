@@ -1,0 +1,65 @@
+//! End-to-end solver benchmarks: kDC vs the baselines on representative
+//! workloads from each collection regime (the criterion companion to
+//! Tables 2/3; trends here should match the tables' orderings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdc::{Solver, SolverConfig};
+use kdc_graph::gen::{self, CommunityParams};
+use kdc_graph::Graph;
+use std::hint::black_box;
+
+fn workloads() -> Vec<(&'static str, Graph)> {
+    vec![
+        (
+            "facebook-small",
+            gen::community(
+                &CommunityParams {
+                    communities: 4,
+                    community_size: 30,
+                    p_in: 0.55,
+                    p_out: 0.02,
+                },
+                &mut gen::seeded_rng(1),
+            ),
+        ),
+        (
+            "powerlaw",
+            gen::chung_lu(800, 10.0, 2.4, &mut gen::seeded_rng(2)),
+        ),
+        (
+            "planted",
+            gen::planted_defective_clique(400, 18, 3, 0.02, &mut gen::seeded_rng(3)).0,
+        ),
+    ]
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    type Preset = (&'static str, fn() -> SolverConfig);
+    let presets: Vec<Preset> = vec![
+        ("kDC", SolverConfig::kdc),
+        ("KDBB", SolverConfig::kdbb_like),
+        ("MADEC", SolverConfig::madec_like),
+    ];
+    for (wname, g) in workloads() {
+        let mut group = c.benchmark_group(format!("solve/{wname}"));
+        group.sample_size(10);
+        for k in [1usize, 3] {
+            for (pname, cfg) in &presets {
+                group.bench_with_input(
+                    BenchmarkId::new(pname.to_string(), format!("k{k}")),
+                    &k,
+                    |b, &k| {
+                        b.iter(|| {
+                            let sol = Solver::new(black_box(&g), k, cfg()).solve();
+                            black_box(sol.size())
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

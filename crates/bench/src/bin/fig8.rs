@@ -1,0 +1,25 @@
+//! **Figure 8**: #solved instances vs time limit on the facebook-like
+//! collection, for kDC and its ablations plus KDBB, one panel per
+//! k ∈ {1, 3, 5, 10, 15, 20}.
+//!
+//! Paper shape: as Figure 7, with UB1's advantage most visible here (social
+//! communities produce large colour classes).
+//!
+//! Usage: `fig8 [--quick] [--limit <seconds>]` (default limit 3 s).
+
+use kdc_bench::collections::{facebook_like, Scale};
+use kdc_bench::figures::solved_vs_limit_report;
+use kdc_bench::runner::{default_threads, limit_from_args};
+
+fn main() {
+    let scale = Scale::from_args();
+    let limit = limit_from_args(3.0);
+    let collection = facebook_like(scale);
+    println!(
+        "Figure 8 — #solved vs time limit, {} collection ({} instances, max limit {:.2}s)\n",
+        collection.name,
+        collection.instances.len(),
+        limit.as_secs_f64()
+    );
+    solved_vs_limit_report(&collection, &[1, 3, 5, 10, 15, 20], limit, default_threads());
+}

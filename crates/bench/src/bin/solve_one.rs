@@ -1,0 +1,92 @@
+//! Solve a single instance with any preset and print detailed statistics.
+//! Debugging/profiling companion for the table binaries.
+//!
+//! Usage:
+//!
+//! ```text
+//! solve_one gnp:<n>:<p> <k> [preset] [limit_secs]
+//! solve_one community:<c>:<s>:<pin>:<pout> <k> [preset]
+//! solve_one <path/to/graph-file> <k> [preset]
+//! ```
+//!
+//! Presets: kdc (default), kdc_t, no_ub1, no_rr34, no_ub1_rr34, degen,
+//! kdbb, madec.
+
+use kdc::{Solver, SolverConfig};
+use kdc_graph::{gen, io, Graph};
+use std::time::{Duration, Instant};
+
+fn preset(name: &str) -> SolverConfig {
+    match name {
+        "kdc" => SolverConfig::kdc(),
+        "kdc_t" => SolverConfig::kdc_t(),
+        "no_ub1" => SolverConfig::without_ub1(),
+        "no_rr34" => SolverConfig::without_rr3_rr4(),
+        "no_ub1_rr34" => SolverConfig::without_ub1_rr3_rr4(),
+        "degen" => SolverConfig::degen(),
+        "kdbb" => SolverConfig::kdbb_like(),
+        "madec" => SolverConfig::madec_like(),
+        other => panic!("unknown preset {other:?}"),
+    }
+}
+
+fn load(spec: &str) -> Graph {
+    if let Some(rest) = spec.strip_prefix("gnp:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        let n: usize = parts[0].parse().expect("n");
+        let p: f64 = parts[1].parse().expect("p");
+        return gen::gnp(n, p, &mut gen::seeded_rng(0xDEB));
+    }
+    if let Some(rest) = spec.strip_prefix("community:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        return gen::community(
+            &gen::CommunityParams {
+                communities: parts[0].parse().expect("c"),
+                community_size: parts[1].parse().expect("s"),
+                p_in: parts[2].parse().expect("pin"),
+                p_out: parts[3].parse().expect("pout"),
+            },
+            &mut gen::seeded_rng(0xDEB),
+        );
+    }
+    io::read_graph(std::path::Path::new(spec)).expect("readable graph file")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = args.get(1).expect("graph spec");
+    let k: usize = args.get(2).expect("k").parse().expect("k");
+    let preset_name = args.get(3).map(String::as_str).unwrap_or("kdc");
+    let limit = args.get(4).and_then(|a| a.parse::<f64>().ok());
+
+    let g = load(spec);
+    println!("graph: n = {}, m = {}, density = {:.4}", g.n(), g.m(), g.density());
+
+    let mut cfg = preset(preset_name);
+    cfg.time_limit = limit.map(Duration::from_secs_f64);
+    let t0 = Instant::now();
+    let sol = Solver::new(&g, k, cfg).solve();
+    let elapsed = t0.elapsed();
+
+    println!("preset {preset_name}, k = {k}");
+    println!(
+        "size = {}, status = {:?}, time = {:.4}s",
+        sol.size(),
+        sol.status,
+        elapsed.as_secs_f64()
+    );
+    let s = &sol.stats;
+    println!(
+        "initial = {}, reduced n0 = {}, m0 = {}",
+        s.initial_solution_size, s.preprocessed_n, s.preprocessed_m
+    );
+    println!(
+        "nodes = {}, leaves = {}, depth = {}, bound prunes = {} (ub1-only {})",
+        s.nodes, s.leaves, s.max_depth, s.bound_prunes, s.ub1_prunes
+    );
+    println!(
+        "rr1 = {}, rr2 = {}, rr3 = {}, rr4 = {}, rr5 = {}, S-prunes = {}",
+        s.rr1_removals, s.rr2_additions, s.rr3_removals, s.rr4_removals, s.rr5_removals,
+        s.s_vertex_prunes
+    );
+}

@@ -1,0 +1,51 @@
+//! **Table 2**: number of solved instances per collection and k for kDC,
+//! KDBB-like and MADEC-like, within a per-instance time limit.
+//!
+//! Paper shape to reproduce: kDC ≥ KDBB ≥ MADEC+p for every k, with the gap
+//! widening as k grows (MADEC collapses for k ≥ 10).
+//!
+//! Usage: `table2 [--quick] [--limit <seconds>]` (default limit 3 s).
+
+use kdc_bench::collections::{all_collections, Scale};
+use kdc_bench::runner::{cross_check_sizes, run_matrix, solved_count, table2_algos};
+use kdc_bench::table;
+
+fn main() {
+    let scale = Scale::from_args();
+    let limit = kdc_bench::runner::limit_from_args(3.0);
+    let threads = kdc_bench::runner::default_threads();
+    let ks = [1usize, 3, 5, 10, 15, 20];
+    let algos = table2_algos();
+
+    println!(
+        "Table 2 — #solved instances (limit {:.2}s per instance, {} threads, scale {:?})\n",
+        limit.as_secs_f64(),
+        threads,
+        scale
+    );
+
+    for collection in all_collections(scale) {
+        eprintln!(
+            "[table2] running {} ({} instances)…",
+            collection.name,
+            collection.instances.len()
+        );
+        let results = run_matrix(&collection, &algos, &ks, limit, threads);
+        let issues = cross_check_sizes(&results);
+        assert!(issues.is_empty(), "solvers disagree: {issues:?}");
+
+        let mut rows = vec![{
+            let mut h = vec![format!("{} ({})", collection.name, collection.instances.len())];
+            h.extend(algos.iter().map(|a| a.name.to_string()));
+            h
+        }];
+        for &k in &ks {
+            let mut row = vec![format!("k = {k}")];
+            for algo in &algos {
+                row.push(solved_count(&results, algo.name, k, limit).to_string());
+            }
+            rows.push(row);
+        }
+        println!("{}", table::render(&rows));
+    }
+}

@@ -1,0 +1,63 @@
+//! **Table 4**: preprocessing comparison between kDC (Degen-opt + RR6) and
+//! kDC-Degen (Degen, no RR6): ratio of initial-solution sizes and of reduced
+//! graph sizes (n0, m0), averaged per collection and k.
+//!
+//! Paper shape: |C0_kDC| / |C0_Degen| > 1 (larger initial solutions) and
+//! n0_kDC / n0_Degen < 1, m0_kDC / m0_Degen < 1 (smaller reduced graphs),
+//! with the gap largest at small k.
+//!
+//! Usage: `table4 [--quick]`.
+
+use kdc::solver::preprocess_report;
+use kdc::SolverConfig;
+use kdc_bench::collections::{facebook_like, real_world_like, Scale};
+use kdc_bench::table;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ks = [1usize, 3, 5, 10, 15, 20];
+
+    println!("Table 4 — preprocessing: kDC vs kDC-Degen (ratios kDC / kDC-Degen)\n");
+    for collection in [real_world_like(scale), facebook_like(scale)] {
+        eprintln!("[table4] {} …", collection.name);
+        let mut rows = vec![vec![
+            collection.name.to_string(),
+            "|C0| ratio".into(),
+            "n0 ratio".into(),
+            "m0 ratio".into(),
+        ]];
+        for &k in &ks {
+            let (mut c0_sum, mut n0_sum, mut m0_sum) = (0.0f64, 0.0f64, 0.0f64);
+            let mut count = 0usize;
+            for inst in &collection.instances {
+                let full = preprocess_report(&inst.graph, k, &SolverConfig::kdc());
+                let degen = preprocess_report(&inst.graph, k, &SolverConfig::degen());
+                if degen.initial.is_empty() {
+                    continue;
+                }
+                c0_sum += full.initial.len() as f64 / degen.initial.len() as f64;
+                // Reduced-graph ratios: define 0/0 = 1 (both reductions
+                // emptied the graph — equally strong).
+                n0_sum += if degen.n0 == 0 {
+                    1.0
+                } else {
+                    full.n0 as f64 / degen.n0 as f64
+                };
+                m0_sum += if degen.m0 == 0 {
+                    1.0
+                } else {
+                    full.m0 as f64 / degen.m0 as f64
+                };
+                count += 1;
+            }
+            let c = count.max(1) as f64;
+            rows.push(vec![
+                format!("k = {k}"),
+                format!("{:.2}", c0_sum / c),
+                format!("{:.2}", n0_sum / c),
+                format!("{:.2}", m0_sum / c),
+            ]);
+        }
+        println!("{}", table::render(&rows));
+    }
+}

@@ -1,0 +1,79 @@
+//! **UB4 ablation** — the paper sketches an RR4-derived upper bound in
+//! §3.2.2 but declines to use it ("computing this upper bound is
+//! time-consuming"). This harness quantifies that design decision: search
+//! nodes and wall time of kDC with and without UB4.
+//!
+//! Expected shape (validating the paper's choice): UB4 shrinks trees only
+//! marginally beyond UB1–UB3 while adding O(m) work at every node, so
+//! wall time rarely improves.
+//!
+//! Usage: `ub4_ablation [--quick] [--limit <seconds>]`.
+
+use kdc::{Solver, SolverConfig};
+use kdc_bench::collections::{dimacs_like, facebook_like, Scale};
+use kdc_bench::runner::{default_threads, limit_from_args, map_instances};
+use kdc_bench::table;
+
+fn main() {
+    let scale = Scale::from_args();
+    let limit = limit_from_args(3.0);
+    let threads = default_threads();
+    let ks = [1usize, 5, 10];
+
+    println!(
+        "UB4 ablation — kDC vs kDC+UB4 (limit {:.1}s per solve)\n",
+        limit.as_secs_f64()
+    );
+    for collection in [facebook_like(scale), dimacs_like(scale)] {
+        eprintln!("[ub4] {} …", collection.name);
+        let mut rows = vec![vec![
+            collection.name.to_string(),
+            "co-solved".into(),
+            "nodes (kDC)".into(),
+            "nodes (+UB4)".into(),
+            "node ratio".into(),
+            "time ratio (+UB4 / kDC)".into(),
+        ]];
+        for &k in &ks {
+            let cells = map_instances(&collection, threads, |inst| {
+                let base_cfg = SolverConfig::kdc().with_time_limit(limit);
+                let ub4_cfg = SolverConfig::kdc().with_ub4().with_time_limit(limit);
+                let t0 = std::time::Instant::now();
+                let a = Solver::new(&inst.graph, k, base_cfg).solve();
+                let ta = t0.elapsed().as_secs_f64();
+                let t1 = std::time::Instant::now();
+                let b = Solver::new(&inst.graph, k, ub4_cfg).solve();
+                let tb = t1.elapsed().as_secs_f64();
+                (a.is_optimal() && b.is_optimal()).then(|| {
+                    assert_eq!(a.size(), b.size(), "UB4 changed the optimum!");
+                    (a.stats.nodes, b.stats.nodes, ta, tb)
+                })
+            });
+            let solved: Vec<_> = cells.into_iter().flatten().collect();
+            let (mut na, mut nb, mut ra, mut rb) = (0u64, 0u64, 0.0f64, 0.0f64);
+            for &(a, b, ta, tb) in &solved {
+                na += a;
+                nb += b;
+                ra += ta;
+                rb += tb;
+            }
+            rows.push(vec![
+                format!("k = {k}"),
+                solved.len().to_string(),
+                na.to_string(),
+                nb.to_string(),
+                if na > 0 {
+                    format!("{:.3}", nb as f64 / na as f64)
+                } else {
+                    "-".into()
+                },
+                if ra > 0.0 {
+                    format!("{:.2}", rb / ra.max(1e-9))
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+        println!("{}", table::render(&rows));
+    }
+}

@@ -1,0 +1,141 @@
+//! **§3.2.1 tightness study**: how tight are UB1, Eq. (2), UB2 and UB3
+//! relative to the true instance optimum?
+//!
+//! For random instances `(g, S)` (S grown greedily to the requested size),
+//! each bound is compared against the exact maximum k-defective clique that
+//! contains S, computed by brute force. Reported: mean over-estimation
+//! factor (bound / optimum) — lower is tighter; UB1 must dominate Eq. (2).
+//!
+//! Also prints the paper's Figure 5 worked example (UB1 = 3 vs Eq. (2) = 11).
+//!
+//! Usage: `ub_tightness [--quick]`.
+
+use kdc::probe::root_bounds;
+use kdc_bench::collections::Scale;
+use kdc_bench::table;
+use kdc_graph::graph::{Graph, VertexId};
+use kdc_graph::{gen, named};
+
+/// Exact optimum of the instance `(g, S)`: the largest k-defective clique of
+/// `g` containing all of `s`. Plain include/exclude enumeration.
+fn instance_optimum(g: &Graph, s: &[VertexId], k: usize) -> usize {
+    fn recurse(
+        g: &Graph,
+        k: usize,
+        next: usize,
+        missing: usize,
+        current: &mut Vec<VertexId>,
+        forced: &[bool],
+        best: &mut usize,
+    ) {
+        let n = g.n();
+        *best = (*best).max(current.len());
+        if next == n || current.len() + (n - next) <= *best {
+            return;
+        }
+        let v = next as VertexId;
+        let add = current.iter().filter(|&&u| !g.has_edge(u, v)).count();
+        if missing + add <= k {
+            current.push(v);
+            recurse(g, k, next + 1, missing + add, current, forced, best);
+            current.pop();
+        }
+        if !forced[next] {
+            recurse(g, k, next + 1, missing, current, forced, best);
+        }
+    }
+    let mut forced = vec![false; g.n()];
+    for &v in s {
+        forced[v as usize] = true;
+    }
+    let mut best = 0;
+    recurse(g, k, 0, 0, &mut Vec::new(), &forced, &mut best);
+    best
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let trials = match scale {
+        Scale::Quick => 20,
+        Scale::Full => 200,
+    };
+
+    // The paper's worked example first.
+    let (g5, s5) = named::figure5();
+    let b5 = root_bounds(&g5, &s5, 3);
+    println!("Figure 5 example (k = 3): UB1 = {}, Eq.(2) = {}, UB3 = {}, optimum = {}\n",
+        b5.ub1, b5.eq2, b5.ub3, instance_optimum(&g5, &s5, 3));
+    assert_eq!((b5.ub1, b5.eq2), (3, 11));
+
+    println!("Mean bound/optimum over random instances (n = 16, lower = tighter):\n");
+    let mut rows = vec![vec![
+        "k".to_string(),
+        "|S|".into(),
+        "UB1".into(),
+        "Eq.(2)".into(),
+        "UB2".into(),
+        "UB3".into(),
+        "UB1 wins/ties".into(),
+    ]];
+    let mut seed = 10_000u64;
+    for k in [1usize, 3, 5] {
+        for s_target in [0usize, 2, 4] {
+            let (mut r1, mut r2, mut r2b, mut r3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let mut ub2_count = 0usize;
+            let mut wins = 0usize;
+            let mut count = 0usize;
+            while count < trials {
+                seed += 1;
+                let g = gen::gnp(16, 0.5, &mut gen::seeded_rng(seed));
+                // Grow a feasible S greedily from vertex 0.
+                let mut s: Vec<VertexId> = Vec::new();
+                for v in g.vertices() {
+                    if s.len() >= s_target {
+                        break;
+                    }
+                    let mut cand = s.clone();
+                    cand.push(v);
+                    if g.is_k_defective_clique(&cand, k) {
+                        s = cand;
+                    }
+                }
+                if s.len() < s_target {
+                    continue;
+                }
+                let opt = instance_optimum(&g, &s, k);
+                if opt == 0 {
+                    continue;
+                }
+                let b = root_bounds(&g, &s, k);
+                assert!(b.ub1 >= opt && b.eq2 >= opt && b.ub3 >= opt, "unsound bound");
+                if let Some(u2) = b.ub2 {
+                    assert!(u2 >= opt);
+                    r2b += u2 as f64 / opt as f64;
+                    ub2_count += 1;
+                }
+                r1 += b.ub1 as f64 / opt as f64;
+                r2 += b.eq2 as f64 / opt as f64;
+                r3 += b.ub3 as f64 / opt as f64;
+                if b.ub1 <= b.eq2 && b.ub1 <= b.ub3 && b.ub1 <= b.ub2.unwrap_or(usize::MAX) {
+                    wins += 1;
+                }
+                count += 1;
+            }
+            let c = count as f64;
+            rows.push(vec![
+                k.to_string(),
+                s_target.to_string(),
+                format!("{:.3}", r1 / c),
+                format!("{:.3}", r2 / c),
+                if ub2_count > 0 {
+                    format!("{:.3}", r2b / ub2_count as f64)
+                } else {
+                    "-".into()
+                },
+                format!("{:.3}", r3 / c),
+                format!("{}/{}", wins, count),
+            ]);
+        }
+    }
+    println!("{}", table::render(&rows));
+}

@@ -1,0 +1,53 @@
+//! Shared logic for the Figure 7/8 binaries: "#solved instances vs time
+//! limit" curves per k, for the five-algorithm ablation line-up.
+
+use crate::collections::Collection;
+use crate::runner::{ablation_algos, cross_check_sizes, run_matrix, solved_count};
+use crate::table;
+use std::time::Duration;
+
+/// The sub-limits at which the curves are sampled, as fractions of the
+/// maximum limit (mirrors the paper's log-spaced x axis).
+const FRACTIONS: [f64; 8] = [0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 0.6, 1.0];
+
+/// Runs the ablation matrix once at the maximum limit and prints, for every
+/// k, the solved-count series at each sampled sub-limit.
+pub fn solved_vs_limit_report(
+    collection: &Collection,
+    ks: &[usize],
+    limit: Duration,
+    threads: usize,
+) {
+    let algos = ablation_algos();
+    eprintln!(
+        "[figure] running {} ({} instances × {} algos × {} ks)…",
+        collection.name,
+        collection.instances.len(),
+        algos.len(),
+        ks.len()
+    );
+    let results = run_matrix(collection, &algos, ks, limit, threads);
+    let issues = cross_check_sizes(&results);
+    assert!(issues.is_empty(), "solvers disagree: {issues:?}");
+
+    for &k in ks {
+        let mut rows = vec![{
+            let mut h = vec![format!("k = {k} | limit (s)")];
+            h.extend(
+                FRACTIONS
+                    .iter()
+                    .map(|f| table::fmt_secs(limit.as_secs_f64() * f)),
+            );
+            h
+        }];
+        for algo in &algos {
+            let mut row = vec![algo.name.to_string()];
+            for &f in &FRACTIONS {
+                let sub = Duration::from_secs_f64(limit.as_secs_f64() * f);
+                row.push(solved_count(&results, algo.name, k, sub).to_string());
+            }
+            rows.push(row);
+        }
+        println!("{}", table::render(&rows));
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! # kdc-bench
+//!
+//! Experiment harness for the kDC suite: synthetic benchmark collections
+//! ([`collections`]), a parallel timed runner ([`runner`]) and table
+//! rendering ([`table`]).
+//!
+//! One binary per paper artifact regenerates the corresponding table/figure;
+//! see DESIGN.md §4 for the full index and EXPERIMENTS.md for measured
+//! results. Every binary accepts `--quick` (small collections) and most
+//! accept `--limit <seconds>` (per-solve time limit).
+
+pub mod collections;
+pub mod figures;
+pub mod runner;
+pub mod table;

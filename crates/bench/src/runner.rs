@@ -1,0 +1,256 @@
+//! Parallel experiment runner.
+//!
+//! Solves every (instance × algorithm × k) cell of an experiment matrix with
+//! a per-solve wall-clock limit, fanning the independent solves across
+//! worker threads (each solve itself stays single-threaded, as in the
+//! paper's experiments; parallelism only shortens harness wall time).
+
+use crate::collections::Collection;
+use kdc::{Solver, SolverConfig, Status};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A named algorithm configuration.
+pub struct Algo {
+    /// Display name ("kDC", "KDBB", …).
+    pub name: &'static str,
+    /// Configuration factory (time limits are injected by the runner).
+    pub config: fn() -> SolverConfig,
+}
+
+/// The standard algorithm line-up of Table 2.
+pub fn table2_algos() -> Vec<Algo> {
+    vec![
+        Algo { name: "kDC", config: SolverConfig::kdc },
+        Algo { name: "KDBB", config: SolverConfig::kdbb_like },
+        Algo { name: "MADEC+p", config: SolverConfig::madec_like },
+    ]
+}
+
+/// The ablation line-up of Figures 7/8 and Table 3.
+pub fn ablation_algos() -> Vec<Algo> {
+    vec![
+        Algo { name: "kDC", config: SolverConfig::kdc },
+        Algo { name: "kDC/RR3&4", config: SolverConfig::without_rr3_rr4 },
+        Algo { name: "kDC/UB1", config: SolverConfig::without_ub1 },
+        Algo { name: "kDC-Degen", config: SolverConfig::degen },
+        Algo { name: "KDBB", config: SolverConfig::kdbb_like },
+    ]
+}
+
+/// One experiment cell result.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Collection name.
+    pub collection: &'static str,
+    /// Instance name.
+    pub instance: String,
+    /// Vertices of the instance.
+    pub n: usize,
+    /// Edges of the instance.
+    pub m: usize,
+    /// Algorithm name.
+    pub algo: &'static str,
+    /// The k used.
+    pub k: usize,
+    /// Wall-clock solve time.
+    pub seconds: f64,
+    /// Whether the solve proved optimality within the limit.
+    pub solved: bool,
+    /// Size of the best solution found (optimal when `solved`).
+    pub size: usize,
+    /// The solution's vertex set (original graph ids, sorted).
+    pub vertices: Vec<u32>,
+    /// Search-tree nodes.
+    pub nodes: u64,
+}
+
+/// Runs the full (instances × algos × ks) matrix with the given per-solve
+/// time limit, using `threads` workers. Results are returned in a
+/// deterministic order (by instance, then algo, then k).
+pub fn run_matrix(
+    collection: &Collection,
+    algos: &[Algo],
+    ks: &[usize],
+    limit: Duration,
+    threads: usize,
+) -> Vec<RunResult> {
+    struct Task {
+        instance_idx: usize,
+        algo_idx: usize,
+        k: usize,
+    }
+    let mut tasks = Vec::new();
+    for instance_idx in 0..collection.instances.len() {
+        for algo_idx in 0..algos.len() {
+            for &k in ks {
+                tasks.push(Task {
+                    instance_idx,
+                    algo_idx,
+                    k,
+                });
+            }
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, RunResult)>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    let threads = threads.max(1);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= tasks.len() {
+                    break;
+                }
+                let task = &tasks[idx];
+                let inst = &collection.instances[task.instance_idx];
+                let algo = &algos[task.algo_idx];
+                let mut cfg = (algo.config)();
+                cfg.time_limit = Some(limit);
+
+                let t0 = Instant::now();
+                let sol = Solver::new(&inst.graph, task.k, cfg).solve();
+                let seconds = t0.elapsed().as_secs_f64();
+                debug_assert!(inst.graph.is_k_defective_clique(&sol.vertices, task.k));
+
+                let result = RunResult {
+                    collection: collection.name,
+                    instance: inst.name.clone(),
+                    n: inst.graph.n(),
+                    m: inst.graph.m(),
+                    algo: algo.name,
+                    k: task.k,
+                    seconds,
+                    solved: sol.status == Status::Optimal,
+                    size: sol.size(),
+                    vertices: sol.vertices,
+                    nodes: sol.stats.nodes,
+                };
+                results.lock().expect("poisoned").push((idx, result));
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let mut out = results.into_inner().expect("poisoned");
+    out.sort_by_key(|(idx, _)| *idx);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Number of instances an algorithm solved within `limit` for a given k.
+pub fn solved_count(results: &[RunResult], algo: &str, k: usize, limit: Duration) -> usize {
+    results
+        .iter()
+        .filter(|r| r.algo == algo && r.k == k && r.solved && r.seconds <= limit.as_secs_f64())
+        .count()
+}
+
+/// Sanity check across algorithms: all *solved* cells of the same
+/// (instance, k) must report identical optimal sizes. Returns a list of
+/// violations (empty when consistent).
+pub fn cross_check_sizes(results: &[RunResult]) -> Vec<String> {
+    use std::collections::HashMap;
+    let mut sizes: HashMap<(&str, usize), usize> = HashMap::new();
+    let mut issues = Vec::new();
+    for r in results.iter().filter(|r| r.solved) {
+        match sizes.entry((r.instance.as_str(), r.k)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != r.size {
+                    issues.push(format!(
+                        "{} k={}: {} reports {} but another solver reported {}",
+                        r.instance,
+                        r.k,
+                        r.algo,
+                        r.size,
+                        e.get()
+                    ));
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(r.size);
+            }
+        }
+    }
+    issues
+}
+
+/// Runs `f` over all instances of a collection in parallel, returning
+/// per-instance results in instance order (used for maximum-clique
+/// computations in the Table 5/6 harnesses).
+pub fn map_instances<T: Send>(
+    collection: &Collection,
+    threads: usize,
+    f: impl Fn(&crate::collections::Instance) -> T + Sync,
+) -> Vec<T> {
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(collection.instances.len()));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= collection.instances.len() {
+                    break;
+                }
+                let r = f(&collection.instances[i]);
+                out.lock().expect("poisoned").push((i, r));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut v = out.into_inner().expect("poisoned");
+    v.sort_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Default worker count: all cores, capped by the number of tasks.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Parses `--limit <seconds>` (fractional allowed) from the process args.
+pub fn limit_from_args(default_secs: f64) -> Duration {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--limit" {
+            if let Ok(s) = w[1].parse::<f64>() {
+                return Duration::from_secs_f64(s);
+            }
+        }
+    }
+    Duration::from_secs_f64(default_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collections::{dimacs_like, Scale};
+
+    #[test]
+    fn matrix_runs_and_cross_checks() {
+        let col = dimacs_like(Scale::Quick);
+        let algos = table2_algos();
+        let results = run_matrix(&col, &algos, &[1], Duration::from_secs(5), 4);
+        assert_eq!(results.len(), col.instances.len() * algos.len());
+        assert!(cross_check_sizes(&results).is_empty());
+        // At least the easy instances must be solved by kDC.
+        assert!(solved_count(&results, "kDC", 1, Duration::from_secs(5)) >= 1);
+    }
+
+    #[test]
+    fn solved_count_respects_sub_limits() {
+        let col = dimacs_like(Scale::Quick);
+        let algos = vec![Algo {
+            name: "kDC",
+            config: kdc::SolverConfig::kdc,
+        }];
+        let results = run_matrix(&col, &algos, &[1], Duration::from_secs(5), 2);
+        let at_full = solved_count(&results, "kDC", 1, Duration::from_secs(5));
+        let at_zero = solved_count(&results, "kDC", 1, Duration::from_nanos(1));
+        assert!(at_zero <= at_full);
+    }
+}

@@ -1,0 +1,116 @@
+//! Plain-text table and CSV rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned text table. The first row is treated as the header.
+pub fn render(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            let pad = widths[i] - cell.chars().count();
+            let _ = write!(out, "{}{}", cell, " ".repeat(pad));
+            if i + 1 < row.len() {
+                out.push_str("  ");
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders rows as CSV (naive quoting: commas in cells are replaced).
+pub fn render_csv(rows: &[Vec<String>]) -> String {
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|c| c.replace(',', ";"))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+/// Formats a duration in seconds the way the paper's Table 3 does: sub-second
+/// values with two significant decimals, larger values with fewer.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.000_1 {
+        "<0.0001".to_string()
+    } else if s < 1.0 {
+        format!("{s:.4}")
+    } else if s < 100.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.0}")
+    }
+}
+
+/// Formats a ratio like `1552x`.
+pub fn fmt_speedup(r: f64) -> String {
+    if r >= 100.0 {
+        format!("{r:.0}x")
+    } else {
+        format!("{r:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<String>> {
+        vec![
+            vec!["name".into(), "k".into(), "time".into()],
+            vec!["graph-a".into(), "1".into(), "0.50".into()],
+            vec!["g".into(), "10".into(), "3600".into()],
+        ]
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let out = render(&rows());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows");
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All non-rule lines have equal visible width for the first column.
+        assert_eq!(lines[2].find("1"), lines[0].find("k"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = render_csv(&rows());
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("name,k,time\n"));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_secs(0.00005), "<0.0001");
+        assert_eq!(fmt_secs(0.5), "0.5000");
+        assert_eq!(fmt_secs(12.345), "12.35");
+        assert_eq!(fmt_secs(1234.0), "1234");
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(fmt_speedup(1552.0), "1552x");
+        assert_eq!(fmt_speedup(3.25), "3.2x");
+    }
+}

@@ -1,0 +1,112 @@
+//! Minimal flag parsing (no external dependencies): positional arguments
+//! plus `--flag value` and boolean `--flag` options.
+
+use std::collections::HashMap;
+
+/// Parsed command-line tail: positionals in order, flags by name.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Positional arguments in the order given.
+    pub positional: Vec<String>,
+    /// `--key value` and bare `--key` options (bare keys map to `""`).
+    pub flags: HashMap<String, String>,
+}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["parallel", "quick", "verbose"];
+
+/// Parses `args` into positionals and flags.
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&name) {
+                out.flags.insert(name.to_string(), String::new());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} requires a value"))?;
+                out.flags.insert(name.to_string(), value.clone());
+            }
+        } else {
+            out.positional.push(a.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    /// The n-th positional argument, or an error naming it.
+    pub fn positional(&self, idx: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required argument <{name}>"))
+    }
+
+    /// A required parsed flag.
+    pub fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self
+            .flags
+            .get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))?;
+        raw.parse()
+            .map_err(|_| format!("invalid value {raw:?} for --{name}"))
+    }
+
+    /// An optional parsed flag.
+    pub fn optional<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value {raw:?} for --{name}")),
+        }
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// A string flag with a default.
+    pub fn string_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let p = parse(&argv("file.clq --k 3 --parallel --limit 2.5")).unwrap();
+        assert_eq!(p.positional(0, "file").unwrap(), "file.clq");
+        assert_eq!(p.required::<usize>("k").unwrap(), 3);
+        assert!(p.has("parallel"));
+        assert_eq!(p.optional::<f64>("limit").unwrap(), Some(2.5));
+        assert_eq!(p.optional::<f64>("absent").unwrap(), None);
+    }
+
+    #[test]
+    fn missing_and_invalid() {
+        let p = parse(&argv("--k x")).unwrap();
+        assert!(p.required::<usize>("k").is_err());
+        assert!(p.positional(0, "file").is_err());
+        assert!(parse(&argv("--limit")).is_err(), "value-less flag");
+    }
+
+    #[test]
+    fn defaults() {
+        let p = parse(&argv("g.txt")).unwrap();
+        assert_eq!(p.string_or("preset", "kdc"), "kdc");
+        assert!(!p.has("parallel"));
+    }
+}

@@ -1,0 +1,253 @@
+//! The `kdc` subcommands.
+
+use crate::args::parse;
+use crate::load_graph;
+use kdc::{decompose, gamma_k, sigma_k, topr, Solver, SolverConfig, Status};
+use kdc_graph::stats::graph_stats;
+use std::path::Path;
+use std::time::Duration;
+
+fn preset(name: &str) -> Result<SolverConfig, String> {
+    Ok(match name {
+        "kdc" => SolverConfig::kdc(),
+        "kdc_t" => SolverConfig::kdc_t(),
+        "kdbb" => SolverConfig::kdbb_like(),
+        "madec" => SolverConfig::madec_like(),
+        other => return Err(format!("unknown preset {other:?}")),
+    })
+}
+
+/// `kdc solve <file> --k K [--preset P] [--limit S] [--parallel]`
+pub fn solve(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let path = p.positional(0, "graph-file")?;
+    let k: usize = p.required("k")?;
+    let limit: Option<f64> = p.optional("limit")?;
+    let preset_name = p.string_or("preset", "kdc");
+    let g = load_graph(path)?;
+
+    if preset_name == "rds" {
+        let sol = kdc_baselines::max_defective_clique_rds(&g, k);
+        println!("size: {}", sol.len());
+        println!("vertices: {:?}", sol);
+        return Ok(());
+    }
+
+    let mut config = preset(preset_name)?;
+    config.time_limit = limit.map(Duration::from_secs_f64);
+
+    let cert_out: Option<String> = p.optional("cert")?;
+    let sol = if p.has("parallel") {
+        decompose::solve_decomposed(&g, k, config, 0)
+    } else {
+        Solver::new(&g, k, config).solve()
+    };
+    if let Some(out) = cert_out {
+        let cert = kdc::verify::Certificate::new(
+            &g,
+            k,
+            &sol.vertices,
+            sol.status == Status::Optimal,
+        );
+        std::fs::write(&out, cert.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("certificate: {out}");
+    }
+    match sol.status {
+        Status::Optimal => println!("status: optimal"),
+        s => println!("status: best-effort ({s:?})"),
+    }
+    println!("size: {}", sol.size());
+    println!("vertices: {:?}", sol.vertices);
+    println!(
+        "missing-edges: {} / {k}",
+        g.missing_edges_within(&sol.vertices)
+    );
+    println!(
+        "time: {:.3}s (preprocess {:.3}s, search {:.3}s)",
+        sol.stats.total_time().as_secs_f64(),
+        sol.stats.preprocess_time.as_secs_f64(),
+        sol.stats.search_time.as_secs_f64()
+    );
+    println!("nodes: {}", sol.stats.nodes);
+    Ok(())
+}
+
+/// `kdc enumerate <file> --k K [--top R]`
+pub fn enumerate(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let path = p.positional(0, "graph-file")?;
+    let k: usize = p.required("k")?;
+    let top: Option<usize> = p.optional("top")?;
+    let g = load_graph(path)?;
+
+    let cliques = match top {
+        Some(r) => topr::top_r_maximal(&g, k, r, SolverConfig::kdc()),
+        None => topr::enumerate_maximal(&g, k, SolverConfig::kdc()),
+    };
+    println!("maximal {k}-defective cliques: {}", cliques.len());
+    for (i, c) in cliques.iter().enumerate() {
+        println!("#{i}: size {} {:?}", c.len(), c);
+    }
+    Ok(())
+}
+
+/// `kdc verify <graph-file> <certificate-file>`
+pub fn verify(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let graph_path = p.positional(0, "graph-file")?;
+    let cert_path = p.positional(1, "certificate-file")?;
+    let g = load_graph(graph_path)?;
+    let text = std::fs::read_to_string(cert_path)
+        .map_err(|e| format!("cannot read {cert_path}: {e}"))?;
+    let cert = kdc::verify::Certificate::from_text(&text)?;
+    let missing = cert.check(&g)?;
+    println!(
+        "VALID: {} vertices form a {}-defective clique ({} of {} allowed missing edges)",
+        cert.vertices.len(),
+        cert.k,
+        missing,
+        cert.k
+    );
+    Ok(())
+}
+
+/// `kdc stats <file>`
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let path = p.positional(0, "graph-file")?;
+    let g = load_graph(path)?;
+    let s = graph_stats(&g);
+    println!("n: {}", s.n);
+    println!("m: {}", s.m);
+    println!("degree: min {} avg {:.2} max {}", s.min_degree, s.avg_degree, s.max_degree);
+    println!("degeneracy: {}", s.degeneracy);
+    println!("triangles: {}", s.triangles);
+    println!("global-clustering: {:.4}", s.global_clustering);
+    println!(
+        "components: {} (largest {})",
+        s.components, s.largest_component
+    );
+    Ok(())
+}
+
+/// `kdc convert <input> <output>` — format chosen by the output extension.
+pub fn convert(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let input = p.positional(0, "input-file")?;
+    let output = p.positional(1, "output-file")?;
+    let g = load_graph(input)?;
+    let out = Path::new(output);
+    let result = match out.extension().and_then(|e| e.to_str()) {
+        Some("clq") | Some("col") | Some("dimacs") => kdc_graph::io::write_dimacs(&g, out),
+        Some("graph") | Some("metis") => kdc_graph::io::write_metis(&g, out),
+        _ => kdc_graph::io::write_edge_list(&g, out),
+    };
+    result.map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!("wrote {} vertices / {} edges to {output}", g.n(), g.m());
+    Ok(())
+}
+
+/// `kdc gamma [max_k]` — the complexity bases of Theorem 3.5.
+pub fn gamma(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let max_k: usize = match p.positional.first() {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid max_k {raw:?}"))?,
+        None => 10,
+    };
+    println!("k   γ_k (kDC)   σ_k = γ_2k (MADEC+)");
+    for k in 0..=max_k {
+        println!("{k:<3} {:<11.6} {:.6}", gamma_k(k), sigma_k(k));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("kdc_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn write_sample() -> String {
+        let g = kdc_graph::named::figure2();
+        let path = tmp("fig2.clq");
+        kdc_graph::io::write_dimacs(&g, Path::new(&path)).unwrap();
+        path
+    }
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn solve_command_runs() {
+        let path = write_sample();
+        solve(&argv(&[&path, "--k", "2"])).unwrap();
+        solve(&argv(&[&path, "--k", "1", "--preset", "kdbb"])).unwrap();
+        solve(&argv(&[&path, "--k", "1", "--preset", "rds"])).unwrap();
+        solve(&argv(&[&path, "--k", "1", "--parallel"])).unwrap();
+    }
+
+    #[test]
+    fn solve_command_rejects_bad_input() {
+        let path = write_sample();
+        assert!(solve(&argv(&[&path])).is_err(), "missing --k");
+        assert!(solve(&argv(&[&path, "--k", "2", "--preset", "nope"])).is_err());
+        assert!(solve(&argv(&["/nonexistent.clq", "--k", "1"])).is_err());
+    }
+
+    #[test]
+    fn solve_with_certificate_then_verify() {
+        let path = write_sample();
+        let cert = tmp("fig2.cert");
+        solve(&argv(&[&path, "--k", "2", "--cert", &cert])).unwrap();
+        verify(&argv(&[&path, &cert])).unwrap();
+        // Verifying against the wrong graph fails.
+        let other = tmp("k5.clq");
+        kdc_graph::io::write_dimacs(&kdc_graph::gen::complete(5), Path::new(&other)).unwrap();
+        assert!(verify(&argv(&[&other, &cert])).is_err());
+        // Tampered certificate fails.
+        let mut text = std::fs::read_to_string(&cert).unwrap();
+        text = text.replace("k 2", "k 0");
+        let tampered = tmp("tampered.cert");
+        std::fs::write(&tampered, text).unwrap();
+        assert!(verify(&argv(&[&path, &tampered])).is_err());
+    }
+
+    #[test]
+    fn enumerate_command_runs() {
+        let path = write_sample();
+        enumerate(&argv(&[&path, "--k", "1", "--top", "3"])).unwrap();
+        enumerate(&argv(&[&path, "--k", "0"])).unwrap();
+    }
+
+    #[test]
+    fn stats_command_runs() {
+        let path = write_sample();
+        stats(&argv(&[&path])).unwrap();
+    }
+
+    #[test]
+    fn convert_roundtrips_formats() {
+        let path = write_sample();
+        let metis = tmp("fig2.graph");
+        let edges = tmp("fig2.txt");
+        convert(&argv(&[&path, &metis])).unwrap();
+        convert(&argv(&[&metis, &edges])).unwrap();
+        let a = kdc_graph::io::read_graph(Path::new(&path)).unwrap();
+        let b = kdc_graph::io::read_graph(Path::new(&edges)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gamma_command_runs() {
+        gamma(&argv(&["5"])).unwrap();
+        gamma(&argv(&[])).unwrap();
+        assert!(gamma(&argv(&["abc"])).is_err());
+    }
+}

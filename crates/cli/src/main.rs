@@ -1,0 +1,68 @@
+//! `kdc` — command-line maximum k-defective clique computation.
+//!
+//! ```text
+//! kdc solve <graph-file> --k <K> [--preset kdc|kdc_t|kdbb|madec] [--limit S]
+//!           [--parallel]
+//! kdc enumerate <graph-file> --k <K> [--top R]
+//! kdc stats <graph-file>
+//! kdc convert <input> <output>      # by extension: .clq/.graph/.txt
+//! kdc gamma [max_k]
+//! ```
+//!
+//! Graph formats are selected by extension: DIMACS `.clq`/`.col`, METIS
+//! `.graph`/`.metis`, otherwise whitespace edge list.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "solve" => commands::solve(rest),
+        "enumerate" => commands::enumerate(rest),
+        "verify" => commands::verify(rest),
+        "stats" => commands::stats(rest),
+        "convert" => commands::convert(rest),
+        "gamma" => commands::gamma(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "kdc — exact maximum k-defective clique computation (Chang, SIGMOD 2023)
+
+USAGE:
+  kdc solve <graph-file> --k <K> [--preset kdc|kdc_t|kdbb|madec|rds]
+            [--limit <seconds>] [--parallel] [--cert <out-file>]
+  kdc enumerate <graph-file> --k <K> [--top <R>]
+  kdc verify <graph-file> <certificate-file>
+  kdc stats <graph-file>
+  kdc convert <input-file> <output-file>
+  kdc gamma [max_k]
+
+Formats by extension: .clq/.col/.dimacs (DIMACS), .graph/.metis (METIS),
+anything else is read as a 0-based whitespace edge list."
+}
+
+/// Loads a graph file with a friendly error.
+pub(crate) fn load_graph(path: &str) -> Result<kdc_graph::Graph, String> {
+    kdc_graph::io::read_graph(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))
+}

@@ -1,0 +1,280 @@
+//! Solver configuration.
+//!
+//! The paper deliberately separates the techniques needed for the
+//! `O*(γ_k^n)` time complexity (branching rule BR, reduction rules RR1/RR2)
+//! from the techniques that only improve practical performance (UB1–UB3,
+//! RR3–RR6, initial-solution heuristics). [`SolverConfig`] mirrors that
+//! separation: every practical technique can be toggled independently, and
+//! the named presets correspond exactly to the algorithm variants evaluated
+//! in §4 of the paper.
+
+use std::time::Duration;
+
+/// How the branching vertex is chosen *among* the vertices admitted by the
+/// non-fully-adjacent-first rule BR (the rule itself allows any candidate
+/// with a non-neighbour in `S`; the tie-break is a practical choice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchPolicy {
+    /// Prefer the candidate with the most non-neighbours in `S`
+    /// (fails fastest towards RR1). Default for kDC.
+    MaxNonNeighbors,
+    /// The first candidate with a non-neighbour in `S`, in internal order.
+    FirstEligible,
+    /// The eligible candidate with minimum alive degree.
+    MinDegree,
+    /// Plain maximum-degree branching, *ignoring* the BR preference for
+    /// non-fully-adjacent vertices. Used by the baselines, which predate BR;
+    /// still correct, but forfeits the `O*(γ_k^n)` argument.
+    MaxDegreeAny,
+}
+
+/// Which initial solution is computed before preprocessing (§3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InitialHeuristic {
+    /// No initial solution (`lb = 0`); used by the theory-only kDC-t.
+    None,
+    /// `Degen`: longest k-defective suffix of a degeneracy ordering, O(m).
+    Degen,
+    /// `Degen-opt`: `Degen` plus one degeneracy-ordering ego-subgraph per
+    /// vertex, O(δ(G)·m). Default for kDC.
+    DegenOpt,
+    /// `Degen-opt` refined by (1-out, multi-in) local search — an extension
+    /// beyond the paper that can tighten `lb` before preprocessing.
+    DegenOptLocalSearch,
+}
+
+/// Full solver configuration. Construct via a preset and override fields as
+/// needed; `SolverConfig::kdc()` is the paper's flagship configuration.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Branching tie-break policy (BR itself is always in force).
+    pub branch_policy: BranchPolicy,
+    /// RR2 — high-degree reduction (greedily add near-universal vertices).
+    /// Required (together with RR1 and BR) for the `O*(γ_k^n)` bound.
+    pub enable_rr2: bool,
+    /// RR3 — degree-sequence reduction (§3.2.2).
+    pub enable_rr3: bool,
+    /// RR4 — second-order reduction (§3.2.2).
+    pub enable_rr4: bool,
+    /// RR5 — (lb − k)-core reduction \[11\], applied at every node and during
+    /// preprocessing.
+    pub enable_rr5: bool,
+    /// RR6 — (lb − k + 1)-truss reduction \[16\], preprocessing only (§3.2.3).
+    pub enable_rr6: bool,
+    /// UB1 — improved colouring upper bound (§3.2.1).
+    pub enable_ub1: bool,
+    /// UB2 — minimum-S-degree upper bound \[11\].
+    pub enable_ub2: bool,
+    /// UB3 — non-neighbour-prefix upper bound \[16\].
+    pub enable_ub3: bool,
+    /// UB4 — the RR4-derived second-order bound that §3.2.2 sketches but
+    /// leaves unused for cost reasons; off in every preset, available for
+    /// experimentation via [`SolverConfig::with_ub4`].
+    pub enable_ub4: bool,
+    /// Replace UB1 by the weaker Eq. (2) colouring bound of MADEC+ \[11\]
+    /// (used by the MADEC-like baseline and the tightness experiments).
+    pub use_eq2_bound: bool,
+    /// Initial-solution heuristic (Line 1 of Algorithm 2).
+    pub heuristic: InitialHeuristic,
+    /// Build a bit-matrix over the reduced universe when it has at most this
+    /// many vertices (`0` disables the dense acceleration entirely).
+    pub matrix_limit: usize,
+    /// Wall-clock limit; on expiry the best solution found so far is
+    /// returned with [`crate::Status::TimedOut`].
+    pub time_limit: Option<Duration>,
+    /// Search-node limit, mainly for experiments on search-tree size.
+    pub node_limit: Option<u64>,
+}
+
+impl SolverConfig {
+    /// The full kDC algorithm (Algorithm 2): BR + RR1–RR6 + UB1–UB3 +
+    /// Degen-opt.
+    pub fn kdc() -> Self {
+        SolverConfig {
+            branch_policy: BranchPolicy::MaxNonNeighbors,
+            enable_rr2: true,
+            enable_rr3: true,
+            enable_rr4: true,
+            enable_rr5: true,
+            enable_rr6: true,
+            enable_ub1: true,
+            enable_ub2: true,
+            enable_ub3: true,
+            enable_ub4: false,
+            use_eq2_bound: false,
+            heuristic: InitialHeuristic::DegenOpt,
+            matrix_limit: 16_384,
+            time_limit: None,
+            node_limit: None,
+        }
+    }
+
+    /// kDC-t (Algorithm 1): the bare minimum achieving `O*(γ_k^n)` — BR,
+    /// RR1, RR2 and nothing else. No bounds, no lb-based reductions, no
+    /// initial solution.
+    pub fn kdc_t() -> Self {
+        SolverConfig {
+            branch_policy: BranchPolicy::MaxNonNeighbors,
+            enable_rr2: true,
+            enable_rr3: false,
+            enable_rr4: false,
+            enable_rr5: false,
+            enable_rr6: false,
+            enable_ub1: false,
+            enable_ub2: false,
+            enable_ub3: false,
+            enable_ub4: false,
+            use_eq2_bound: false,
+            heuristic: InitialHeuristic::None,
+            matrix_limit: 16_384,
+            time_limit: None,
+            node_limit: None,
+        }
+    }
+
+    /// `kDC/UB1` of §4.2: kDC without the improved colouring bound.
+    pub fn without_ub1() -> Self {
+        SolverConfig {
+            enable_ub1: false,
+            ..Self::kdc()
+        }
+    }
+
+    /// `kDC/RR3&4` of §4.2: kDC without the two new reduction rules.
+    pub fn without_rr3_rr4() -> Self {
+        SolverConfig {
+            enable_rr3: false,
+            enable_rr4: false,
+            ..Self::kdc()
+        }
+    }
+
+    /// `kDC/UB1&RR3&4` of §4.2: both ablations combined.
+    pub fn without_ub1_rr3_rr4() -> Self {
+        SolverConfig {
+            enable_ub1: false,
+            enable_rr3: false,
+            enable_rr4: false,
+            ..Self::kdc()
+        }
+    }
+
+    /// `kDC-Degen` of §4.2: the cheap `Degen` initial solution and no RR6
+    /// preprocessing (O(m) preprocessing instead of O(δ(G)·m)).
+    pub fn degen() -> Self {
+        SolverConfig {
+            heuristic: InitialHeuristic::Degen,
+            enable_rr6: false,
+            ..Self::kdc()
+        }
+    }
+
+    /// A KDBB-like baseline \[16\]: preprocessing (core + truss) and the UB3
+    /// bound, but none of kDC's novel rules (no RR2/RR3/RR4, no UB1) and
+    /// plain min-degree branching.
+    pub fn kdbb_like() -> Self {
+        SolverConfig {
+            branch_policy: BranchPolicy::MaxDegreeAny,
+            enable_rr2: false,
+            enable_rr3: false,
+            enable_rr4: false,
+            enable_rr5: true,
+            enable_rr6: true,
+            enable_ub1: false,
+            enable_ub2: true,
+            enable_ub3: true,
+            enable_ub4: false,
+            use_eq2_bound: false,
+            heuristic: InitialHeuristic::Degen,
+            matrix_limit: 16_384,
+            time_limit: None,
+            node_limit: None,
+        }
+    }
+
+    /// A MADEC-like baseline \[11\]: the Eq. (2) colouring bound and core
+    /// pruning, no RR2 (hence the `O*(γ_{2k}^n)` behaviour), no UB1/RR3/RR4.
+    pub fn madec_like() -> Self {
+        SolverConfig {
+            branch_policy: BranchPolicy::MaxDegreeAny,
+            enable_rr2: false,
+            enable_rr3: false,
+            enable_rr4: false,
+            enable_rr5: true,
+            enable_rr6: false,
+            enable_ub1: false,
+            enable_ub2: true,
+            enable_ub3: false,
+            enable_ub4: false,
+            use_eq2_bound: true,
+            heuristic: InitialHeuristic::Degen,
+            matrix_limit: 16_384,
+            time_limit: None,
+            node_limit: None,
+        }
+    }
+
+    /// Enables the experimental RR4-derived bound UB4 (see §3.2.2).
+    pub fn with_ub4(mut self) -> Self {
+        self.enable_ub4 = true;
+        self
+    }
+
+    /// Builder-style override of the time limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Builder-style override of the node limit.
+    pub fn with_node_limit(mut self, limit: u64) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self::kdc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kdc_t_is_minimal() {
+        let c = SolverConfig::kdc_t();
+        assert!(c.enable_rr2, "RR2 is part of the complexity argument");
+        assert!(!c.enable_rr3 && !c.enable_rr4 && !c.enable_rr5 && !c.enable_rr6);
+        assert!(!c.enable_ub1 && !c.enable_ub2 && !c.enable_ub3);
+        assert_eq!(c.heuristic, InitialHeuristic::None);
+    }
+
+    #[test]
+    fn ablations_differ_only_in_stated_flags() {
+        let base = SolverConfig::kdc();
+        let no_ub1 = SolverConfig::without_ub1();
+        assert!(!no_ub1.enable_ub1);
+        assert_eq!(no_ub1.enable_rr3, base.enable_rr3);
+
+        let no_rr = SolverConfig::without_rr3_rr4();
+        assert!(!no_rr.enable_rr3 && !no_rr.enable_rr4);
+        assert!(no_rr.enable_ub1);
+
+        let degen = SolverConfig::degen();
+        assert_eq!(degen.heuristic, InitialHeuristic::Degen);
+        assert!(!degen.enable_rr6);
+        assert!(degen.enable_ub1);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SolverConfig::kdc()
+            .with_time_limit(Duration::from_secs(3))
+            .with_node_limit(100);
+        assert_eq!(c.time_limit, Some(Duration::from_secs(3)));
+        assert_eq!(c.node_limit, Some(100));
+    }
+}

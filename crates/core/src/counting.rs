@@ -1,0 +1,175 @@
+//! Exact counting of k-defective cliques by size.
+//!
+//! §5 of the paper points at the counting problem (\[21\] approximates counts
+//! of 1- and 2-defective cliques of a given size) and notes that the
+//! hereditary property makes counts explode as the maximum size grows —
+//! which the maximum k-defective clique size (this crate's main product)
+//! roughly indicates. This module provides the exact reference counter:
+//! a canonical-order backtracking enumeration with missing-edge pruning and
+//! a remaining-budget horizon.
+//!
+//! Counting is `#P`-hard in general; use on small graphs or with a
+//! `min_size` close to the maximum.
+
+use kdc_graph::graph::{Graph, VertexId};
+
+/// Per-size counts of k-defective cliques (vertex subsets inducing at most
+/// `k` missing edges). `counts[s]` is the number of such subsets of size
+/// `s`; index 0 counts the empty set (always 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DefectiveCounts {
+    /// `counts[s]` = number of k-defective cliques with exactly `s` vertices.
+    pub counts: Vec<u64>,
+}
+
+impl DefectiveCounts {
+    /// The largest size with a non-zero count (the maximum k-defective
+    /// clique size).
+    pub fn max_size(&self) -> usize {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+
+    /// Total number of k-defective cliques of size ≥ `min_size`.
+    pub fn total_at_least(&self, min_size: usize) -> u64 {
+        self.counts.iter().skip(min_size).sum()
+    }
+}
+
+/// Counts every k-defective clique of `g` with at least `min_size` vertices
+/// (sizes below `min_size` report 0, except the conventional empty set when
+/// `min_size == 0`).
+pub fn count_k_defective_cliques(g: &Graph, k: usize, min_size: usize) -> DefectiveCounts {
+    let n = g.n();
+    let mut counts = vec![0u64; n + 1];
+    if min_size == 0 {
+        counts[0] = 1;
+    }
+    let mut current: Vec<VertexId> = Vec::new();
+    // Canonical enumeration: members are added in increasing id order, so
+    // each subset is generated exactly once.
+    fn recurse(
+        g: &Graph,
+        k: usize,
+        min_size: usize,
+        next: usize,
+        missing: usize,
+        current: &mut Vec<VertexId>,
+        counts: &mut [u64],
+    ) {
+        if !current.is_empty() && current.len() >= min_size {
+            counts[current.len()] += 1;
+        }
+        let n = g.n();
+        for cand in next..n {
+            let v = cand as VertexId;
+            let added = current.iter().filter(|&&u| !g.has_edge(u, v)).count();
+            if missing + added > k {
+                continue;
+            }
+            current.push(v);
+            recurse(g, k, min_size, cand + 1, missing + added, current, counts);
+            current.pop();
+        }
+    }
+    recurse(g, k, min_size, 0, 0, &mut current, &mut counts);
+    DefectiveCounts { counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdc_graph::{gen, named};
+
+    #[test]
+    fn empty_graph_counts_are_binomials() {
+        // With k = 1, any single vertex or pair qualifies (a pair misses at
+        // most one edge); triples of isolated vertices miss 3 > 1.
+        let g = kdc_graph::Graph::empty(5);
+        let c = count_k_defective_cliques(&g, 1, 0);
+        assert_eq!(c.counts[0], 1);
+        assert_eq!(c.counts[1], 5);
+        assert_eq!(c.counts[2], 10, "C(5,2) pairs");
+        assert_eq!(c.counts[3], 0);
+        assert_eq!(c.max_size(), 2);
+    }
+
+    #[test]
+    fn clique_counts_are_binomials() {
+        // In K5 every subset is a clique: counts[s] = C(5, s).
+        let g = gen::complete(5);
+        let c = count_k_defective_cliques(&g, 0, 0);
+        assert_eq!(c.counts, vec![1, 5, 10, 10, 5, 1]);
+    }
+
+    #[test]
+    fn zero_defective_triples_are_triangles() {
+        let mut rng = gen::seeded_rng(71);
+        for _ in 0..10 {
+            let g = gen::gnp(18, 0.4, &mut rng);
+            let c = count_k_defective_cliques(&g, 0, 3);
+            assert_eq!(c.counts[3] as usize, g.triangle_count());
+            // Edges are exactly the size-2 cliques, but min_size = 3 zeroes them.
+            assert_eq!(c.counts[2], 0);
+        }
+    }
+
+    #[test]
+    fn one_defective_pairs_count_all_pairs() {
+        let mut rng = gen::seeded_rng(72);
+        let g = gen::gnp(12, 0.3, &mut rng);
+        let c = count_k_defective_cliques(&g, 1, 0);
+        assert_eq!(c.counts[2] as usize, 12 * 11 / 2, "any pair misses ≤ 1 edge");
+    }
+
+    #[test]
+    fn max_size_agrees_with_solver() {
+        let mut rng = gen::seeded_rng(73);
+        for _ in 0..8 {
+            let g = gen::gnp(14, 0.45, &mut rng);
+            for k in [0usize, 1, 3] {
+                let c = count_k_defective_cliques(&g, k, 1);
+                let opt = crate::max_defective_clique(&g, k).size();
+                assert_eq!(c.max_size(), opt, "k = {k}");
+                assert!(c.counts[opt] >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_counts() {
+        let g = named::figure2();
+        let c1 = count_k_defective_cliques(&g, 1, 5);
+        // Size-5 1-defective cliques: the K5 itself, its 5 one-vertex-swap
+        // variants? Ground truth by independent brute force:
+        let mut expected = 0u64;
+        let n = g.n();
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() != 5 {
+                continue;
+            }
+            let set: Vec<u32> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+            if g.is_k_defective_clique(&set, 1) {
+                expected += 1;
+            }
+        }
+        assert_eq!(c1.counts[5], expected);
+        assert_eq!(c1.max_size(), 5);
+        assert_eq!(c1.total_at_least(5), expected);
+    }
+
+    #[test]
+    fn counts_monotone_in_k() {
+        let mut rng = gen::seeded_rng(74);
+        let g = gen::gnp(12, 0.35, &mut rng);
+        let mut prev_total = 0u64;
+        for k in 0..4 {
+            let c = count_k_defective_cliques(&g, k, 1);
+            let total: u64 = c.counts.iter().sum();
+            assert!(total >= prev_total, "relaxing k adds solutions");
+            prev_total = total;
+        }
+    }
+}

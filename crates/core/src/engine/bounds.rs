@@ -1,0 +1,557 @@
+//! Upper bounds (§3.2.1).
+//!
+//! * **UB1** — improved colouring bound: colour the candidates greedily in
+//!   reverse degeneracy order; inside each colour class sort vertices by
+//!   `|N̄_S(·)|` ascending and give the j-th vertex weight
+//!   `w = |N̄_S(v)| + (j − 1)`; the instance bound is `|S|` plus the longest
+//!   prefix of all weights (ascending) whose sum fits in `k − |Ē(S)|`.
+//! * **UB2** — `min_{u ∈ S} d_g(u) + 1 + k` \[11\].
+//! * **UB3** — `|S|` plus the longest ascending prefix of `|N̄_S(·)|` values
+//!   fitting in `k − |Ē(S)|` \[16\].
+//! * **Eq. (2)** — the original MADEC colouring bound
+//!   `|S| + Σ_i min(⌊(1+√(8k+1))/2⌋, |π_i|)`, kept for the MADEC-like
+//!   baseline and for tightness experiments; UB1 is never larger.
+
+use super::Engine;
+
+impl Engine {
+    /// Computes an upper bound for the current instance, evaluating the
+    /// cheap bounds (UB2, UB3) first and the colouring bounds (UB1/Eq. (2))
+    /// only when the cheap ones fail to prune against `lb`. Returns
+    /// `(bound, ub1_was_strictly_needed)` where the flag records that UB1
+    /// was strictly smaller than every other enabled bound (used by the
+    /// ablation statistics).
+    pub(crate) fn upper_bound(&mut self, lb: usize) -> (usize, bool) {
+        let s = self.s_end;
+        debug_assert!(self.missing_in_s <= self.k);
+        let budget = self.k - self.missing_in_s;
+
+        let mut best = usize::MAX;
+
+        if self.config.enable_ub2 && s > 0 {
+            let min_deg = self.vs[..s]
+                .iter()
+                .map(|&u| self.deg[u as usize] as usize)
+                .min()
+                .expect("S nonempty");
+            best = best.min(min_deg + 1 + self.k);
+            if best <= lb {
+                return (best, false);
+            }
+        }
+
+        if self.config.enable_ub3 {
+            self.sort_cands_by_non_nbr();
+            let mut left = budget;
+            let mut cnt = 0usize;
+            for &v in &self.scratch_cands {
+                let nn = self.non_nbr_s[v as usize] as usize;
+                if nn > left {
+                    break;
+                }
+                left -= nn;
+                cnt += 1;
+            }
+            best = best.min(s + cnt);
+            if best <= lb {
+                return (best, false);
+            }
+        }
+
+        let mut ub1_flag = false;
+        if self.config.enable_ub1 || self.config.use_eq2_bound {
+            let (ub1, eq2, _) = self.coloring_bounds(budget);
+            if self.config.use_eq2_bound {
+                best = best.min(eq2);
+            }
+            if self.config.enable_ub1 {
+                if ub1 < best {
+                    ub1_flag = true;
+                }
+                best = best.min(ub1);
+            }
+            if best <= lb {
+                return (best, ub1_flag);
+            }
+        }
+
+        // UB4 — the RR4-derived second-order bound the paper sketches but
+        // does not deploy (§3.2.2: "an upper bound could be designed based
+        // on RR4 … time-consuming"). Optional; evaluated last because it is
+        // the most expensive.
+        if self.config.enable_ub4 && s > 0 {
+            best = best.min(self.ub4_second_order());
+        }
+
+        (best, ub1_flag)
+    }
+
+    /// UB4: every solution strictly containing S includes some candidate
+    /// `v`, and any solution containing `S ∪ v` is bounded by the RR4 pair
+    /// bound against the most recently added S-vertex; hence the instance
+    /// bound is the maximum of `|S|` and the per-candidate bounds. O(m).
+    fn ub4_second_order(&mut self) -> usize {
+        debug_assert!(self.s_end > 0);
+        let u = self.vs[self.s_end - 1];
+        self.prepare_rr4_marks(u);
+        let mut best = self.s_end; // the solution S itself
+        for i in self.s_end..self.cand_end {
+            let v = self.vs[i];
+            best = best.max(self.rr4_pair_bound(u, v));
+        }
+        best
+    }
+
+    /// Test hook for the colouring bounds: `(UB1, Eq. (2), num_colors)`.
+    #[cfg(test)]
+    pub(crate) fn coloring_bounds_for_test(&mut self) -> (usize, usize, usize) {
+        let budget = self.k - self.missing_in_s_for_test();
+        self.coloring_bounds(budget)
+    }
+
+    /// Computes all four bounds regardless of configuration:
+    /// `(UB1, Eq. (2), UB2-or-MAX, UB3)`. Used by [`crate::probe`].
+    pub(crate) fn all_bounds(&mut self) -> (usize, usize, usize, usize) {
+        let budget = self.k - self.missing_in_s;
+        let s = self.s_end;
+        let ub2 = if s > 0 {
+            let min_deg = self.vs[..s]
+                .iter()
+                .map(|&u| self.deg[u as usize] as usize)
+                .min()
+                .expect("S nonempty");
+            min_deg + 1 + self.k
+        } else {
+            usize::MAX
+        };
+        self.sort_cands_by_non_nbr();
+        let mut left = budget;
+        let mut cnt = 0usize;
+        for i in 0..self.scratch_cands.len() {
+            let nn = self.non_nbr_s[self.scratch_cands[i] as usize] as usize;
+            if nn > left {
+                break;
+            }
+            left -= nn;
+            cnt += 1;
+        }
+        let ub3 = s + cnt;
+        let (ub1, eq2, _) = self.coloring_bounds(budget);
+        (ub1, eq2, ub2, ub3)
+    }
+
+    /// Greedy colouring of the candidate set in reverse degeneracy order of
+    /// the root universe, then both colouring-based bounds:
+    /// `(UB1, Eq. (2), num_colors)`.
+    fn coloring_bounds(&mut self, budget: usize) -> (usize, usize, usize) {
+        let s = self.s_end;
+        let num_cands = self.cand_end - self.s_end;
+        if num_cands == 0 {
+            return (s, s, 0);
+        }
+
+        // Candidates in descending root-degeneracy rank (= reverse
+        // degeneracy order restricted to the alive candidates). When the
+        // universe is not much larger than the candidate set, a filtered
+        // scan over the pre-sorted universe beats re-sorting per node.
+        self.scratch_cands.clear();
+        if self.n <= 8 * num_cands {
+            for i in 0..self.order_by_rank.len() {
+                let v = self.order_by_rank[i];
+                if self.is_cand(v) {
+                    self.scratch_cands.push(v);
+                }
+            }
+        } else {
+            self.scratch_cands
+                .extend_from_slice(&self.vs[self.s_end..self.cand_end]);
+            let root_rank = &self.root_rank;
+            self.scratch_cands
+                .sort_unstable_by_key(|&v| std::cmp::Reverse(root_rank[v as usize]));
+        }
+        debug_assert_eq!(self.scratch_cands.len(), num_cands);
+
+        // Greedy first-fit colouring.
+        let words = self.matrix.as_ref().map_or(usize::MAX, |m| m.row(0).len());
+        let num_colors = if words <= 16 {
+            self.color_candidates_matrix(words)
+        } else {
+            self.color_candidates_lists()
+        };
+
+        // Pairs (colour, |N̄_S|) sorted by colour then non-neighbour count:
+        // two stable counting sorts (by nn, then by colour).
+        self.scratch_pairs.clear();
+        for idx in 0..num_cands {
+            let v = self.scratch_cands[idx];
+            self.scratch_pairs
+                .push((self.scratch_color[v as usize], self.non_nbr_s[v as usize]));
+        }
+        self.counting_sort_pairs(num_colors as usize);
+
+        // Weights, clamped to budget + 1 ("never takeable"), counting-sorted.
+        // The Eq. (2) per-class cap Σ min(d_max, |π_i|) is fused into the
+        // same pairs walk so no per-node allocation is needed.
+        self.scratch_buckets.clear();
+        self.scratch_buckets.resize(budget + 2, 0);
+        let d_max = ((1.0 + ((8 * self.k + 1) as f64).sqrt()) / 2.0).floor() as usize;
+        let mut eq2_sum = 0usize;
+        let mut prev_color = u32::MAX;
+        let mut j = 0usize;
+        for &(color, nn) in &self.scratch_pairs {
+            if color != prev_color {
+                prev_color = color;
+                j = 0;
+            }
+            if j < d_max {
+                eq2_sum += 1;
+            }
+            let w = (nn as usize + j).min(budget + 1);
+            self.scratch_buckets[w] += 1;
+            j += 1;
+        }
+
+        // UB1: longest ascending-weight prefix fitting in the budget.
+        let mut left = budget;
+        let mut taken = 0usize;
+        for w in 0..=budget {
+            let cnt = self.scratch_buckets[w] as usize;
+            if cnt == 0 {
+                continue;
+            }
+            let fit = match left.checked_div(w) {
+                Some(quota) => cnt.min(quota),
+                None => cnt, // weight 0: all fit for free
+            };
+            taken += fit;
+            left -= fit * w;
+            if fit < cnt {
+                break;
+            }
+        }
+        let ub1 = s + taken;
+
+        // Eq. (2): each class contributes up to ⌊(1+√(8k+1))/2⌋ vertices,
+        // independently of S and of the other classes (accumulated above).
+        let eq2 = s + eq2_sum;
+
+        (ub1, eq2, num_colors as usize)
+    }
+
+    /// First-fit colouring of `scratch_cands` (already in colouring order)
+    /// via per-class bitsets over the dense adjacency matrix: vertex `v`
+    /// joins the first class whose member mask does not intersect `row(v)`.
+    /// Returns the number of colours.
+    fn color_candidates_matrix(&mut self, words: usize) -> u32 {
+        let mx = self.matrix.as_ref().expect("matrix path");
+        self.scratch_classes.clear();
+        let mut num_colors = 0u32;
+        for idx in 0..self.scratch_cands.len() {
+            let v = self.scratch_cands[idx] as usize;
+            let row = mx.row(v);
+            let mut color = num_colors;
+            'classes: for c in 0..num_colors as usize {
+                let class = &self.scratch_classes[c * words..(c + 1) * words];
+                for (cw, rw) in class.iter().zip(row) {
+                    if cw & rw != 0 {
+                        continue 'classes;
+                    }
+                }
+                color = c as u32;
+                break;
+            }
+            if color == num_colors {
+                num_colors += 1;
+                self.scratch_classes.resize(num_colors as usize * words, 0);
+            }
+            self.scratch_classes[color as usize * words + v / 64] |= 1u64 << (v % 64);
+            self.scratch_color[v] = color;
+        }
+        num_colors
+    }
+
+    /// First-fit colouring of `scratch_cands` via adjacency lists and
+    /// colour-usage stamps (the sparse/large-universe path). Returns the
+    /// number of colours.
+    fn color_candidates_lists(&mut self) -> u32 {
+        let num_cands = self.scratch_cands.len();
+        for idx in 0..num_cands {
+            let v = self.scratch_cands[idx];
+            self.scratch_color[v as usize] = u32::MAX;
+        }
+        self.scratch_used.resize(num_cands + 1, 0);
+        let mut num_colors = 0u32;
+        for idx in 0..num_cands {
+            let v = self.scratch_cands[idx];
+            self.scratch_serial += 1;
+            let serial = self.scratch_serial;
+            for i in 0..self.adj[v as usize].len() {
+                let w = self.adj[v as usize][i];
+                if self.is_cand(w) {
+                    let c = self.scratch_color[w as usize];
+                    if c != u32::MAX {
+                        self.scratch_used[c as usize] = serial;
+                    }
+                }
+            }
+            let mut c = 0u32;
+            while self.scratch_used[c as usize] == serial {
+                c += 1;
+            }
+            self.scratch_color[v as usize] = c;
+            num_colors = num_colors.max(c + 1);
+        }
+        num_colors
+    }
+
+    /// Stable two-pass counting sort of `scratch_pairs` by (colour, nn):
+    /// first by `nn` (values ≤ k + 1 after the RR1 fixpoint), then by colour.
+    fn counting_sort_pairs(&mut self, num_colors: usize) {
+        let n = self.scratch_pairs.len();
+        // Pass 1: by nn.
+        self.scratch_buckets.clear();
+        self.scratch_buckets.resize(self.k + 2, 0);
+        for &(_, nn) in &self.scratch_pairs {
+            self.scratch_buckets[(nn as usize).min(self.k + 1)] += 1;
+        }
+        let mut acc = 0u32;
+        for b in self.scratch_buckets.iter_mut() {
+            let c = *b;
+            *b = acc;
+            acc += c;
+        }
+        self.scratch_pairs_tmp.clear();
+        self.scratch_pairs_tmp.resize(n, (0, 0));
+        for i in 0..n {
+            let pair = self.scratch_pairs[i];
+            let slot = &mut self.scratch_buckets[(pair.1 as usize).min(self.k + 1)];
+            self.scratch_pairs_tmp[*slot as usize] = pair;
+            *slot += 1;
+        }
+        // Pass 2: by colour (stable, preserving nn order within a colour).
+        self.scratch_buckets.clear();
+        self.scratch_buckets.resize(num_colors.max(1), 0);
+        for &(c, _) in &self.scratch_pairs_tmp {
+            self.scratch_buckets[c as usize] += 1;
+        }
+        let mut acc = 0u32;
+        for b in self.scratch_buckets.iter_mut() {
+            let cnt = *b;
+            *b = acc;
+            acc += cnt;
+        }
+        for i in 0..n {
+            let pair = self.scratch_pairs_tmp[i];
+            let slot = &mut self.scratch_buckets[pair.0 as usize];
+            self.scratch_pairs[*slot as usize] = pair;
+            *slot += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SolverConfig;
+    use crate::engine::Engine;
+
+    fn engine(g: &kdc_graph::Graph, k: usize, cfg: SolverConfig) -> Engine {
+        let adj: Vec<Vec<u32>> = (0..g.n() as u32).map(|v| g.neighbors(v).to_vec()).collect();
+        Engine::new(adj, k, cfg, 0)
+    }
+
+    /// Builds the Figure 5 instance: S = two isolated vertices, candidates a
+    /// complete 3-partite graph, k = 3.
+    fn figure5_engine(cfg: SolverConfig) -> Engine {
+        let (g, s) = kdc_graph::named::figure5();
+        let mut e = engine(&g, 3, cfg);
+        for v in s {
+            e.add_to_s_for_test(v);
+        }
+        e
+    }
+
+    #[test]
+    fn example_3_7_ub1_is_three() {
+        let mut cfg = SolverConfig::kdc_t();
+        cfg.enable_ub1 = true;
+        let mut e = figure5_engine(cfg);
+        assert_eq!(e.missing_in_s_for_test(), 1);
+        let (ub, ub1_needed) = e.upper_bound(0);
+        assert_eq!(ub, 3, "UB1 of Example 3.7");
+        assert!(ub1_needed);
+    }
+
+    #[test]
+    fn example_3_6_eq2_is_eleven() {
+        let mut cfg = SolverConfig::kdc_t();
+        cfg.use_eq2_bound = true;
+        let mut e = figure5_engine(cfg);
+        let (ub, _) = e.upper_bound(0);
+        assert_eq!(ub, 11, "Eq. (2) of Example 3.6");
+    }
+
+    #[test]
+    fn ub1_never_exceeds_eq2_or_s_plus_c_plus_k() {
+        // §3.2.1 claims UB1 ≤ Eq.(2) and UB1 ≤ |S| + c + k − |Ē(S)|.
+        let mut rng = kdc_graph::gen::seeded_rng(99);
+        for _ in 0..30 {
+            let g = kdc_graph::gen::gnp(24, 0.45, &mut rng);
+            for k in [1usize, 3, 6] {
+                let mut cfg = SolverConfig::kdc_t();
+                cfg.enable_ub1 = true;
+                cfg.use_eq2_bound = true;
+                let mut e = engine(&g, k, cfg);
+                // Grow a small random-ish S via the branching vertex.
+                for _ in 0..3 {
+                    if let Some(v) = e.first_feasible_candidate_for_test() {
+                        e.add_to_s_for_test(v);
+                    }
+                }
+                let (ub1, eq2, colors) = e.coloring_bounds_for_test();
+                assert!(ub1 <= eq2, "UB1 {ub1} > Eq2 {eq2}");
+                let s = e.s_len_for_test();
+                let miss = e.missing_in_s_for_test();
+                assert!(ub1 <= s + colors + k - miss);
+            }
+        }
+    }
+
+    #[test]
+    fn ub2_on_figure5() {
+        // Isolated S vertices have alive degree 0 → UB2 = 0 + 1 + k = 4.
+        let mut cfg = SolverConfig::kdc_t();
+        cfg.enable_ub2 = true;
+        let mut e = figure5_engine(cfg);
+        let (ub, _) = e.upper_bound(0);
+        assert_eq!(ub, 4);
+    }
+
+    #[test]
+    fn ub3_on_figure5() {
+        // Every candidate has 2 non-neighbours in S; budget = k − |Ē(S)| = 2
+        // → exactly one candidate fits → UB3 = 3.
+        let mut cfg = SolverConfig::kdc_t();
+        cfg.enable_ub3 = true;
+        let mut e = figure5_engine(cfg);
+        let (ub, _) = e.upper_bound(0);
+        assert_eq!(ub, 3);
+    }
+
+    #[test]
+    fn matrix_and_list_coloring_paths_agree() {
+        // Both paths implement first-fit colouring over the same order, so
+        // the resulting bounds must be identical.
+        let mut rng = kdc_graph::gen::seeded_rng(314);
+        for trial in 0..20 {
+            let g = kdc_graph::gen::gnp(40, 0.35, &mut rng);
+            for k in [1usize, 4] {
+                let mut with_matrix = SolverConfig::kdc_t();
+                with_matrix.enable_ub1 = true;
+                let mut without = with_matrix.clone();
+                without.matrix_limit = 0;
+
+                let mut e1 = engine(&g, k, with_matrix);
+                let mut e2 = engine(&g, k, without);
+                // Grow identical S in both.
+                for _ in 0..2 {
+                    let v1 = e1.first_feasible_candidate_for_test();
+                    let v2 = e2.first_feasible_candidate_for_test();
+                    assert_eq!(v1, v2);
+                    if let Some(v) = v1 {
+                        e1.add_to_s_for_test(v);
+                        e2.add_to_s_for_test(v);
+                    }
+                }
+                let b1 = e1.coloring_bounds_for_test();
+                let b2 = e2.coloring_bounds_for_test();
+                assert_eq!(b1, b2, "trial {trial} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn ub4_is_sound_and_exactness_is_preserved() {
+        // UB4 must dominate the true instance optimum at every probed state,
+        // and enabling it must not change solver answers.
+        let mut rng = kdc_graph::gen::seeded_rng(316);
+        for _ in 0..10 {
+            let g = kdc_graph::gen::gnp(16, 0.5, &mut rng);
+            for k in [1usize, 3] {
+                let reference = crate::Solver::new(&g, k, SolverConfig::kdc()).solve();
+                let with_ub4 =
+                    crate::Solver::new(&g, k, SolverConfig::kdc().with_ub4()).solve();
+                assert_eq!(reference.size(), with_ub4.size());
+
+                // Root-with-one-vertex probe: UB4 ≥ optimum of (g, {v}).
+                let mut e = engine(&g, k, SolverConfig::kdc_t().with_ub4());
+                e.add_to_s_for_test(0);
+                let ub4 = e.ub4_second_order();
+                // Brute-force the instance optimum containing vertex 0.
+                let n = g.n();
+                let mut opt = 0usize;
+                for mask in 0u32..(1 << n) {
+                    if mask & 1 == 0 {
+                        continue;
+                    }
+                    let set: Vec<u32> =
+                        (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+                    if g.is_k_defective_clique(&set, k) {
+                        opt = opt.max(set.len());
+                    }
+                }
+                assert!(ub4 >= opt, "UB4 {ub4} below instance optimum {opt} (k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_branch_policies_stay_exact() {
+        use crate::config::BranchPolicy;
+        let mut rng = kdc_graph::gen::seeded_rng(315);
+        for _ in 0..8 {
+            let g = kdc_graph::gen::gnp(18, 0.45, &mut rng);
+            for k in [0usize, 2] {
+                let mut sizes = Vec::new();
+                for policy in [
+                    BranchPolicy::MaxNonNeighbors,
+                    BranchPolicy::FirstEligible,
+                    BranchPolicy::MinDegree,
+                    BranchPolicy::MaxDegreeAny,
+                ] {
+                    let mut cfg = SolverConfig::kdc();
+                    cfg.branch_policy = policy;
+                    let sol = crate::Solver::new(&g, k, cfg).solve();
+                    sizes.push(sol.size());
+                }
+                assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_sound_on_random_instances() {
+        // Root bound must dominate the true optimum (computed by the same
+        // engine run to completion).
+        let mut rng = kdc_graph::gen::seeded_rng(7);
+        for trial in 0..15 {
+            let g = kdc_graph::gen::gnp(18, 0.5, &mut rng);
+            for k in [0usize, 2, 4] {
+                let mut exact = engine(&g, k, SolverConfig::kdc_t());
+                assert!(exact.run());
+                let opt = exact.best().len();
+
+                let mut cfg = SolverConfig::kdc_t();
+                cfg.enable_ub1 = true;
+                cfg.enable_ub2 = true;
+                cfg.enable_ub3 = true;
+                cfg.use_eq2_bound = true;
+                let mut e = engine(&g, k, cfg);
+                let (ub, _) = e.upper_bound(0);
+                assert!(
+                    ub >= opt,
+                    "trial {trial} k {k}: root bound {ub} below optimum {opt}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,754 @@
+//! The branch-and-bound engine behind kDC (Algorithms 1 and 2).
+//!
+//! # Representation
+//!
+//! The engine owns a *universe* of `n` vertices (the preprocessed, relabelled
+//! graph) and a permutation array `vs` partitioned into three regions:
+//!
+//! ```text
+//!        0 … s_end       s_end … cand_end      cand_end … n
+//!      [   S (partial) |   candidates        |   removed   ]
+//! ```
+//!
+//! Moving a vertex between regions is a swap plus a boundary bump, and every
+//! move is recorded on a LIFO trail so backtracking restores state exactly.
+//!
+//! # Incrementally maintained quantities
+//!
+//! * `deg[v]`  — degree of `v` among *alive* vertices (S ∪ candidates);
+//!   frozen while `v` is removed (correct on restore because undo is LIFO);
+//! * `non_nbr_s[v]` — `|N̄_S(v)|`, the number of `v`'s non-neighbours inside
+//!   `S` (the paper's central per-vertex quantity);
+//! * `missing_in_s` — `|Ē(S)|`, missing edges inside `S`;
+//! * `edges_alive` — edges among alive vertices, giving the O(1) leaf test
+//!   `C(alive, 2) − edges_alive ≤ k`.
+//!
+//! Reduction rules live in [`reductions`], upper bounds in [`bounds`].
+
+mod bounds;
+mod reductions;
+#[cfg(test)]
+mod stress_tests;
+
+use crate::config::{BranchPolicy, SolverConfig};
+use crate::stats::SearchStats;
+use kdc_graph::bitset::{BitMatrix, BitSet};
+use kdc_graph::scratch::Marker;
+use std::time::Instant;
+
+/// Trail entries; undone in reverse order.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// A candidate was moved into S.
+    AddS(u32),
+    /// A candidate was removed from the graph.
+    RemoveCand(u32),
+}
+
+/// Outcome of applying the reduction pipeline to the current instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Reduced {
+    /// The instance cannot contain a solution better than `lb`.
+    Pruned,
+    /// The alive graph is itself a k-defective clique (leaf rule).
+    Leaf,
+    /// Branching is required.
+    Open,
+}
+
+/// The search engine over a fixed universe graph.
+pub(crate) struct Engine {
+    pub(crate) k: usize,
+    n: usize,
+    /// Static sorted adjacency over the universe.
+    adj: Vec<Vec<u32>>,
+    /// Optional dense adjacency for `n ≤ matrix_limit`.
+    matrix: Option<BitMatrix>,
+    /// Alive-candidate membership mask (kept in sync with the partition; used
+    /// by bit-parallel intersections).
+    cand_mask: BitSet,
+
+    vs: Vec<u32>,
+    pos: Vec<usize>,
+    s_end: usize,
+    cand_end: usize,
+
+    deg: Vec<u32>,
+    non_nbr_s: Vec<u32>,
+    missing_in_s: usize,
+    edges_alive: usize,
+
+    trail: Vec<Op>,
+
+    /// Best solution found by this engine (universe ids; may be empty).
+    best: Vec<u32>,
+    /// External lower bound (e.g. the heuristic solution size); the engine
+    /// only reports solutions strictly larger than this floor.
+    lb_floor: usize,
+    /// §6 enumeration mode: keep the `pool_r` largest *maximal* k-defective
+    /// cliques instead of a single optimum (0 = disabled).
+    pool_r: usize,
+    /// The enumeration pool, sorted by size descending.
+    pool: Vec<Vec<u32>>,
+
+    pub(crate) config: SolverConfig,
+    pub(crate) stats: SearchStats,
+
+    /// Rank of each vertex in a degeneracy ordering of the universe graph
+    /// (colouring order for UB1: descending rank = reverse degeneracy order).
+    root_rank: Vec<u32>,
+    /// Universe vertices pre-sorted by descending `root_rank` (so a filtered
+    /// scan yields candidates already in colouring order).
+    order_by_rank: Vec<u32>,
+    /// Scratch: flat per-colour-class bitsets (`num_classes × words`) for the
+    /// matrix colouring path.
+    scratch_classes: Vec<u64>,
+    /// Scratch: secondary pair buffer for the two-pass counting sort.
+    scratch_pairs_tmp: Vec<(u32, u32)>,
+
+    mark: Marker,
+    /// Scratch: candidates sorted by `non_nbr_s` (UB3/RR3) or by colour (UB1).
+    scratch_cands: Vec<u32>,
+    /// Scratch: per-vertex colour during UB1.
+    scratch_color: Vec<u32>,
+    /// Scratch: counting-sort buckets.
+    scratch_buckets: Vec<u32>,
+    /// Scratch: per-colour "used" stamps during greedy colouring.
+    scratch_used: Vec<u32>,
+    scratch_serial: u32,
+    /// Scratch: (colour, |N̄_S|) pairs for UB1.
+    scratch_pairs: Vec<(u32, u32)>,
+
+    depth: usize,
+    aborted: bool,
+    abort_status: crate::stats::Status,
+    deadline: Option<Instant>,
+    node_limit: Option<u64>,
+}
+
+impl Engine {
+    /// Builds an engine over a universe given by sorted adjacency lists.
+    pub(crate) fn new(adj: Vec<Vec<u32>>, k: usize, config: SolverConfig, lb_floor: usize) -> Self {
+        let n = adj.len();
+        let m2: usize = adj.iter().map(Vec::len).sum();
+        debug_assert!(adj
+            .iter()
+            .all(|l| l.windows(2).all(|w| w[0] < w[1])), "adjacency must be sorted and deduped");
+
+        let matrix = if n > 0 && n <= config.matrix_limit {
+            let mut mx = BitMatrix::new(n, n);
+            for (u, list) in adj.iter().enumerate() {
+                for &v in list {
+                    mx.set(u, v as usize);
+                }
+            }
+            Some(mx)
+        } else {
+            None
+        };
+
+        let root_rank = rank_by_degeneracy(&adj);
+        let mut order_by_rank: Vec<u32> = (0..n as u32).collect();
+        order_by_rank.sort_unstable_by_key(|&v| std::cmp::Reverse(root_rank[v as usize]));
+        let deg: Vec<u32> = adj.iter().map(|l| l.len() as u32).collect();
+
+        Engine {
+            k,
+            n,
+            matrix,
+            cand_mask: BitSet::full(n),
+            vs: (0..n as u32).collect(),
+            pos: (0..n).collect(),
+            s_end: 0,
+            cand_end: n,
+            deg,
+            non_nbr_s: vec![0; n],
+            missing_in_s: 0,
+            edges_alive: m2 / 2,
+            trail: Vec::with_capacity(n.min(1 << 16)),
+            best: Vec::new(),
+            lb_floor,
+            pool_r: 0,
+            pool: Vec::new(),
+            stats: SearchStats::default(),
+            root_rank,
+            order_by_rank,
+            scratch_classes: Vec::new(),
+            scratch_pairs_tmp: Vec::new(),
+            mark: Marker::new(n),
+            scratch_cands: Vec::with_capacity(n),
+            scratch_color: vec![0; n],
+            scratch_buckets: Vec::new(),
+            scratch_used: Vec::new(),
+            scratch_serial: 0,
+            scratch_pairs: Vec::new(),
+            depth: 0,
+            aborted: false,
+            abort_status: crate::stats::Status::Optimal,
+            deadline: config.time_limit.map(|d| Instant::now() + d),
+            node_limit: config.node_limit,
+            adj,
+            config,
+        }
+    }
+
+    /// Replaces the deadline (e.g. to make the limit cover heuristic +
+    /// preprocessing time as in the paper's "processing time" metric).
+    pub(crate) fn override_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Why the search aborted (meaningful only when [`Engine::run`] returned
+    /// `false`).
+    pub(crate) fn abort_status(&self) -> crate::stats::Status {
+        self.abort_status
+    }
+
+    /// Moves the accumulated statistics out of the engine.
+    pub(crate) fn take_stats(&mut self) -> SearchStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Runs the search from the root instance `(G, ∅)`. Returns `true` if the
+    /// search ran to completion (no limit hit).
+    pub(crate) fn run(&mut self) -> bool {
+        self.search();
+        !self.aborted
+    }
+
+    /// The best solution found that beats the floor, in universe ids.
+    pub(crate) fn best(&self) -> &[u32] {
+        &self.best
+    }
+
+    /// Current pruning lower bound: best known solution size, or in
+    /// enumeration mode one less than the pool's smallest member (so ties
+    /// with the r-th best are not cut off).
+    #[inline]
+    pub(crate) fn lb(&self) -> usize {
+        if self.pool_r > 0 {
+            if self.pool.len() >= self.pool_r {
+                self.pool.last().map_or(0, |c| c.len()).saturating_sub(1)
+            } else {
+                0
+            }
+        } else {
+            self.lb_floor.max(self.best.len())
+        }
+    }
+
+    /// Enables §6 enumeration mode: collect the `r` largest maximal
+    /// k-defective cliques. Must be called before [`Engine::run`].
+    pub(crate) fn enable_pool(&mut self, r: usize) {
+        assert!(r > 0, "pool size must be positive");
+        self.pool_r = r;
+    }
+
+    /// Takes the enumeration pool (sorted by size descending).
+    pub(crate) fn take_pool(&mut self) -> Vec<Vec<u32>> {
+        std::mem::take(&mut self.pool)
+    }
+
+    /// Whether the engine runs in §6 enumeration mode.
+    #[inline]
+    pub(crate) fn pool_mode(&self) -> bool {
+        self.pool_r > 0
+    }
+
+    // ---- region predicates -------------------------------------------------
+
+    #[inline]
+    fn is_cand(&self, v: u32) -> bool {
+        let p = self.pos[v as usize];
+        p >= self.s_end && p < self.cand_end
+    }
+
+    #[inline]
+    fn alive(&self, v: u32) -> bool {
+        self.pos[v as usize] < self.cand_end
+    }
+
+    /// Number of alive vertices `|V(g)|`.
+    #[inline]
+    pub(crate) fn alive_count(&self) -> usize {
+        self.cand_end
+    }
+
+    /// Number of candidates `|V(g) \ S|`.
+    #[inline]
+    fn cand_count(&self) -> usize {
+        self.cand_end - self.s_end
+    }
+
+    /// Adjacency test over the universe.
+    #[inline]
+    pub(crate) fn has_edge(&self, u: u32, v: u32) -> bool {
+        match &self.matrix {
+            Some(mx) => mx.get(u as usize, v as usize),
+            None => self.adj[u as usize].binary_search(&v).is_ok(),
+        }
+    }
+
+    // ---- trailed operations ------------------------------------------------
+
+    #[inline]
+    fn swap_vs(&mut self, a: usize, b: usize) {
+        if a != b {
+            self.vs.swap(a, b);
+            self.pos[self.vs[a] as usize] = a;
+            self.pos[self.vs[b] as usize] = b;
+        }
+    }
+
+    /// Moves candidate `v` into S (left branch / RR2).
+    fn add_to_s(&mut self, v: u32) {
+        debug_assert!(self.is_cand(v));
+        let p = self.pos[v as usize];
+        self.swap_vs(p, self.s_end);
+        self.s_end += 1;
+        self.missing_in_s += self.non_nbr_s[v as usize] as usize;
+        // Every alive non-neighbour of v gains one S-non-neighbour.
+        self.mark.reset();
+        for &w in &self.adj[v as usize] {
+            self.mark.mark(w as usize);
+        }
+        for i in 0..self.cand_end {
+            let w = self.vs[i];
+            if w != v && !self.mark.is_marked(w as usize) {
+                self.non_nbr_s[w as usize] += 1;
+            }
+        }
+        self.cand_mask.remove(v as usize);
+        self.trail.push(Op::AddS(v));
+    }
+
+    /// Removes candidate `v` from the graph (right branch / RR1/RR3–RR5).
+    fn remove_cand(&mut self, v: u32) {
+        debug_assert!(self.is_cand(v));
+        let p = self.pos[v as usize];
+        self.swap_vs(p, self.cand_end - 1);
+        self.cand_end -= 1;
+        self.edges_alive -= self.deg[v as usize] as usize;
+        for i in 0..self.adj[v as usize].len() {
+            let w = self.adj[v as usize][i];
+            if self.pos[w as usize] < self.cand_end {
+                self.deg[w as usize] -= 1;
+            }
+        }
+        self.cand_mask.remove(v as usize);
+        self.trail.push(Op::RemoveCand(v));
+    }
+
+    /// Undoes trail operations until the trail shrinks to `checkpoint`.
+    fn undo_to(&mut self, checkpoint: usize) {
+        while self.trail.len() > checkpoint {
+            match self.trail.pop().expect("trail underflow") {
+                Op::AddS(v) => {
+                    debug_assert_eq!(self.pos[v as usize], self.s_end - 1);
+                    self.mark.reset();
+                    for &w in &self.adj[v as usize] {
+                        self.mark.mark(w as usize);
+                    }
+                    for i in 0..self.cand_end {
+                        let w = self.vs[i];
+                        if w != v && !self.mark.is_marked(w as usize) {
+                            self.non_nbr_s[w as usize] -= 1;
+                        }
+                    }
+                    self.missing_in_s -= self.non_nbr_s[v as usize] as usize;
+                    self.s_end -= 1;
+                    self.cand_mask.insert(v as usize);
+                }
+                Op::RemoveCand(v) => {
+                    debug_assert_eq!(self.pos[v as usize], self.cand_end);
+                    for i in 0..self.adj[v as usize].len() {
+                        let w = self.adj[v as usize][i];
+                        if self.pos[w as usize] < self.cand_end {
+                            self.deg[w as usize] += 1;
+                        }
+                    }
+                    self.edges_alive += self.deg[v as usize] as usize;
+                    self.cand_end += 1;
+                    self.cand_mask.insert(v as usize);
+                }
+            }
+        }
+    }
+
+    // ---- search ------------------------------------------------------------
+
+    fn search(&mut self) {
+        self.stats.nodes += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.depth);
+        // Per-node deadline check: a node costs Ω(alive) work, so the clock
+        // read is noise, and coarser checks overshoot small limits on large
+        // instances where single nodes are milliseconds.
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.aborted = true;
+                self.abort_status = crate::stats::Status::TimedOut;
+            }
+        }
+        if let Some(limit) = self.node_limit {
+            if self.stats.nodes >= limit {
+                self.aborted = true;
+                self.abort_status = crate::stats::Status::NodeLimitReached;
+            }
+        }
+        if self.aborted {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        self.assert_invariants();
+
+        let cp = self.trail.len();
+        match self.reduce() {
+            Reduced::Pruned => {
+                self.undo_to(cp);
+                return;
+            }
+            Reduced::Leaf => {
+                self.stats.leaves += 1;
+                self.record_alive_solution();
+                self.undo_to(cp);
+                return;
+            }
+            Reduced::Open => {}
+        }
+
+        // Anytime improvement: S itself is always a valid k-defective clique.
+        if self.pool_r == 0 && self.s_end > self.lb() {
+            self.best = self.vs[..self.s_end].to_vec();
+        }
+
+        if self.any_bound_enabled() {
+            let lb = self.lb();
+            let (ub, ub1_was_min) = self.upper_bound(lb);
+            if ub <= self.lb() {
+                self.stats.bound_prunes += 1;
+                if ub1_was_min {
+                    self.stats.ub1_prunes += 1;
+                }
+                self.undo_to(cp);
+                return;
+            }
+        }
+
+        let b = self.pick_branch_vertex();
+        let cp2 = self.trail.len();
+
+        // Left branch: include b (BR guarantees S ∪ b is feasible because
+        // RR1 ran to fixpoint first).
+        self.add_to_s(b);
+        self.depth += 1;
+        self.search();
+        self.depth -= 1;
+        self.undo_to(cp2);
+
+        // Right branch: exclude b.
+        self.remove_cand(b);
+        self.depth += 1;
+        self.search();
+        self.depth -= 1;
+        self.undo_to(cp2);
+
+        self.undo_to(cp);
+    }
+
+    /// Records the whole alive set as the incumbent if it improves on `lb`.
+    /// In enumeration mode, inserts it into the pool when globally maximal.
+    fn record_alive_solution(&mut self) {
+        if self.pool_r > 0 {
+            if self.cand_end > self.lb() && self.alive_is_globally_maximal() {
+                let sol = self.vs[..self.cand_end].to_vec();
+                let idx = self
+                    .pool
+                    .partition_point(|c| c.len() >= sol.len());
+                self.pool.insert(idx, sol);
+                self.pool.truncate(self.pool_r);
+            }
+        } else if self.cand_end > self.lb() {
+            self.best = self.vs[..self.cand_end].to_vec();
+        }
+    }
+
+    /// Whether the alive set is maximal with respect to the *whole universe*
+    /// graph (needed in enumeration mode because a branching-removed vertex
+    /// may still extend it; such supersets are found in sibling subtrees, so
+    /// non-maximal leaves are simply skipped).
+    fn alive_is_globally_maximal(&mut self) -> bool {
+        let alive = self.cand_end;
+        let missing = alive * alive.saturating_sub(1) / 2 - self.edges_alive;
+        debug_assert!(missing <= self.k);
+        for u in 0..self.n as u32 {
+            if self.alive(u) {
+                continue;
+            }
+            let nbrs_in = self.adj[u as usize]
+                .iter()
+                .filter(|&&w| self.alive(w))
+                .count();
+            if missing + (alive - nbrs_in) <= self.k {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether any upper bound is configured.
+    fn any_bound_enabled(&self) -> bool {
+        let c = &self.config;
+        c.enable_ub1 || c.enable_ub2 || c.enable_ub3 || c.use_eq2_bound
+    }
+
+    /// Branching rule BR (§3.1.1): prefer a candidate with at least one
+    /// non-neighbour in S; tie-break per the configured policy.
+    fn pick_branch_vertex(&self) -> u32 {
+        debug_assert!(self.cand_count() > 0, "branching on an empty candidate set");
+        let cands = &self.vs[self.s_end..self.cand_end];
+        match self.config.branch_policy {
+            BranchPolicy::MaxNonNeighbors => {
+                let mut best = cands[0];
+                let mut best_nn = self.non_nbr_s[best as usize];
+                for &v in &cands[1..] {
+                    let nn = self.non_nbr_s[v as usize];
+                    if nn > best_nn {
+                        best = v;
+                        best_nn = nn;
+                    }
+                }
+                if best_nn > 0 {
+                    best
+                } else {
+                    // All candidates fully adjacent to S: arbitrary choice;
+                    // min alive degree works well in practice.
+                    *cands
+                        .iter()
+                        .min_by_key(|&&v| self.deg[v as usize])
+                        .expect("nonempty")
+                }
+            }
+            BranchPolicy::FirstEligible => cands
+                .iter()
+                .copied()
+                .find(|&v| self.non_nbr_s[v as usize] > 0)
+                .unwrap_or(cands[0]),
+            BranchPolicy::MinDegree => {
+                let eligible: Option<u32> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.non_nbr_s[v as usize] > 0)
+                    .min_by_key(|&v| self.deg[v as usize]);
+                eligible.unwrap_or_else(|| {
+                    *cands
+                        .iter()
+                        .min_by_key(|&&v| self.deg[v as usize])
+                        .expect("nonempty")
+                })
+            }
+            BranchPolicy::MaxDegreeAny => *cands
+                .iter()
+                .max_by_key(|&&v| self.deg[v as usize])
+                .expect("nonempty"),
+        }
+    }
+
+    // ---- probing and test accessors -------------------------------------------
+
+    /// Forces a candidate into S (instance construction for [`crate::probe`]).
+    pub(crate) fn force_into_s(&mut self, v: u32) {
+        self.add_to_s(v);
+    }
+
+    /// Test hook: force a candidate into S.
+    #[cfg(test)]
+    pub(crate) fn add_to_s_for_test(&mut self, v: u32) {
+        self.add_to_s(v);
+    }
+
+    /// Test hook: `|Ē(S)|`.
+    #[cfg(test)]
+    pub(crate) fn missing_in_s_for_test(&self) -> usize {
+        self.missing_in_s
+    }
+
+    /// Test hook: `|S|`.
+    #[cfg(test)]
+    pub(crate) fn s_len_for_test(&self) -> usize {
+        self.s_end
+    }
+
+    /// Test hook: some candidate that can feasibly join S, if any.
+    #[cfg(test)]
+    pub(crate) fn first_feasible_candidate_for_test(&self) -> Option<u32> {
+        self.vs[self.s_end..self.cand_end]
+            .iter()
+            .copied()
+            .find(|&v| self.missing_in_s + self.non_nbr_s[v as usize] as usize <= self.k)
+    }
+
+    // ---- debug invariants ----------------------------------------------------
+
+    /// Recomputes all incremental quantities from scratch and compares.
+    /// Debug builds only; quadratic, so sampled by node count.
+    #[cfg(debug_assertions)]
+    fn assert_invariants(&self) {
+        if self.stats.nodes % 64 != 1 || self.n > 512 {
+            return;
+        }
+        let alive: Vec<u32> = self.vs[..self.cand_end].to_vec();
+        let alive_set: std::collections::HashSet<u32> = alive.iter().copied().collect();
+        let s_set: std::collections::HashSet<u32> =
+            self.vs[..self.s_end].iter().copied().collect();
+        let mut edges = 0usize;
+        for &v in &alive {
+            let d = self.adj[v as usize]
+                .iter()
+                .filter(|w| alive_set.contains(w))
+                .count();
+            assert_eq!(d, self.deg[v as usize] as usize, "deg[{v}] stale");
+            edges += d;
+            let nn = s_set
+                .iter()
+                .filter(|&&u| u != v && !self.adj[v as usize].contains(&u))
+                .count();
+            assert_eq!(nn, self.non_nbr_s[v as usize] as usize, "non_nbr_s[{v}] stale");
+        }
+        assert_eq!(edges / 2, self.edges_alive, "edges_alive stale");
+        let mut missing = 0usize;
+        let s_vec: Vec<u32> = self.vs[..self.s_end].to_vec();
+        for (i, &u) in s_vec.iter().enumerate() {
+            for &w in &s_vec[i + 1..] {
+                if !self.adj[u as usize].contains(&w) {
+                    missing += 1;
+                }
+            }
+        }
+        assert_eq!(missing, self.missing_in_s, "missing_in_s stale");
+        assert!(self.missing_in_s <= self.k, "S must stay k-defective");
+        for v in 0..self.n as u32 {
+            assert_eq!(self.cand_mask.contains(v as usize), self.is_cand(v));
+        }
+    }
+}
+
+/// Degeneracy ranks over raw adjacency lists (bucket peel; ties arbitrary).
+fn rank_by_degeneracy(adj: &[Vec<u32>]) -> Vec<u32> {
+    let n = adj.len();
+    let mut deg: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, u32)>> =
+        (0..n as u32).map(|v| std::cmp::Reverse((deg[v as usize], v))).collect();
+    let mut peeled = vec![false; n];
+    let mut rank = vec![0u32; n];
+    let mut next = 0u32;
+    while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+        if peeled[v as usize] || d != deg[v as usize] {
+            continue;
+        }
+        peeled[v as usize] = true;
+        rank[v as usize] = next;
+        next += 1;
+        for &w in &adj[v as usize] {
+            if !peeled[w as usize] {
+                deg[w as usize] -= 1;
+                heap.push(std::cmp::Reverse((deg[w as usize], w)));
+            }
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_from_edges(n: usize, edges: &[(u32, u32)], k: usize) -> Engine {
+        let g = kdc_graph::Graph::from_edges(n, edges);
+        let adj: Vec<Vec<u32>> = (0..n as u32).map(|v| g.neighbors(v).to_vec()).collect();
+        Engine::new(adj, k, SolverConfig::kdc_t(), 0)
+    }
+
+    #[test]
+    fn trail_roundtrip_restores_state() {
+        let mut e = engine_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], 1);
+        let deg0 = e.deg.clone();
+        let cp = e.trail.len();
+        e.add_to_s(0);
+        assert_eq!(e.s_end, 1);
+        assert_eq!(e.non_nbr_s[2], 1, "2 is not adjacent to 0");
+        assert_eq!(e.non_nbr_s[1], 0, "1 is adjacent to 0");
+        e.remove_cand(2);
+        assert_eq!(e.cand_end, 4);
+        assert_eq!(e.deg[1], 1, "1 lost neighbour 2");
+        e.add_to_s(1);
+        assert_eq!(e.missing_in_s, 0);
+        e.undo_to(cp);
+        assert_eq!(e.s_end, 0);
+        assert_eq!(e.cand_end, 5);
+        assert_eq!(e.deg, deg0);
+        assert_eq!(e.non_nbr_s, vec![0; 5]);
+        assert_eq!(e.missing_in_s, 0);
+        assert_eq!(e.edges_alive, 5);
+    }
+
+    #[test]
+    fn missing_in_s_accumulates() {
+        let mut e = engine_from_edges(4, &[(0, 1), (2, 3)], 3);
+        e.add_to_s(0);
+        e.add_to_s(2); // not adjacent to 0 → 1 missing edge
+        assert_eq!(e.missing_in_s, 1);
+        e.add_to_s(3); // adjacent to 2, not to 0 → 2 missing
+        assert_eq!(e.missing_in_s, 2);
+        let lens = e.trail.len();
+        e.undo_to(lens - 1);
+        assert_eq!(e.missing_in_s, 1);
+    }
+
+    #[test]
+    fn kdc_t_solves_cycle5() {
+        // C5 with k=1 → optimum 3.
+        let mut e = engine_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], 1);
+        assert!(e.run());
+        assert_eq!(e.best().len(), 3);
+    }
+
+    #[test]
+    fn kdc_t_solves_figure2() {
+        let g = kdc_graph::named::figure2();
+        // k = 0,1: the K5; k = 2: {v1..v6}; k = 3,4: still 6 (any 7-set
+        // crossing the two groups misses ≥ 6 edges, and {v1..v7} misses 5);
+        // k = 5: {v1..v7}.
+        for (k, expected) in [(0usize, 5usize), (1, 5), (2, 6), (3, 6), (4, 6), (5, 7)] {
+            let adj: Vec<Vec<u32>> =
+                (0..g.n() as u32).map(|v| g.neighbors(v).to_vec()).collect();
+            let mut e = Engine::new(adj, k, SolverConfig::kdc_t(), 0);
+            assert!(e.run());
+            assert_eq!(e.best().len(), expected, "k = {k}");
+            assert!(g.is_k_defective_clique(e.best(), k));
+        }
+    }
+
+    #[test]
+    fn lb_floor_suppresses_smaller_solutions() {
+        let mut e = engine_from_edges(3, &[(0, 1), (1, 2), (0, 2)], 0);
+        e.lb_floor = 3; // the triangle itself does not beat the floor
+        assert!(e.run());
+        assert!(e.best().is_empty());
+    }
+
+    #[test]
+    fn matrix_and_list_paths_agree() {
+        let g = kdc_graph::gen::gnp(30, 0.35, &mut kdc_graph::gen::seeded_rng(17));
+        let adj: Vec<Vec<u32>> = (0..g.n() as u32).map(|v| g.neighbors(v).to_vec()).collect();
+        for k in [0usize, 1, 3] {
+            let mut cfg_list = SolverConfig::kdc_t();
+            cfg_list.matrix_limit = 0; // force adjacency-list path
+            let mut e1 = Engine::new(adj.clone(), k, cfg_list, 0);
+            let mut e2 = Engine::new(adj.clone(), k, SolverConfig::kdc_t(), 0);
+            assert!(e1.run() && e2.run());
+            assert_eq!(e1.best().len(), e2.best().len(), "k = {k}");
+            // Identical configurations must also explore identical trees.
+            assert_eq!(e1.stats.nodes, e2.stats.nodes);
+        }
+    }
+}

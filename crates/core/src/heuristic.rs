@@ -1,0 +1,293 @@
+//! Initial-solution heuristics (§3.3, Algorithms 3 and 4).
+//!
+//! `Degen` finds the longest suffix of a degeneracy ordering that forms a
+//! k-defective clique, in O(m) time after the ordering. `Degen-opt`
+//! additionally runs `Degen` inside the ego-subgraph `G[N⁺(v)]` of every
+//! vertex `v` (its higher-ranked neighbours under the degeneracy ordering),
+//! for a total of O(δ(G)·m) time, and keeps the largest of the `n + 1`
+//! candidate solutions.
+
+use kdc_graph::degeneracy;
+use kdc_graph::graph::{Graph, VertexId};
+use kdc_graph::scratch::Marker;
+
+/// Algorithm 3 (`Degen`): the longest suffix of a degeneracy ordering of `g`
+/// that is a k-defective clique.
+///
+/// Because missing-edge counts grow monotonically as the suffix extends
+/// leftwards, a single backward pass suffices.
+///
+/// ```
+/// use kdc_graph::gen;
+/// let g = gen::complete(6);
+/// assert_eq!(kdc::heuristic::degen(&g, 0).len(), 6);
+/// ```
+pub fn degen(g: &Graph, k: usize) -> Vec<VertexId> {
+    let order = degeneracy::peel(g).order;
+    degen_on_order(g, k, &order)
+}
+
+/// `Degen` on a caller-supplied ordering (used by `Degen-opt` to reuse the
+/// ego-subgraph's ordering).
+pub fn degen_on_order(g: &Graph, k: usize, order: &[VertexId]) -> Vec<VertexId> {
+    let n = order.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut in_suffix = Marker::new(g.n());
+    let mut missing = 0usize;
+    let mut taken = 0usize;
+    // Walk the ordering from the end; vertex order[n-1-taken] joins next.
+    while taken < n {
+        let v = order[n - 1 - taken];
+        let nbrs_in = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| in_suffix.is_marked(w as usize))
+            .count();
+        let new_missing = missing + (taken - nbrs_in);
+        if new_missing > k {
+            break;
+        }
+        missing = new_missing;
+        in_suffix.mark(v as usize);
+        taken += 1;
+    }
+    order[n - taken..].to_vec()
+}
+
+/// Algorithm 4 (`Degen-opt`): the best of `Degen(G, k)` and, for every
+/// vertex `u`, `{u} ∪ Degen(G[N⁺(u)], k)` where `N⁺(u)` is the set of
+/// higher-ranked neighbours of `u` in the degeneracy ordering.
+///
+/// Since `u` is adjacent to all of `N⁺(u)`, adding `u` never adds missing
+/// edges, so the combined set stays a k-defective clique.
+pub fn degen_opt(g: &Graph, k: usize) -> Vec<VertexId> {
+    let peeling = degeneracy::peel(g);
+    let mut best = degen_on_order(g, k, &peeling.order);
+
+    let n = g.n();
+    // Forward adjacency under the ordering: |N⁺(u)| ≤ δ(G), total size m.
+    let nplus: Vec<Vec<VertexId>> = (0..n as VertexId)
+        .map(|u| {
+            g.neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&w| peeling.rank[w as usize] > peeling.rank[u as usize])
+                .collect()
+        })
+        .collect();
+
+    let mut member = Marker::new(n);
+    let mut local_id = vec![0u32; n];
+    for u in 0..n as VertexId {
+        let ego = &nplus[u as usize];
+        if ego.len() < best.len() {
+            // Even {u} ∪ ego cannot beat the incumbent.
+            continue;
+        }
+        // Build the ego subgraph over local ids 0..ego.len(). Edges of the
+        // ego graph are found through N⁺ of the members: (a, b) with
+        // rank(a) < rank(b) appears in nplus[a], so scanning members' N⁺
+        // lists against the membership marker finds each edge once, in
+        // O(Σ_{a ∈ ego} |N⁺(a)|) ≤ O(|ego|·δ) time.
+        member.reset();
+        for (i, &a) in ego.iter().enumerate() {
+            member.mark(a as usize);
+            local_id[a as usize] = i as u32;
+        }
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); ego.len()];
+        for &a in ego {
+            let la = local_id[a as usize];
+            for &b in &nplus[a as usize] {
+                if member.is_marked(b as usize) {
+                    let lb = local_id[b as usize];
+                    adj[la as usize].push(lb);
+                    adj[lb as usize].push(la);
+                }
+            }
+        }
+        let sub = Graph::from_adjacency(adj);
+        let local_best = degen(&sub, k);
+        if local_best.len() + 1 > best.len() {
+            let mut cand: Vec<VertexId> =
+                local_best.iter().map(|&l| ego[l as usize]).collect();
+            cand.push(u);
+            debug_assert!(g.is_k_defective_clique(&cand, k));
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Local-search refinement of a k-defective clique: greedily extend to a
+/// maximal solution, then repeat (1-out, multi-in) swaps — drop one member,
+/// re-extend greedily — accepting any strict improvement, until a fixpoint
+/// or `max_rounds`. An inexpensive practical extension beyond the paper's
+/// §3.3 heuristics; the result is always a valid k-defective clique at least
+/// as large as the input.
+pub fn local_search(g: &Graph, start: &[VertexId], k: usize, max_rounds: usize) -> Vec<VertexId> {
+    assert!(g.is_k_defective_clique(start, k));
+    let mut current = crate::verify::extend_to_maximal(g, start, k);
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for drop_idx in 0..current.len() {
+            let mut trial: Vec<VertexId> = current.clone();
+            trial.swap_remove(drop_idx);
+            let extended = crate::verify::extend_to_maximal(g, &trial, k);
+            if extended.len() > current.len() {
+                current = extended;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    current.sort_unstable();
+    debug_assert!(g.is_k_defective_clique(&current, k));
+    current
+}
+
+/// `Degen-opt` followed by [`local_search`] (the `DegenOptLocalSearch`
+/// heuristic preset).
+pub fn degen_opt_ls(g: &Graph, k: usize) -> Vec<VertexId> {
+    let base = degen_opt(g, k);
+    if base.is_empty() {
+        return base;
+    }
+    local_search(g, &base, k, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdc_graph::gen;
+    use kdc_graph::named;
+
+    #[test]
+    fn degen_on_clique_takes_everything() {
+        let g = gen::complete(7);
+        assert_eq!(degen(&g, 0).len(), 7);
+        assert_eq!(degen_opt(&g, 0).len(), 7);
+    }
+
+    #[test]
+    fn degen_respects_k() {
+        // Empty graph: suffix of size s misses s(s-1)/2 edges.
+        let g = Graph::empty(10);
+        assert_eq!(degen(&g, 0).len(), 1);
+        assert_eq!(degen(&g, 1).len(), 2);
+        assert_eq!(degen(&g, 3).len(), 3);
+        assert_eq!(degen(&g, 6).len(), 4);
+    }
+
+    #[test]
+    fn results_are_k_defective() {
+        let mut rng = gen::seeded_rng(21);
+        for _ in 0..20 {
+            let g = gen::gnp(40, 0.3, &mut rng);
+            for k in [0usize, 1, 2, 5, 10] {
+                let c1 = degen(&g, k);
+                assert!(g.is_k_defective_clique(&c1, k), "Degen invalid k={k}");
+                let c2 = degen_opt(&g, k);
+                assert!(g.is_k_defective_clique(&c2, k), "Degen-opt invalid k={k}");
+                assert!(c2.len() >= c1.len(), "Degen-opt dominates Degen");
+                assert!(!c1.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn example_3_8_degen_vs_degen_opt() {
+        // On the Figure-6-like graph with k = 1, Degen finds 3 vertices while
+        // Degen-opt finds the optimal 4 via N⁺(v1) (Example 3.8's behaviour).
+        let g = named::figure6_like();
+        assert_eq!(degen(&g, 1).len(), 3);
+        let opt = degen_opt(&g, 1);
+        assert_eq!(opt.len(), 4);
+        assert!(g.is_k_defective_clique(&opt, 1));
+    }
+
+    #[test]
+    fn figure2_heuristics() {
+        let g = named::figure2();
+        // The K5 suffix of the degeneracy ordering is found for k = 0.
+        let c = degen(&g, 0);
+        assert_eq!(c.len(), 5);
+        // k = 2: the optimum is 6 ({v1..v6}); Degen's suffix after the K5
+        // portion cannot see it, but Degen-opt must still return ≥ 5 and a
+        // valid 2-defective clique.
+        let c2 = degen_opt(&g, 2);
+        assert!(c2.len() >= 5);
+        assert!(g.is_k_defective_clique(&c2, 2));
+    }
+
+    #[test]
+    fn planted_clique_recovered_heuristically() {
+        let mut rng = gen::seeded_rng(8);
+        let (g, planted) = gen::planted_defective_clique(300, 20, 3, 0.02, &mut rng);
+        let c = degen_opt(&g, 3);
+        // The planted near-clique dominates the sparse background, so the
+        // heuristic should recover (at least almost) all of it.
+        assert!(
+            c.len() + 2 >= planted.len(),
+            "heuristic found {} of {}",
+            c.len(),
+            planted.len()
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        assert!(degen(&Graph::empty(0), 3).is_empty());
+        assert!(degen_opt(&Graph::empty(0), 3).is_empty());
+        assert_eq!(degen(&Graph::empty(1), 0), vec![0]);
+        assert_eq!(degen_opt(&Graph::empty(1), 5).len(), 1);
+        assert!(degen_opt_ls(&Graph::empty(0), 2).is_empty());
+    }
+
+    #[test]
+    fn local_search_only_improves() {
+        let mut rng = gen::seeded_rng(97);
+        for _ in 0..15 {
+            let g = gen::gnp(30, 0.35, &mut rng);
+            for k in [0usize, 2, 5] {
+                let base = degen(&g, k);
+                let refined = local_search(&g, &base, k, 8);
+                assert!(refined.len() >= base.len());
+                assert!(g.is_k_defective_clique(&refined, k));
+                // Refined solutions are maximal.
+                assert!(crate::verify::is_maximal_k_defective(&g, &refined, k));
+                let full = degen_opt_ls(&g, k);
+                assert!(g.is_k_defective_clique(&full, k));
+                assert!(full.len() >= degen_opt(&g, k).len());
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_escapes_blocking_vertex() {
+        // K4 on {0..3} plus a pendant 4 attached to 0. The seed {0, 4} is a
+        // maximal clique (k = 0), but dropping 4 lets the re-extension climb
+        // to the K4.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)]);
+        let refined = local_search(&g, &[0, 4], 0, 4);
+        assert_eq!(refined, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn local_search_cannot_jump_between_distant_optima() {
+        // Honest limitation: on the Figure-6-like graph, Degen's triangle
+        // {v5,v6,v7} is a strict local optimum for (1-out, multi-in) moves —
+        // dropping any member just re-adds it. The refinement keeps validity
+        // and maximality but stays at size 3 (the optimum is 4).
+        let g = named::figure6_like();
+        let base = degen(&g, 1);
+        assert_eq!(base.len(), 3);
+        let refined = local_search(&g, &base, 1, 8);
+        assert_eq!(refined.len(), 3);
+        assert!(crate::verify::is_maximal_k_defective(&g, &refined, 1));
+    }
+}

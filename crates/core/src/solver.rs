@@ -1,0 +1,305 @@
+//! The top-level kDC solver (Algorithm 2):
+//!
+//! 1. heuristically compute a large initial k-defective clique (§3.3);
+//! 2. reduce the input graph with RR5 (core) and RR6 (truss) using the
+//!    initial solution size as the lower bound (§3.2.3);
+//! 3. branch-and-bound on the reduced, relabelled universe.
+
+use crate::config::{InitialHeuristic, SolverConfig};
+use crate::engine::Engine;
+use crate::heuristic;
+use crate::stats::{Solution, Status};
+use kdc_graph::graph::{Graph, VertexId};
+use kdc_graph::{degeneracy, truss};
+use std::time::Instant;
+
+/// Exact maximum k-defective clique solver.
+///
+/// ```
+/// use kdc::{Solver, SolverConfig};
+/// use kdc_graph::Graph;
+///
+/// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+/// let sol = Solver::new(&g, 1, SolverConfig::kdc()).solve();
+/// assert_eq!(sol.size(), 3);
+/// assert!(sol.is_optimal());
+/// ```
+pub struct Solver<'g> {
+    graph: &'g Graph,
+    k: usize,
+    config: SolverConfig,
+}
+
+impl<'g> Solver<'g> {
+    /// Creates a solver for the maximum `k`-defective clique of `graph`.
+    pub fn new(graph: &'g Graph, k: usize, config: SolverConfig) -> Self {
+        Solver { graph, k, config }
+    }
+
+    /// Runs the solve and returns the best solution found together with its
+    /// optimality status and search statistics.
+    pub fn solve(self) -> Solution {
+        let Solver { graph, k, config } = self;
+        let t_start = Instant::now();
+        let deadline = config.time_limit.map(|d| t_start + d);
+
+        // Line 1 of Algorithm 2: initial solution.
+        let initial = match config.heuristic {
+            InitialHeuristic::None => Vec::new(),
+            InitialHeuristic::Degen => heuristic::degen(graph, k),
+            InitialHeuristic::DegenOpt => heuristic::degen_opt(graph, k),
+            InitialHeuristic::DegenOptLocalSearch => heuristic::degen_opt_ls(graph, k),
+        };
+        debug_assert!(graph.is_k_defective_clique(&initial, k));
+        let lb0 = initial.len();
+
+        // Line 2: preprocessing.
+        let (adj, keep) = preprocess(graph, k, lb0, &config);
+        let preprocessed_n = keep.len();
+        let preprocessed_m = adj.iter().map(Vec::len).sum::<usize>() / 2;
+        let preprocess_time = t_start.elapsed();
+
+        // Line 3: branch and bound over the reduced universe.
+        let t_search = Instant::now();
+        let mut engine = Engine::new(adj, k, config, lb0);
+        engine.override_deadline(deadline);
+        let completed = engine.run();
+        let search_time = t_search.elapsed();
+
+        let mut vertices: Vec<VertexId> = if engine.best().len() > lb0 {
+            engine.best().iter().map(|&v| keep[v as usize]).collect()
+        } else {
+            initial
+        };
+        vertices.sort_unstable();
+        debug_assert!(graph.is_k_defective_clique(&vertices, k));
+
+        let mut stats = engine.take_stats();
+        stats.initial_solution_size = lb0;
+        stats.preprocessed_n = preprocessed_n;
+        stats.preprocessed_m = preprocessed_m;
+        stats.preprocess_time = preprocess_time;
+        stats.search_time = search_time;
+
+        let status = if completed {
+            Status::Optimal
+        } else {
+            engine.abort_status()
+        };
+        Solution {
+            vertices,
+            status,
+            stats,
+        }
+    }
+}
+
+/// Convenience wrapper: solve with the default kDC configuration.
+pub fn max_defective_clique(graph: &Graph, k: usize) -> Solution {
+    Solver::new(graph, k, SolverConfig::kdc()).solve()
+}
+
+/// Result of running only Lines 1–2 of Algorithm 2 (heuristic +
+/// preprocessing), as compared in Table 4 of the paper.
+#[derive(Clone, Debug)]
+pub struct PreprocessReport {
+    /// The initial solution `C0`.
+    pub initial: Vec<VertexId>,
+    /// Vertices surviving preprocessing (`n0`).
+    pub n0: usize,
+    /// Edges surviving preprocessing (`m0`).
+    pub m0: usize,
+}
+
+/// Runs the heuristic and the RR5/RR6 preprocessing without searching.
+pub fn preprocess_report(graph: &Graph, k: usize, config: &SolverConfig) -> PreprocessReport {
+    let initial = match config.heuristic {
+        InitialHeuristic::None => Vec::new(),
+        InitialHeuristic::Degen => heuristic::degen(graph, k),
+        InitialHeuristic::DegenOpt => heuristic::degen_opt(graph, k),
+        InitialHeuristic::DegenOptLocalSearch => heuristic::degen_opt_ls(graph, k),
+    };
+    let (adj, keep) = preprocess(graph, k, initial.len(), config);
+    PreprocessReport {
+        initial,
+        n0: keep.len(),
+        m0: adj.iter().map(Vec::len).sum::<usize>() / 2,
+    }
+}
+
+/// Line 2 of Algorithm 2: reduce `g` with RR5 (to the (lb−k)-core) and RR6
+/// (to the (lb−k+1)-truss), then drop newly under-degree vertices with one
+/// more core pass. Returns the reduced universe as sorted adjacency lists
+/// plus the new→old id map.
+fn preprocess(
+    g: &Graph,
+    k: usize,
+    lb: usize,
+    config: &SolverConfig,
+) -> (Vec<Vec<u32>>, Vec<VertexId>) {
+    // RR5: vertices of degree < lb − k cannot be in a solution of size
+    // > lb; keep the (lb − k)-core.
+    let (mut current, mut keep): (Graph, Vec<VertexId>) = if config.enable_rr5 && lb > k {
+        degeneracy::k_core(g, lb - k)
+    } else {
+        (g.clone(), g.vertices().collect())
+    };
+
+    // RR6: edges with fewer than lb − k − 1 common neighbours cannot be in a
+    // solution of size > lb; keep the (lb − k + 1)-truss.
+    if config.enable_rr6 && lb > k + 1 {
+        let trussed = truss::truss_filter(&current, (lb - k - 1) as u32);
+        // Edge removals lower degrees: re-peel to the (lb − k)-core (a
+        // strictly beneficial extra pass; the paper applies RR5 before RR6
+        // only, but the truss is a subgraph of the core anyway and this pass
+        // merely discards now-isolated vertices).
+        let (cored, sub_keep) = if config.enable_rr5 && lb > k {
+            degeneracy::k_core(&trussed, lb - k)
+        } else {
+            let ids: Vec<VertexId> = trussed.vertices().collect();
+            (trussed, ids)
+        };
+        keep = sub_keep.iter().map(|&v| keep[v as usize]).collect();
+        current = cored;
+    }
+
+    let adj: Vec<Vec<u32>> = (0..current.n() as u32)
+        .map(|v| current.neighbors(v).to_vec())
+        .collect();
+    (adj, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdc_graph::{gen, named};
+
+    #[test]
+    fn solves_figure2_for_all_k() {
+        let g = named::figure2();
+        for (k, expected) in [(0usize, 5usize), (1, 5), (2, 6), (3, 6), (4, 6), (5, 7)] {
+            let sol = Solver::new(&g, k, SolverConfig::kdc()).solve();
+            assert_eq!(sol.size(), expected, "k = {k}");
+            assert!(sol.is_optimal());
+            assert!(g.is_k_defective_clique(&sol.vertices, k));
+        }
+    }
+
+    #[test]
+    fn all_presets_agree_on_random_graphs() {
+        let mut rng = gen::seeded_rng(2024);
+        type Preset = (&'static str, fn() -> SolverConfig);
+        let presets: Vec<Preset> = vec![
+            ("kdc", SolverConfig::kdc),
+            ("kdc_t", SolverConfig::kdc_t),
+            ("no_ub1", SolverConfig::without_ub1),
+            ("no_rr34", SolverConfig::without_rr3_rr4),
+            ("no_ub1_rr34", SolverConfig::without_ub1_rr3_rr4),
+            ("degen", SolverConfig::degen),
+            ("kdbb", SolverConfig::kdbb_like),
+            ("madec", SolverConfig::madec_like),
+        ];
+        for trial in 0..8 {
+            let g = gen::gnp(22, 0.4, &mut rng);
+            for k in [0usize, 1, 3, 5] {
+                let reference = Solver::new(&g, k, SolverConfig::kdc_t()).solve();
+                for (name, cfg) in &presets {
+                    let sol = Solver::new(&g, k, cfg()).solve();
+                    assert_eq!(
+                        sol.size(),
+                        reference.size(),
+                        "preset {name} disagrees (trial {trial}, k {k})"
+                    );
+                    assert!(g.is_k_defective_clique(&sol.vertices, k));
+                    assert!(sol.is_optimal());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planted_clique_is_found_exactly() {
+        let mut rng = gen::seeded_rng(5);
+        let (g, planted) = gen::planted_defective_clique(150, 14, 3, 0.04, &mut rng);
+        let sol = max_defective_clique(&g, 3);
+        assert!(sol.size() >= planted.len(), "planted clique missed");
+        assert!(g.is_k_defective_clique(&sol.vertices, 3));
+    }
+
+    #[test]
+    fn k_zero_equals_maximum_clique_on_figure2() {
+        let g = named::figure2();
+        let sol = max_defective_clique(&g, 0);
+        assert_eq!(sol.size(), 5);
+        assert_eq!(sol.vertices, vec![7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        let sol = max_defective_clique(&Graph::empty(0), 3);
+        assert_eq!(sol.size(), 0);
+        assert!(sol.is_optimal());
+
+        let sol = max_defective_clique(&Graph::empty(1), 0);
+        assert_eq!(sol.size(), 1);
+
+        // Isolated vertices: any s with s(s−1)/2 ≤ k fit together.
+        let sol = max_defective_clique(&Graph::empty(10), 3);
+        assert_eq!(sol.size(), 3);
+
+        let sol = max_defective_clique(&gen::complete(8), 5);
+        assert_eq!(sol.size(), 8);
+    }
+
+    #[test]
+    fn node_limit_reports_nonoptimal() {
+        let mut rng = gen::seeded_rng(11);
+        let g = gen::gnp(60, 0.5, &mut rng);
+        let cfg = SolverConfig::kdc_t().with_node_limit(10);
+        let sol = Solver::new(&g, 3, cfg).solve();
+        assert_eq!(sol.status, Status::NodeLimitReached);
+        // Best-effort solution is still valid.
+        assert!(g.is_k_defective_clique(&sol.vertices, 3));
+    }
+
+    #[test]
+    fn time_limit_reports_timeout() {
+        let mut rng = gen::seeded_rng(12);
+        // A hard dense instance with a tiny limit.
+        let g = gen::gnp(120, 0.6, &mut rng);
+        let cfg = SolverConfig::kdc_t().with_time_limit(std::time::Duration::from_millis(1));
+        let sol = Solver::new(&g, 10, cfg).solve();
+        assert!(matches!(sol.status, Status::TimedOut | Status::Optimal));
+    }
+
+    #[test]
+    fn preprocessing_shrinks_planted_instances() {
+        let mut rng = gen::seeded_rng(77);
+        let (g, _) = gen::planted_defective_clique(400, 16, 2, 0.02, &mut rng);
+        let sol = Solver::new(&g, 2, SolverConfig::kdc()).solve();
+        assert!(sol.stats.preprocessed_n < g.n() / 2, "preprocessing too weak: {} of {}", sol.stats.preprocessed_n, g.n());
+        assert!(sol.stats.initial_solution_size >= 10);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = named::figure2();
+        let sol = Solver::new(&g, 2, SolverConfig::kdc()).solve();
+        assert!(sol.stats.nodes >= 1);
+        assert!(sol.stats.initial_solution_size >= 5);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let mut rng = gen::seeded_rng(31);
+        for _ in 0..5 {
+            let g = gen::gnp(30, 0.3, &mut rng);
+            let mut prev = 0;
+            for k in 0..8 {
+                let s = max_defective_clique(&g, k).size();
+                assert!(s >= prev, "size must be monotone in k");
+                prev = s;
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Solver results and search statistics.
+
+use kdc_graph::VertexId;
+use std::time::Duration;
+
+/// Termination status of a solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The returned solution is a maximum k-defective clique.
+    Optimal,
+    /// The wall-clock limit expired; the returned solution is the best found.
+    TimedOut,
+    /// The node limit was reached; the returned solution is the best found.
+    NodeLimitReached,
+}
+
+/// A solve result: the best k-defective clique found plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Vertices of the solution, in original graph ids, sorted ascending.
+    pub vertices: Vec<VertexId>,
+    /// Whether the solution is proven optimal.
+    pub status: Status,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+impl Solution {
+    /// Number of vertices in the solution.
+    pub fn size(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the solve ran to proven optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == Status::Optimal
+    }
+}
+
+/// Counters describing a branch-and-bound run. All counters are best-effort
+/// and intended for experiments/ablations, not for control flow.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Branch-and-bound nodes visited (instances of `Branch&Bound`).
+    pub nodes: u64,
+    /// Leaf nodes (instances solved by the k-defective-leaf rule).
+    pub leaves: u64,
+    /// Maximum recursion depth reached.
+    pub max_depth: usize,
+    /// Vertices removed by RR1 (excess-removal).
+    pub rr1_removals: u64,
+    /// Vertices greedily added to S by RR2 (high-degree).
+    pub rr2_additions: u64,
+    /// Vertices removed by RR3 (degree-sequence).
+    pub rr3_removals: u64,
+    /// Vertices removed by RR4 (second-order).
+    pub rr4_removals: u64,
+    /// Vertices removed by RR5 (core rule) inside the search.
+    pub rr5_removals: u64,
+    /// Instances pruned because an upper bound was ≤ lb.
+    pub bound_prunes: u64,
+    /// Instances pruned by UB1 specifically (UB1 was the smallest bound).
+    pub ub1_prunes: u64,
+    /// Instances pruned while applying RR5 to a vertex of S.
+    pub s_vertex_prunes: u64,
+    /// Size of the initial heuristic solution (|C0|).
+    pub initial_solution_size: usize,
+    /// Vertices of the reduced graph after preprocessing (n0).
+    pub preprocessed_n: usize,
+    /// Edges of the reduced graph after preprocessing (m0).
+    pub preprocessed_m: usize,
+    /// Wall-clock time of the heuristic + preprocessing phase.
+    pub preprocess_time: Duration,
+    /// Wall-clock time of the branch-and-bound phase.
+    pub search_time: Duration,
+}
+
+impl SearchStats {
+    /// Total solve time (preprocessing + search).
+    pub fn total_time(&self) -> Duration {
+        self.preprocess_time + self.search_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solution_accessors() {
+        let s = Solution {
+            vertices: vec![1, 4, 9],
+            status: Status::Optimal,
+            stats: SearchStats::default(),
+        };
+        assert_eq!(s.size(), 3);
+        assert!(s.is_optimal());
+        let t = Solution {
+            status: Status::TimedOut,
+            ..s
+        };
+        assert!(!t.is_optimal());
+    }
+
+    #[test]
+    fn total_time_adds_up() {
+        let stats = SearchStats {
+            preprocess_time: Duration::from_millis(30),
+            search_time: Duration::from_millis(70),
+            ..Default::default()
+        };
+        assert_eq!(stats.total_time(), Duration::from_millis(100));
+    }
+}

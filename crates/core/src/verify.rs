@@ -1,0 +1,305 @@
+//! Independent verification utilities for k-defective cliques.
+//!
+//! These functions re-derive everything from the graph's adjacency structure
+//! (no solver state), so tests can use them as a second opinion on solver
+//! output.
+
+use kdc_graph::graph::{Graph, VertexId};
+use kdc_graph::scratch::Marker;
+
+/// Number of missing edges inside `set` (the paper's `|Ē(S)|`).
+pub fn missing_edges(g: &Graph, set: &[VertexId]) -> usize {
+    g.missing_edges_within(set)
+}
+
+/// Whether `set` induces a k-defective clique (Definition 2.2).
+pub fn is_k_defective(g: &Graph, set: &[VertexId], k: usize) -> bool {
+    g.is_k_defective_clique(set, k)
+}
+
+/// Whether `set` is a *maximal* k-defective clique: it is k-defective and no
+/// vertex outside extends it. Runs in O(n + m + |set|²).
+pub fn is_maximal_k_defective(g: &Graph, set: &[VertexId], k: usize) -> bool {
+    if !is_k_defective(g, set, k) {
+        return false;
+    }
+    let missing = missing_edges(g, set);
+    let mut member = Marker::new(g.n());
+    for &v in set {
+        member.mark(v as usize);
+    }
+    for u in g.vertices() {
+        if member.is_marked(u as usize) {
+            continue;
+        }
+        let nbrs_in = g
+            .neighbors(u)
+            .iter()
+            .filter(|&&w| member.is_marked(w as usize))
+            .count();
+        // Adding u introduces |set| − nbrs_in new missing edges.
+        if missing + (set.len() - nbrs_in) <= k {
+            return false;
+        }
+    }
+    true
+}
+
+/// Greedily extends a k-defective clique to a maximal one (adding vertices
+/// that introduce the fewest missing edges first).
+pub fn extend_to_maximal(g: &Graph, set: &[VertexId], k: usize) -> Vec<VertexId> {
+    assert!(is_k_defective(g, set, k));
+    let mut current = set.to_vec();
+    let mut missing = missing_edges(g, set);
+    let mut member = Marker::new(g.n());
+    for &v in &current {
+        member.mark(v as usize);
+    }
+    loop {
+        let mut best: Option<(usize, VertexId)> = None;
+        for u in g.vertices() {
+            if member.is_marked(u as usize) {
+                continue;
+            }
+            let nbrs_in = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&w| member.is_marked(w as usize))
+                .count();
+            let added = current.len() - nbrs_in;
+            if missing + added <= k && best.is_none_or(|(b, _)| added < b) {
+                best = Some((added, u));
+            }
+        }
+        match best {
+            Some((added, u)) => {
+                current.push(u);
+                member.mark(u as usize);
+                missing += added;
+            }
+            None => break,
+        }
+    }
+    current.sort_unstable();
+    current
+}
+
+/// The fraction of `set`'s vertices that have at least one non-neighbour
+/// inside `set` (Table 7's "not fully connected" percentage). Returns 0 for
+/// sets of size ≤ 1.
+pub fn fraction_not_fully_connected(g: &Graph, set: &[VertexId]) -> f64 {
+    if set.len() <= 1 {
+        return 0.0;
+    }
+    let mut member = Marker::new(g.n());
+    for &v in set {
+        member.mark(v as usize);
+    }
+    let not_full = set
+        .iter()
+        .filter(|&&v| {
+            let nbrs_in = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| member.is_marked(w as usize))
+                .count();
+            nbrs_in + 1 < set.len()
+        })
+        .count();
+    not_full as f64 / set.len() as f64
+}
+
+/// A portable, human-readable certificate for a claimed k-defective clique:
+/// the graph's shape fingerprint, `k`, and the vertex set. Lets results be
+/// stored and re-checked later (`kdc solve … | kdc verify …`) without any
+/// serialization dependency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// The k the solution was computed for.
+    pub k: usize,
+    /// Vertex count of the graph the certificate refers to.
+    pub n: usize,
+    /// Edge count of the graph the certificate refers to.
+    pub m: usize,
+    /// The claimed k-defective clique (sorted).
+    pub vertices: Vec<VertexId>,
+    /// Whether the producer claimed optimality (checked only for internal
+    /// consistency — verification proves validity, not maximality).
+    pub claimed_optimal: bool,
+}
+
+impl Certificate {
+    /// Builds a certificate from a solution against its graph.
+    pub fn new(g: &Graph, k: usize, vertices: &[VertexId], claimed_optimal: bool) -> Self {
+        let mut vs = vertices.to_vec();
+        vs.sort_unstable();
+        Certificate {
+            k,
+            n: g.n(),
+            m: g.m(),
+            vertices: vs,
+            claimed_optimal,
+        }
+    }
+
+    /// Serialises to the text format:
+    ///
+    /// ```text
+    /// kdc-certificate v1
+    /// k <k> n <n> m <m> optimal <0|1>
+    /// <v1> <v2> … <vs>
+    /// ```
+    pub fn to_text(&self) -> String {
+        let verts: Vec<String> = self.vertices.iter().map(u32::to_string).collect();
+        format!(
+            "kdc-certificate v1\nk {} n {} m {} optimal {}\n{}\n",
+            self.k,
+            self.n,
+            self.m,
+            u8::from(self.claimed_optimal),
+            verts.join(" ")
+        )
+    }
+
+    /// Parses the text format produced by [`Certificate::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("kdc-certificate v1") => {}
+            other => return Err(format!("bad header {other:?}")),
+        }
+        let meta = lines.next().ok_or("missing metadata line")?;
+        let tokens: Vec<&str> = meta.split_whitespace().collect();
+        let field = |name: &str| -> Result<usize, String> {
+            let idx = tokens
+                .iter()
+                .position(|t| *t == name)
+                .ok_or_else(|| format!("missing field {name}"))?;
+            tokens
+                .get(idx + 1)
+                .ok_or_else(|| format!("missing value for {name}"))?
+                .parse()
+                .map_err(|_| format!("invalid value for {name}"))
+        };
+        let (k, n, m) = (field("k")?, field("n")?, field("m")?);
+        let optimal = field("optimal")? != 0;
+        let verts_line = lines.next().unwrap_or("");
+        let mut vertices = Vec::new();
+        for tok in verts_line.split_whitespace() {
+            vertices.push(tok.parse::<u32>().map_err(|_| format!("bad vertex {tok:?}"))?);
+        }
+        Ok(Certificate {
+            k,
+            n,
+            m,
+            vertices,
+            claimed_optimal: optimal,
+        })
+    }
+
+    /// Checks the certificate against a graph: shape must match and the
+    /// vertex set must be a valid k-defective clique. Returns the number of
+    /// missing edges on success.
+    pub fn check(&self, g: &Graph) -> Result<usize, String> {
+        if g.n() != self.n || g.m() != self.m {
+            return Err(format!(
+                "graph shape mismatch: certificate says n={} m={}, graph has n={} m={}",
+                self.n,
+                self.m,
+                g.n(),
+                g.m()
+            ));
+        }
+        if let Some(&v) = self.vertices.iter().find(|&&v| v as usize >= g.n()) {
+            return Err(format!("vertex {v} out of range"));
+        }
+        let mut sorted = self.vertices.clone();
+        sorted.dedup();
+        if sorted.len() != self.vertices.len() {
+            return Err("duplicate vertices".into());
+        }
+        let missing = missing_edges(g, &self.vertices);
+        if missing > self.k {
+            return Err(format!(
+                "not a {}-defective clique: {} missing edges",
+                self.k, missing
+            ));
+        }
+        Ok(missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdc_graph::{gen, named};
+
+    #[test]
+    fn maximality_on_figure2() {
+        let g = named::figure2();
+        // The K5 is a maximal 1-defective clique (any 6th vertex adds ≥ 5
+        // missing edges).
+        assert!(is_maximal_k_defective(&g, &[7, 8, 9, 10, 11], 1));
+        // A K4 inside the K5 is not maximal.
+        assert!(!is_maximal_k_defective(&g, &[7, 8, 9, 10], 1));
+        // A non-k-defective set is not a maximal k-defective clique.
+        assert!(!is_maximal_k_defective(&g, &[0, 1, 2, 3, 4, 5], 1));
+    }
+
+    #[test]
+    fn extend_reaches_maximality() {
+        let mut rng = gen::seeded_rng(3);
+        for _ in 0..10 {
+            let g = gen::gnp(25, 0.4, &mut rng);
+            for k in [0usize, 1, 3] {
+                let base = vec![0 as VertexId];
+                let ext = extend_to_maximal(&g, &base, k);
+                assert!(ext.contains(&0));
+                assert!(is_maximal_k_defective(&g, &ext, k));
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_roundtrip_and_check() {
+        let g = named::figure2();
+        let cert = Certificate::new(&g, 2, &[5, 0, 1, 2, 3, 4], true);
+        assert_eq!(cert.vertices, vec![0, 1, 2, 3, 4, 5], "sorted on build");
+        let text = cert.to_text();
+        let back = Certificate::from_text(&text).unwrap();
+        assert_eq!(back, cert);
+        assert_eq!(back.check(&g), Ok(2));
+    }
+
+    #[test]
+    fn certificate_rejects_bad_claims() {
+        let g = named::figure2();
+        // Not 1-defective: {v1..v6} misses two edges.
+        let bad = Certificate::new(&g, 1, &[0, 1, 2, 3, 4, 5], false);
+        assert!(bad.check(&g).unwrap_err().contains("missing edges"));
+        // Wrong graph shape.
+        let other = gen::complete(5);
+        let cert = Certificate::new(&g, 2, &[0, 1], false);
+        assert!(cert.check(&other).unwrap_err().contains("shape mismatch"));
+        // Out-of-range vertex.
+        let mut rogue = cert.clone();
+        rogue.vertices = vec![99];
+        assert!(rogue.check(&g).unwrap_err().contains("out of range"));
+        // Malformed text.
+        assert!(Certificate::from_text("nope").is_err());
+        assert!(Certificate::from_text("kdc-certificate v1\nk x n 1 m 0 optimal 1\n\n").is_err());
+        assert!(Certificate::from_text("kdc-certificate v1\n").is_err());
+    }
+
+    #[test]
+    fn fraction_not_fully_connected_cases() {
+        let g = named::figure2();
+        // K5: everyone fully connected.
+        assert_eq!(fraction_not_fully_connected(&g, &[7, 8, 9, 10, 11]), 0.0);
+        // {v1..v6} misses (v2,v4) and (v1,v5): 4 of 6 vertices are deficient.
+        let f = fraction_not_fully_connected(&g, &[0, 1, 2, 3, 4, 5]);
+        assert!((f - 4.0 / 6.0).abs() < 1e-12);
+        // Singletons are trivially fully connected.
+        assert_eq!(fraction_not_fully_connected(&g, &[0]), 0.0);
+    }
+}

@@ -1,0 +1,440 @@
+//! Fixed-capacity bitsets over `u64` words, plus a contiguous bit-matrix.
+//!
+//! These are the workhorses of the dense search path: adjacency tests become
+//! single bit probes and common-neighbour counts become word-wise popcounts.
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn words_for(nbits: usize) -> usize {
+    nbits.div_ceil(WORD_BITS)
+}
+
+/// A fixed-capacity set of `usize` values in `[0, capacity)` backed by `u64`
+/// words.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `[0, capacity)`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; words_for(capacity)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every value in `[0, capacity)`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for w in &mut s.words {
+            *w = !0;
+        }
+        s.trim_tail();
+        s
+    }
+
+    /// The maximum value (exclusive) this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears bits beyond `capacity` in the final partial word.
+    #[inline]
+    fn trim_tail(&mut self) {
+        let rem = self.capacity % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Inserts `i`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was
+    }
+
+    /// Removes `i`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was
+    }
+
+    /// Tests membership of `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Number of elements in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// `self ∩ other` element count; the sets must share a capacity.
+    #[inline]
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place `self ∪= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place `self \= other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place `self ∩= words` against a raw word slice (e.g. a
+    /// [`BitMatrix`] row of matching column capacity).
+    pub fn intersect_with_words(&mut self, words: &[u64]) {
+        debug_assert_eq!(self.words.len(), words.len());
+        for (a, b) in self.words.iter_mut().zip(words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place `self \= words` against a raw word slice.
+    pub fn difference_with_words(&mut self, words: &[u64]) {
+        debug_assert_eq!(self.words.len(), words.len());
+        for (a, b) in self.words.iter_mut().zip(words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterates set elements in increasing order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Raw word access (used by [`BitMatrix`] helpers).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set whose capacity is one past the maximum element (or 0).
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] (or a [`BitMatrix`] row).
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+/// A dense `rows × cols` bit-matrix stored as one contiguous `u64` buffer.
+///
+/// Used as an adjacency matrix for reduced search universes: row `u` holds the
+/// neighbourhood of `u`, so adjacency is a bit probe and common-neighbourhood
+/// sizes are word-wise popcounts.
+#[derive(Clone, Debug)]
+pub struct BitMatrix {
+    words: Vec<u64>,
+    words_per_row: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let words_per_row = words_for(cols);
+        BitMatrix {
+            words: vec![0; rows * words_per_row],
+            words_per_row,
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets bit `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.words[r * self.words_per_row + c / WORD_BITS] |= 1u64 << (c % WORD_BITS);
+    }
+
+    /// Clears bit `(r, c)`.
+    #[inline]
+    pub fn unset(&mut self, r: usize, c: usize) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.words[r * self.words_per_row + c / WORD_BITS] &= !(1u64 << (c % WORD_BITS));
+    }
+
+    /// Tests bit `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.words[r * self.words_per_row + c / WORD_BITS] & (1u64 << (c % WORD_BITS)) != 0
+    }
+
+    /// The words of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Iterates the set columns of row `r`.
+    pub fn row_iter(&self, r: usize) -> BitIter<'_> {
+        let row = self.row(r);
+        BitIter {
+            words: row,
+            word_idx: 0,
+            current: row.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Popcount of row `r`.
+    pub fn row_len(&self, r: usize) -> usize {
+        self.row(r).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `|row(a) ∩ row(b)|` — e.g. the number of common neighbours of `a`
+    /// and `b` when the matrix is an adjacency matrix.
+    #[inline]
+    pub fn row_intersection_len(&self, a: usize, b: usize) -> usize {
+        self.row(a)
+            .iter()
+            .zip(self.row(b))
+            .map(|(x, y)| (x & y).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|row(r) ∩ mask|` for an external mask with the same column capacity.
+    #[inline]
+    pub fn row_mask_intersection_len(&self, r: usize, mask: &BitSet) -> usize {
+        debug_assert_eq!(mask.capacity(), self.cols);
+        self.row(r)
+            .iter()
+            .zip(mask.words())
+            .map(|(x, y)| (x & y).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|row(a) ∩ row(b) ∩ mask|`.
+    #[inline]
+    pub fn row_row_mask_intersection_len(&self, a: usize, b: usize, mask: &BitSet) -> usize {
+        self.row(a)
+            .iter()
+            .zip(self.row(b))
+            .zip(mask.words())
+            .map(|((x, y), m)| (x & y & m).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_elements() {
+        let s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.first(), None);
+    }
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(64));
+        assert!(!s.contains(62));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        for cap in [0, 1, 63, 64, 65, 128, 200] {
+            let s = BitSet::full(cap);
+            assert_eq!(s.len(), cap, "capacity {cap}");
+            assert_eq!(s.iter().collect::<Vec<_>>(), (0..cap).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn iter_yields_sorted_elements() {
+        let mut s = BitSet::new(300);
+        for i in [5usize, 7, 64, 65, 190, 299, 0] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 5, 7, 64, 65, 190, 299]);
+        assert_eq!(s.first(), Some(0));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1usize, 2, 3, 64, 65].into_iter().collect();
+        let mut b = BitSet::new(a.capacity());
+        for i in [2usize, 3, 4, 65] {
+            b.insert(i);
+        }
+        assert_eq!(a.intersection_len(&b), 3);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3, 65]);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 6);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 64]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_capacity() {
+        let s: BitSet = [3usize, 100].into_iter().collect();
+        assert_eq!(s.capacity(), 101);
+        assert!(s.contains(3) && s.contains(100));
+    }
+
+    #[test]
+    fn matrix_set_get_unset() {
+        let mut m = BitMatrix::new(5, 130);
+        m.set(0, 0);
+        m.set(4, 129);
+        m.set(2, 64);
+        assert!(m.get(0, 0) && m.get(4, 129) && m.get(2, 64));
+        assert!(!m.get(0, 1));
+        m.unset(2, 64);
+        assert!(!m.get(2, 64));
+    }
+
+    #[test]
+    fn matrix_row_ops() {
+        let mut m = BitMatrix::new(3, 100);
+        for c in [1usize, 50, 99] {
+            m.set(0, c);
+        }
+        for c in [50usize, 99, 3] {
+            m.set(1, c);
+        }
+        assert_eq!(m.row_len(0), 3);
+        assert_eq!(m.row_iter(0).collect::<Vec<_>>(), vec![1, 50, 99]);
+        assert_eq!(m.row_intersection_len(0, 1), 2);
+
+        let mask: BitSet = [50usize, 1].into_iter().collect();
+        let mut mask_full = BitSet::new(100);
+        for i in mask.iter() {
+            mask_full.insert(i);
+        }
+        assert_eq!(m.row_mask_intersection_len(0, &mask_full), 2);
+        assert_eq!(m.row_row_mask_intersection_len(0, 1, &mask_full), 1);
+    }
+}

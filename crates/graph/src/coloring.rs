@@ -1,0 +1,123 @@
+//! Greedy graph colouring.
+//!
+//! A proper colouring partitions vertices into independent sets (all vertices
+//! of one colour are pairwise non-adjacent), which is the basis of the
+//! colouring upper bounds UB1 and Eq. (2). Following §3.2.3 we colour
+//! vertices in *reverse degeneracy order*, assigning each vertex the smallest
+//! colour absent from its already-coloured neighbours; this uses at most
+//! `δ(G) + 1` colours.
+
+use crate::degeneracy;
+use crate::graph::{Graph, VertexId};
+
+/// A proper colouring: `color[v] ∈ [0, num_colors)`.
+#[derive(Clone, Debug)]
+pub struct Coloring {
+    /// Colour of each vertex.
+    pub color: Vec<u32>,
+    /// Number of distinct colours used.
+    pub num_colors: usize,
+}
+
+impl Coloring {
+    /// Groups vertices by colour: `classes()[c]` is the vertex list of colour
+    /// `c` (an independent set).
+    pub fn classes(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.num_colors];
+        for (v, &c) in self.color.iter().enumerate() {
+            out[c as usize].push(v as VertexId);
+        }
+        out
+    }
+
+    /// Verifies properness against `g`.
+    pub fn is_proper(&self, g: &Graph) -> bool {
+        g.edges().all(|(u, v)| self.color[u as usize] != self.color[v as usize])
+    }
+}
+
+/// Greedy colouring in the given vertex order (first-fit).
+pub fn greedy_in_order(g: &Graph, order: &[VertexId]) -> Coloring {
+    let n = g.n();
+    debug_assert_eq!(order.len(), n);
+    let mut color = vec![u32::MAX; n];
+    let mut used = Vec::new(); // scratch: colours taken by neighbours
+    let mut num_colors = 0usize;
+    for &v in order {
+        used.clear();
+        used.resize(num_colors + 1, false);
+        for &w in g.neighbors(v) {
+            let c = color[w as usize];
+            if c != u32::MAX && (c as usize) < used.len() {
+                used[c as usize] = true;
+            }
+        }
+        let c = used.iter().position(|&t| !t).expect("one spare colour") as u32;
+        color[v as usize] = c;
+        num_colors = num_colors.max(c as usize + 1);
+    }
+    Coloring { color, num_colors }
+}
+
+/// Greedy colouring in reverse degeneracy order (the paper's choice for UB1;
+/// guarantees at most `δ(G) + 1` colours).
+pub fn greedy_degeneracy(g: &Graph) -> Coloring {
+    let mut order = degeneracy::peel(g).order;
+    order.reverse();
+    greedy_in_order(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clique_needs_n_colors() {
+        let k6 = gen::complete(6);
+        let c = greedy_degeneracy(&k6);
+        assert_eq!(c.num_colors, 6);
+        assert!(c.is_proper(&k6));
+    }
+
+    #[test]
+    fn bipartite_two_colors() {
+        // C6 (even cycle) is 2-colourable; greedy in degeneracy order finds 2.
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let c = greedy_degeneracy(&c6);
+        assert!(c.is_proper(&c6));
+        assert_eq!(c.num_colors, 2);
+    }
+
+    #[test]
+    fn empty_graph_one_color() {
+        let g = Graph::empty(4);
+        let c = greedy_degeneracy(&g);
+        assert_eq!(c.num_colors, 1);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn classes_are_independent_sets() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = gen::gnp(50, 0.3, &mut rng);
+        let c = greedy_degeneracy(&g);
+        assert!(c.is_proper(&g));
+        for class in c.classes() {
+            assert_eq!(g.edges_within(&class), 0);
+        }
+        // Degeneracy bound on the number of colours.
+        let d = crate::degeneracy::peel(&g).degeneracy;
+        assert!(c.num_colors <= d + 1);
+    }
+
+    #[test]
+    fn multipartite_colors_equal_parts() {
+        let g = gen::complete_multipartite(&[3, 3, 3]);
+        let c = greedy_degeneracy(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors, 3, "complete 3-partite needs exactly 3 colours");
+    }
+}

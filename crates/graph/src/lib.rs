@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # kdc-graph
+//!
+//! Graph substrate for the kDC suite (reproduction of *Efficient Maximum
+//! k-Defective Clique Computation with Improved Time Complexity*, Chang,
+//! SIGMOD 2023).
+//!
+//! This crate provides everything the solver sits on:
+//!
+//! * [`graph::Graph`] — immutable CSR graphs with `u32` ids;
+//! * [`bitset`] — `u64`-word bitsets and bit-matrices for the dense search
+//!   path;
+//! * [`degeneracy`] — degeneracy orderings, core numbers and k-cores
+//!   (Definitions 2.3–2.4), used by reduction rule RR5 and the Degen
+//!   heuristics;
+//! * [`truss`] — k-truss peeling (Definition 2.5), used by reduction rule
+//!   RR6;
+//! * [`coloring`] — greedy colouring in reverse degeneracy order, used by
+//!   upper bound UB1 and the Eq. (2) baseline bound;
+//! * [`gen`] — deterministic synthetic workload generators standing in for
+//!   the paper's three benchmark collections;
+//! * [`io`] — edge-list and DIMACS readers/writers;
+//! * [`named`] — the exact example graphs of the paper's figures;
+//! * [`scratch`] — epoch-stamped scratch markers for O(1)-reset hot loops.
+
+pub mod bitset;
+pub mod coloring;
+pub mod degeneracy;
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod named;
+pub mod scratch;
+pub mod stats;
+pub mod truss;
+
+pub use bitset::{BitMatrix, BitSet};
+pub use graph::{Graph, VertexId};

@@ -1,0 +1,197 @@
+//! Exact graphs from the paper's figures, used as ground truth by tests,
+//! examples and the experiment harness.
+//!
+//! Vertex `v_i` of the paper maps to id `i − 1` here.
+
+use crate::graph::{Graph, VertexId};
+
+/// The running example of **Figure 2** (12 vertices, 26 edges).
+///
+/// Documented facts (Sections 2 and 2.1):
+/// * `{v8..v12}` is a maximum clique (K5) and also a maximum 1-defective
+///   clique;
+/// * `{v1,v2,v3,v4,v6}` and `{v1,v2,v3,v5,v6}` are maximum 1-defective
+///   cliques missing `(v2,v4)` and `(v1,v5)` respectively;
+/// * `{v1..v6}` is a maximum 2-defective clique missing `(v2,v4)`, `(v1,v5)`;
+/// * the degeneracy ordering is `(v7,v1,v2,v3,v4,v5,v6,v8,…,v12)`;
+/// * the whole graph is a 3-core and a 3-truss; removing `v7` leaves a
+///   4-core; removing `v7`'s edges leaves a 4-truss; `{v8..v12}` induces a
+///   5-truss; `δ(G) = 4`.
+pub fn figure2() -> Graph {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    // v1..v6 complete except (v2,v4) and (v1,v5).
+    for a in 0..6u32 {
+        for b in (a + 1)..6u32 {
+            if (a, b) == (1, 3) || (a, b) == (0, 4) {
+                continue;
+            }
+            edges.push((a, b));
+        }
+    }
+    // v7 ~ {v1, v5, v6}.
+    edges.extend_from_slice(&[(6, 0), (6, 4), (6, 5)]);
+    // K5 on v8..v12.
+    for a in 7..12u32 {
+        for b in (a + 1)..12u32 {
+            edges.push((a, b));
+        }
+    }
+    Graph::from_edges(12, &edges)
+}
+
+/// The branching/reduction example of **Figure 4** (9 vertices).
+///
+/// Structure (reconstructed from Example 3.2 and §3.1.2):
+/// * `v1` is adjacent to every other vertex;
+/// * `g1 = {v2..v5}` induces a 4-cycle `v2–v3–v4–v5–v2` (missing `(v2,v4)`
+///   and `(v3,v5)`);
+/// * `g2 = {v6..v9}` induces two disjoint edges `(v6,v7)` and `(v8,v9)`;
+/// * every vertex of `g1` is adjacent to every vertex of `g2` (the thick
+///   edge of the figure).
+///
+/// With `k = 3`, RR2 greedily moves `v1..v5` into `S`; after branching on
+/// `v6` and then `v8`, `S` misses three edges and RR1 removes `v7`, `v9`.
+pub fn figure4() -> Graph {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for v in 1..9u32 {
+        edges.push((0, v)); // v1 universal
+    }
+    edges.extend_from_slice(&[(1, 2), (2, 3), (3, 4), (4, 1)]); // g1 = C4
+    edges.extend_from_slice(&[(5, 6), (7, 8)]); // g2 = 2×K2
+    for a in 1..5u32 {
+        for b in 5..9u32 {
+            edges.push((a, b)); // complete g1–g2 join
+        }
+    }
+    Graph::from_edges(9, &edges)
+}
+
+/// The upper-bound example of **Figure 5** (11 vertices, 27 edges) together
+/// with the partial solution `S` (returned as vertex ids).
+///
+/// `S` consists of two isolated vertices (not even adjacent to each other),
+/// and `V(g) \ S` is a complete 3-partite graph with parts `π1, π2, π3` of
+/// three vertices each. With `k = 3`, the bound of Eq. (2) (MADEC) is 11
+/// while UB1 yields 3 — and 3 is exactly the optimum of the instance
+/// (Examples 3.6 and 3.7).
+pub fn figure5() -> (Graph, Vec<VertexId>) {
+    // ids: 0, 1 = S; parts π1 = {2,3,4}, π2 = {5,6,7}, π3 = {8,9,10}.
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let parts: [&[VertexId]; 3] = [&[2, 3, 4], &[5, 6, 7], &[8, 9, 10]];
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            for &a in parts[i] {
+                for &b in parts[j] {
+                    edges.push((a, b));
+                }
+            }
+        }
+    }
+    let g = Graph::from_edges(11, &edges);
+    debug_assert_eq!(g.m(), 27);
+    (g, vec![0, 1])
+}
+
+/// A **Figure 6-like** initial-solution example (7 vertices) with the
+/// properties exercised by Example 3.8:
+///
+/// * the degeneracy ordering starts at `v1`, whose higher-ranked neighbours
+///   are `N⁺(v1) = {v2, v3, v4}`;
+/// * for `k = 1`, `Degen` (longest k-defective suffix of the degeneracy
+///   ordering) finds a solution of size 3;
+/// * `Degen-opt` finds `{v1, v2, v3, v4}` of size 4 (which is optimal), via
+///   the ego-subgraph of `v1`.
+///
+/// The original figure is not fully specified in the text, so this graph is a
+/// faithful reconstruction of the *behaviour*, not of the exact drawing.
+pub fn figure6_like() -> Graph {
+    Graph::from_edges(
+        7,
+        &[
+            // near-clique {v1..v4}: complete minus (v3,v4)
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            // triangle {v5,v6,v7}
+            (4, 5),
+            (4, 6),
+            (5, 6),
+            // pendant structure tying the parts together
+            (1, 4),
+            (2, 5),
+            (3, 6),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degeneracy;
+
+    #[test]
+    fn figure2_shape() {
+        let g = figure2();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 26);
+        // max 2-defective clique {v1..v6} misses exactly the two stated edges
+        assert_eq!(g.missing_edges_within(&[0, 1, 2, 3, 4, 5]), 2);
+        assert!(!g.has_edge(1, 3) && !g.has_edge(0, 4));
+        // K5 is complete
+        assert_eq!(g.missing_edges_within(&[7, 8, 9, 10, 11]), 0);
+        // 1-defective witnesses from the paper
+        assert_eq!(g.missing_edges_within(&[0, 1, 2, 3, 5]), 1);
+        assert_eq!(g.missing_edges_within(&[0, 1, 2, 4, 5]), 1);
+    }
+
+    #[test]
+    fn figure2_degeneracy_ordering_matches_paper() {
+        let g = figure2();
+        let p = degeneracy::peel(&g);
+        let expected: Vec<u32> = vec![6, 0, 1, 2, 3, 4, 5, 7, 8, 9, 10, 11];
+        assert_eq!(p.order, expected, "(v7,v1,v2,v3,v4,v5,v6,v8..v12)");
+        assert_eq!(p.degeneracy, 4);
+    }
+
+    #[test]
+    fn figure4_shape() {
+        let g = figure4();
+        assert_eq!(g.n(), 9);
+        // v1 universal
+        assert_eq!(g.degree(0), 8);
+        // g1 vertices: v1 + 2 cycle nbrs + 4 of g2 = 7 = n − 2
+        for v in 1..5 {
+            assert_eq!(g.degree(v), 7);
+        }
+        // g2 vertices: v1 + 1 partner + 4 of g1 = 6 = n − 3
+        for v in 5..9 {
+            assert_eq!(g.degree(v), 6);
+        }
+    }
+
+    #[test]
+    fn figure5_shape() {
+        let (g, s) = figure5();
+        assert_eq!(g.n(), 11);
+        assert_eq!(g.m(), 27);
+        assert_eq!(g.degree(s[0]), 0);
+        assert_eq!(g.degree(s[1]), 0);
+        // every non-S vertex has 6 neighbours (two opposite parts)
+        for v in 2..11 {
+            assert_eq!(g.degree(v), 6);
+        }
+    }
+
+    #[test]
+    fn figure6_like_shape() {
+        let g = figure6_like();
+        let p = degeneracy::peel(&g);
+        assert_eq!(p.order[0], 0, "v1 peels first");
+        // N⁺(v1) = all of N(v1) since v1 is first
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        // {v1..v4} misses exactly one edge → 1-defective of size 4
+        assert_eq!(g.missing_edges_within(&[0, 1, 2, 3]), 1);
+    }
+}

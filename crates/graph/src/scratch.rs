@@ -1,0 +1,159 @@
+//! Epoch-stamped scratch markers.
+//!
+//! Branch-and-bound inner loops repeatedly need a transient "is `v` marked?"
+//! predicate over the vertex universe. Clearing a boolean array each time
+//! would cost O(n); an epoch counter makes reset O(1).
+
+/// A reusable marker over `[0, n)` with O(1) reset.
+#[derive(Clone, Debug)]
+pub struct Marker {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Marker {
+    /// Creates a marker for values in `[0, n)`; all values start unmarked.
+    pub fn new(n: usize) -> Self {
+        Marker {
+            stamp: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// Unmarks every value in O(1) (amortised; a full clear happens only on
+    /// epoch wrap-around, once every `u32::MAX` resets).
+    pub fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `v`.
+    #[inline]
+    pub fn mark(&mut self, v: usize) {
+        self.stamp[v] = self.epoch;
+    }
+
+    /// Unmarks `v` individually.
+    #[inline]
+    pub fn unmark(&mut self, v: usize) {
+        self.stamp[v] = self.epoch.wrapping_sub(1);
+    }
+
+    /// Tests whether `v` is marked in the current epoch.
+    #[inline]
+    pub fn is_marked(&self, v: usize) -> bool {
+        self.stamp[v] == self.epoch
+    }
+
+    /// Capacity of the marker.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Whether the marker has zero capacity.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+}
+
+/// A reusable `usize`-valued scratch map over `[0, n)` with O(1) reset;
+/// reading an unset slot returns the provided default.
+#[derive(Clone, Debug)]
+pub struct ScratchMap {
+    value: Vec<usize>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl ScratchMap {
+    /// Creates a map for keys in `[0, n)`.
+    pub fn new(n: usize) -> Self {
+        ScratchMap {
+            value: vec![0; n],
+            stamp: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// Clears the map in O(1) (amortised).
+    pub fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Sets `k → v`.
+    #[inline]
+    pub fn set(&mut self, k: usize, v: usize) {
+        self.value[k] = v;
+        self.stamp[k] = self.epoch;
+    }
+
+    /// Gets the value for `k`, or `default` if unset this epoch.
+    #[inline]
+    pub fn get_or(&self, k: usize, default: usize) -> usize {
+        if self.stamp[k] == self.epoch {
+            self.value[k]
+        } else {
+            default
+        }
+    }
+
+    /// Adds `delta` to `k`'s value (starting from 0 if unset); returns the
+    /// new value.
+    #[inline]
+    pub fn add(&mut self, k: usize, delta: usize) -> usize {
+        let cur = self.get_or(k, 0);
+        self.set(k, cur + delta);
+        cur + delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_basic() {
+        let mut m = Marker::new(10);
+        assert!(!m.is_marked(3));
+        m.mark(3);
+        m.mark(9);
+        assert!(m.is_marked(3) && m.is_marked(9));
+        m.unmark(3);
+        assert!(!m.is_marked(3) && m.is_marked(9));
+        m.reset();
+        assert!(!m.is_marked(9));
+    }
+
+    #[test]
+    fn marker_many_resets_stay_consistent() {
+        let mut m = Marker::new(4);
+        for round in 0..1000 {
+            m.mark(round % 4);
+            assert!(m.is_marked(round % 4));
+            m.reset();
+            assert!(!m.is_marked(round % 4));
+        }
+    }
+
+    #[test]
+    fn scratch_map_basic() {
+        let mut s = ScratchMap::new(5);
+        assert_eq!(s.get_or(2, 7), 7);
+        s.set(2, 42);
+        assert_eq!(s.get_or(2, 7), 42);
+        assert_eq!(s.add(2, 3), 45);
+        assert_eq!(s.add(4, 1), 1);
+        s.reset();
+        assert_eq!(s.get_or(2, 0), 0);
+        assert_eq!(s.get_or(4, 0), 0);
+    }
+}

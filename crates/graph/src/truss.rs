@@ -1,0 +1,239 @@
+//! k-truss decomposition (Definition 2.5).
+//!
+//! The k-truss is the maximal *edge-induced* subgraph in which every edge
+//! participates in at least `k − 2` triangles. It is computed by iterative
+//! edge peeling over triangle supports, in O(δ(G)·m) time, and underlies the
+//! paper's reduction rule RR6 (the (lb−k+1)-truss of the input graph).
+
+use crate::graph::{Graph, VertexId};
+use crate::scratch::ScratchMap;
+
+/// An indexed edge list: every undirected edge `(u, v)` with `u < v` gets a
+/// dense id, and adjacency is augmented with edge ids.
+#[derive(Clone, Debug)]
+pub struct EdgeIndex {
+    /// `edges[e] = (u, v)` with `u < v`.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Per-vertex list of `(neighbor, edge_id)`, sorted by neighbour.
+    pub inc: Vec<Vec<(VertexId, u32)>>,
+}
+
+impl EdgeIndex {
+    /// Builds the index from a graph.
+    pub fn new(g: &Graph) -> Self {
+        let mut edges = Vec::with_capacity(g.m());
+        let mut inc: Vec<Vec<(VertexId, u32)>> = vec![Vec::new(); g.n()];
+        for (u, v) in g.edges() {
+            let id = edges.len() as u32;
+            edges.push((u, v));
+            inc[u as usize].push((v, id));
+            inc[v as usize].push((u, id));
+        }
+        // `Graph::edges` emits per-u sorted targets, so `inc[u]` entries with
+        // v > u are sorted; entries with v < u were appended in increasing u
+        // order as well. A final sort keeps the invariant simple.
+        for list in &mut inc {
+            list.sort_unstable_by_key(|&(v, _)| v);
+        }
+        EdgeIndex { edges, inc }
+    }
+}
+
+/// Triangle support of every edge: `support[e]` = number of triangles through
+/// edge `e`.
+pub fn edge_supports(g: &Graph) -> (EdgeIndex, Vec<u32>) {
+    let idx = EdgeIndex::new(g);
+    let mut support = vec![0u32; idx.edges.len()];
+    let mut mark = ScratchMap::new(g.n());
+    for &(u, v) in &idx.edges {
+        // Count common neighbours of u and v by marking N(u).
+        let (u, v) = if g.degree(u) <= g.degree(v) { (v, u) } else { (u, v) };
+        mark.reset();
+        for &w in g.neighbors(u) {
+            mark.set(w as usize, 1);
+        }
+        let e = edge_id(&idx, u, v).expect("edge present");
+        let mut cnt = 0u32;
+        for &w in g.neighbors(v) {
+            if mark.get_or(w as usize, 0) == 1 {
+                cnt += 1;
+            }
+        }
+        support[e as usize] = cnt;
+    }
+    (idx, support)
+}
+
+/// Looks up the edge id of `(u, v)` in the index, if the edge exists.
+pub fn edge_id(idx: &EdgeIndex, u: VertexId, v: VertexId) -> Option<u32> {
+    let list = &idx.inc[u as usize];
+    list.binary_search_by_key(&v, |&(w, _)| w)
+        .ok()
+        .map(|i| list[i].1)
+}
+
+/// Computes the `k`-truss of `g`: the maximal subgraph in which every edge is
+/// contained in at least `k − 2` triangles. Vertices are preserved; only
+/// edges are dropped. For `k ≤ 2` this is `g` itself.
+pub fn k_truss(g: &Graph, k: usize) -> Graph {
+    let threshold = k.saturating_sub(2) as u32;
+    truss_filter(g, threshold)
+}
+
+/// Removes (iteratively) every edge whose number of common neighbours is
+/// `< threshold`; the result is the `(threshold + 2)`-truss. This is the
+/// primitive behind reduction rule RR6, where `threshold = lb − k − 1`.
+pub fn truss_filter(g: &Graph, threshold: u32) -> Graph {
+    if threshold == 0 {
+        return g.clone();
+    }
+    let (idx, mut support) = edge_supports(g);
+    let ne = idx.edges.len();
+    let mut alive = vec![true; ne];
+    let mut queue: Vec<u32> = (0..ne as u32)
+        .filter(|&e| support[e as usize] < threshold)
+        .collect();
+    let mut mark = ScratchMap::new(g.n());
+
+    while let Some(e) = queue.pop() {
+        if !alive[e as usize] {
+            continue;
+        }
+        alive[e as usize] = false;
+        let (u, v) = idx.edges[e as usize];
+        // For each live common neighbour w, the edges (u,w) and (v,w) each
+        // lose one triangle.
+        mark.reset();
+        for &(w, eu) in &idx.inc[u as usize] {
+            if alive[eu as usize] {
+                mark.set(w as usize, eu as usize + 1);
+            }
+        }
+        for &(w, ev) in &idx.inc[v as usize] {
+            if !alive[ev as usize] {
+                continue;
+            }
+            let stored = mark.get_or(w as usize, 0);
+            if stored == 0 {
+                continue;
+            }
+            let eu = (stored - 1) as u32;
+            for edge in [eu, ev] {
+                let s = &mut support[edge as usize];
+                *s = s.saturating_sub(1);
+                if *s < threshold && alive[edge as usize] {
+                    queue.push(edge);
+                }
+            }
+        }
+    }
+
+    g.edge_subgraph(|u, v| {
+        edge_id(&idx, u, v).map(|e| alive[e as usize]).unwrap_or(false)
+    })
+}
+
+/// The trussness of each edge: the largest `k` such that the edge survives in
+/// the `k`-truss. Returned alongside the edge index. Edges in no triangle
+/// have trussness 2.
+pub fn trussness(g: &Graph) -> (EdgeIndex, Vec<u32>) {
+    // Simple repeated-peeling implementation (O(δ·m) per level); adequate for
+    // test-scale graphs and for the named examples.
+    let (idx, base_support) = edge_supports(g);
+    let max_k = base_support.iter().copied().max().unwrap_or(0) + 2;
+    let ne = idx.edges.len();
+    let mut truss = vec![2u32; ne];
+    for k in 3..=max_k {
+        let sub = k_truss(g, k as usize);
+        if sub.m() == 0 {
+            break;
+        }
+        for (e, &(u, v)) in idx.edges.iter().enumerate() {
+            if sub.has_edge(u, v) {
+                truss[e] = k;
+            }
+        }
+    }
+    (idx, truss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn supports_on_k4() {
+        let k4 = gen::complete(4);
+        let (_, s) = edge_supports(&k4);
+        assert_eq!(s, vec![2; 6], "every K4 edge lies in 2 triangles");
+    }
+
+    #[test]
+    fn truss_of_clique() {
+        let k5 = gen::complete(5);
+        // Every edge of K5 is in 3 triangles → K5 is a 5-truss but not a 6-truss.
+        assert_eq!(k_truss(&k5, 5).m(), 10);
+        assert_eq!(k_truss(&k5, 6).m(), 0);
+    }
+
+    #[test]
+    fn truss_below_three_is_identity() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(k_truss(&g, 2), g);
+        assert_eq!(k_truss(&g, 0), g);
+        // A triangle-free graph has an empty 3-truss.
+        assert_eq!(k_truss(&g, 3).m(), 0);
+    }
+
+    #[test]
+    fn figure2_truss_facts() {
+        // §2.1: the whole Figure 2 graph is a 3-truss; removing v7's three
+        // edges yields a 4-truss; {v8..v12} induces a 5-truss.
+        let g = crate::named::figure2();
+        let t3 = k_truss(&g, 3);
+        assert_eq!(t3.m(), g.m(), "entire graph is a 3-truss");
+
+        let t4 = k_truss(&g, 4);
+        assert_eq!(t4.m(), g.m() - 3, "4-truss drops exactly v7's 3 edges");
+        assert_eq!(t4.degree(6), 0, "v7 (id 6) is isolated in the 4-truss");
+
+        let t5 = k_truss(&g, 5);
+        let expected: Vec<(VertexId, VertexId)> = (7..12)
+            .flat_map(|a| ((a + 1)..12).map(move |b| (a as VertexId, b as VertexId)))
+            .collect();
+        let got: Vec<_> = t5.edges().collect();
+        assert_eq!(got, expected, "5-truss is exactly the K5 on v8..v12");
+    }
+
+    #[test]
+    fn trussness_levels_nested() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = gen::gnp(40, 0.3, &mut rng);
+        let (idx, t) = trussness(&g);
+        // An edge with trussness τ must appear in the τ-truss and not in the
+        // (τ+1)-truss.
+        for (e, &(u, v)) in idx.edges.iter().enumerate() {
+            let tau = t[e] as usize;
+            assert!(k_truss(&g, tau).has_edge(u, v));
+            assert!(!k_truss(&g, tau + 1).has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn truss_is_subgraph_of_core() {
+        // §2.1: the k-truss is a subgraph of the (k−1)-core.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = gen::gnp(50, 0.25, &mut rng);
+        for k in 3..7 {
+            let t = k_truss(&g, k);
+            let core_vs: std::collections::HashSet<_> =
+                crate::degeneracy::k_core_vertices(&g, k - 1).into_iter().collect();
+            for (u, v) in t.edges() {
+                assert!(core_vs.contains(&u) && core_vs.contains(&v), "k={k}");
+            }
+        }
+    }
+}

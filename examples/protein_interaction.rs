@@ -1,0 +1,63 @@
+//! Link prediction in protein-interaction-like networks — the application
+//! that motivated k-defective cliques (Yu et al., Bioinformatics 2006 [49]).
+//!
+//! Protein complexes appear as near-cliques whose few missing edges are
+//! likely *unobserved* interactions. We simulate a noisy interactome with a
+//! planted complex, recover the maximum k-defective clique, and report its
+//! missing pairs as predicted interactions.
+//!
+//! Run with: `cargo run --release --example protein_interaction`
+
+use kdc_suite::graph::gen;
+use kdc_suite::kdc::{Solver, SolverConfig};
+
+fn main() {
+    let mut rng = gen::seeded_rng(2006);
+    // A 600-protein network: a 24-protein complex with 5 unobserved
+    // interactions, embedded in sparse background noise.
+    let (g, planted) = gen::planted_defective_clique(600, 24, 5, 0.01, &mut rng);
+    println!(
+        "interactome: {} proteins, {} observed interactions",
+        g.n(),
+        g.m()
+    );
+    println!("planted complex: {} proteins, 5 unobserved interactions\n", planted.len());
+
+    let k = 5;
+    let sol = Solver::new(&g, k, SolverConfig::kdc()).solve();
+    assert!(sol.is_optimal());
+    println!(
+        "maximum {k}-defective clique: {} proteins found in {:.2?} \
+         ({} search nodes)",
+        sol.size(),
+        sol.stats.total_time(),
+        sol.stats.nodes
+    );
+
+    // Recovery quality against the planted ground truth.
+    let planted_set: std::collections::HashSet<_> = planted.iter().copied().collect();
+    let recovered = sol
+        .vertices
+        .iter()
+        .filter(|v| planted_set.contains(v))
+        .count();
+    println!(
+        "recovered {recovered}/{} proteins of the planted complex",
+        planted.len()
+    );
+
+    // The missing pairs inside the solution are the predicted interactions.
+    let mut predictions = Vec::new();
+    for (i, &u) in sol.vertices.iter().enumerate() {
+        for &v in &sol.vertices[i + 1..] {
+            if !g.has_edge(u, v) {
+                predictions.push((u, v));
+            }
+        }
+    }
+    println!("\npredicted (unobserved) interactions:");
+    for (u, v) in &predictions {
+        println!("  protein {u} — protein {v}");
+    }
+    assert!(predictions.len() <= k);
+}

@@ -1,0 +1,29 @@
+//! # kdc-suite
+//!
+//! Facade crate for the kDC reproduction workspace. Re-exports the member
+//! crates so that examples and integration tests can use a single dependency:
+//!
+//! * [`graph`] — graph substrate (CSR graphs, bitsets, cores, trusses,
+//!   colouring, generators, I/O, the paper's named example graphs);
+//! * [`kdc`] — the paper's contribution: the exact maximum k-defective clique
+//!   solver with all branching/reduction/bounding rules and the §6 top-r
+//!   extensions;
+//! * [`baselines`] — KDBB-like and MADEC-like baselines, a maximum-clique
+//!   solver, and an independent brute-force reference solver.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kdc_suite::graph::Graph;
+//! use kdc_suite::kdc::{Solver, SolverConfig};
+//!
+//! // A 5-cycle: the maximum clique has 2 vertices, but allowing one missing
+//! // edge (k = 1) admits 3 vertices (two adjacent edges of the cycle).
+//! let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+//! let sol = Solver::new(&g, 1, SolverConfig::kdc()).solve();
+//! assert_eq!(sol.size(), 3);
+//! ```
+
+pub use kdc;
+pub use kdc_baselines as baselines;
+pub use kdc_graph as graph;

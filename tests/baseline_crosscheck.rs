@@ -1,0 +1,89 @@
+//! Cross-checks between *independent* solver implementations on medium
+//! instances (too large for brute force, small enough for RDS): the kDC
+//! engine, Russian Doll Search, the max-clique solver and the §6 extensions
+//! must tell one consistent story.
+
+use kdc_suite::baselines::{max_clique_size, max_defective_size_rds};
+use kdc_suite::graph::{gen, named};
+use kdc_suite::kdc::{decompose, topr, Solver, SolverConfig};
+
+#[test]
+fn rds_and_kdc_agree_on_medium_graphs() {
+    let mut rng = gen::seeded_rng(0x5D5);
+    for trial in 0..6 {
+        let g = gen::gnp(35, 0.3, &mut rng);
+        for k in [0usize, 1, 3] {
+            let a = Solver::new(&g, k, SolverConfig::kdc()).solve();
+            let b = max_defective_size_rds(&g, k);
+            assert_eq!(a.size(), b, "trial {trial} k {k}");
+        }
+    }
+}
+
+#[test]
+fn rds_and_kdc_agree_on_structured_graphs() {
+    let graphs = [
+        named::figure2(),
+        named::figure4(),
+        gen::grid(5, 6, true),
+        gen::complete_multipartite(&[4, 4, 4]),
+        gen::watts_strogatz(40, 6, 0.2, &mut gen::seeded_rng(9)),
+    ];
+    for (i, g) in graphs.iter().enumerate() {
+        for k in [0usize, 2, 4] {
+            let a = Solver::new(g, k, SolverConfig::kdc()).solve();
+            let b = max_defective_size_rds(g, k);
+            assert_eq!(a.size(), b, "graph {i} k {k}");
+        }
+    }
+}
+
+#[test]
+fn four_way_consistency_on_community_graph() {
+    let g = gen::community(
+        &gen::CommunityParams {
+            communities: 3,
+            community_size: 18,
+            p_in: 0.65,
+            p_out: 0.03,
+        },
+        &mut gen::seeded_rng(0xABC),
+    );
+    for k in [0usize, 2, 4] {
+        let solver = Solver::new(&g, k, SolverConfig::kdc()).solve();
+        let rds = max_defective_size_rds(&g, k);
+        let decomposed = decompose::solve_decomposed(&g, k, SolverConfig::kdc(), 2);
+        let top1 = topr::top_r_maximal(&g, k, 1, SolverConfig::kdc());
+        assert_eq!(solver.size(), rds, "k = {k}");
+        assert_eq!(solver.size(), decomposed.size(), "k = {k}");
+        assert_eq!(solver.size(), top1[0].len(), "k = {k}");
+        if k == 0 {
+            assert_eq!(solver.size(), max_clique_size(&g));
+        }
+    }
+}
+
+#[test]
+fn rmat_graph_consistency() {
+    let g = gen::rmat(8, 6, &mut gen::seeded_rng(0x777));
+    for k in [0usize, 2] {
+        let a = Solver::new(&g, k, SolverConfig::kdc()).solve();
+        let b = Solver::new(&g, k, SolverConfig::kdbb_like()).solve();
+        let c = max_defective_size_rds(&g, k);
+        assert_eq!(a.size(), b.size());
+        assert_eq!(a.size(), c);
+    }
+}
+
+#[test]
+fn counting_confirms_solver_on_structured_graphs() {
+    use kdc_suite::kdc::counting::count_k_defective_cliques;
+    for g in [named::figure2(), gen::complete_multipartite(&[3, 3, 3])] {
+        for k in [0usize, 1, 2] {
+            let counts = count_k_defective_cliques(&g, k, 1);
+            let opt = Solver::new(&g, k, SolverConfig::kdc()).solve();
+            assert_eq!(counts.max_size(), opt.size(), "k = {k}");
+            assert!(counts.counts[opt.size()] >= 1);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-validation of the optimised solvers against the independent
+//! brute-force oracle on randomized small instances.
+
+use kdc_suite::baselines::{max_clique_size, max_defective_size_naive};
+use kdc_suite::graph::{gen, Graph};
+use kdc_suite::kdc::{max_defective_clique, Solver, SolverConfig};
+
+#[test]
+fn kdc_matches_naive_on_gnp_sweep() {
+    let mut rng = gen::seeded_rng(0xA11CE);
+    for trial in 0..30 {
+        let n = 10 + (trial % 8);
+        let p = 0.15 + 0.1 * (trial % 7) as f64;
+        let g = gen::gnp(n, p, &mut rng);
+        for k in [0usize, 1, 2, 4, 7] {
+            let expected = max_defective_size_naive(&g, k);
+            let sol = max_defective_clique(&g, k);
+            assert_eq!(
+                sol.size(),
+                expected,
+                "trial {trial}: n={n} p={p:.2} k={k}"
+            );
+            assert!(g.is_k_defective_clique(&sol.vertices, k));
+            assert!(sol.is_optimal());
+        }
+    }
+}
+
+#[test]
+fn kdc_matches_naive_on_structured_graphs() {
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("figure2", kdc_suite::graph::named::figure2()),
+        ("figure4", kdc_suite::graph::named::figure4()),
+        ("figure6", kdc_suite::graph::named::figure6_like()),
+        ("k33", gen::complete_multipartite(&[3, 3])),
+        ("k333", gen::complete_multipartite(&[3, 3, 3])),
+        ("grid44", gen::grid(4, 4, true)),
+        ("path", Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)])),
+    ];
+    for (name, g) in &graphs {
+        for k in 0..=6 {
+            let expected = max_defective_size_naive(g, k);
+            let got = max_defective_clique(g, k).size();
+            assert_eq!(got, expected, "{name} k={k}");
+        }
+    }
+}
+
+#[test]
+fn k_zero_equals_max_clique_everywhere() {
+    let mut rng = gen::seeded_rng(0xBEEF);
+    for _ in 0..15 {
+        let g = gen::gnp(20, 0.45, &mut rng);
+        let clique = max_clique_size(&g);
+        let defective0 = max_defective_clique(&g, 0).size();
+        assert_eq!(clique, defective0);
+    }
+}
+
+#[test]
+fn defective_size_dominates_clique_size() {
+    let mut rng = gen::seeded_rng(0xCAFE);
+    for _ in 0..10 {
+        let g = gen::chung_lu(120, 8.0, 2.5, &mut rng);
+        let w = max_clique_size(&g);
+        let mut prev = w;
+        for k in 1..=6 {
+            let s = max_defective_clique(&g, k).size();
+            assert!(s >= prev, "k={k}: {s} < {prev}");
+            prev = s;
+        }
+    }
+}
+
+#[test]
+fn heuristics_never_exceed_optimum() {
+    let mut rng = gen::seeded_rng(0xD0D0);
+    for _ in 0..15 {
+        let g = gen::gnp(14, 0.4, &mut rng);
+        for k in [1usize, 3] {
+            let opt = max_defective_size_naive(&g, k);
+            let h1 = kdc_suite::kdc::heuristic::degen(&g, k).len();
+            let h2 = kdc_suite::kdc::heuristic::degen_opt(&g, k).len();
+            assert!(h1 <= opt && h2 <= opt);
+            assert!(h2 >= h1);
+        }
+    }
+}
+
+#[test]
+fn theory_config_agrees_with_practical_config() {
+    // kDC-t explores without any lb-based pruning; both must agree.
+    let mut rng = gen::seeded_rng(0xF00D);
+    for _ in 0..10 {
+        let g = gen::gnp(16, 0.5, &mut rng);
+        for k in [0usize, 2, 5] {
+            let a = Solver::new(&g, k, SolverConfig::kdc()).solve();
+            let b = Solver::new(&g, k, SolverConfig::kdc_t()).solve();
+            assert_eq!(a.size(), b.size());
+        }
+    }
+}
