@@ -41,8 +41,7 @@ fn recurse(
     let v = next as VertexId;
 
     // Include v if feasible.
-    let new_missing =
-        missing + current.iter().filter(|&&u| !g.has_edge(u, v)).count();
+    let new_missing = missing + current.iter().filter(|&&u| !g.has_edge(u, v)).count();
     if new_missing <= k {
         current.push(v);
         recurse(g, k, next + 1, new_missing, current, best);

@@ -141,7 +141,11 @@ mod tests {
             let g = gen::gnp(15, 0.4, &mut rng);
             for k in [0usize, 1, 3, 6] {
                 let expected = crate::naive::max_defective_size_naive(&g, k);
-                assert_eq!(max_defective_size_rds(&g, k), expected, "trial {trial} k {k}");
+                assert_eq!(
+                    max_defective_size_rds(&g, k),
+                    expected,
+                    "trial {trial} k {k}"
+                );
             }
         }
     }

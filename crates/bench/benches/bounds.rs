@@ -11,7 +11,10 @@ fn bench_bound_costs(c: &mut Criterion) {
     let cases = vec![
         ("dense-90", gen::gnp(90, 0.3, &mut gen::seeded_rng(21))),
         ("dense-250", gen::gnp(250, 0.2, &mut gen::seeded_rng(22))),
-        ("sparse-2000", gen::chung_lu(2_000, 8.0, 2.5, &mut gen::seeded_rng(23))),
+        (
+            "sparse-2000",
+            gen::chung_lu(2_000, 8.0, 2.5, &mut gen::seeded_rng(23)),
+        ),
     ];
     let mut group = c.benchmark_group("bounds/all_bounds");
     for (name, g) in cases {

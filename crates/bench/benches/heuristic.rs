@@ -8,8 +8,14 @@ use std::hint::black_box;
 
 fn bench_heuristics(c: &mut Criterion) {
     let graphs = vec![
-        ("powerlaw-10k", gen::chung_lu(10_000, 8.0, 2.5, &mut gen::seeded_rng(11))),
-        ("ba-10k", gen::barabasi_albert(10_000, 5, &mut gen::seeded_rng(12))),
+        (
+            "powerlaw-10k",
+            gen::chung_lu(10_000, 8.0, 2.5, &mut gen::seeded_rng(11)),
+        ),
+        (
+            "ba-10k",
+            gen::barabasi_albert(10_000, 5, &mut gen::seeded_rng(12)),
+        ),
         (
             "community-2k",
             gen::community(

@@ -9,8 +9,14 @@ use std::hint::black_box;
 
 fn bench_preprocess(c: &mut Criterion) {
     let graphs = vec![
-        ("powerlaw-5k", gen::chung_lu(5_000, 10.0, 2.4, &mut gen::seeded_rng(7))),
-        ("geometric-5k", gen::random_geometric(5_000, 0.02, &mut gen::seeded_rng(8))),
+        (
+            "powerlaw-5k",
+            gen::chung_lu(5_000, 10.0, 2.4, &mut gen::seeded_rng(7)),
+        ),
+        (
+            "geometric-5k",
+            gen::random_geometric(5_000, 0.02, &mut gen::seeded_rng(8)),
+        ),
     ];
     for (name, g) in graphs {
         let mut group = c.benchmark_group(format!("preprocess/{name}"));

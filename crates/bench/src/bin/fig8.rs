@@ -21,5 +21,10 @@ fn main() {
         collection.instances.len(),
         limit.as_secs_f64()
     );
-    solved_vs_limit_report(&collection, &[1, 3, 5, 10, 15, 20], limit, default_threads());
+    solved_vs_limit_report(
+        &collection,
+        &[1, 3, 5, 10, 15, 20],
+        limit,
+        default_threads(),
+    );
 }

@@ -60,7 +60,12 @@ fn main() {
     let limit = args.get(4).and_then(|a| a.parse::<f64>().ok());
 
     let g = load(spec);
-    println!("graph: n = {}, m = {}, density = {:.4}", g.n(), g.m(), g.density());
+    println!(
+        "graph: n = {}, m = {}, density = {:.4}",
+        g.n(),
+        g.m(),
+        g.density()
+    );
 
     let mut cfg = preset(preset_name);
     cfg.time_limit = limit.map(Duration::from_secs_f64);
@@ -86,7 +91,11 @@ fn main() {
     );
     println!(
         "rr1 = {}, rr2 = {}, rr3 = {}, rr4 = {}, rr5 = {}, S-prunes = {}",
-        s.rr1_removals, s.rr2_additions, s.rr3_removals, s.rr4_removals, s.rr5_removals,
+        s.rr1_removals,
+        s.rr2_additions,
+        s.rr3_removals,
+        s.rr4_removals,
+        s.rr5_removals,
         s.s_vertex_prunes
     );
 }

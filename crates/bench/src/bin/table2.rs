@@ -35,7 +35,11 @@ fn main() {
         assert!(issues.is_empty(), "solvers disagree: {issues:?}");
 
         let mut rows = vec![{
-            let mut h = vec![format!("{} ({})", collection.name, collection.instances.len())];
+            let mut h = vec![format!(
+                "{} ({})",
+                collection.name,
+                collection.instances.len()
+            )];
             h.extend(algos.iter().map(|a| a.name.to_string()));
             h
         }];

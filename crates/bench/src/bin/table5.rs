@@ -33,7 +33,10 @@ fn main() {
             let sol = kdc::Solver::new(&inst.graph, 0, cfg).solve();
             sol.is_optimal().then(|| sol.size())
         });
-        let algos = [Algo { name: "kDC", config: SolverConfig::kdc }];
+        let algos = [Algo {
+            name: "kDC",
+            config: SolverConfig::kdc,
+        }];
         let results = run_matrix(&collection, &algos, &ks, limit, threads);
 
         let mut rows = vec![vec![

@@ -33,7 +33,10 @@ fn main() {
             let sol = kdc::Solver::new(&inst.graph, 0, cfg).solve();
             sol.is_optimal().then(|| sol.size())
         });
-        let algos = [Algo { name: "kDC", config: SolverConfig::kdc }];
+        let algos = [Algo {
+            name: "kDC",
+            config: SolverConfig::kdc,
+        }];
         let results = run_matrix(&collection, &algos, &ks, limit, threads);
 
         let mut rows = vec![vec![
@@ -61,7 +64,11 @@ fn main() {
                     extends += 1;
                 }
             }
-            rows.push(vec![format!("k = {k}"), extends.to_string(), solved.to_string()]);
+            rows.push(vec![
+                format!("k = {k}"),
+                extends.to_string(),
+                solved.to_string(),
+            ]);
         }
         println!("{}", table::render(&rows));
     }

@@ -26,7 +26,10 @@ fn main() {
     );
     for collection in all_collections(scale) {
         eprintln!("[table7] {} …", collection.name);
-        let algos = [Algo { name: "kDC", config: SolverConfig::kdc }];
+        let algos = [Algo {
+            name: "kDC",
+            config: SolverConfig::kdc,
+        }];
         let results = run_matrix(&collection, &algos, &ks, limit, threads);
 
         let mut rows = vec![vec![

@@ -63,8 +63,13 @@ fn main() {
     // The paper's worked example first.
     let (g5, s5) = named::figure5();
     let b5 = root_bounds(&g5, &s5, 3);
-    println!("Figure 5 example (k = 3): UB1 = {}, Eq.(2) = {}, UB3 = {}, optimum = {}\n",
-        b5.ub1, b5.eq2, b5.ub3, instance_optimum(&g5, &s5, 3));
+    println!(
+        "Figure 5 example (k = 3): UB1 = {}, Eq.(2) = {}, UB3 = {}, optimum = {}\n",
+        b5.ub1,
+        b5.eq2,
+        b5.ub3,
+        instance_optimum(&g5, &s5, 3)
+    );
     assert_eq!((b5.ub1, b5.eq2), (3, 11));
 
     println!("Mean bound/optimum over random instances (n = 16, lower = tighter):\n");
@@ -107,7 +112,10 @@ fn main() {
                     continue;
                 }
                 let b = root_bounds(&g, &s, k);
-                assert!(b.ub1 >= opt && b.eq2 >= opt && b.ub3 >= opt, "unsound bound");
+                assert!(
+                    b.ub1 >= opt && b.eq2 >= opt && b.ub3 >= opt,
+                    "unsound bound"
+                );
                 if let Some(u2) = b.ub2 {
                     assert!(u2 >= opt);
                     r2b += u2 as f64 / opt as f64;

@@ -281,8 +281,7 @@ mod tests {
     #[test]
     fn instance_names_are_unique() {
         for col in all_collections(Scale::Full) {
-            let mut names: Vec<&str> =
-                col.instances.iter().map(|i| i.name.as_str()).collect();
+            let mut names: Vec<&str> = col.instances.iter().map(|i| i.name.as_str()).collect();
             names.sort_unstable();
             names.dedup();
             assert_eq!(names.len(), col.instances.len(), "{}", col.name);

@@ -22,20 +22,44 @@ pub struct Algo {
 /// The standard algorithm line-up of Table 2.
 pub fn table2_algos() -> Vec<Algo> {
     vec![
-        Algo { name: "kDC", config: SolverConfig::kdc },
-        Algo { name: "KDBB", config: SolverConfig::kdbb_like },
-        Algo { name: "MADEC+p", config: SolverConfig::madec_like },
+        Algo {
+            name: "kDC",
+            config: SolverConfig::kdc,
+        },
+        Algo {
+            name: "KDBB",
+            config: SolverConfig::kdbb_like,
+        },
+        Algo {
+            name: "MADEC+p",
+            config: SolverConfig::madec_like,
+        },
     ]
 }
 
 /// The ablation line-up of Figures 7/8 and Table 3.
 pub fn ablation_algos() -> Vec<Algo> {
     vec![
-        Algo { name: "kDC", config: SolverConfig::kdc },
-        Algo { name: "kDC/RR3&4", config: SolverConfig::without_rr3_rr4 },
-        Algo { name: "kDC/UB1", config: SolverConfig::without_ub1 },
-        Algo { name: "kDC-Degen", config: SolverConfig::degen },
-        Algo { name: "KDBB", config: SolverConfig::kdbb_like },
+        Algo {
+            name: "kDC",
+            config: SolverConfig::kdc,
+        },
+        Algo {
+            name: "kDC/RR3&4",
+            config: SolverConfig::without_rr3_rr4,
+        },
+        Algo {
+            name: "kDC/UB1",
+            config: SolverConfig::without_ub1,
+        },
+        Algo {
+            name: "kDC-Degen",
+            config: SolverConfig::degen,
+        },
+        Algo {
+            name: "KDBB",
+            config: SolverConfig::kdbb_like,
+        },
     ]
 }
 
@@ -98,9 +122,9 @@ pub fn run_matrix(
     let results: Mutex<Vec<(usize, RunResult)>> = Mutex::new(Vec::with_capacity(tasks.len()));
     let threads = threads.max(1);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= tasks.len() {
                     break;
@@ -132,8 +156,7 @@ pub fn run_matrix(
                 results.lock().expect("poisoned").push((idx, result));
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     let mut out = results.into_inner().expect("poisoned");
     out.sort_by_key(|(idx, _)| *idx);
@@ -187,9 +210,9 @@ pub fn map_instances<T: Send>(
 ) -> Vec<T> {
     let next = AtomicUsize::new(0);
     let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(collection.instances.len()));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= collection.instances.len() {
                     break;
@@ -198,8 +221,7 @@ pub fn map_instances<T: Send>(
                 out.lock().expect("poisoned").push((i, r));
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let mut v = out.into_inner().expect("poisoned");
     v.sort_by_key(|(i, _)| *i);
     v.into_iter().map(|(_, r)| r).collect()

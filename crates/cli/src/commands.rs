@@ -43,12 +43,8 @@ pub fn solve(args: &[String]) -> Result<(), String> {
         Solver::new(&g, k, config).solve()
     };
     if let Some(out) = cert_out {
-        let cert = kdc::verify::Certificate::new(
-            &g,
-            k,
-            &sol.vertices,
-            sol.status == Status::Optimal,
-        );
+        let cert =
+            kdc::verify::Certificate::new(&g, k, &sol.vertices, sol.status == Status::Optimal);
         std::fs::write(&out, cert.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("certificate: {out}");
     }
@@ -97,8 +93,8 @@ pub fn verify(args: &[String]) -> Result<(), String> {
     let graph_path = p.positional(0, "graph-file")?;
     let cert_path = p.positional(1, "certificate-file")?;
     let g = load_graph(graph_path)?;
-    let text = std::fs::read_to_string(cert_path)
-        .map_err(|e| format!("cannot read {cert_path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(cert_path).map_err(|e| format!("cannot read {cert_path}: {e}"))?;
     let cert = kdc::verify::Certificate::from_text(&text)?;
     let missing = cert.check(&g)?;
     println!(
@@ -119,7 +115,10 @@ pub fn stats(args: &[String]) -> Result<(), String> {
     let s = graph_stats(&g);
     println!("n: {}", s.n);
     println!("m: {}", s.m);
-    println!("degree: min {} avg {:.2} max {}", s.min_degree, s.avg_degree, s.max_degree);
+    println!(
+        "degree: min {} avg {:.2} max {}",
+        s.min_degree, s.avg_degree, s.max_degree
+    );
     println!("degeneracy: {}", s.degeneracy);
     println!("triangles: {}", s.triangles);
     println!("global-clustering: {:.4}", s.global_clustering);
@@ -151,9 +150,7 @@ pub fn convert(args: &[String]) -> Result<(), String> {
 pub fn gamma(args: &[String]) -> Result<(), String> {
     let p = parse(args)?;
     let max_k: usize = match p.positional.first() {
-        Some(raw) => raw
-            .parse()
-            .map_err(|_| format!("invalid max_k {raw:?}"))?,
+        Some(raw) => raw.parse().map_err(|_| format!("invalid max_k {raw:?}"))?,
         None => 10,
     };
     println!("k   γ_k (kDC)   σ_k = γ_2k (MADEC+)");

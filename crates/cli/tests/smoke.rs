@@ -1,0 +1,140 @@
+//! Smoke tests for the `kdc` binary itself: run the real executable on a
+//! tiny graph and assert on exit codes and key output lines, so `cargo test`
+//! catches bin-target breakage (not just library regressions).
+//!
+//! `CARGO_BIN_EXE_kdc` is provided by cargo for integration tests of the
+//! package that defines the binary, and forces the binary to be built.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn kdc_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_kdc")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(kdc_bin())
+        .args(args)
+        .output()
+        .expect("failed to spawn kdc binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Writes the paper's Figure 2 graph to a temp file and returns its path.
+/// Written exactly once: tests run on parallel threads, and rewriting the
+/// file (`File::create` truncates) would race against another test's `kdc`
+/// subprocess mid-read.
+fn sample_graph() -> PathBuf {
+    static PATH: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+    PATH.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("kdc_cli_smoke_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("figure2.clq");
+        kdc_graph::io::write_dimacs(&kdc_graph::named::figure2(), &path).unwrap();
+        path
+    })
+    .clone()
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("kdc"), "usage text missing: {err}");
+}
+
+#[test]
+fn help_succeeds() {
+    assert!(run(&["help"]).status.success());
+    assert!(run(&["--help"]).status.success());
+}
+
+#[test]
+fn unknown_command_fails() {
+    assert!(!run(&["frobnicate"]).status.success());
+}
+
+#[test]
+fn solve_figure2() {
+    let path = sample_graph();
+    let out = run(&["solve", path.to_str().unwrap(), "--k", "2"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("status: optimal"), "output: {text}");
+    // Figure 2's maximum 2-defective clique is {v1..v6}.
+    assert!(text.contains("size: 6"), "output: {text}");
+}
+
+#[test]
+fn solve_missing_k_fails() {
+    let path = sample_graph();
+    assert!(!run(&["solve", path.to_str().unwrap()]).status.success());
+}
+
+#[test]
+fn solve_missing_file_fails() {
+    assert!(!run(&["solve", "/nonexistent/nope.clq", "--k", "1"])
+        .status
+        .success());
+}
+
+#[test]
+fn stats_reports_counts() {
+    let path = sample_graph();
+    let out = run(&["stats", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("n: 12"), "output: {text}");
+    assert!(text.contains("m: 26"), "output: {text}");
+}
+
+#[test]
+fn gamma_prints_table() {
+    let out = run(&["gamma", "4"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    // Header plus k = 0..=4 rows.
+    assert_eq!(text.lines().count(), 6, "output: {text}");
+    // γ_1 ≈ 1.839 (the tribonacci constant) appears in the k = 1 row.
+    assert!(text.contains("1.839"), "output: {text}");
+}
+
+#[test]
+fn convert_roundtrips_formats() {
+    let path = sample_graph();
+    let metis = path.with_extension("graph");
+    let out = run(&["convert", path.to_str().unwrap(), metis.to_str().unwrap()]);
+    assert!(out.status.success());
+    let back = kdc_graph::io::read_graph(&metis).unwrap();
+    assert_eq!(back, kdc_graph::named::figure2());
+}
+
+#[test]
+fn solve_writes_and_verifies_certificate() {
+    let path = sample_graph();
+    let cert = path.with_extension("cert");
+    let out = run(&[
+        "solve",
+        path.to_str().unwrap(),
+        "--k",
+        "2",
+        "--cert",
+        cert.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = run(&["verify", path.to_str().unwrap(), cert.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("VALID"));
+}

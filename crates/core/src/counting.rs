@@ -26,10 +26,7 @@ impl DefectiveCounts {
     /// The largest size with a non-zero count (the maximum k-defective
     /// clique size).
     pub fn max_size(&self) -> usize {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Total number of k-defective cliques of size ≥ `min_size`.
@@ -121,7 +118,11 @@ mod tests {
         let mut rng = gen::seeded_rng(72);
         let g = gen::gnp(12, 0.3, &mut rng);
         let c = count_k_defective_cliques(&g, 1, 0);
-        assert_eq!(c.counts[2] as usize, 12 * 11 / 2, "any pair misses ≤ 1 edge");
+        assert_eq!(
+            c.counts[2] as usize,
+            12 * 11 / 2,
+            "any pair misses ≤ 1 edge"
+        );
     }
 
     #[test]

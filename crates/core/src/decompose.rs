@@ -63,7 +63,9 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
         return crate::Solver::new(g, k, config).solve();
     }
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
     } else {
         threads
     };
@@ -125,9 +127,7 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                         // be below w's, so w's full neighbour list is needed,
                         // filtered to the ≻ v region).
                         for &x in g.neighbors(w) {
-                            if peeling.rank[x as usize] > v_rank
-                                && !member.is_marked(x as usize)
-                            {
+                            if peeling.rank[x as usize] > v_rank && !member.is_marked(x as usize) {
                                 member.mark(x as usize);
                                 universe.push(x);
                             }
@@ -140,11 +140,12 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                     }
 
                     let (sub, map) = g.induced_subgraph(&universe);
-                    let adj: Vec<Vec<u32>> =
-                        (0..sub.n() as u32).map(|x| sub.neighbors(x).to_vec()).collect();
+                    let adj: Vec<Vec<u32>> = (0..sub.n() as u32)
+                        .map(|x| sub.neighbors(x).to_vec())
+                        .collect();
                     let mut cfg = config.clone();
-                    cfg.time_limit = deadline
-                        .map(|d| d.saturating_duration_since(std::time::Instant::now()));
+                    cfg.time_limit =
+                        deadline.map(|d| d.saturating_duration_since(std::time::Instant::now()));
                     let mut engine = Engine::new(adj, k, cfg, lb);
                     engine.force_into_s(0); // v is universe[0] → local id 0
                     let finished = engine.run();

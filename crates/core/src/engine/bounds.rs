@@ -478,8 +478,7 @@ mod tests {
             let g = kdc_graph::gen::gnp(16, 0.5, &mut rng);
             for k in [1usize, 3] {
                 let reference = crate::Solver::new(&g, k, SolverConfig::kdc()).solve();
-                let with_ub4 =
-                    crate::Solver::new(&g, k, SolverConfig::kdc().with_ub4()).solve();
+                let with_ub4 = crate::Solver::new(&g, k, SolverConfig::kdc().with_ub4()).solve();
                 assert_eq!(reference.size(), with_ub4.size());
 
                 // Root-with-one-vertex probe: UB4 ≥ optimum of (g, {v}).
@@ -493,8 +492,7 @@ mod tests {
                     if mask & 1 == 0 {
                         continue;
                     }
-                    let set: Vec<u32> =
-                        (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+                    let set: Vec<u32> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
                     if g.is_k_defective_clique(&set, k) {
                         opt = opt.max(set.len());
                     }

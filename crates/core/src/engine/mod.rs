@@ -131,9 +131,10 @@ impl Engine {
     pub(crate) fn new(adj: Vec<Vec<u32>>, k: usize, config: SolverConfig, lb_floor: usize) -> Self {
         let n = adj.len();
         let m2: usize = adj.iter().map(Vec::len).sum();
-        debug_assert!(adj
-            .iter()
-            .all(|l| l.windows(2).all(|w| w[0] < w[1])), "adjacency must be sorted and deduped");
+        debug_assert!(
+            adj.iter().all(|l| l.windows(2).all(|w| w[0] < w[1])),
+            "adjacency must be sorted and deduped"
+        );
 
         let matrix = if n > 0 && n <= config.matrix_limit {
             let mut mx = BitMatrix::new(n, n);
@@ -461,9 +462,7 @@ impl Engine {
         if self.pool_r > 0 {
             if self.cand_end > self.lb() && self.alive_is_globally_maximal() {
                 let sol = self.vs[..self.cand_end].to_vec();
-                let idx = self
-                    .pool
-                    .partition_point(|c| c.len() >= sol.len());
+                let idx = self.pool.partition_point(|c| c.len() >= sol.len());
                 self.pool.insert(idx, sol);
                 self.pool.truncate(self.pool_r);
             }
@@ -598,8 +597,7 @@ impl Engine {
         }
         let alive: Vec<u32> = self.vs[..self.cand_end].to_vec();
         let alive_set: std::collections::HashSet<u32> = alive.iter().copied().collect();
-        let s_set: std::collections::HashSet<u32> =
-            self.vs[..self.s_end].iter().copied().collect();
+        let s_set: std::collections::HashSet<u32> = self.vs[..self.s_end].iter().copied().collect();
         let mut edges = 0usize;
         for &v in &alive {
             let d = self.adj[v as usize]
@@ -612,7 +610,10 @@ impl Engine {
                 .iter()
                 .filter(|&&u| u != v && !self.adj[v as usize].contains(&u))
                 .count();
-            assert_eq!(nn, self.non_nbr_s[v as usize] as usize, "non_nbr_s[{v}] stale");
+            assert_eq!(
+                nn, self.non_nbr_s[v as usize] as usize,
+                "non_nbr_s[{v}] stale"
+            );
         }
         assert_eq!(edges / 2, self.edges_alive, "edges_alive stale");
         let mut missing = 0usize;
@@ -636,8 +637,9 @@ impl Engine {
 fn rank_by_degeneracy(adj: &[Vec<u32>]) -> Vec<u32> {
     let n = adj.len();
     let mut deg: Vec<usize> = adj.iter().map(Vec::len).collect();
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, u32)>> =
-        (0..n as u32).map(|v| std::cmp::Reverse((deg[v as usize], v))).collect();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, u32)>> = (0..n as u32)
+        .map(|v| std::cmp::Reverse((deg[v as usize], v)))
+        .collect();
     let mut peeled = vec![false; n];
     let mut rank = vec![0u32; n];
     let mut next = 0u32;
@@ -719,8 +721,7 @@ mod tests {
         // crossing the two groups misses ≥ 6 edges, and {v1..v7} misses 5);
         // k = 5: {v1..v7}.
         for (k, expected) in [(0usize, 5usize), (1, 5), (2, 6), (3, 6), (4, 6), (5, 7)] {
-            let adj: Vec<Vec<u32>> =
-                (0..g.n() as u32).map(|v| g.neighbors(v).to_vec()).collect();
+            let adj: Vec<Vec<u32>> = (0..g.n() as u32).map(|v| g.neighbors(v).to_vec()).collect();
             let mut e = Engine::new(adj, k, SolverConfig::kdc_t(), 0);
             assert!(e.run());
             assert_eq!(e.best().len(), expected, "k = {k}");

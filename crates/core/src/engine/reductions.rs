@@ -152,8 +152,7 @@ impl Engine {
             .iter()
             .map(|&v| self.non_nbr_s[v as usize] as usize)
             .sum();
-        let threshold =
-            self.k as i64 - self.missing_in_s as i64 - prefix as i64;
+        let threshold = self.k as i64 - self.missing_in_s as i64 - prefix as i64;
         let mut removed = 0u64;
         // Values ascend, so the violating region is a suffix.
         for idx in t..num_cands {

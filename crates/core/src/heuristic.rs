@@ -110,8 +110,7 @@ pub fn degen_opt(g: &Graph, k: usize) -> Vec<VertexId> {
         let sub = Graph::from_adjacency(adj);
         let local_best = degen(&sub, k);
         if local_best.len() + 1 > best.len() {
-            let mut cand: Vec<VertexId> =
-                local_best.iter().map(|&l| ego[l as usize]).collect();
+            let mut cand: Vec<VertexId> = local_best.iter().map(|&l| ego[l as usize]).collect();
             cand.push(u);
             debug_assert!(g.is_k_defective_clique(&cand, k));
             best = cand;

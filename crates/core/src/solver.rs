@@ -277,7 +277,12 @@ mod tests {
         let mut rng = gen::seeded_rng(77);
         let (g, _) = gen::planted_defective_clique(400, 16, 2, 0.02, &mut rng);
         let sol = Solver::new(&g, 2, SolverConfig::kdc()).solve();
-        assert!(sol.stats.preprocessed_n < g.n() / 2, "preprocessing too weak: {} of {}", sol.stats.preprocessed_n, g.n());
+        assert!(
+            sol.stats.preprocessed_n < g.n() / 2,
+            "preprocessing too weak: {} of {}",
+            sol.stats.preprocessed_n,
+            g.n()
+        );
         assert!(sol.stats.initial_solution_size >= 10);
     }
 

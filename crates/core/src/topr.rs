@@ -81,8 +81,11 @@ pub fn top_r_diversified(
             break;
         }
         // Map back to original ids and peel the covered vertices.
-        let covered: Vec<VertexId> =
-            sol.vertices.iter().map(|&v| remaining[v as usize]).collect();
+        let covered: Vec<VertexId> = sol
+            .vertices
+            .iter()
+            .map(|&v| remaining[v as usize])
+            .collect();
         let keep: Vec<VertexId> = current
             .vertices()
             .filter(|v| !sol.vertices.contains(v))
@@ -162,11 +165,8 @@ mod tests {
                 let n = g.n();
                 let mut expected: Vec<Vec<u32>> = Vec::new();
                 for mask in 1u32..(1 << n) {
-                    let set: Vec<u32> =
-                        (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
-                    if g.is_k_defective_clique(&set, k)
-                        && is_maximal_k_defective(&g, &set, k)
-                    {
+                    let set: Vec<u32> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+                    if g.is_k_defective_clique(&set, k) && is_maximal_k_defective(&g, &set, k) {
                         expected.push(set);
                     }
                 }

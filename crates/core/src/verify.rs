@@ -186,7 +186,10 @@ impl Certificate {
         let verts_line = lines.next().unwrap_or("");
         let mut vertices = Vec::new();
         for tok in verts_line.split_whitespace() {
-            vertices.push(tok.parse::<u32>().map_err(|_| format!("bad vertex {tok:?}"))?);
+            vertices.push(
+                tok.parse::<u32>()
+                    .map_err(|_| format!("bad vertex {tok:?}"))?,
+            );
         }
         Ok(Certificate {
             k,

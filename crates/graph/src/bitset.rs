@@ -80,7 +80,11 @@ impl BitSet {
     /// Tests membership of `i`.
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
-        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
     }
 
@@ -371,7 +375,10 @@ mod tests {
         for i in [5usize, 7, 64, 65, 190, 299, 0] {
             s.insert(i);
         }
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 5, 7, 64, 65, 190, 299]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![0, 5, 7, 64, 65, 190, 299]
+        );
         assert_eq!(s.first(), Some(0));
     }
 

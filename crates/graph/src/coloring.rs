@@ -32,7 +32,8 @@ impl Coloring {
 
     /// Verifies properness against `g`.
     pub fn is_proper(&self, g: &Graph) -> bool {
-        g.edges().all(|(u, v)| self.color[u as usize] != self.color[v as usize])
+        g.edges()
+            .all(|(u, v)| self.color[u as usize] != self.color[v as usize])
     }
 }
 
@@ -118,6 +119,9 @@ mod tests {
         let g = gen::complete_multipartite(&[3, 3, 3]);
         let c = greedy_degeneracy(&g);
         assert!(c.is_proper(&g));
-        assert_eq!(c.num_colors, 3, "complete 3-partite needs exactly 3 colours");
+        assert_eq!(
+            c.num_colors, 3,
+            "complete 3-partite needs exactly 3 colours"
+        );
     }
 }

@@ -33,8 +33,9 @@ pub fn peel(g: &Graph) -> Peeling {
 
     let n = g.n();
     let mut deg: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
-    let mut heap: BinaryHeap<Reverse<(usize, VertexId)>> =
-        (0..n as VertexId).map(|v| Reverse((deg[v as usize], v))).collect();
+    let mut heap: BinaryHeap<Reverse<(usize, VertexId)>> = (0..n as VertexId)
+        .map(|v| Reverse((deg[v as usize], v)))
+        .collect();
     let mut peeled = vec![false; n];
     let mut core = vec![0usize; n];
     let mut order = Vec::with_capacity(n);
@@ -288,10 +289,7 @@ mod tests {
                 assert!(is_degeneracy_ordering(&g, &p.order), "n={n} p={p_edge}");
                 // Core numbers are a non-increasing function along buckets:
                 // max core == degeneracy.
-                assert_eq!(
-                    p.core.iter().copied().max().unwrap_or(0),
-                    p.degeneracy
-                );
+                assert_eq!(p.core.iter().copied().max().unwrap_or(0), p.degeneracy);
             }
         }
     }

@@ -336,10 +336,7 @@ pub fn random_geometric(n: usize, radius: f64, rng: &mut SmallRng) -> Graph {
 /// One community is clearly densest — as in real social networks, where
 /// preprocessing can then discard the rest. Returns the graph and the
 /// per-vertex community labels.
-pub fn community_heterogeneous(
-    params: &CommunityParams,
-    rng: &mut SmallRng,
-) -> (Graph, Vec<u32>) {
+pub fn community_heterogeneous(params: &CommunityParams, rng: &mut SmallRng) -> (Graph, Vec<u32>) {
     let c = params.communities;
     assert!(c >= 1);
     let mut label: Vec<u32> = Vec::new();
@@ -376,7 +373,10 @@ pub fn community_heterogeneous(
 /// endpoint rewired uniformly at random with probability `p_rewire`.
 /// High clustering with short paths — another social-like regime.
 pub fn watts_strogatz(n: usize, k_ring: usize, p_rewire: f64, rng: &mut SmallRng) -> Graph {
-    assert!(k_ring >= 2 && k_ring.is_multiple_of(2), "k_ring must be even and ≥ 2");
+    assert!(
+        k_ring >= 2 && k_ring.is_multiple_of(2),
+        "k_ring must be even and ≥ 2"
+    );
     assert!(n > k_ring, "need n > k_ring");
     let half = k_ring / 2;
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
@@ -573,12 +573,16 @@ mod tests {
                 .map(|(i, _)| i as VertexId)
                 .collect()
         };
-        let dens = |vs: &[VertexId]| {
-            g.edges_within(vs) as f64 / (vs.len() * (vs.len() - 1) / 2) as f64
-        };
+        let dens =
+            |vs: &[VertexId]| g.edges_within(vs) as f64 / (vs.len() * (vs.len() - 1) / 2) as f64;
         let first = members(0);
         let last = members(3);
-        assert!(dens(&last) > dens(&first) + 0.1, "{} vs {}", dens(&last), dens(&first));
+        assert!(
+            dens(&last) > dens(&first) + 0.1,
+            "{} vs {}",
+            dens(&last),
+            dens(&first)
+        );
         // Sizes follow the 0.75×/1.25× pattern.
         assert_eq!(first.len(), 30);
         assert_eq!(members(1).len(), 40);

@@ -66,9 +66,8 @@ impl Graph {
         }
         debug_assert!(
             {
-                let probe = |a: &Vec<Vec<VertexId>>, u: usize, v: VertexId| {
-                    a[u].binary_search(&v).is_ok()
-                };
+                let probe =
+                    |a: &Vec<Vec<VertexId>>, u: usize, v: VertexId| a[u].binary_search(&v).is_ok();
                 adj.iter()
                     .enumerate()
                     .all(|(v, list)| list.iter().all(|&u| probe(&adj, u as usize, v as VertexId)))
@@ -172,7 +171,12 @@ impl Graph {
         let mask: BitSet = set.iter().map(|&v| v as usize).collect();
         let in_set = |v: VertexId| (v as usize) < mask.capacity() && mask.contains(v as usize);
         set.iter()
-            .map(|&u| self.neighbors(u).iter().filter(|&&v| u < v && in_set(v)).count())
+            .map(|&u| {
+                self.neighbors(u)
+                    .iter()
+                    .filter(|&&v| u < v && in_set(v))
+                    .count()
+            })
             .sum()
     }
 

@@ -83,7 +83,11 @@ pub fn parse_edge_list(text: &str, one_based: bool) -> Result<Graph, IoError> {
         max_id = max_id.max(u).max(v);
         edges.push((u as VertexId, v as VertexId));
     }
-    let n = if edges.is_empty() { 0 } else { (max_id + 1) as usize };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        (max_id + 1) as usize
+    };
     Ok(Graph::from_edges(n, &edges))
 }
 
@@ -168,13 +172,14 @@ pub fn parse_metis(text: &str) -> Result<Graph, IoError> {
         .lines()
         .enumerate()
         .filter(|(_, l)| !l.trim_start().starts_with('%'));
-    let (header_no, header) = lines
-        .by_ref()
-        .find(|(_, l)| !l.trim().is_empty())
-        .ok_or(IoError::Parse {
-            line: 0,
-            msg: "empty METIS file".into(),
-        })?;
+    let (header_no, header) =
+        lines
+            .by_ref()
+            .find(|(_, l)| !l.trim().is_empty())
+            .ok_or(IoError::Parse {
+                line: 0,
+                msg: "empty METIS file".into(),
+            })?;
     let mut it = header.split_whitespace();
     let n: usize = parse_token(
         it.next().ok_or(IoError::Parse {
@@ -352,7 +357,10 @@ mod tests {
         assert!(parse_metis("").is_err(), "empty file");
         assert!(parse_metis("2 1\n2\n1\n1\n").is_err(), "extra rows");
         assert!(parse_metis("2 1\n2\n").is_err(), "missing rows");
-        assert!(parse_metis("2 1\n3\n1\n").is_err(), "neighbour out of range");
+        assert!(
+            parse_metis("2 1\n3\n1\n").is_err(),
+            "neighbour out of range"
+        );
         assert!(parse_metis("2 1\n0\n1\n").is_err(), "neighbour id 0");
         assert!(parse_metis("2 5\n2\n1\n").is_err(), "edge count mismatch");
         assert!(parse_metis("2 1 011\n2\n1\n").is_err(), "weighted fmt");

@@ -44,7 +44,11 @@ pub fn graph_stats(g: &Graph) -> GraphStats {
         m: g.m(),
         min_degree: degrees.iter().copied().min().unwrap_or(0),
         max_degree: degrees.iter().copied().max().unwrap_or(0),
-        avg_degree: if n == 0 { 0.0 } else { 2.0 * g.m() as f64 / n as f64 },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * g.m() as f64 / n as f64
+        },
         degeneracy: degeneracy::peel_bucket(g).degeneracy,
         triangles,
         global_clustering: if wedges == 0 {

@@ -47,7 +47,11 @@ pub fn edge_supports(g: &Graph) -> (EdgeIndex, Vec<u32>) {
     let mut mark = ScratchMap::new(g.n());
     for &(u, v) in &idx.edges {
         // Count common neighbours of u and v by marking N(u).
-        let (u, v) = if g.degree(u) <= g.degree(v) { (v, u) } else { (u, v) };
+        let (u, v) = if g.degree(u) <= g.degree(v) {
+            (v, u)
+        } else {
+            (u, v)
+        };
         mark.reset();
         for &w in g.neighbors(u) {
             mark.set(w as usize, 1);
@@ -129,7 +133,9 @@ pub fn truss_filter(g: &Graph, threshold: u32) -> Graph {
     }
 
     g.edge_subgraph(|u, v| {
-        edge_id(&idx, u, v).map(|e| alive[e as usize]).unwrap_or(false)
+        edge_id(&idx, u, v)
+            .map(|e| alive[e as usize])
+            .unwrap_or(false)
     })
 }
 
@@ -230,7 +236,9 @@ mod tests {
         for k in 3..7 {
             let t = k_truss(&g, k);
             let core_vs: std::collections::HashSet<_> =
-                crate::degeneracy::k_core_vertices(&g, k - 1).into_iter().collect();
+                crate::degeneracy::k_core_vertices(&g, k - 1)
+                    .into_iter()
+                    .collect();
             for (u, v) in t.edges() {
                 assert!(core_vs.contains(&u) && core_vs.contains(&v), "k={k}");
             }

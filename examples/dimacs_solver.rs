@@ -35,10 +35,16 @@ fn main() {
 
     let sol = Solver::new(&g, k, config).solve();
     match sol.status {
-        Status::Optimal => println!("optimal maximum {k}-defective clique: {} vertices", sol.size()),
+        Status::Optimal => println!(
+            "optimal maximum {k}-defective clique: {} vertices",
+            sol.size()
+        ),
         other => println!("best found ({other:?}): {} vertices", sol.size()),
     }
-    println!("vertices (1-based): {:?}", sol.vertices.iter().map(|v| v + 1).collect::<Vec<_>>());
+    println!(
+        "vertices (1-based): {:?}",
+        sol.vertices.iter().map(|v| v + 1).collect::<Vec<_>>()
+    );
     println!(
         "missing edges used: {} of {k} | time: {:.2?} | nodes: {}",
         g.missing_edges_within(&sol.vertices),

@@ -21,7 +21,10 @@ fn main() {
         g.n(),
         g.m()
     );
-    println!("planted complex: {} proteins, 5 unobserved interactions\n", planted.len());
+    println!(
+        "planted complex: {} proteins, 5 unobserved interactions\n",
+        planted.len()
+    );
 
     let k = 5;
     let sol = Solver::new(&g, k, SolverConfig::kdc()).solve();

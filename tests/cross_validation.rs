@@ -15,11 +15,7 @@ fn kdc_matches_naive_on_gnp_sweep() {
         for k in [0usize, 1, 2, 4, 7] {
             let expected = max_defective_size_naive(&g, k);
             let sol = max_defective_clique(&g, k);
-            assert_eq!(
-                sol.size(),
-                expected,
-                "trial {trial}: n={n} p={p:.2} k={k}"
-            );
+            assert_eq!(sol.size(), expected, "trial {trial}: n={n} p={p:.2} k={k}");
             assert!(g.is_k_defective_clique(&sol.vertices, k));
             assert!(sol.is_optimal());
         }
@@ -35,7 +31,10 @@ fn kdc_matches_naive_on_structured_graphs() {
         ("k33", gen::complete_multipartite(&[3, 3])),
         ("k333", gen::complete_multipartite(&[3, 3, 3])),
         ("grid44", gen::grid(4, 4, true)),
-        ("path", Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)])),
+        (
+            "path",
+            Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]),
+        ),
     ];
     for (name, g) in &graphs {
         for k in 0..=6 {

@@ -57,7 +57,10 @@ fn gamma_values_and_ordering() {
     assert!((gamma_k(1) - 1.8393).abs() < 1e-3);
     assert!((gamma_k(2) - 1.9276).abs() < 1e-3);
     for k in 1..12 {
-        assert!(gamma_k(k) < sigma_k(k), "kDC strictly beats MADEC+ for k ≥ 1");
+        assert!(
+            gamma_k(k) < sigma_k(k),
+            "kDC strictly beats MADEC+ for k ≥ 1"
+        );
         assert!(gamma_k(k) < 2.0, "beats the trivial O*(2^n)");
     }
 }

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_custom`],
+//! [`BenchmarkId`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — so `cargo bench --no-run` compiles the real
+//! bench sources unchanged. Running a bench performs a short warm-up and a
+//! fixed, small number of timed iterations and prints mean wall-clock time
+//! per iteration; there is no statistical analysis, outlier rejection, or
+//! HTML report.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: an identity function opaque to the
+/// optimizer, preventing benchmarked computations from being elided.
+pub use std::hint::black_box;
+
+/// Default number of timed iterations per benchmark.
+const DEFAULT_SAMPLE_ITERS: u64 = 10;
+
+/// Identifies one benchmark within a group: a function name plus a parameter
+/// rendered into the id (e.g. `kdc/3` for `k = 3`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{function_name}/{parameter}"`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a bare parameter, `"{parameter}"`.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured code.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    /// Total measured time, reported by the caller after the closure runs.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, called `iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call warms caches and page-faults lazy allocations.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure do its own timing: `f` receives the iteration count
+    /// and returns the total elapsed time for that many iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// A named collection of related benchmarks, created by
+/// [`Criterion::benchmark_group`].
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_iters: u64,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-benchmark iteration count (the stub maps criterion's
+    /// sample count directly onto iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_iters = (n as u64).max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores target measurement
+    /// times and always runs a fixed iteration count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a single untimed call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            iters: self.sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.checked_div(b.iters as u32).unwrap_or_default();
+        println!(
+            "bench {:<40} {:>12.3?}/iter ({} iters)",
+            format!("{}/{}", self.name, id),
+            per_iter,
+            b.iters
+        );
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, id: S, f: F) -> &mut Self {
+        let id = id.to_string();
+        self.run(&id, f);
+        self
+    }
+
+    /// Runs a benchmark over one input value, passed to the closure by
+    /// reference alongside the [`Bencher`].
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.id.clone();
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (The stub prints results as they run, so this only
+    /// consumes the group.)
+    pub fn finish(self) {}
+}
+
+impl Display for BenchmarkGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Top-level benchmark driver, mirroring criterion's type of the same name.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stub has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_iters: DEFAULT_SAMPLE_ITERS,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("bench", f);
+        group.finish();
+        self
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        println!("bench: done");
+    }
+}
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}

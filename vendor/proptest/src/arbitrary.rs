@@ -1,0 +1,52 @@
+//! `any::<T>()` — canonical strategies for simple types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy covering the whole domain of `Self`.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`, e.g. `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for primitives; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_primitive {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_primitive! {
+    bool => |rng| rng.random::<bool>(),
+    u8 => |rng| rng.random::<u8>(),
+    u16 => |rng| rng.random::<u16>(),
+    u32 => |rng| rng.random::<u32>(),
+    u64 => |rng| rng.random::<u64>(),
+    usize => |rng| rng.random::<usize>(),
+    i32 => |rng| rng.random::<i32>(),
+    i64 => |rng| rng.random::<i64>(),
+    f64 => |rng| rng.random::<f64>(),
+}

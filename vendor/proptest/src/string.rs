@@ -1,0 +1,194 @@
+//! String strategies: a `&str` pattern is interpreted as a (small subset of
+//! a) regex and random matching strings are generated.
+//!
+//! Supported syntax: literal characters, `.` (any printable ASCII), escapes
+//! (`\n`, `\t`, `\r`, `\\`, `\.`, `\[`, `\]`, `\{`, `\}`), character classes
+//! `[...]` with ranges and negation, and the quantifiers `*`, `+`, `?`,
+//! `{n}`, `{m,n}`. This covers patterns like `"[ -~\n]{0,300}"` used by the
+//! fuzz-style tests; unsupported constructs are treated as literals.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+const UNBOUNDED_REP_MAX: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of candidate characters to pick from uniformly.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy generating strings matching a regex-subset pattern.
+#[derive(Debug, Clone)]
+pub struct StringParam {
+    pieces: Vec<Piece>,
+}
+
+fn printable() -> Vec<char> {
+    (0x20u8..=0x7e).map(|b| b as char).collect()
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> char {
+    match chars.next() {
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some('r') => '\r',
+        Some('0') => '\0',
+        Some(c) => c,
+        None => '\\',
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut negated = false;
+    let mut members: Vec<char> = Vec::new();
+    if chars.peek() == Some(&'^') {
+        negated = true;
+        chars.next();
+    }
+    let mut pending: Option<char> = None;
+    while let Some(&c) = chars.peek() {
+        if c == ']' {
+            chars.next();
+            break;
+        }
+        chars.next();
+        let resolved = if c == '\\' { parse_escape(chars) } else { c };
+        if resolved == '-' && pending.is_some() && chars.peek().map(|&n| n != ']').unwrap_or(false)
+        {
+            // A range like `a-z`: close it with the next character.
+            let start = pending.take().unwrap();
+            let mut end = chars.next().unwrap();
+            if end == '\\' {
+                end = parse_escape(chars);
+            }
+            let (lo, hi) = if start <= end {
+                (start, end)
+            } else {
+                (end, start)
+            };
+            members.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+        } else {
+            if let Some(prev) = pending.take() {
+                members.push(prev);
+            }
+            pending = Some(resolved);
+        }
+    }
+    if let Some(prev) = pending {
+        members.push(prev);
+    }
+    if negated {
+        let mut all = printable();
+        all.push('\n');
+        all.retain(|c| !members.contains(c));
+        members = all;
+    }
+    if members.is_empty() {
+        members = printable();
+    }
+    members
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_REP_MAX)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_REP_MAX)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let parts: Vec<&str> = spec.splitn(2, ',').collect();
+            let min: usize = parts[0].trim().parse().unwrap_or(0);
+            let max: usize = if parts.len() == 2 {
+                parts[1]
+                    .trim()
+                    .parse()
+                    .unwrap_or(min.max(UNBOUNDED_REP_MAX))
+            } else {
+                min
+            };
+            (min, max.max(min))
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '.' => Atom::Class(printable()),
+            '\\' => Atom::Class(vec![parse_escape(&mut chars)]),
+            other => Atom::Class(vec![other]),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl StringParam {
+    /// Parses `pattern` into a generator.
+    pub fn new(pattern: &str) -> Self {
+        StringParam {
+            pieces: parse_pattern(pattern),
+        }
+    }
+}
+
+impl Strategy for StringParam {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let reps = rng.random_range(piece.min..=piece.max);
+            let Atom::Class(ref members) = piece.atom;
+            for _ in 0..reps {
+                out.push(members[rng.random_range(0..members.len())]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing per generate keeps `&str` usable directly as a strategy;
+        // patterns are tiny so this is cheap relative to the test body.
+        StringParam::new(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringParam::new(self).generate(rng)
+    }
+}

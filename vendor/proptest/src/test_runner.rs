@@ -1,0 +1,115 @@
+//! Test execution: configuration, deterministic per-case RNGs, and failure
+//! reporting.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies; re-exported so strategies can name it.
+pub type TestRng = SmallRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed with the given message.
+    Fail(String),
+    /// A `prop_assume!` precondition rejected the generated inputs.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failed assertion with a rendered message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// A rejected (filtered-out) case.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Drives the cases of one property-test function.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    base_seed: u64,
+    next: u32,
+}
+
+/// FNV-1a, used to derive a stable seed from the test name so each test
+/// explores its own deterministic input sequence.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test function.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // PROPTEST_SEED_OFFSET lets a developer re-roll every test's input
+        // sequence without editing code (e.g. in a CI cron job).
+        let offset: u64 = std::env::var("PROPTEST_SEED_OFFSET")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        TestRunner {
+            config,
+            name,
+            base_seed: fnv1a(name.as_bytes()) ^ offset,
+            next: 0,
+        }
+    }
+
+    /// Yields the next case index, or `None` when all cases have run.
+    pub fn next_case(&mut self) -> Option<u32> {
+        if self.next < self.config.cases {
+            let case = self.next;
+            self.next += 1;
+            Some(case)
+        } else {
+            None
+        }
+    }
+
+    /// The deterministic RNG for a given case of this test.
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        SmallRng::seed_from_u64(self.base_seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Records a case outcome; panics (failing the `#[test]`) on assertion
+    /// failure, and silently skips `prop_assume!` rejections.
+    pub fn record(&mut self, case: u32, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) | Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest: test `{}` failed at case {}/{} (seed {:#x}):\n{}",
+                self.name, case, self.config.cases, self.base_seed, msg
+            ),
+        }
+    }
+}
