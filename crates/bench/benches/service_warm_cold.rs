@@ -1,0 +1,133 @@
+//! Cold vs. warm solve latency through the `kdc_service` graph cache.
+//!
+//! * `cold_process_per_query` models today's one-shot CLI: every query pays
+//!   file parsing, cache construction and a full solve (a fresh
+//!   [`GraphCache`] per iteration, like a fresh process).
+//! * `warm_cached_graph` models a resident daemon answering with a shared
+//!   `Arc<Graph>`: the solve still runs, but parsing is gone.
+//! * `warm_result_memo` is the full warm service path: after the first
+//!   query the per-graph result memo answers without searching at all.
+//!
+//! Beyond timing, the bench *asserts* (via the service counters, not the
+//! clock) that the warm paths performed exactly one parse and one real
+//! search across all iterations — the warm/cold contrast is structural,
+//! not statistical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kdc::{CancelFlag, Solver, SolverConfig};
+use kdc_graph::gen;
+use kdc_service::jobs::{run_job, JobOutcome, JobSpec};
+use kdc_service::GraphCache;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const K: usize = 2;
+
+/// Writes the benchmark graph once and returns its path.
+fn graph_file() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kdc_bench_service_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("planted.clq");
+    if !path.exists() {
+        let mut rng = gen::seeded_rng(4242);
+        let (g, _) = gen::planted_defective_clique(400, 14, K, 0.02, &mut rng);
+        kdc_graph::io::write_dimacs(&g, &path).unwrap();
+    }
+    path
+}
+
+fn solve_spec(cache: &GraphCache, name: &str) -> JobSpec {
+    JobSpec::Solve {
+        entry: cache.get(name).expect("graph cached"),
+        k: K,
+        preset: "kdc".to_string(),
+        limit: Some(Duration::from_secs(60)),
+        threads: 1,
+    }
+}
+
+fn expect_solve_size(outcome: JobOutcome) -> usize {
+    match outcome {
+        JobOutcome::Solve { solution, .. } => solution.size(),
+        other => panic!("expected a solve outcome, got {other:?}"),
+    }
+}
+
+fn bench_warm_cold(c: &mut Criterion) {
+    let path = graph_file();
+    let path_str = path.to_str().unwrap().to_string();
+
+    let mut group = c.benchmark_group("service_warm_cold");
+
+    // Cold: a fresh cache per query — parse + artifacts + full search, the
+    // cost every standalone `kdc solve` process pays.
+    let mut cold_size = 0;
+    group.bench_function("cold_process_per_query", |b| {
+        b.iter(|| {
+            let cache = GraphCache::new();
+            cache.load(&path_str, "g").expect("load graph");
+            cold_size = expect_solve_size(run_job(&solve_spec(&cache, "g"), CancelFlag::new()));
+            cold_size
+        })
+    });
+
+    // Warm: one resident cache. The graph is parsed exactly once; each
+    // query solves on the shared Arc<Graph>.
+    let warm_cache = GraphCache::new();
+    warm_cache.load(&path_str, "g").expect("load graph");
+    group.bench_function("warm_cached_graph", |b| {
+        b.iter(|| {
+            let entry = warm_cache.get("g").expect("cached");
+            // The daemon's warm solve path: shared Arc<Graph> plus the
+            // cached degeneracy peeling (no re-peel in the heuristic phase).
+            let config = SolverConfig::kdc().with_shared_peeling(entry.peeling());
+            Solver::new(&entry.graph, K, config).solve().size()
+        })
+    });
+
+    // Warm + memo: the full service path; after the first query the
+    // proven-optimal result is returned without searching.
+    let mut warm_size = 0;
+    group.bench_function("warm_result_memo", |b| {
+        b.iter(|| {
+            warm_size =
+                expect_solve_size(run_job(&solve_spec(&warm_cache, "g"), CancelFlag::new()));
+            warm_size
+        })
+    });
+    group.finish();
+
+    // Structural assertions: warm really skipped re-parsing and
+    // re-searching. `parses` counts file parses; `counters().2` counts real
+    // (non-memo) searches; `counters().3` counts memo hits.
+    assert_eq!(
+        cold_size, warm_size,
+        "warm and cold must agree on the answer"
+    );
+    assert_eq!(
+        warm_cache.parses(),
+        1,
+        "warm path must not re-parse the graph file"
+    );
+    let entry = warm_cache.get("g").expect("cached");
+    let (_, peel_builds, solves, result_hits) = entry.counters();
+    assert_eq!(
+        peel_builds, 1,
+        "warm path must reuse the cached degeneracy peeling"
+    );
+    assert_eq!(solves, 1, "memo must reduce repeated queries to one search");
+    assert!(
+        result_hits >= 1,
+        "repeated warm queries must hit the result memo"
+    );
+    println!(
+        "service_warm_cold: parses={} peel_builds={} searches={} memo_hits={}",
+        warm_cache.parses(),
+        peel_builds,
+        solves,
+        result_hits
+    );
+}
+
+criterion_group!(benches, bench_warm_cold);
+criterion_main!(benches);

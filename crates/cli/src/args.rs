@@ -104,6 +104,20 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_takes_a_numeric_value() {
+        let p = parse(&argv("g.clq --k 2 --threads 8")).unwrap();
+        assert_eq!(p.optional::<usize>("threads").unwrap(), Some(8));
+        // --threads is a value flag, not boolean: it must consume the next
+        // token even when that token looks like a file.
+        let p = parse(&argv("--threads 4 g.clq")).unwrap();
+        assert_eq!(p.optional::<usize>("threads").unwrap(), Some(4));
+        assert_eq!(p.positional(0, "file").unwrap(), "g.clq");
+        let p = parse(&argv("g.clq --threads x")).unwrap();
+        assert!(p.optional::<usize>("threads").is_err());
+        assert!(parse(&argv("g.clq --threads")).is_err());
+    }
+
+    #[test]
     fn defaults() {
         let p = parse(&argv("g.txt")).unwrap();
         assert_eq!(p.string_or("preset", "kdc"), "kdc");

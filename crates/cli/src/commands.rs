@@ -5,24 +5,25 @@ use crate::load_graph;
 use kdc::{decompose, gamma_k, sigma_k, topr, Solver, SolverConfig, Status};
 use kdc_graph::stats::graph_stats;
 use std::path::Path;
-use std::time::Duration;
+use std::process::ExitCode;
 
+// One preset table for the whole system (core's `SolverConfig::from_preset`):
+// `kdc solve --preset X` and the daemon's `SOLVE g preset=X` never disagree.
 fn preset(name: &str) -> Result<SolverConfig, String> {
-    Ok(match name {
-        "kdc" => SolverConfig::kdc(),
-        "kdc_t" => SolverConfig::kdc_t(),
-        "kdbb" => SolverConfig::kdbb_like(),
-        "madec" => SolverConfig::madec_like(),
-        other => return Err(format!("unknown preset {other:?}")),
-    })
+    SolverConfig::from_preset(name)
 }
 
-/// `kdc solve <file> --k K [--preset P] [--limit S] [--parallel]`
-pub fn solve(args: &[String]) -> Result<(), String> {
+/// `kdc solve <file> --k K [--preset P] [--limit S] [--parallel]
+/// [--threads N]`
+///
+/// Returns the process exit code: `0` for a proven-optimal solution,
+/// [`crate::EXIT_BEST_EFFORT`] when a limit expired first.
+pub fn solve(args: &[String]) -> Result<ExitCode, String> {
     let p = parse(args)?;
     let path = p.positional(0, "graph-file")?;
     let k: usize = p.required("k")?;
     let limit: Option<f64> = p.optional("limit")?;
+    let threads: Option<usize> = p.optional("threads")?;
     let preset_name = p.string_or("preset", "kdc");
     let g = load_graph(path)?;
 
@@ -30,17 +31,19 @@ pub fn solve(args: &[String]) -> Result<(), String> {
         let sol = kdc_baselines::max_defective_clique_rds(&g, k);
         println!("size: {}", sol.len());
         println!("vertices: {:?}", sol);
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
 
     let mut config = preset(preset_name)?;
-    config.time_limit = limit.map(Duration::from_secs_f64);
+    config.time_limit = limit.map(kdc::config::parse_time_limit).transpose()?;
 
     let cert_out: Option<String> = p.optional("cert")?;
-    let sol = if p.has("parallel") {
-        decompose::solve_decomposed(&g, k, config, 0)
-    } else {
-        Solver::new(&g, k, config).solve()
+    // --threads N selects the parallel ego decomposition with exactly N
+    // threads (0 = all cores); --parallel remains the "all cores" shorthand.
+    let sol = match threads {
+        Some(n) => decompose::solve_decomposed(&g, k, config, n),
+        None if p.has("parallel") => decompose::solve_decomposed(&g, k, config, 0),
+        None => Solver::new(&g, k, config).solve(),
     };
     if let Some(out) = cert_out {
         let cert =
@@ -50,7 +53,9 @@ pub fn solve(args: &[String]) -> Result<(), String> {
     }
     match sol.status {
         Status::Optimal => println!("status: optimal"),
-        s => println!("status: best-effort ({s:?})"),
+        Status::TimedOut => println!("status: timeout (best-effort)"),
+        Status::NodeLimitReached => println!("status: node-limit (best-effort)"),
+        Status::Cancelled => println!("status: cancelled (best-effort)"),
     }
     println!("size: {}", sol.size());
     println!("vertices: {:?}", sol.vertices);
@@ -65,7 +70,49 @@ pub fn solve(args: &[String]) -> Result<(), String> {
         sol.stats.search_time.as_secs_f64()
     );
     println!("nodes: {}", sol.stats.nodes);
-    Ok(())
+    Ok(if sol.is_optimal() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(crate::EXIT_BEST_EFFORT)
+    })
+}
+
+/// `kdc serve [--addr A] [--workers N]` — run the solver daemon until a
+/// client sends `SHUTDOWN`.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let addr = p.string_or("addr", "127.0.0.1:4817");
+    let workers: usize = match p.optional("workers")? {
+        Some(0) | None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        Some(n) => n,
+    };
+    let server =
+        kdc_service::Server::bind(addr, workers).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("listening on {} ({workers} workers)", server.local_addr());
+    server.run().map_err(|e| format!("server error: {e}"))
+}
+
+/// `kdc client <addr> <command...>` — send one protocol line to a running
+/// daemon and print its response. Exits `0` on `OK`, `1` on `ERR`.
+pub fn client(args: &[String]) -> Result<ExitCode, String> {
+    // Protocol tokens are `key=value`, not `--flags`, so take the raw args.
+    let (addr, command) = args
+        .split_first()
+        .ok_or("usage: kdc client <addr> <command...>")?;
+    if command.is_empty() {
+        return Err("usage: kdc client <addr> <command...>".to_string());
+    }
+    let line = command.join(" ");
+    let response =
+        kdc_service::request(addr, &line).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    println!("{response}");
+    Ok(if response.starts_with("ERR") {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 /// `kdc enumerate <file> --k K [--top R]`
@@ -188,6 +235,62 @@ mod tests {
         solve(&argv(&[&path, "--k", "1", "--preset", "kdbb"])).unwrap();
         solve(&argv(&[&path, "--k", "1", "--preset", "rds"])).unwrap();
         solve(&argv(&[&path, "--k", "1", "--parallel"])).unwrap();
+    }
+
+    #[test]
+    fn solve_threads_flag_parses_and_runs() {
+        let path = write_sample();
+        // Explicit thread counts plumb through to the decomposed solver;
+        // 0 means "all cores".
+        solve(&argv(&[&path, "--k", "1", "--threads", "2"])).unwrap();
+        solve(&argv(&[&path, "--k", "1", "--threads", "0"])).unwrap();
+        // --threads combines with the other solve flags.
+        solve(&argv(&[
+            &path,
+            "--k",
+            "1",
+            "--threads",
+            "2",
+            "--limit",
+            "10",
+        ]))
+        .unwrap();
+        assert!(
+            solve(&argv(&[&path, "--k", "1", "--threads", "two"])).is_err(),
+            "non-numeric thread count must be rejected"
+        );
+        assert!(
+            solve(&argv(&[&path, "--k", "1", "--threads"])).is_err(),
+            "--threads requires a value"
+        );
+    }
+
+    #[test]
+    fn serve_and_client_argument_validation() {
+        assert!(client(&[]).is_err(), "client needs an address");
+        assert!(
+            client(&argv(&["127.0.0.1:1"])).is_err(),
+            "client needs a command"
+        );
+        // Unreachable address surfaces as an error, not a panic.
+        assert!(client(&argv(&["127.0.0.1:1", "JOBS"])).is_err());
+        assert!(
+            serve(&argv(&["--workers", "two"])).is_err(),
+            "non-numeric worker count must be rejected"
+        );
+    }
+
+    #[test]
+    fn client_drives_a_live_server() {
+        let path = write_sample();
+        let handle = kdc_service::Server::bind("127.0.0.1:0", 1).unwrap().spawn();
+        let addr = handle.addr().to_string();
+        client(&argv(&[&addr, "LOAD", &path, "AS", "fig2"])).unwrap();
+        client(&argv(&[&addr, "SOLVE", "fig2", "k=2"])).unwrap();
+        // ERR responses are printed but reported via the exit code, not Err.
+        client(&argv(&[&addr, "SOLVE", "ghost", "k=2"])).unwrap();
+        client(&argv(&[&addr, "SHUTDOWN"])).unwrap();
+        handle.join().unwrap();
     }
 
     #[test]

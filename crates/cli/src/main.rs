@@ -2,15 +2,20 @@
 //!
 //! ```text
 //! kdc solve <graph-file> --k <K> [--preset kdc|kdc_t|kdbb|madec] [--limit S]
-//!           [--parallel]
+//!           [--parallel] [--threads N]
 //! kdc enumerate <graph-file> --k <K> [--top R]
 //! kdc stats <graph-file>
 //! kdc convert <input> <output>      # by extension: .clq/.graph/.txt
 //! kdc gamma [max_k]
+//! kdc serve [--addr A] [--workers N]
+//! kdc client <addr> <command...>
 //! ```
 //!
 //! Graph formats are selected by extension: DIMACS `.clq`/`.col`, METIS
 //! `.graph`/`.metis`, otherwise whitespace edge list.
+//!
+//! Exit codes: `0` success (for `solve`: proven optimal), `1` error,
+//! `2` best-effort result (a limit expired before optimality was proven).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -18,27 +23,34 @@ use std::process::ExitCode;
 mod args;
 mod commands;
 
+/// Exit code for a solve that returned a valid but not proven-optimal
+/// solution (time/node limit, cancellation). Distinct from `1` (errors) so
+/// scripts can tell "answer, maybe improvable" from "no answer".
+pub(crate) const EXIT_BEST_EFFORT: u8 = 2;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let result = match command.as_str() {
+    let result: Result<ExitCode, String> = match command.as_str() {
         "solve" => commands::solve(rest),
-        "enumerate" => commands::enumerate(rest),
-        "verify" => commands::verify(rest),
-        "stats" => commands::stats(rest),
-        "convert" => commands::convert(rest),
-        "gamma" => commands::gamma(rest),
+        "enumerate" => commands::enumerate(rest).map(|()| ExitCode::SUCCESS),
+        "verify" => commands::verify(rest).map(|()| ExitCode::SUCCESS),
+        "stats" => commands::stats(rest).map(|()| ExitCode::SUCCESS),
+        "convert" => commands::convert(rest).map(|()| ExitCode::SUCCESS),
+        "gamma" => commands::gamma(rest).map(|()| ExitCode::SUCCESS),
+        "serve" => commands::serve(rest).map(|()| ExitCode::SUCCESS),
+        "client" => commands::client(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
@@ -51,15 +63,26 @@ fn usage() -> &'static str {
 
 USAGE:
   kdc solve <graph-file> --k <K> [--preset kdc|kdc_t|kdbb|madec|rds]
-            [--limit <seconds>] [--parallel] [--cert <out-file>]
+            [--limit <seconds>] [--parallel] [--threads <N>]
+            [--cert <out-file>]
   kdc enumerate <graph-file> --k <K> [--top <R>]
   kdc verify <graph-file> <certificate-file>
   kdc stats <graph-file>
   kdc convert <input-file> <output-file>
   kdc gamma [max_k]
+  kdc serve [--addr <host:port>] [--workers <N>]
+  kdc client <host:port> <command...>
 
 Formats by extension: .clq/.col/.dimacs (DIMACS), .graph/.metis (METIS),
-anything else is read as a 0-based whitespace edge list."
+anything else is read as a 0-based whitespace edge list.
+
+Exit codes: 0 = success/optimal, 1 = error, 2 = best-effort (limit hit).
+
+The daemon protocol (one line per request/response):
+  LOAD <path> AS <name>
+  SOLVE <name> k=<K> [preset=..] [limit=..] [threads=..]
+  ENUMERATE <name> k=<K> top=<R>
+  STATS [<name>] | UNLOAD <name> | JOBS | CANCEL <id> | SHUTDOWN"
 }
 
 /// Loads a graph file with a friendly error.

@@ -73,6 +73,122 @@ fn solve_figure2() {
     assert!(text.contains("size: 6"), "output: {text}");
 }
 
+/// Writes a dense 150-vertex G(n,p) graph whose k = 12 solve takes far
+/// longer than a microsecond, so a tiny --limit deterministically expires.
+fn hard_graph() -> PathBuf {
+    static PATH: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+    PATH.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("kdc_cli_smoke_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hard.clq");
+        let mut rng = kdc_graph::gen::seeded_rng(99);
+        let g = kdc_graph::gen::gnp(150, 0.6, &mut rng);
+        kdc_graph::io::write_dimacs(&g, &path).unwrap();
+        path
+    })
+    .clone()
+}
+
+#[test]
+fn solve_time_limit_exits_best_effort() {
+    let path = hard_graph();
+    let out = run(&[
+        "solve",
+        path.to_str().unwrap(),
+        "--k",
+        "12",
+        "--limit",
+        "0.000001",
+    ]);
+    // A best-effort answer is not an error (code 1) and not optimal
+    // (code 0): it must be the dedicated exit code 2.
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("status: timeout (best-effort)"),
+        "output: {text}"
+    );
+    assert!(
+        text.contains("size: "),
+        "best solution still reported: {text}"
+    );
+}
+
+#[test]
+fn solve_threads_flag_works_end_to_end() {
+    let path = sample_graph();
+    let out = run(&[
+        "solve",
+        path.to_str().unwrap(),
+        "--k",
+        "2",
+        "--threads",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("status: optimal"), "output: {text}");
+    assert!(text.contains("size: 6"), "output: {text}");
+}
+
+#[test]
+fn serve_and_client_roundtrip() {
+    use std::io::BufRead;
+    let path = sample_graph();
+    // Ephemeral port: the daemon prints "listening on <addr> ..." first.
+    let mut server = Command::new(kdc_bin())
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("failed to spawn kdc serve");
+    let mut first_line = String::new();
+    std::io::BufReader::new(server.stdout.take().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    let addr = first_line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first_line}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+
+    let client = |words: &[&str]| -> Output {
+        let mut args = vec!["client", addr.as_str()];
+        args.extend_from_slice(words);
+        run(&args)
+    };
+
+    let out = client(&["LOAD", path.to_str().unwrap(), "AS", "fig2"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("loaded=fig2"), "{}", stdout(&out));
+
+    let out = client(&["SOLVE", "fig2", "k=2"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("status=optimal"), "{text}");
+    assert!(text.contains("size=6"), "{text}");
+
+    // ERR responses surface as a failing client exit code.
+    let out = client(&["SOLVE", "ghost", "k=2"]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).starts_with("ERR "), "{}", stdout(&out));
+
+    let out = client(&["SHUTDOWN"]);
+    assert!(out.status.success());
+    let status = server.wait().expect("server did not exit");
+    assert!(status.success(), "serve exited with {status:?}");
+}
+
 #[test]
 fn solve_missing_k_fails() {
     let path = sample_graph();

@@ -8,7 +8,53 @@
 //! the named presets correspond exactly to the algorithm variants evaluated
 //! in §4 of the paper.
 
+use kdc_graph::degeneracy::Peeling;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Validates a wall-clock limit given in (possibly fractional) seconds and
+/// converts it to a [`Duration`]. Rejects negative, non-finite and absurdly
+/// large values with an error instead of letting
+/// [`Duration::from_secs_f64`] panic on untrusted input (CLI flags, daemon
+/// protocol options).
+pub fn parse_time_limit(seconds: f64) -> Result<Duration, String> {
+    const MAX_LIMIT_SECS: f64 = 1e9; // ~31 years; anything more is a typo
+    if !seconds.is_finite() || !(0.0..=MAX_LIMIT_SECS).contains(&seconds) {
+        return Err(format!(
+            "invalid time limit {seconds}s (must be finite, >= 0 and <= 1e9)"
+        ));
+    }
+    Ok(Duration::from_secs_f64(seconds))
+}
+
+/// A shared cooperative-cancellation flag.
+///
+/// Clone the flag, hand one copy to the solver via
+/// [`SolverConfig::with_cancel`], and keep the other; calling
+/// [`CancelFlag::cancel`] from any thread makes the search abort at the next
+/// branch-and-bound node with [`crate::Status::Cancelled`], returning the
+/// best solution found so far. Cancellation is sticky: once raised, every
+/// solve sharing the flag aborts.
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-raised flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag; safe to call from any thread, idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// How the branching vertex is chosen *among* the vertices admitted by the
 /// non-fully-adjacent-first rule BR (the rule itself allows any candidate
@@ -84,6 +130,16 @@ pub struct SolverConfig {
     pub time_limit: Option<Duration>,
     /// Search-node limit, mainly for experiments on search-tree size.
     pub node_limit: Option<u64>,
+    /// Cooperative cancellation: when the flag is raised, the search aborts
+    /// at the next node with [`crate::Status::Cancelled`]. `None` disables
+    /// the per-node check entirely.
+    pub cancel: Option<CancelFlag>,
+    /// A precomputed degeneracy peeling of the *input* graph, reused by the
+    /// initial-solution heuristics and the ego decomposition instead of
+    /// re-peeling. Must describe exactly the graph handed to the solver
+    /// (checked by `debug_assert`); long-running services cache one peeling
+    /// per resident graph and share it across solves.
+    pub shared_peeling: Option<Arc<Peeling>>,
 }
 
 impl SolverConfig {
@@ -106,6 +162,8 @@ impl SolverConfig {
             matrix_limit: 16_384,
             time_limit: None,
             node_limit: None,
+            cancel: None,
+            shared_peeling: None,
         }
     }
 
@@ -129,6 +187,8 @@ impl SolverConfig {
             matrix_limit: 16_384,
             time_limit: None,
             node_limit: None,
+            cancel: None,
+            shared_peeling: None,
         }
     }
 
@@ -189,6 +249,8 @@ impl SolverConfig {
             matrix_limit: 16_384,
             time_limit: None,
             node_limit: None,
+            cancel: None,
+            shared_peeling: None,
         }
     }
 
@@ -211,7 +273,23 @@ impl SolverConfig {
             matrix_limit: 16_384,
             time_limit: None,
             node_limit: None,
+            cancel: None,
+            shared_peeling: None,
         }
+    }
+
+    /// Resolves a preset *name* (as accepted by the CLI's `--preset` and
+    /// the daemon protocol's `preset=`) to its configuration. The single
+    /// name table for the whole system — every surface that accepts preset
+    /// names must resolve them here so they can never disagree.
+    pub fn from_preset(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "kdc" => Self::kdc(),
+            "kdc_t" => Self::kdc_t(),
+            "kdbb" => Self::kdbb_like(),
+            "madec" => Self::madec_like(),
+            other => return Err(format!("unknown preset {other:?}")),
+        })
     }
 
     /// Enables the experimental RR4-derived bound UB4 (see §3.2.2).
@@ -229,6 +307,19 @@ impl SolverConfig {
     /// Builder-style override of the node limit.
     pub fn with_node_limit(mut self, limit: u64) -> Self {
         self.node_limit = Some(limit);
+        self
+    }
+
+    /// Builder-style installation of a cooperative cancellation flag.
+    pub fn with_cancel(mut self, flag: CancelFlag) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Builder-style installation of a precomputed degeneracy peeling of
+    /// the input graph (see [`SolverConfig::shared_peeling`]).
+    pub fn with_shared_peeling(mut self, peeling: Arc<Peeling>) -> Self {
+        self.shared_peeling = Some(peeling);
         self
     }
 }
@@ -267,6 +358,27 @@ mod tests {
         assert_eq!(degen.heuristic, InitialHeuristic::Degen);
         assert!(!degen.enable_rr6);
         assert!(degen.enable_ub1);
+    }
+
+    #[test]
+    fn from_preset_resolves_every_name() {
+        for name in ["kdc", "kdc_t", "kdbb", "madec"] {
+            assert!(SolverConfig::from_preset(name).is_ok(), "{name}");
+        }
+        assert!(SolverConfig::from_preset("nope").is_err());
+        assert_eq!(
+            SolverConfig::from_preset("kdc_t").unwrap().heuristic,
+            InitialHeuristic::None
+        );
+    }
+
+    #[test]
+    fn time_limit_parsing_rejects_hostile_values() {
+        assert!(parse_time_limit(2.5).is_ok());
+        assert!(parse_time_limit(0.0).is_ok());
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e30] {
+            assert!(parse_time_limit(bad).is_err(), "{bad} must be rejected");
+        }
     }
 
     #[test]

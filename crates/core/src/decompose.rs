@@ -53,11 +53,23 @@ use std::sync::Mutex;
 /// ```
 pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usize) -> Solution {
     let t0 = std::time::Instant::now();
+    // One peeling serves both the initial heuristic and the decomposition
+    // ordering; a shared peeling from the config (resident services) makes
+    // this phase free.
+    let fresh_peeling;
+    let peeling = match &config.shared_peeling {
+        Some(shared) => shared.clone(),
+        None => {
+            fresh_peeling = std::sync::Arc::new(degeneracy::peel(g));
+            fresh_peeling.clone()
+        }
+    };
+    debug_assert_eq!(peeling.order.len(), g.n(), "peeling is for another graph");
     // Initial solution — also the correctness gate.
     let initial = match config.heuristic {
-        InitialHeuristic::None | InitialHeuristic::Degen => heuristic::degen(g, k),
-        InitialHeuristic::DegenOpt => heuristic::degen_opt(g, k),
-        InitialHeuristic::DegenOptLocalSearch => heuristic::degen_opt_ls(g, k),
+        InitialHeuristic::None | InitialHeuristic::Degen => heuristic::degen_with(g, k, &peeling),
+        InitialHeuristic::DegenOpt => heuristic::degen_opt_with(g, k, &peeling),
+        InitialHeuristic::DegenOptLocalSearch => heuristic::degen_opt_ls_with(g, k, &peeling),
     };
     if initial.len() < k + 2 {
         return crate::Solver::new(g, k, config).solve();
@@ -70,7 +82,6 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
         threads
     };
 
-    let peeling = degeneracy::peel(g);
     let n = g.n();
 
     // Forward (successor) adjacency under the ordering.
@@ -88,7 +99,8 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
     let best_sol: Mutex<Vec<VertexId>> = Mutex::new(initial.clone());
     let next_task = AtomicUsize::new(0);
     let deadline = config.time_limit.map(|d| t0 + d);
-    let timed_out = AtomicUsize::new(0);
+    // 0 = ran to completion, 1 = deadline expired, 2 = cancelled.
+    let abort_code = AtomicUsize::new(0);
     let total_nodes = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -100,9 +112,15 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                     if i >= n {
                         break;
                     }
+                    if let Some(flag) = &config.cancel {
+                        if flag.is_cancelled() {
+                            abort_code.store(2, Ordering::Relaxed);
+                            break;
+                        }
+                    }
                     if let Some(d) = deadline {
                         if std::time::Instant::now() >= d {
-                            timed_out.store(1, Ordering::Relaxed);
+                            abort_code.fetch_max(1, Ordering::Relaxed);
                             break;
                         }
                     }
@@ -151,7 +169,12 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                     let finished = engine.run();
                     total_nodes.fetch_add(engine.stats.nodes as usize, Ordering::Relaxed);
                     if !finished {
-                        timed_out.store(1, Ordering::Relaxed);
+                        let code = if engine.abort_status() == Status::Cancelled {
+                            2
+                        } else {
+                            1
+                        };
+                        abort_code.fetch_max(code, Ordering::Relaxed);
                     }
                     let found = engine.best();
                     if found.len() > lb {
@@ -171,10 +194,10 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
 
     let mut vertices = best_sol.into_inner().expect("poisoned");
     vertices.sort_unstable();
-    let status = if timed_out.load(Ordering::Relaxed) == 1 {
-        Status::TimedOut
-    } else {
-        Status::Optimal
+    let status = match abort_code.load(Ordering::Relaxed) {
+        0 => Status::Optimal,
+        1 => Status::TimedOut,
+        _ => Status::Cancelled,
     };
     Solution {
         vertices,
@@ -206,6 +229,42 @@ mod tests {
                 assert!(b.is_optimal());
             }
         }
+    }
+
+    #[test]
+    fn threads_match_sequential_across_k() {
+        // Satellite coverage: multi-threaded decomposition must agree with
+        // the sequential global solver on a batch of random graphs for every
+        // small k, including the k = 2 gap the older test left open.
+        let mut rng = gen::seeded_rng(918);
+        for trial in 0..6 {
+            let g = gen::gnp(36, 0.35, &mut rng);
+            for k in [0usize, 1, 2, 3] {
+                let sequential = crate::Solver::new(&g, k, SolverConfig::kdc()).solve();
+                let threaded = solve_decomposed(&g, k, SolverConfig::kdc(), 4);
+                assert_eq!(
+                    sequential.size(),
+                    threaded.size(),
+                    "trial {trial} k {k}: sequential {} vs decomposed {}",
+                    sequential.size(),
+                    threaded.size()
+                );
+                assert!(g.is_k_defective_clique(&threaded.vertices, k));
+                assert!(threaded.is_optimal());
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_flag_stops_parallel_solve() {
+        use crate::config::CancelFlag;
+        let mut rng = gen::seeded_rng(919);
+        let (g, _) = gen::planted_defective_clique(600, 18, 3, 0.02, &mut rng);
+        let flag = CancelFlag::new();
+        flag.cancel(); // pre-raised: every worker must bail out immediately
+        let sol = solve_decomposed(&g, 3, SolverConfig::kdc().with_cancel(flag), 2);
+        assert_eq!(sol.status, Status::Cancelled);
+        assert!(g.is_k_defective_clique(&sol.vertices, 3));
     }
 
     #[test]

@@ -396,6 +396,12 @@ impl Engine {
                 self.abort_status = crate::stats::Status::NodeLimitReached;
             }
         }
+        if let Some(flag) = &self.config.cancel {
+            if flag.is_cancelled() {
+                self.aborted = true;
+                self.abort_status = crate::stats::Status::Cancelled;
+            }
+        }
         if self.aborted {
             return;
         }

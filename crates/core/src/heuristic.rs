@@ -23,8 +23,14 @@ use kdc_graph::scratch::Marker;
 /// assert_eq!(kdc::heuristic::degen(&g, 0).len(), 6);
 /// ```
 pub fn degen(g: &Graph, k: usize) -> Vec<VertexId> {
-    let order = degeneracy::peel(g).order;
-    degen_on_order(g, k, &order)
+    degen_with(g, k, &degeneracy::peel(g))
+}
+
+/// [`degen`] on a caller-supplied peeling of `g` (resident services cache
+/// the peeling per graph and reuse it across solves).
+pub fn degen_with(g: &Graph, k: usize, peeling: &degeneracy::Peeling) -> Vec<VertexId> {
+    debug_assert_eq!(peeling.order.len(), g.n(), "peeling is for another graph");
+    degen_on_order(g, k, &peeling.order)
 }
 
 /// `Degen` on a caller-supplied ordering (used by `Degen-opt` to reuse the
@@ -63,7 +69,12 @@ pub fn degen_on_order(g: &Graph, k: usize, order: &[VertexId]) -> Vec<VertexId> 
 /// Since `u` is adjacent to all of `N⁺(u)`, adding `u` never adds missing
 /// edges, so the combined set stays a k-defective clique.
 pub fn degen_opt(g: &Graph, k: usize) -> Vec<VertexId> {
-    let peeling = degeneracy::peel(g);
+    degen_opt_with(g, k, &degeneracy::peel(g))
+}
+
+/// [`degen_opt`] on a caller-supplied peeling of `g`.
+pub fn degen_opt_with(g: &Graph, k: usize, peeling: &degeneracy::Peeling) -> Vec<VertexId> {
+    debug_assert_eq!(peeling.order.len(), g.n(), "peeling is for another graph");
     let mut best = degen_on_order(g, k, &peeling.order);
 
     let n = g.n();
@@ -152,7 +163,12 @@ pub fn local_search(g: &Graph, start: &[VertexId], k: usize, max_rounds: usize) 
 /// `Degen-opt` followed by [`local_search`] (the `DegenOptLocalSearch`
 /// heuristic preset).
 pub fn degen_opt_ls(g: &Graph, k: usize) -> Vec<VertexId> {
-    let base = degen_opt(g, k);
+    degen_opt_ls_with(g, k, &degeneracy::peel(g))
+}
+
+/// [`degen_opt_ls`] on a caller-supplied peeling of `g`.
+pub fn degen_opt_ls_with(g: &Graph, k: usize, peeling: &degeneracy::Peeling) -> Vec<VertexId> {
+    let base = degen_opt_with(g, k, peeling);
     if base.is_empty() {
         return base;
     }

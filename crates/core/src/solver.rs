@@ -44,12 +44,7 @@ impl<'g> Solver<'g> {
         let deadline = config.time_limit.map(|d| t_start + d);
 
         // Line 1 of Algorithm 2: initial solution.
-        let initial = match config.heuristic {
-            InitialHeuristic::None => Vec::new(),
-            InitialHeuristic::Degen => heuristic::degen(graph, k),
-            InitialHeuristic::DegenOpt => heuristic::degen_opt(graph, k),
-            InitialHeuristic::DegenOptLocalSearch => heuristic::degen_opt_ls(graph, k),
-        };
+        let initial = initial_solution(graph, k, &config);
         debug_assert!(graph.is_k_defective_clique(&initial, k));
         let lb0 = initial.len();
 
@@ -113,17 +108,35 @@ pub struct PreprocessReport {
 
 /// Runs the heuristic and the RR5/RR6 preprocessing without searching.
 pub fn preprocess_report(graph: &Graph, k: usize, config: &SolverConfig) -> PreprocessReport {
-    let initial = match config.heuristic {
-        InitialHeuristic::None => Vec::new(),
-        InitialHeuristic::Degen => heuristic::degen(graph, k),
-        InitialHeuristic::DegenOpt => heuristic::degen_opt(graph, k),
-        InitialHeuristic::DegenOptLocalSearch => heuristic::degen_opt_ls(graph, k),
-    };
+    let initial = initial_solution(graph, k, config);
     let (adj, keep) = preprocess(graph, k, initial.len(), config);
     PreprocessReport {
         initial,
         n0: keep.len(),
         m0: adj.iter().map(Vec::len).sum::<usize>() / 2,
+    }
+}
+
+/// Line 1 of Algorithm 2: the configured initial-solution heuristic. Reuses
+/// the config's shared peeling of the input graph when one is installed
+/// (resident services cache it per graph), peeling from scratch otherwise.
+pub(crate) fn initial_solution(graph: &Graph, k: usize, config: &SolverConfig) -> Vec<VertexId> {
+    if config.heuristic == InitialHeuristic::None {
+        return Vec::new();
+    }
+    let fresh;
+    let peeling = match &config.shared_peeling {
+        Some(shared) => shared.as_ref(),
+        None => {
+            fresh = degeneracy::peel(graph);
+            &fresh
+        }
+    };
+    match config.heuristic {
+        InitialHeuristic::None => unreachable!("handled above"),
+        InitialHeuristic::Degen => heuristic::degen_with(graph, k, peeling),
+        InitialHeuristic::DegenOpt => heuristic::degen_opt_with(graph, k, peeling),
+        InitialHeuristic::DegenOptLocalSearch => heuristic::degen_opt_ls_with(graph, k, peeling),
     }
 }
 
@@ -260,6 +273,47 @@ mod tests {
         assert_eq!(sol.status, Status::NodeLimitReached);
         // Best-effort solution is still valid.
         assert!(g.is_k_defective_clique(&sol.vertices, 3));
+    }
+
+    #[test]
+    fn shared_peeling_matches_fresh_peeling() {
+        use kdc_graph::degeneracy;
+        use std::sync::Arc;
+        let mut rng = gen::seeded_rng(14);
+        for _ in 0..4 {
+            let g = gen::gnp(40, 0.3, &mut rng);
+            let peeling = Arc::new(degeneracy::peel(&g));
+            for k in [0usize, 2] {
+                let fresh = Solver::new(&g, k, SolverConfig::kdc()).solve();
+                let shared_cfg = SolverConfig::kdc().with_shared_peeling(peeling.clone());
+                let shared = Solver::new(&g, k, shared_cfg.clone()).solve();
+                // The heuristics are deterministic in the ordering, so the
+                // results are identical, not merely equal-sized.
+                assert_eq!(fresh.vertices, shared.vertices, "k = {k}");
+                let decomposed = crate::decompose::solve_decomposed(&g, k, shared_cfg, 2);
+                assert_eq!(fresh.size(), decomposed.size(), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_flag_aborts_with_best_effort_solution() {
+        use crate::config::CancelFlag;
+        let mut rng = gen::seeded_rng(13);
+        let g = gen::gnp(80, 0.5, &mut rng);
+        // Pre-raised flag: the engine must abort at its very first node and
+        // still hand back the (valid) heuristic solution.
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let sol = Solver::new(&g, 3, SolverConfig::kdc().with_cancel(flag)).solve();
+        assert_eq!(sol.status, Status::Cancelled);
+        assert!(g.is_k_defective_clique(&sol.vertices, 3));
+
+        // An un-raised flag must not disturb the solve.
+        let flag = CancelFlag::new();
+        let sol = Solver::new(&g, 3, SolverConfig::kdc().with_cancel(flag.clone())).solve();
+        assert!(sol.is_optimal());
+        assert!(!flag.is_cancelled());
     }
 
     #[test]

@@ -12,6 +12,9 @@ pub enum Status {
     TimedOut,
     /// The node limit was reached; the returned solution is the best found.
     NodeLimitReached,
+    /// The solve was cancelled via [`crate::config::CancelFlag`]; the
+    /// returned solution is the best found before cancellation.
+    Cancelled,
 }
 
 /// A solve result: the best k-defective clique found plus bookkeeping.

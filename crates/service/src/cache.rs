@@ -1,0 +1,261 @@
+//! The resident graph cache: parse once, solve many times.
+//!
+//! Each [`GraphEntry`] owns an `Arc<Graph>` plus lazily computed, cached
+//! per-graph artifacts (the degeneracy peeling, i.e. ordering + core
+//! numbers) and a memo of proven-optimal solve results keyed by `(k,
+//! preset)`. Every counter a warm-vs-cold comparison needs is tracked
+//! explicitly — `parses`, `graph_hits`, `peel_builds`, `result_hits` — so
+//! tests and benches can assert that the warm path really skips re-parsing
+//! and re-preprocessing instead of inferring it from timings.
+
+use kdc::Solution;
+use kdc_graph::degeneracy::{self, Peeling};
+use kdc_graph::Graph;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Memo key for a solve result: the answer depends only on the graph, `k`
+/// and the algorithm variant (all exact presets agree on the *size*, but we
+/// key on the preset so the reported vertex set is reproducible per preset).
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub struct SolveKey {
+    /// The k of the k-defective clique.
+    pub k: usize,
+    /// Preset name (`"kdc"` for the default).
+    pub preset: String,
+}
+
+/// A cached graph plus its lazily built artifacts and usage counters.
+#[derive(Debug)]
+pub struct GraphEntry {
+    /// Cache key this entry is stored under.
+    pub name: String,
+    /// The parsed graph, shared with in-flight jobs.
+    pub graph: Arc<Graph>,
+    /// Wall-clock cost of the original parse (what the warm path saves).
+    pub parse_time: Duration,
+    peeling: OnceLock<Arc<Peeling>>,
+    peel_builds: AtomicU64,
+    hits: AtomicU64,
+    solves: AtomicU64,
+    result_hits: AtomicU64,
+    results: Mutex<HashMap<SolveKey, Solution>>,
+}
+
+impl GraphEntry {
+    fn new(name: String, graph: Graph, parse_time: Duration) -> Self {
+        GraphEntry {
+            name,
+            graph: Arc::new(graph),
+            parse_time,
+            peeling: OnceLock::new(),
+            peel_builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            result_hits: AtomicU64::new(0),
+            results: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The degeneracy peeling (ordering, ranks, core numbers), computed at
+    /// most once per cached graph and shared from then on.
+    pub fn peeling(&self) -> Arc<Peeling> {
+        self.peeling
+            .get_or_init(|| {
+                self.peel_builds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(degeneracy::peel(&self.graph))
+            })
+            .clone()
+    }
+
+    /// Degeneracy of the cached graph (forces the peeling artifact).
+    pub fn degeneracy(&self) -> usize {
+        self.peeling().degeneracy
+    }
+
+    /// A memoized proven-optimal result for `key`, if any.
+    pub fn cached_result(&self, key: &SolveKey) -> Option<Solution> {
+        let found = self.results.lock().expect("poisoned").get(key).cloned();
+        if found.is_some() {
+            self.result_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Memoizes `solution` for `key`; only proven-optimal results may be
+    /// stored (best-effort answers depend on the deadline, not the graph).
+    pub fn store_result(&self, key: SolveKey, solution: Solution) {
+        debug_assert!(solution.is_optimal());
+        self.results.lock().expect("poisoned").insert(key, solution);
+    }
+
+    /// Records one solve executed against this entry.
+    pub fn record_solve(&self) {
+        self.solves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Usage counters: `(hits, peel_builds, solves, result_hits)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.peel_builds.load(Ordering::Relaxed),
+            self.solves.load(Ordering::Relaxed),
+            self.result_hits.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Name-keyed cache of [`GraphEntry`]s shared by every connection and worker.
+#[derive(Debug, Default)]
+pub struct GraphCache {
+    entries: Mutex<HashMap<String, Arc<GraphEntry>>>,
+    parses: AtomicU64,
+}
+
+impl GraphCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses `path` and stores it under `name`, replacing any previous
+    /// entry of that name. Returns the new entry.
+    pub fn load(&self, path: &str, name: &str) -> Result<Arc<GraphEntry>, String> {
+        let t0 = Instant::now();
+        let graph = kdc_graph::io::read_graph(Path::new(path))
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        self.parses.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(GraphEntry::new(name.to_string(), graph, t0.elapsed()));
+        self.entries
+            .lock()
+            .expect("poisoned")
+            .insert(name.to_string(), entry.clone());
+        Ok(entry)
+    }
+
+    /// Stores an already-parsed graph (tests and benches; counts as a parse
+    /// so warm/cold comparisons stay honest).
+    pub fn insert(&self, name: &str, graph: Graph) -> Arc<GraphEntry> {
+        self.parses.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(GraphEntry::new(
+            name.to_string(),
+            graph,
+            Duration::default(),
+        ));
+        self.entries
+            .lock()
+            .expect("poisoned")
+            .insert(name.to_string(), entry.clone());
+        entry
+    }
+
+    /// Looks up `name`, counting a cache hit on success.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        let entry = self.entries.lock().expect("poisoned").get(name).cloned();
+        if let Some(e) = &entry {
+            e.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        entry
+    }
+
+    /// Drops `name` from the cache; running jobs keep their `Arc<Graph>`.
+    pub fn unload(&self, name: &str) -> bool {
+        self.entries
+            .lock()
+            .expect("poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Number of graph files parsed since startup (LOAD + insert calls —
+    /// *not* incremented by cache hits; the core of the warm-path claim).
+    pub fn parses(&self) -> u64 {
+        self.parses.load(Ordering::Relaxed)
+    }
+
+    /// Currently cached names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .entries
+            .lock()
+            .expect("poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdc_graph::named;
+
+    #[test]
+    fn peeling_is_built_exactly_once() {
+        let cache = GraphCache::new();
+        let entry = cache.insert("fig2", named::figure2());
+        assert_eq!(entry.counters().1, 0, "peel must be lazy");
+        let d1 = entry.degeneracy();
+        let d2 = entry.degeneracy();
+        assert_eq!(d1, d2);
+        let (_, peel_builds, _, _) = entry.counters();
+        assert_eq!(peel_builds, 1, "artifact must be cached after first use");
+    }
+
+    #[test]
+    fn hits_and_parses_are_tracked() {
+        let cache = GraphCache::new();
+        cache.insert("a", named::figure2());
+        assert_eq!(cache.parses(), 1);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("missing").is_none());
+        let entry = cache.get("a").unwrap();
+        assert_eq!(entry.counters().0, 3, "three successful lookups");
+        assert_eq!(cache.parses(), 1, "lookups must not re-parse");
+    }
+
+    #[test]
+    fn unload_drops_but_arc_survives() {
+        let cache = GraphCache::new();
+        let entry = cache.insert("a", named::figure2());
+        let graph = entry.graph.clone();
+        assert!(cache.unload("a"));
+        assert!(!cache.unload("a"));
+        assert!(cache.get("a").is_none());
+        assert_eq!(graph.n(), 12, "in-flight Arc keeps the graph alive");
+    }
+
+    #[test]
+    fn result_memo_only_hits_same_key() {
+        let cache = GraphCache::new();
+        let entry = cache.insert("a", named::figure2());
+        let key = SolveKey {
+            k: 2,
+            preset: "kdc".into(),
+        };
+        assert!(entry.cached_result(&key).is_none());
+        let sol = kdc::max_defective_clique(&entry.graph, 2);
+        entry.store_result(key.clone(), sol.clone());
+        assert_eq!(entry.cached_result(&key).unwrap().size(), sol.size());
+        let other = SolveKey {
+            k: 3,
+            preset: "kdc".into(),
+        };
+        assert!(entry.cached_result(&other).is_none());
+        assert_eq!(entry.counters().3, 1, "exactly one result hit");
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let cache = GraphCache::new();
+        cache.insert("zeta", named::figure2());
+        cache.insert("alpha", named::figure2());
+        assert_eq!(cache.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

@@ -1,0 +1,639 @@
+//! Job queue and fixed worker pool.
+//!
+//! Connection threads [`JobQueue::submit`] work and block in
+//! [`JobQueue::wait`]; a fixed set of worker threads pops jobs FIFO and runs
+//! them through the existing `kdc` entry points ([`kdc::Solver`],
+//! [`kdc::decompose::solve_decomposed`], [`kdc::topr::top_r_maximal`]). All
+//! coordination is one `Mutex` around the queue state plus two `Condvar`s
+//! (`work_ready` wakes idle workers, `job_done` wakes waiters), so the pool
+//! is std-only.
+//!
+//! Cancellation is cooperative: every job owns a [`CancelFlag`] that is
+//! threaded into the solver config, and `CANCEL <id>` simply raises it —
+//! the branch-and-bound engine notices at its next node. Per-job deadlines
+//! reuse the solver's own `time_limit`.
+
+use crate::cache::{GraphEntry, SolveKey};
+use kdc::{decompose, topr, CancelFlag, Solution, Solver, SolverConfig, Status};
+use kdc_graph::VertexId;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a job should run.
+#[derive(Clone, Debug)]
+pub enum JobSpec {
+    /// An exact maximum k-defective clique solve.
+    Solve {
+        /// Cached graph to solve on.
+        entry: Arc<GraphEntry>,
+        /// The k of the k-defective clique.
+        k: usize,
+        /// Preset name (`"kdc"`, `"kdc_t"`, `"kdbb"`, `"madec"`).
+        preset: String,
+        /// Per-job wall-clock deadline.
+        limit: Option<Duration>,
+        /// 1 = sequential solver, otherwise parallel ego decomposition
+        /// (0 = all cores).
+        threads: usize,
+    },
+    /// Top-r maximal k-defective clique enumeration.
+    Enumerate {
+        /// Cached graph to enumerate on.
+        entry: Arc<GraphEntry>,
+        /// The k of the k-defective clique.
+        k: usize,
+        /// Pool size r.
+        top: usize,
+    },
+}
+
+impl JobSpec {
+    /// Compact single-token description for `JOBS` listings.
+    fn describe(&self) -> String {
+        match self {
+            JobSpec::Solve {
+                entry, k, preset, ..
+            } => format!("solve({},k={k},preset={preset})", entry.name),
+            JobSpec::Enumerate { entry, k, top } => {
+                format!("enumerate({},k={k},top={top})", entry.name)
+            }
+        }
+    }
+}
+
+/// Lifecycle of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted, not yet picked up by a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished (see the outcome for the solve status).
+    Done,
+    /// Cancelled before or during execution.
+    Cancelled,
+    /// The job itself failed (e.g. unknown preset).
+    Failed,
+}
+
+impl JobState {
+    /// Lower-case protocol token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// Result of a finished job.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// A solve finished (possibly best-effort); `from_cache` is true when
+    /// the answer came from the per-graph result memo without searching.
+    Solve {
+        /// The solution, including status and search statistics.
+        solution: Solution,
+        /// Whether the result memo answered without running the solver.
+        from_cache: bool,
+        /// Wall-clock execution time on the worker.
+        elapsed: Duration,
+    },
+    /// An enumeration finished.
+    Enumerate {
+        /// The r largest maximal k-defective cliques, size-descending.
+        cliques: Vec<Vec<VertexId>>,
+        /// False when the job was cancelled mid-search: the clique list may
+        /// be truncated and must not be read as the full top-r answer.
+        complete: bool,
+        /// Wall-clock execution time on the worker.
+        elapsed: Duration,
+    },
+    /// The job failed before producing a result.
+    Error(String),
+}
+
+/// One row of a `JOBS` listing.
+#[derive(Clone, Debug)]
+pub struct JobInfo {
+    /// Job id (monotonically increasing from 1).
+    pub id: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Compact description, e.g. `solve(g1,k=2,preset=kdc)`.
+    pub description: String,
+}
+
+struct JobRecord {
+    state: JobState,
+    description: String,
+    cancel: CancelFlag,
+    outcome: Option<JobOutcome>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    next_id: u64,
+    queue: VecDeque<(u64, JobSpec)>,
+    records: HashMap<u64, JobRecord>,
+    /// Ids in submission order, for stable `JOBS` listings.
+    history: Vec<u64>,
+    shutdown: bool,
+}
+
+/// The shared queue: submit/wait/cancel/list on one mutex, two condvars.
+#[derive(Default)]
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+    job_done: Condvar,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues `spec`; returns the job id immediately. After
+    /// [`JobQueue::shutdown`] the job is finalized as cancelled on the spot
+    /// (no worker will ever pop it), so waiters never block forever.
+    pub fn submit(&self, spec: JobSpec) -> u64 {
+        let mut state = self.state.lock().expect("poisoned");
+        state.next_id += 1;
+        let id = state.next_id;
+        let shutting_down = state.shutdown;
+        state.records.insert(
+            id,
+            JobRecord {
+                state: if shutting_down {
+                    JobState::Cancelled
+                } else {
+                    JobState::Queued
+                },
+                description: spec.describe(),
+                cancel: CancelFlag::new(),
+                outcome: shutting_down
+                    .then(|| JobOutcome::Error("server shutting down".to_string())),
+            },
+        );
+        state.history.push(id);
+        if !shutting_down {
+            state.queue.push_back((id, spec));
+        }
+        drop(state);
+        self.work_ready.notify_one();
+        id
+    }
+
+    /// Blocks until job `id` reaches a terminal state; returns its outcome.
+    pub fn wait(&self, id: u64) -> JobOutcome {
+        let mut state = self.state.lock().expect("poisoned");
+        loop {
+            match state.records.get(&id) {
+                None => return JobOutcome::Error(format!("unknown job {id}")),
+                Some(record) => {
+                    if let Some(outcome) = &record.outcome {
+                        return outcome.clone();
+                    }
+                }
+            }
+            state = self.job_done.wait(state).expect("poisoned");
+        }
+    }
+
+    /// Raises job `id`'s cancel flag. A queued job is finalized immediately;
+    /// a running one aborts at the engine's next branch-and-bound node.
+    pub fn cancel(&self, id: u64) -> Result<JobState, String> {
+        let mut state = self.state.lock().expect("poisoned");
+        let Some(record) = state.records.get(&id) else {
+            return Err(format!("unknown job {id}"));
+        };
+        record.cancel.cancel();
+        let was = record.state;
+        if was == JobState::Queued {
+            // The worker that eventually pops it will see the raised flag,
+            // but finalize now so JOBS/wait reflect the cancellation
+            // without waiting for a free worker.
+            let record = state.records.get_mut(&id).expect("checked above");
+            record.state = JobState::Cancelled;
+            record.outcome = Some(JobOutcome::Error(format!(
+                "job {id} cancelled while queued"
+            )));
+            drop(state);
+            self.job_done.notify_all();
+        }
+        Ok(was)
+    }
+
+    /// Every job ever submitted, in submission order.
+    pub fn list(&self) -> Vec<JobInfo> {
+        let state = self.state.lock().expect("poisoned");
+        state
+            .history
+            .iter()
+            .map(|id| {
+                let record = &state.records[id];
+                JobInfo {
+                    id: *id,
+                    state: record.state,
+                    description: record.description.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Stops the pool: cancels everything outstanding and wakes all workers
+    /// and waiters. Idempotent.
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock().expect("poisoned");
+        state.shutdown = true;
+        for record in state.records.values_mut() {
+            record.cancel.cancel();
+            if record.state == JobState::Queued {
+                record.state = JobState::Cancelled;
+                record.outcome = Some(JobOutcome::Error("server shutting down".to_string()));
+            }
+        }
+        state.queue.clear();
+        drop(state);
+        self.work_ready.notify_all();
+        self.job_done.notify_all();
+    }
+
+    /// Worker side: blocks for the next job, or `None` on shutdown.
+    fn next_job(&self) -> Option<(u64, JobSpec, CancelFlag)> {
+        let mut state = self.state.lock().expect("poisoned");
+        loop {
+            if state.shutdown {
+                return None;
+            }
+            if let Some((id, spec)) = state.queue.pop_front() {
+                let record = state.records.get_mut(&id).expect("record exists");
+                if record.state != JobState::Queued {
+                    // Cancelled while queued; already finalized.
+                    continue;
+                }
+                record.state = JobState::Running;
+                let flag = record.cancel.clone();
+                return Some((id, spec, flag));
+            }
+            state = self.work_ready.wait(state).expect("poisoned");
+        }
+    }
+
+    /// Worker side: publishes the outcome and wakes waiters.
+    fn finish(&self, id: u64, state_after: JobState, outcome: JobOutcome) {
+        let mut state = self.state.lock().expect("poisoned");
+        if let Some(record) = state.records.get_mut(&id) {
+            record.state = state_after;
+            record.outcome = Some(outcome);
+        }
+        drop(state);
+        self.job_done.notify_all();
+    }
+}
+
+/// Workers may not spawn unbounded decomposition threads on a client's
+/// say-so; `threads=` beyond this is clamped (0 still means "all cores").
+const MAX_SOLVE_THREADS: usize = 256;
+
+/// Executes one job spec with the given cancel flag; pure function of its
+/// inputs so it is unit-testable without a pool.
+pub fn run_job(spec: &JobSpec, cancel: CancelFlag) -> JobOutcome {
+    let t0 = Instant::now();
+    match spec {
+        JobSpec::Solve {
+            entry,
+            k,
+            preset,
+            limit,
+            threads,
+        } => {
+            let memo_key = SolveKey {
+                k: *k,
+                preset: preset.clone(),
+            };
+            if let Some(solution) = entry.cached_result(&memo_key) {
+                return JobOutcome::Solve {
+                    solution,
+                    from_cache: true,
+                    elapsed: t0.elapsed(),
+                };
+            }
+            let mut config = match SolverConfig::from_preset(preset) {
+                Ok(c) => c,
+                Err(e) => return JobOutcome::Error(e),
+            };
+            config.time_limit = *limit;
+            config.cancel = Some(cancel);
+            // Warm artifact reuse: the solver's heuristic/decomposition
+            // phase runs on the cached peeling instead of re-peeling.
+            config.shared_peeling = Some(entry.peeling());
+            entry.record_solve();
+            let solution = if *threads == 1 {
+                Solver::new(&entry.graph, *k, config).solve()
+            } else {
+                let threads = (*threads).min(MAX_SOLVE_THREADS);
+                decompose::solve_decomposed(&entry.graph, *k, config, threads)
+            };
+            if solution.is_optimal() {
+                entry.store_result(memo_key, solution.clone());
+            }
+            JobOutcome::Solve {
+                solution,
+                from_cache: false,
+                elapsed: t0.elapsed(),
+            }
+        }
+        JobSpec::Enumerate { entry, k, top } => {
+            let config = SolverConfig::kdc().with_cancel(cancel.clone());
+            let cliques = topr::top_r_maximal(&entry.graph, *k, *top, config);
+            JobOutcome::Enumerate {
+                cliques,
+                // The sticky flag is the only cancellation signal topr
+                // exposes; raised means the pool may be truncated.
+                complete: !cancel.is_cancelled(),
+                elapsed: t0.elapsed(),
+            }
+        }
+    }
+}
+
+/// A fixed pool of worker threads draining a shared [`JobQueue`].
+pub struct WorkerPool {
+    queue: Arc<JobQueue>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) on `queue`.
+    pub fn new(queue: Arc<JobQueue>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = queue.clone();
+                std::thread::Builder::new()
+                    .name(format!("kdc-worker-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { queue, handles }
+    }
+
+    /// Shuts the queue down and joins every worker.
+    pub fn join(self) {
+        self.queue.shutdown();
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &JobQueue) {
+    while let Some((id, spec, cancel)) = queue.next_job() {
+        if cancel.is_cancelled() {
+            queue.finish(
+                id,
+                JobState::Cancelled,
+                JobOutcome::Error(format!("job {id} cancelled")),
+            );
+            continue;
+        }
+        // Panic isolation: a job that panics must still publish an outcome
+        // (or its waiter blocks forever) and must not kill the pool worker.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&spec, cancel)))
+                .unwrap_or_else(|panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    JobOutcome::Error(format!("job {id} panicked: {msg}"))
+                });
+        let state_after = match &outcome {
+            JobOutcome::Solve { solution, .. } if solution.status == Status::Cancelled => {
+                JobState::Cancelled
+            }
+            JobOutcome::Enumerate {
+                complete: false, ..
+            } => JobState::Cancelled,
+            JobOutcome::Error(_) => JobState::Failed,
+            _ => JobState::Done,
+        };
+        queue.finish(id, state_after, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::GraphCache;
+    use kdc_graph::{gen, named};
+
+    fn figure2_entry() -> Arc<GraphEntry> {
+        let cache = GraphCache::new();
+        cache.insert("fig2", named::figure2())
+    }
+
+    #[test]
+    fn pool_runs_solve_jobs_and_memoizes() {
+        let entry = figure2_entry();
+        let queue = Arc::new(JobQueue::new());
+        let pool = WorkerPool::new(queue.clone(), 2);
+        let spec = JobSpec::Solve {
+            entry: entry.clone(),
+            k: 2,
+            preset: "kdc".into(),
+            limit: None,
+            threads: 1,
+        };
+        let first = queue.submit(spec.clone());
+        let JobOutcome::Solve {
+            solution,
+            from_cache,
+            ..
+        } = queue.wait(first)
+        else {
+            panic!("expected a solve outcome");
+        };
+        assert_eq!(solution.size(), 6);
+        assert!(!from_cache);
+
+        let second = queue.submit(spec);
+        let JobOutcome::Solve {
+            solution,
+            from_cache,
+            ..
+        } = queue.wait(second)
+        else {
+            panic!("expected a solve outcome");
+        };
+        assert_eq!(solution.size(), 6);
+        assert!(from_cache, "second identical solve must hit the memo");
+        assert_eq!(entry.counters().2, 1, "only one real solve executed");
+        pool.join();
+    }
+
+    #[test]
+    fn queued_job_cancel_is_immediate() {
+        let entry = figure2_entry();
+        let queue = Arc::new(JobQueue::new());
+        // No workers: the job stays queued forever unless cancel finalizes it.
+        let id = queue.submit(JobSpec::Solve {
+            entry,
+            k: 1,
+            preset: "kdc".into(),
+            limit: None,
+            threads: 1,
+        });
+        assert_eq!(queue.cancel(id).unwrap(), JobState::Queued);
+        assert!(matches!(queue.wait(id), JobOutcome::Error(_)));
+        assert_eq!(queue.list()[0].state, JobState::Cancelled);
+        assert!(queue.cancel(999).is_err());
+    }
+
+    #[test]
+    fn running_job_cancel_aborts_search() {
+        let mut rng = gen::seeded_rng(42);
+        let cache = GraphCache::new();
+        let entry = cache.insert("hard", gen::gnp(220, 0.5, &mut rng));
+        let queue = Arc::new(JobQueue::new());
+        let pool = WorkerPool::new(queue.clone(), 1);
+        let id = queue.submit(JobSpec::Solve {
+            entry,
+            k: 12,
+            preset: "kdc".into(),
+            limit: None,
+            threads: 1,
+        });
+        // Wait for it to leave the queue, then cancel mid-search.
+        loop {
+            let info = &queue.list()[0];
+            if info.state != JobState::Queued {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        queue.cancel(id).unwrap();
+        let JobOutcome::Solve { solution, .. } = queue.wait(id) else {
+            panic!("expected a solve outcome");
+        };
+        assert_eq!(solution.status, Status::Cancelled);
+        assert_eq!(queue.list()[0].state, JobState::Cancelled);
+        pool.join();
+    }
+
+    #[test]
+    fn unknown_preset_fails_the_job() {
+        let entry = figure2_entry();
+        let queue = Arc::new(JobQueue::new());
+        let pool = WorkerPool::new(queue.clone(), 1);
+        let id = queue.submit(JobSpec::Solve {
+            entry,
+            k: 1,
+            preset: "nope".into(),
+            limit: None,
+            threads: 1,
+        });
+        assert!(matches!(queue.wait(id), JobOutcome::Error(_)));
+        assert_eq!(queue.list()[0].state, JobState::Failed);
+        pool.join();
+    }
+
+    #[test]
+    fn enumerate_jobs_work() {
+        let entry = figure2_entry();
+        let queue = Arc::new(JobQueue::new());
+        let pool = WorkerPool::new(queue.clone(), 1);
+        let id = queue.submit(JobSpec::Enumerate {
+            entry,
+            k: 1,
+            top: 2,
+        });
+        let JobOutcome::Enumerate { cliques, .. } = queue.wait(id) else {
+            panic!("expected an enumerate outcome");
+        };
+        assert_eq!(cliques.len(), 2);
+        assert_eq!(cliques[0].len(), 5);
+        pool.join();
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_fast() {
+        let entry = figure2_entry();
+        let queue = Arc::new(JobQueue::new());
+        let pool = WorkerPool::new(queue.clone(), 1);
+        queue.shutdown();
+        pool.join();
+        // No workers remain; wait() must still return, not block forever.
+        let id = queue.submit(JobSpec::Solve {
+            entry,
+            k: 1,
+            preset: "kdc".into(),
+            limit: None,
+            threads: 1,
+        });
+        assert!(matches!(queue.wait(id), JobOutcome::Error(_)));
+        let listed = queue.list();
+        assert_eq!(listed.last().unwrap().state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn cancelled_enumerate_is_not_reported_complete() {
+        let mut rng = gen::seeded_rng(77);
+        let cache = GraphCache::new();
+        // Dense enough that full maximal enumeration far outlives the poll
+        // loop below.
+        let entry = cache.insert("dense", gen::gnp(80, 0.5, &mut rng));
+        let queue = Arc::new(JobQueue::new());
+        let pool = WorkerPool::new(queue.clone(), 1);
+        let id = queue.submit(JobSpec::Enumerate {
+            entry,
+            k: 2,
+            top: usize::MAX,
+        });
+        loop {
+            if queue.list()[0].state != JobState::Queued {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        queue.cancel(id).unwrap();
+        let JobOutcome::Enumerate { complete, .. } = queue.wait(id) else {
+            panic!("expected an enumerate outcome");
+        };
+        assert!(!complete, "truncated enumeration must not claim completion");
+        assert_eq!(queue.list()[0].state, JobState::Cancelled);
+        pool.join();
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_jobs() {
+        let entry = figure2_entry();
+        let queue = Arc::new(JobQueue::new());
+        let id = queue.submit(JobSpec::Solve {
+            entry,
+            k: 1,
+            preset: "kdc".into(),
+            limit: None,
+            threads: 1,
+        });
+        let pool = WorkerPool::new(queue.clone(), 1);
+        queue.shutdown();
+        pool.join();
+        // The queued job was either finished by a racing worker or
+        // cancelled by shutdown — never left pending.
+        let state = queue.list()[0].state;
+        assert!(
+            state == JobState::Cancelled || state == JobState::Done,
+            "job {id} left in {state:?}"
+        );
+    }
+}

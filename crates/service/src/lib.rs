@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # kdc_service — a long-running kDC solver daemon
+//!
+//! Every standalone `kdc solve` pays process startup, graph parsing and
+//! preprocessing before the first branch-and-bound node. On large sparse
+//! graphs that fixed cost dominates (the reduction rules RR5/RR6 are the
+//! point of the paper's preprocessing), and it is exactly the cost a
+//! resident service amortizes: **load and reduce a graph once, then answer
+//! many `(k, preset, limit)` queries against it**.
+//!
+//! The daemon is std-only (no external dependencies) and speaks a
+//! newline-delimited text protocol over `TcpListener` (loopback by
+//! default); see [`protocol`] for the grammar. It owns three pieces:
+//!
+//! * [`cache::GraphCache`] — name-keyed `Arc<Graph>` sharing plus lazily
+//!   cached per-graph artifacts (degeneracy ordering / core numbers) and a
+//!   memo of proven-optimal results, all with explicit counters so warm
+//!   reuse is assertable, not just observable in timings;
+//! * [`jobs::JobQueue`] / [`jobs::WorkerPool`] — a FIFO queue and a fixed
+//!   `std::thread` pool coordinated by one `Mutex` and two `Condvar`s,
+//!   running solves through the existing [`kdc::Solver`] /
+//!   [`kdc::decompose::solve_decomposed`] entry points with cooperative
+//!   cancellation ([`kdc::CancelFlag`]) and per-job deadlines;
+//! * [`server::Server`] — the accept loop and per-connection handlers.
+//!
+//! ## Threading model
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!  client A ──TCP──► │ conn thread A ──┐                          │
+//!  client B ──TCP──► │ conn thread B ──┤ submit / wait            │
+//!                    │                 ▼                          │
+//!  accept loop ────► │        JobQueue (Mutex + 2 Condvars)       │
+//!  (run/spawn        │                 ▲                          │
+//!   thread)          │   worker 1 ─────┤ next_job / finish        │
+//!                    │   worker …  ────┘    │                     │
+//!                    │                      ▼                     │
+//!                    │        GraphCache (Arc<Graph> + artifacts) │
+//!                    └────────────────────────────────────────────┘
+//! ```
+//!
+//! * **One accept thread** (the caller of [`server::Server::run`], or a
+//!   background thread under [`server::Server::spawn`]) only accepts.
+//! * **One handler thread per connection** parses lines and executes
+//!   commands. Cheap commands (`LOAD`, `STATS`, `JOBS`, …) run inline on
+//!   the handler thread; `SOLVE`/`ENUMERATE` are submitted to the queue and
+//!   the handler blocks in [`jobs::JobQueue::wait`] — so solver concurrency
+//!   is bounded by the worker pool, never by the number of clients.
+//! * **N worker threads** (fixed at startup) pop jobs FIFO. A job's
+//!   [`kdc::CancelFlag`] is raised by `CANCEL <id>` from *any* connection;
+//!   the engine notices at its next branch-and-bound node and returns the
+//!   best solution found so far.
+//! * **Shutdown** raises a latch, pokes the accept loop with a loopback
+//!   connection, cancels every outstanding job and joins the workers.
+//!   Handler threads are detached and die with their connections.
+//!
+//! Shared-state discipline: the cache and queue are each a single coarse
+//! `Mutex` (lookups and bookkeeping are microseconds; solves run outside
+//! any lock), per-graph counters are relaxed atomics, and graphs are
+//! immutable behind `Arc` — workers never copy a cached graph.
+
+pub mod cache;
+pub mod jobs;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{GraphCache, GraphEntry, SolveKey};
+pub use jobs::{JobInfo, JobOutcome, JobQueue, JobSpec, JobState, WorkerPool};
+pub use protocol::{parse_command, Command};
+pub use server::{request, Server, ServerHandle};

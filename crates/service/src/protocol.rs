@@ -1,0 +1,406 @@
+//! The newline-delimited text protocol spoken by the daemon.
+//!
+//! Every request is one line; every response is one line starting with `OK`
+//! or `ERR`. Keeping both sides single-line means a client is a `write` plus
+//! a `read_line` — no framing, no state machine.
+//!
+//! ```text
+//! LOAD <path> AS <name>
+//! SOLVE <name> k=<K> [preset=<kdc|kdc_t|kdbb|madec>] [limit=<seconds>]
+//!       [threads=<N>]
+//! ENUMERATE <name> k=<K> top=<R>
+//! STATS [<name>]
+//! UNLOAD <name>
+//! JOBS
+//! CANCEL <id>
+//! SHUTDOWN
+//! ```
+//!
+//! Verbs are case-insensitive; `<path>` and `<name>` must be free of
+//! whitespace (and, because `key=value` tokens are options, free of `=`).
+//! Options may appear in any order after the positional arguments;
+//! unrecognized option keys are rejected, not ignored, so a typo like
+//! `limt=5` fails fast instead of silently running without a deadline.
+
+use std::collections::HashMap;
+use std::fmt::Display;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `LOAD <path> AS <name>` — parse a graph file into the cache.
+    Load {
+        /// Filesystem path of the graph (DIMACS/METIS/edge list by extension).
+        path: String,
+        /// Cache key the graph is stored under.
+        name: String,
+    },
+    /// `SOLVE <name> k=<K> [preset=..] [limit=..] [threads=..]`.
+    Solve {
+        /// Cache key of the graph to solve on.
+        graph: String,
+        /// The k of the k-defective clique.
+        k: usize,
+        /// Solver preset (`kdc` when omitted).
+        preset: Option<String>,
+        /// Per-job wall-clock deadline in seconds.
+        limit: Option<f64>,
+        /// Solver threads: 1 = sequential, 0 = all cores, N = N-thread
+        /// ego decomposition.
+        threads: usize,
+    },
+    /// `ENUMERATE <name> k=<K> top=<R>` — the r largest maximal k-defective
+    /// cliques.
+    Enumerate {
+        /// Cache key of the graph.
+        graph: String,
+        /// The k of the k-defective clique.
+        k: usize,
+        /// Pool size r.
+        top: usize,
+    },
+    /// `STATS [<name>]` — per-graph cache statistics, or server-wide when no
+    /// name is given.
+    Stats {
+        /// Cache key, or `None` for the server-wide summary.
+        graph: Option<String>,
+    },
+    /// `UNLOAD <name>` — drop a graph (in-flight jobs keep their `Arc`).
+    Unload {
+        /// Cache key to drop.
+        graph: String,
+    },
+    /// `JOBS` — list every job the daemon has seen, newest last.
+    Jobs,
+    /// `CANCEL <id>` — cooperatively cancel a queued or running job.
+    Cancel {
+        /// Job id as reported by `JOBS`.
+        id: u64,
+    },
+    /// `SHUTDOWN` — stop accepting connections, drain workers, exit.
+    Shutdown,
+}
+
+/// Splits `tokens` into positionals and `key=value` options.
+fn split_options(tokens: &[&str]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut options = HashMap::new();
+    for t in tokens {
+        match t.split_once('=') {
+            Some((key, value)) => {
+                options.insert(key.to_ascii_lowercase(), value.to_string());
+            }
+            None => positional.push(t.to_string()),
+        }
+    }
+    (positional, options)
+}
+
+fn parse_option<T: std::str::FromStr>(
+    options: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, String> {
+    match options.get(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value {raw:?} for {key}=")),
+    }
+}
+
+/// Parses one request line into a [`Command`].
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some((verb, rest)) = tokens.split_first() else {
+        return Err("empty command".to_string());
+    };
+    let verb = verb.to_ascii_uppercase();
+    let (positional, options) = split_options(rest);
+    let positional_count = |want: usize, usage: &str| -> Result<(), String> {
+        if positional.len() == want {
+            Ok(())
+        } else {
+            Err(format!("usage: {usage}"))
+        }
+    };
+    let known_options = |allowed: &[&str]| -> Result<(), String> {
+        for key in options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(if allowed.is_empty() {
+                    format!("{verb} takes no key=value options (got {key}=)")
+                } else {
+                    format!("unknown option {key}= (allowed: {})", allowed.join(", "))
+                });
+            }
+        }
+        Ok(())
+    };
+    match verb.as_str() {
+        "LOAD" => {
+            // `AS` is a positional keyword: LOAD <path> AS <name>.
+            known_options(&[])?;
+            positional_count(3, "LOAD <path> AS <name>")?;
+            if !positional[1].eq_ignore_ascii_case("as") {
+                return Err("usage: LOAD <path> AS <name>".to_string());
+            }
+            Ok(Command::Load {
+                path: positional[0].clone(),
+                name: positional[2].clone(),
+            })
+        }
+        "SOLVE" => {
+            known_options(&["k", "preset", "limit", "threads"])?;
+            positional_count(1, "SOLVE <name> k=<K> [preset=..] [limit=..] [threads=..]")?;
+            let k = parse_option::<usize>(&options, "k")?.ok_or("SOLVE requires k=<K>")?;
+            let limit: Option<f64> = parse_option(&options, "limit")?;
+            if let Some(seconds) = limit {
+                // Reject hostile values (negative/NaN/inf/huge) at the
+                // protocol edge, where they still produce an ERR line.
+                kdc::config::parse_time_limit(seconds)?;
+            }
+            Ok(Command::Solve {
+                graph: positional[0].clone(),
+                k,
+                preset: options.get("preset").cloned(),
+                limit,
+                threads: parse_option(&options, "threads")?.unwrap_or(1),
+            })
+        }
+        "ENUMERATE" => {
+            known_options(&["k", "top"])?;
+            positional_count(1, "ENUMERATE <name> k=<K> top=<R>")?;
+            let k = parse_option::<usize>(&options, "k")?.ok_or("ENUMERATE requires k=<K>")?;
+            let top =
+                parse_option::<usize>(&options, "top")?.ok_or("ENUMERATE requires top=<R>")?;
+            if top == 0 {
+                return Err("top= must be positive".to_string());
+            }
+            Ok(Command::Enumerate {
+                graph: positional[0].clone(),
+                k,
+                top,
+            })
+        }
+        "STATS" => {
+            known_options(&[])?;
+            if positional.len() > 1 {
+                return Err("usage: STATS [<name>]".to_string());
+            }
+            Ok(Command::Stats {
+                graph: positional.first().cloned(),
+            })
+        }
+        "UNLOAD" => {
+            known_options(&[])?;
+            positional_count(1, "UNLOAD <name>")?;
+            Ok(Command::Unload {
+                graph: positional[0].clone(),
+            })
+        }
+        "JOBS" => {
+            known_options(&[])?;
+            positional_count(0, "JOBS")?;
+            Ok(Command::Jobs)
+        }
+        "CANCEL" => {
+            known_options(&[])?;
+            positional_count(1, "CANCEL <id>")?;
+            let id = positional[0]
+                .parse()
+                .map_err(|_| format!("invalid job id {:?}", positional[0]))?;
+            Ok(Command::Cancel { id })
+        }
+        "SHUTDOWN" => {
+            known_options(&[])?;
+            positional_count(0, "SHUTDOWN")?;
+            Ok(Command::Shutdown)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Builder for one-line `OK key=value ...` responses.
+#[derive(Debug, Default)]
+pub struct OkLine {
+    fields: Vec<(String, String)>,
+}
+
+impl OkLine {
+    /// An empty `OK` response.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `key=value` field (insertion order is preserved).
+    pub fn field(mut self, key: &str, value: impl Display) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Renders the line (without trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::from("OK");
+        for (k, v) in &self.fields {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+        }
+        out
+    }
+}
+
+/// Renders an `ERR` response line; newlines in the message are flattened so
+/// the response stays a single line.
+pub fn err_line(msg: &str) -> String {
+    format!("ERR {}", msg.replace('\n', " "))
+}
+
+/// Renders a vertex list as `a,b,c` (the protocol's list syntax).
+pub fn render_vertices(vertices: &[u32]) -> String {
+    let items: Vec<String> = vertices.iter().map(u32::to_string).collect();
+    items.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_load() {
+        assert_eq!(
+            parse_command("LOAD /tmp/g.clq AS g1").unwrap(),
+            Command::Load {
+                path: "/tmp/g.clq".into(),
+                name: "g1".into()
+            }
+        );
+        // Case-insensitive verb and AS keyword.
+        assert!(parse_command("load x as y").is_ok());
+        assert!(parse_command("LOAD /tmp/g.clq g1").is_err(), "missing AS");
+        assert!(parse_command("LOAD g1").is_err());
+    }
+
+    #[test]
+    fn parses_solve_with_options_in_any_order() {
+        let cmd = parse_command("SOLVE g1 limit=2.5 k=3 threads=4 preset=kdbb").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Solve {
+                graph: "g1".into(),
+                k: 3,
+                preset: Some("kdbb".into()),
+                limit: Some(2.5),
+                threads: 4,
+            }
+        );
+        let minimal = parse_command("SOLVE g1 k=0").unwrap();
+        assert_eq!(
+            minimal,
+            Command::Solve {
+                graph: "g1".into(),
+                k: 0,
+                preset: None,
+                limit: None,
+                threads: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn solve_requires_k() {
+        assert!(parse_command("SOLVE g1").is_err());
+        assert!(parse_command("SOLVE g1 k=banana").is_err());
+        assert!(parse_command("SOLVE").is_err());
+    }
+
+    #[test]
+    fn unknown_option_keys_are_rejected_not_ignored() {
+        // A typo'd option must fail fast, not silently drop the deadline.
+        assert!(parse_command("SOLVE g k=2 limt=5").is_err());
+        assert!(parse_command("SOLVE g k=2 thread=4").is_err());
+        assert!(parse_command("ENUMERATE g k=1 top=2 preset=kdc").is_err());
+        assert!(parse_command("JOBS verbose=1").is_err());
+        assert!(parse_command("SHUTDOWN now=1").is_err());
+        assert!(
+            parse_command("LOAD /tmp/a=b.clq AS g").is_err(),
+            "= in path"
+        );
+    }
+
+    #[test]
+    fn hostile_limits_are_rejected_at_parse_time() {
+        assert!(parse_command("SOLVE g k=1 limit=2.5").is_ok());
+        assert!(parse_command("SOLVE g k=1 limit=0").is_ok());
+        for bad in ["-1", "NaN", "inf", "-inf", "1e30"] {
+            assert!(
+                parse_command(&format!("SOLVE g k=1 limit={bad}")).is_err(),
+                "limit={bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_enumerate_stats_unload() {
+        assert_eq!(
+            parse_command("ENUMERATE g k=1 top=5").unwrap(),
+            Command::Enumerate {
+                graph: "g".into(),
+                k: 1,
+                top: 5
+            }
+        );
+        assert!(parse_command("ENUMERATE g k=1").is_err(), "top required");
+        assert!(parse_command("ENUMERATE g k=1 top=0").is_err());
+        assert_eq!(
+            parse_command("STATS g").unwrap(),
+            Command::Stats {
+                graph: Some("g".into())
+            }
+        );
+        assert_eq!(
+            parse_command("STATS").unwrap(),
+            Command::Stats { graph: None }
+        );
+        assert_eq!(
+            parse_command("UNLOAD g").unwrap(),
+            Command::Unload { graph: "g".into() }
+        );
+    }
+
+    #[test]
+    fn parses_control_commands() {
+        assert_eq!(parse_command("JOBS").unwrap(), Command::Jobs);
+        assert_eq!(
+            parse_command("CANCEL 7").unwrap(),
+            Command::Cancel { id: 7 }
+        );
+        assert!(parse_command("CANCEL seven").is_err());
+        assert_eq!(parse_command("shutdown").unwrap(), Command::Shutdown);
+        assert!(parse_command("").is_err());
+        assert!(parse_command("FROBNICATE").is_err());
+    }
+
+    #[test]
+    fn ok_line_renders_in_order() {
+        let line = OkLine::new()
+            .field("job", 3)
+            .field("status", "optimal")
+            .field("size", 6)
+            .render();
+        assert_eq!(line, "OK job=3 status=optimal size=6");
+        assert_eq!(OkLine::new().render(), "OK");
+    }
+
+    #[test]
+    fn err_line_is_single_line() {
+        assert_eq!(err_line("no such\ngraph"), "ERR no such graph");
+    }
+
+    #[test]
+    fn vertex_list_syntax() {
+        assert_eq!(render_vertices(&[3, 1, 4]), "3,1,4");
+        assert_eq!(render_vertices(&[]), "");
+    }
+}

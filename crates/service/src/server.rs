@@ -1,0 +1,442 @@
+//! The TCP front end: accept loop, per-connection line handlers, dispatch.
+//!
+//! See the crate docs for the threading model. The accept loop runs on the
+//! caller's thread ([`Server::run`]) or a dedicated one ([`Server::spawn`]);
+//! each accepted connection gets its own handler thread that parses one
+//! command per line and writes one response line back. `SHUTDOWN` raises a
+//! flag and pokes the listener with a loopback connection so `accept`
+//! returns without platform-specific non-blocking machinery.
+
+use crate::cache::GraphCache;
+use crate::jobs::{JobOutcome, JobQueue, JobSpec, WorkerPool};
+use crate::protocol::{err_line, parse_command, render_vertices, Command, OkLine};
+use kdc::{SolverConfig, Status};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared daemon state: the graph cache, the job queue, the shutdown latch.
+struct Daemon {
+    cache: GraphCache,
+    queue: Arc<JobQueue>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Poke the accept loop awake. A wildcard bind address
+            // (0.0.0.0 / ::) is not a connectable destination, so aim the
+            // poke at loopback on the bound port. Errors are fine (the
+            // listener may already be gone).
+            let ip = if self.addr.ip().is_unspecified() {
+                match self.addr {
+                    SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                    SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+                }
+            } else {
+                self.addr.ip()
+            };
+            let poke = SocketAddr::new(ip, self.addr.port());
+            let _ = TcpStream::connect_timeout(&poke, Duration::from_secs(1));
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    daemon: Arc<Daemon>,
+    workers: usize,
+}
+
+/// Handle to a server running on a background thread (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port 0 bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to shut down.
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with a pool
+    /// of `workers` solver threads.
+    pub fn bind(addr: &str, workers: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            daemon: Arc::new(Daemon {
+                cache: GraphCache::new(),
+                queue: Arc::new(JobQueue::new()),
+                shutdown: AtomicBool::new(false),
+                addr,
+            }),
+            workers,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.daemon.addr
+    }
+
+    /// Runs the accept loop on the current thread until `SHUTDOWN`.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            daemon,
+            workers,
+        } = self;
+        let pool = WorkerPool::new(daemon.queue.clone(), workers);
+        for stream in listener.incoming() {
+            if daemon.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let daemon = daemon.clone();
+            // Handler threads are detached: they die with the connection
+            // (client EOF) or with the process; joining them could block
+            // shutdown on a client that never hangs up.
+            let _ = std::thread::Builder::new()
+                .name("kdc-conn".to_string())
+                .spawn(move || handle_connection(stream, &daemon));
+        }
+        daemon.queue.shutdown();
+        pool.join();
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread; returns immediately.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let thread = std::thread::Builder::new()
+            .name("kdc-accept".to_string())
+            .spawn(move || self.run())
+            .expect("spawn server thread");
+        ServerHandle { addr, thread }
+    }
+}
+
+/// Longest accepted request line. Any real command (a filesystem path plus
+/// a few options) is far below this; past it the sender is broken or
+/// hostile and an unbounded `read_line` would buffer its bytes forever.
+const MAX_LINE_BYTES: u64 = 64 * 1024;
+
+fn handle_connection(stream: TcpStream, daemon: &Daemon) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client hung up (or sent non-UTF-8)
+            Ok(_) => {}
+        }
+        if line.len() as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
+            // Oversized line: no way to resync mid-stream, so answer once
+            // and hang up.
+            let _ = writer.write_all(format!("{}\n", err_line("request line too long")).as_bytes());
+            return;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match parse_command(line.trim()) {
+            Err(e) => (err_line(&e), false),
+            Ok(command) => execute(command, daemon),
+        };
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if shutdown {
+            daemon.request_shutdown();
+            return;
+        }
+    }
+}
+
+/// Protocol token for a solve status.
+fn status_token(status: Status) -> &'static str {
+    match status {
+        Status::Optimal => "optimal",
+        Status::TimedOut => "timeout",
+        Status::NodeLimitReached => "node-limit",
+        Status::Cancelled => "cancelled",
+    }
+}
+
+/// Executes one command; returns the response line and whether to shut down.
+fn execute(command: Command, daemon: &Daemon) -> (String, bool) {
+    let response = match command {
+        Command::Load { path, name } => daemon.cache.load(&path, &name).map(|entry| {
+            OkLine::new()
+                .field("loaded", &entry.name)
+                .field("n", entry.graph.n())
+                .field("m", entry.graph.m())
+                .field("parse_ms", entry.parse_time.as_millis())
+                .render()
+        }),
+        Command::Solve {
+            graph,
+            k,
+            preset,
+            limit,
+            threads,
+        } => solve(daemon, &graph, k, preset, limit, threads),
+        Command::Enumerate { graph, k, top } => enumerate(daemon, &graph, k, top),
+        Command::Stats { graph } => stats(daemon, graph.as_deref()),
+        Command::Unload { graph } => {
+            if daemon.cache.unload(&graph) {
+                Ok(OkLine::new().field("unloaded", &graph).render())
+            } else {
+                Err(format!("no graph named {graph:?}"))
+            }
+        }
+        Command::Jobs => {
+            let jobs = daemon.queue.list();
+            let rendered: Vec<String> = jobs
+                .iter()
+                .map(|j| format!("{}:{}:{}", j.id, j.state.as_str(), j.description))
+                .collect();
+            Ok(OkLine::new()
+                .field("count", jobs.len())
+                .field("jobs", rendered.join(";"))
+                .render())
+        }
+        Command::Cancel { id } => daemon.queue.cancel(id).map(|was| {
+            OkLine::new()
+                .field("cancelled", id)
+                .field("was", was.as_str())
+                .render()
+        }),
+        Command::Shutdown => {
+            return (OkLine::new().field("shutdown", "ok").render(), true);
+        }
+    };
+    match response {
+        Ok(line) => (line, false),
+        Err(e) => (err_line(&e), false),
+    }
+}
+
+fn solve(
+    daemon: &Daemon,
+    graph: &str,
+    k: usize,
+    preset: Option<String>,
+    limit: Option<f64>,
+    threads: usize,
+) -> Result<String, String> {
+    let entry = daemon
+        .cache
+        .get(graph)
+        .ok_or_else(|| format!("no graph named {graph:?} (LOAD it first)"))?;
+    let preset = preset.unwrap_or_else(|| "kdc".to_string());
+    // Fail fast on a bad preset instead of burning a worker slot.
+    SolverConfig::from_preset(&preset)?;
+    // parse_command validated the limit, but convert defensively anyway —
+    // this thread must never panic on client input.
+    let limit = limit.map(kdc::config::parse_time_limit).transpose()?;
+    let id = daemon.queue.submit(JobSpec::Solve {
+        entry,
+        k,
+        preset,
+        limit,
+        threads,
+    });
+    match daemon.queue.wait(id) {
+        JobOutcome::Solve {
+            solution,
+            from_cache,
+            elapsed,
+        } => Ok(OkLine::new()
+            .field("job", id)
+            .field("graph", graph)
+            .field("status", status_token(solution.status))
+            .field("size", solution.size())
+            .field("vertices", render_vertices(&solution.vertices))
+            .field("cached", from_cache)
+            .field("elapsed_ms", elapsed.as_millis())
+            .field("nodes", solution.stats.nodes)
+            .render()),
+        JobOutcome::Error(e) => Err(e),
+        JobOutcome::Enumerate { .. } => Err("internal: wrong outcome kind".to_string()),
+    }
+}
+
+fn enumerate(daemon: &Daemon, graph: &str, k: usize, top: usize) -> Result<String, String> {
+    let entry = daemon
+        .cache
+        .get(graph)
+        .ok_or_else(|| format!("no graph named {graph:?} (LOAD it first)"))?;
+    let id = daemon.queue.submit(JobSpec::Enumerate { entry, k, top });
+    match daemon.queue.wait(id) {
+        JobOutcome::Enumerate {
+            cliques,
+            complete,
+            elapsed,
+        } => {
+            let sizes: Vec<String> = cliques.iter().map(|c| c.len().to_string()).collect();
+            let rendered: Vec<String> = cliques.iter().map(|c| render_vertices(c)).collect();
+            Ok(OkLine::new()
+                .field("job", id)
+                .field("graph", graph)
+                .field("status", if complete { "complete" } else { "cancelled" })
+                .field("count", cliques.len())
+                .field("sizes", sizes.join(","))
+                .field("cliques", rendered.join(";"))
+                .field("elapsed_ms", elapsed.as_millis())
+                .render())
+        }
+        JobOutcome::Error(e) => Err(e),
+        JobOutcome::Solve { .. } => Err("internal: wrong outcome kind".to_string()),
+    }
+}
+
+fn stats(daemon: &Daemon, graph: Option<&str>) -> Result<String, String> {
+    match graph {
+        Some(name) => {
+            let entry = daemon
+                .cache
+                .get(name)
+                .ok_or_else(|| format!("no graph named {name:?}"))?;
+            // Force the artifact before sampling counters, so the reported
+            // peel_builds already reflects this request's build (if any).
+            let degeneracy = entry.degeneracy();
+            let (hits, peel_builds, solves, result_hits) = entry.counters();
+            Ok(OkLine::new()
+                .field("graph", name)
+                .field("n", entry.graph.n())
+                .field("m", entry.graph.m())
+                .field("degeneracy", degeneracy)
+                .field("parse_ms", entry.parse_time.as_millis())
+                .field("hits", hits)
+                .field("peel_builds", peel_builds)
+                .field("solves", solves)
+                .field("result_hits", result_hits)
+                .render())
+        }
+        None => Ok(OkLine::new()
+            .field("graphs", daemon.cache.names().join(","))
+            .field("parses", daemon.cache.parses())
+            .field("jobs", daemon.queue.list().len())
+            .render()),
+    }
+}
+
+/// One-shot client helper: connect, send one command line, read one response
+/// line. Used by `kdc client` and the tests.
+pub fn request(addr: &str, command: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(format!("{command}\n").as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(line.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdc_graph::named;
+
+    fn write_figure2() -> String {
+        let dir = std::env::temp_dir().join(format!("kdc_service_unit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("figure2.clq");
+        kdc_graph::io::write_dimacs(&named::figure2(), &path).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn single_connection_session() {
+        let path = write_figure2();
+        let handle = Server::bind("127.0.0.1:0", 2).unwrap().spawn();
+        let addr = handle.addr().to_string();
+
+        let resp = request(&addr, &format!("LOAD {path} AS fig2")).unwrap();
+        assert!(resp.starts_with("OK loaded=fig2 n=12 m=26"), "{resp}");
+
+        let resp = request(&addr, "SOLVE fig2 k=2").unwrap();
+        assert!(resp.contains("status=optimal"), "{resp}");
+        assert!(resp.contains("size=6"), "{resp}");
+        assert!(resp.contains("cached=false"), "{resp}");
+
+        // Second identical solve is answered from the memo.
+        let resp = request(&addr, "SOLVE fig2 k=2").unwrap();
+        assert!(resp.contains("cached=true"), "{resp}");
+
+        let resp = request(&addr, "ENUMERATE fig2 k=1 top=2").unwrap();
+        assert!(resp.contains("count=2"), "{resp}");
+        assert!(resp.contains("sizes=5,5"), "{resp}");
+
+        let resp = request(&addr, "STATS fig2").unwrap();
+        assert!(resp.contains("degeneracy="), "{resp}");
+        assert!(resp.contains("peel_builds=1"), "{resp}");
+
+        let resp = request(&addr, "JOBS").unwrap();
+        assert!(resp.starts_with("OK count=3"), "{resp}");
+
+        let resp = request(&addr, "UNLOAD fig2").unwrap();
+        assert_eq!(resp, "OK unloaded=fig2");
+        let resp = request(&addr, "SOLVE fig2 k=2").unwrap();
+        assert!(resp.starts_with("ERR "), "{resp}");
+
+        let resp = request(&addr, "SHUTDOWN").unwrap();
+        assert_eq!(resp, "OK shutdown=ok");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_get_err_without_killing_connection() {
+        let handle = Server::bind("127.0.0.1:0", 1).unwrap().spawn();
+        let addr = handle.addr().to_string();
+        // One persistent connection, several bad lines, then a good one.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut send = |line: &str| {
+            stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            resp.trim_end().to_string()
+        };
+        assert!(send("BOGUS").starts_with("ERR "));
+        assert!(send("SOLVE nowhere k=1").starts_with("ERR "));
+        assert!(send("LOAD /nonexistent.clq AS g").starts_with("ERR "));
+        assert!(send("STATS").starts_with("OK graphs= parses=0"));
+        assert_eq!(send("SHUTDOWN"), "OK shutdown=ok");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unload_missing_graph_is_an_error() {
+        let handle = Server::bind("127.0.0.1:0", 1).unwrap().spawn();
+        let addr = handle.addr().to_string();
+        assert!(request(&addr, "UNLOAD ghost").unwrap().starts_with("ERR "));
+        assert!(request(&addr, "CANCEL 42").unwrap().starts_with("ERR "));
+        request(&addr, "SHUTDOWN").unwrap();
+        handle.join().unwrap();
+    }
+}

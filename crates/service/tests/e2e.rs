@@ -1,0 +1,160 @@
+//! End-to-end smoke test for the solver daemon: one `Server` on an
+//! ephemeral loopback port drives a full multi-request session —
+//! LOAD → two *concurrent* SOLVEs on different cached graphs → a CANCEL of
+//! a long-running job → warm-path re-solve → SHUTDOWN — and every solve
+//! answer is checked against the direct [`kdc::Solver`] API on the same
+//! inputs.
+
+use kdc::{Solver, SolverConfig};
+use kdc_graph::{gen, named, Graph};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+/// A persistent client connection: send one line, read one line.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Client { writer, reader }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read");
+        response.trim_end().to_string()
+    }
+}
+
+/// Extracts `key=` from an `OK key=value ...` response line.
+fn field<'a>(response: &'a str, key: &str) -> &'a str {
+    response
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no field {key}= in {response:?}"))
+}
+
+fn write_graph(name: &str, g: &Graph) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kdc_service_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    kdc_graph::io::write_dimacs(g, &path).unwrap();
+    path
+}
+
+#[test]
+fn full_session_on_ephemeral_port() {
+    // Two easy-but-distinct graphs for the concurrent solves, one dense
+    // graph hard enough that its solve must be cancelled, not awaited.
+    let g1 = named::figure2();
+    let mut rng = gen::seeded_rng(321);
+    let (g2, _) = gen::planted_defective_clique(120, 12, 1, 0.05, &mut rng);
+    let hard = gen::gnp(220, 0.5, &mut rng);
+    let p1 = write_graph("g1.clq", &g1);
+    let p2 = write_graph("g2.clq", &g2);
+    let ph = write_graph("hard.clq", &hard);
+
+    // Ground truth from the direct solver API on the same inputs.
+    let direct1 = Solver::new(&g1, 2, SolverConfig::kdc()).solve();
+    let direct2 = Solver::new(&g2, 1, SolverConfig::kdc()).solve();
+
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 2)
+        .expect("bind ephemeral port")
+        .spawn();
+    let addr = handle.addr().to_string();
+
+    // ---- LOAD both graphs over a control connection --------------------
+    let mut control = Client::connect(&addr);
+    let resp = control.send(&format!("LOAD {} AS g1", p1.display()));
+    assert_eq!(field(&resp, "loaded"), "g1", "{resp}");
+    assert_eq!(field(&resp, "n"), "12", "{resp}");
+    let resp = control.send(&format!("LOAD {} AS g2", p2.display()));
+    assert_eq!(field(&resp, "loaded"), "g2", "{resp}");
+
+    // ---- two concurrent SOLVEs on different cached graphs --------------
+    let (r1, r2) = std::thread::scope(|scope| {
+        let addr1 = addr.clone();
+        let addr2 = addr.clone();
+        let t1 = scope.spawn(move || Client::connect(&addr1).send("SOLVE g1 k=2"));
+        let t2 = scope.spawn(move || Client::connect(&addr2).send("SOLVE g2 k=1 threads=2"));
+        (t1.join().unwrap(), t2.join().unwrap())
+    });
+    assert_eq!(field(&r1, "status"), "optimal", "{r1}");
+    assert_eq!(field(&r1, "size"), direct1.size().to_string(), "{r1}");
+    assert_eq!(field(&r2, "status"), "optimal", "{r2}");
+    assert_eq!(field(&r2, "size"), direct2.size().to_string(), "{r2}");
+    // The reported vertex sets are valid k-defective cliques of the inputs.
+    let verts1: Vec<u32> = field(&r1, "vertices")
+        .split(',')
+        .map(|v| v.parse().unwrap())
+        .collect();
+    assert!(g1.is_k_defective_clique(&verts1, 2), "{r1}");
+    let verts2: Vec<u32> = field(&r2, "vertices")
+        .split(',')
+        .map(|v| v.parse().unwrap())
+        .collect();
+    assert!(g2.is_k_defective_clique(&verts2, 1), "{r2}");
+
+    // ---- CANCEL a long-running job -------------------------------------
+    let resp = control.send(&format!("LOAD {} AS hard", ph.display()));
+    assert_eq!(field(&resp, "loaded"), "hard", "{resp}");
+    let canceller = std::thread::scope(|scope| {
+        let addr_solver = addr.clone();
+        let solver_thread =
+            scope.spawn(move || Client::connect(&addr_solver).send("SOLVE hard k=12"));
+        // Poll JOBS until the hard solve is running, then cancel it.
+        let cancelled_id = loop {
+            let jobs = control.send("JOBS");
+            let entries = field(&jobs, "jobs");
+            if let Some(entry) = entries
+                .split(';')
+                .find(|e| e.contains("solve(hard") && e.contains(":running:"))
+            {
+                break entry.split(':').next().unwrap().to_string();
+            }
+            std::thread::yield_now();
+        };
+        let resp = control.send(&format!("CANCEL {cancelled_id}"));
+        assert_eq!(field(&resp, "cancelled"), cancelled_id, "{resp}");
+        let solve_resp = solver_thread.join().unwrap();
+        assert_eq!(field(&solve_resp, "status"), "cancelled", "{solve_resp}");
+        cancelled_id
+    });
+    let jobs = control.send("JOBS");
+    assert!(
+        jobs.contains(&format!("{canceller}:cancelled:")),
+        "JOBS must show the cancelled job: {jobs}"
+    );
+
+    // ---- warm path: repeat solve skips re-parsing and re-searching -----
+    let resp = control.send("SOLVE g1 k=2");
+    assert_eq!(field(&resp, "cached"), "true", "{resp}");
+    assert_eq!(field(&resp, "size"), direct1.size().to_string(), "{resp}");
+    let stats = control.send("STATS g1");
+    assert_eq!(
+        field(&stats, "solves"),
+        "1",
+        "one real search only: {stats}"
+    );
+    assert_eq!(field(&stats, "result_hits"), "1", "{stats}");
+    let global = control.send("STATS");
+    assert_eq!(
+        field(&global, "parses"),
+        "3",
+        "three LOADs, zero re-parses: {global}"
+    );
+
+    // ---- SHUTDOWN ------------------------------------------------------
+    let resp = control.send("SHUTDOWN");
+    assert_eq!(resp, "OK shutdown=ok");
+    handle.join().expect("clean server exit");
+}
