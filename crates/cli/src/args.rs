@@ -13,7 +13,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["parallel", "quick", "verbose"];
+const BOOLEAN_FLAGS: &[&str] = &["parallel", "quick", "verbose", "stats"];
 
 /// Parses `args` into positionals and flags.
 pub fn parse(args: &[String]) -> Result<Parsed, String> {

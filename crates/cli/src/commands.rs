@@ -14,7 +14,11 @@ fn preset(name: &str) -> Result<SolverConfig, String> {
 }
 
 /// `kdc solve <file> --k K [--preset P] [--limit S] [--parallel]
-/// [--threads N]`
+/// [--threads N] [--stats]`
+///
+/// `--stats` additionally prints the reduction/arena counters (CTCP
+/// removals, arena reuses, universe rebuilds) so perf-path regressions are
+/// visible straight from the CLI.
 ///
 /// Returns the process exit code: `0` for a proven-optimal solution,
 /// [`crate::EXIT_BEST_EFFORT`] when a limit expired first.
@@ -70,6 +74,20 @@ pub fn solve(args: &[String]) -> Result<ExitCode, String> {
         sol.stats.search_time.as_secs_f64()
     );
     println!("nodes: {}", sol.stats.nodes);
+    if p.has("stats") {
+        println!(
+            "reduced: n0 {} m0 {} (initial lb {})",
+            sol.stats.preprocessed_n, sol.stats.preprocessed_m, sol.stats.initial_solution_size
+        );
+        println!(
+            "ctcp: vertex-removals {} edge-removals {}",
+            sol.stats.ctcp_vertex_removals, sol.stats.ctcp_edge_removals
+        );
+        println!(
+            "arena: reuses {} universe-rebuilds {} ego-subproblems {}",
+            sol.stats.arena_reuses, sol.stats.universe_rebuilds, sol.stats.ego_subproblems
+        );
+    }
     Ok(if sol.is_optimal() {
         ExitCode::SUCCESS
     } else {
@@ -235,6 +253,9 @@ mod tests {
         solve(&argv(&[&path, "--k", "1", "--preset", "kdbb"])).unwrap();
         solve(&argv(&[&path, "--k", "1", "--preset", "rds"])).unwrap();
         solve(&argv(&[&path, "--k", "1", "--parallel"])).unwrap();
+        // --stats is a boolean flag and combines with the other options.
+        solve(&argv(&[&path, "--k", "2", "--stats"])).unwrap();
+        solve(&argv(&[&path, "--k", "1", "--stats", "--threads", "2"])).unwrap();
     }
 
     #[test]

@@ -73,6 +73,40 @@ fn solve_figure2() {
     assert!(text.contains("size: 6"), "output: {text}");
 }
 
+#[test]
+fn solve_stats_prints_reduction_counters() {
+    let path = sample_graph();
+    let out = run(&["solve", path.to_str().unwrap(), "--k", "2", "--stats"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("ctcp: vertex-removals"), "output: {text}");
+    assert!(text.contains("arena: reuses"), "output: {text}");
+    assert!(text.contains("universe-rebuilds"), "output: {text}");
+
+    // Without the flag the counter lines stay off.
+    let out = run(&["solve", path.to_str().unwrap(), "--k", "2"]);
+    let text = stdout(&out);
+    assert!(!text.contains("ctcp:"), "output: {text}");
+
+    // The parallel path surfaces the arena counters too.
+    let out = run(&[
+        "solve",
+        path.to_str().unwrap(),
+        "--k",
+        "2",
+        "--stats",
+        "--threads",
+        "2",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("arena: reuses"), "output: {text}");
+}
+
 /// Writes a dense 150-vertex G(n,p) graph whose k = 12 solve takes far
 /// longer than a microsecond, so a tiny --limit deterministically expires.
 fn hard_graph() -> PathBuf {

@@ -8,9 +8,11 @@
 //! the named presets correspond exactly to the algorithm variants evaluated
 //! in §4 of the paper.
 
+use kdc_graph::ctcp::Ctcp;
 use kdc_graph::degeneracy::Peeling;
+use kdc_graph::VertexId;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Validates a wall-clock limit given in (possibly fractional) seconds and
@@ -140,6 +142,20 @@ pub struct SolverConfig {
     /// (checked by `debug_assert`); long-running services cache one peeling
     /// per resident graph and share it across solves.
     pub shared_peeling: Option<Arc<Peeling>>,
+    /// A resident incremental CTCP reducer for the *input* graph, built with
+    /// this configuration's `k` and RR5/RR6 flags. When installed, the
+    /// solver resumes tightening from the reducer's current state instead of
+    /// recomputing the core/truss fixpoint from scratch — the warm-solve
+    /// path of long-running services. Ignored (with a fresh reducer built
+    /// instead) if the reducer's graph/k/rules don't match, or if its
+    /// recorded lower bound exceeds what this solve can justify.
+    pub shared_ctcp: Option<Arc<Mutex<Ctcp>>>,
+    /// A previously found k-defective clique of the input graph, used as an
+    /// extra initial lower-bound candidate (validated before use). Services
+    /// install their best known witness so warm solves start at least as
+    /// tight as every earlier solve — which in turn makes `shared_ctcp`'s
+    /// accumulated removals sound for this run.
+    pub seed_solution: Option<Vec<VertexId>>,
 }
 
 impl SolverConfig {
@@ -164,6 +180,8 @@ impl SolverConfig {
             node_limit: None,
             cancel: None,
             shared_peeling: None,
+            shared_ctcp: None,
+            seed_solution: None,
         }
     }
 
@@ -189,6 +207,8 @@ impl SolverConfig {
             node_limit: None,
             cancel: None,
             shared_peeling: None,
+            shared_ctcp: None,
+            seed_solution: None,
         }
     }
 
@@ -251,6 +271,8 @@ impl SolverConfig {
             node_limit: None,
             cancel: None,
             shared_peeling: None,
+            shared_ctcp: None,
+            seed_solution: None,
         }
     }
 
@@ -275,6 +297,8 @@ impl SolverConfig {
             node_limit: None,
             cancel: None,
             shared_peeling: None,
+            shared_ctcp: None,
+            seed_solution: None,
         }
     }
 
@@ -320,6 +344,20 @@ impl SolverConfig {
     /// the input graph (see [`SolverConfig::shared_peeling`]).
     pub fn with_shared_peeling(mut self, peeling: Arc<Peeling>) -> Self {
         self.shared_peeling = Some(peeling);
+        self
+    }
+
+    /// Builder-style installation of a resident CTCP reducer (see
+    /// [`SolverConfig::shared_ctcp`]).
+    pub fn with_shared_ctcp(mut self, ctcp: Arc<Mutex<Ctcp>>) -> Self {
+        self.shared_ctcp = Some(ctcp);
+        self
+    }
+
+    /// Builder-style installation of a known-solution seed (see
+    /// [`SolverConfig::seed_solution`]).
+    pub fn with_seed_solution(mut self, seed: Vec<VertexId>) -> Self {
+        self.seed_solution = Some(seed);
         self
     }
 }

@@ -5,7 +5,7 @@
 //! technique (used e.g. by MC-BRB for cliques) decomposes the problem into
 //! one small instance per vertex:
 //!
-//! For a degeneracy ordering `v_1 … v_n`, every k-defective clique `C` with
+//! For an ordering `v_1 … v_n`, every k-defective clique `C` with
 //! `|C| ≥ k + 3` satisfies: any two members share a common neighbour *inside
 //! C* (each vertex has ≥ |C| − 1 − k ≥ 2 neighbours in C, and two vertices
 //! can jointly miss at most k edges to the other |C| − 2 ≥ k + 1 members).
@@ -22,6 +22,17 @@
 //! solutions strictly larger than `lb` remain interesting); otherwise
 //! [`solve_decomposed`] transparently falls back to the global solver.
 //!
+//! # The shared universe and the per-worker arena
+//!
+//! All ego subproblems live inside **one** CTCP-reduced universe: the
+//! incremental reducer ([`kdc_graph::ctcp`]) is tightened once against the
+//! heuristic lower bound and extracted once (`universe_rebuilds = 1`), and
+//! the degeneracy ordering is restricted to the survivors. Each worker then
+//! owns a [`SubproblemArena`]: flat CSR buffers, a reusable [`Marker`], and
+//! one long-lived [`Engine`] re-primed per vertex via `Engine::reset` — so
+//! the per-vertex loop performs **no universe allocation in steady state**
+//! (`arena_reuses` counts exactly the instances served this way).
+//!
 //! Instances are independent, so they are solved on parallel threads
 //! (std scoped threads; the incumbent size is shared through an atomic).
 
@@ -29,11 +40,89 @@ use crate::config::{InitialHeuristic, SolverConfig};
 use crate::engine::Engine;
 use crate::heuristic;
 use crate::stats::{SearchStats, Solution, Status};
-use kdc_graph::degeneracy;
 use kdc_graph::graph::{Graph, VertexId};
 use kdc_graph::scratch::Marker;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-worker reusable state for the ego-subproblem loop: universe and
+/// relabelling buffers, the flat CSR of the current instance, and one
+/// long-lived engine re-primed via [`Engine::reset`]. After the first
+/// instance has grown the buffers, priming another instance of no larger
+/// size allocates nothing.
+struct SubproblemArena {
+    engine: Engine,
+    /// Current ego universe (reduced ids, sorted ascending once built).
+    universe: Vec<u32>,
+    /// Membership marker over the reduced universe.
+    member: Marker,
+    /// reduced id → local id of the current instance (valid only for
+    /// marked members, so it never needs clearing).
+    local_id: Vec<u32>,
+    csr_off: Vec<u32>,
+    csr_dat: Vec<u32>,
+    /// Whether the engine has been primed at least once.
+    primed: bool,
+    /// Instances served by re-priming the existing arena.
+    reuses: u64,
+    /// Instances actually searched.
+    instances: u64,
+}
+
+impl SubproblemArena {
+    fn new(n_reduced: usize, k: usize, config: SolverConfig) -> Self {
+        SubproblemArena {
+            engine: Engine::hollow(k, config),
+            universe: Vec::new(),
+            member: Marker::new(n_reduced),
+            local_id: vec![0; n_reduced],
+            csr_off: Vec::new(),
+            csr_dat: Vec::new(),
+            primed: false,
+            reuses: 0,
+            instances: 0,
+        }
+    }
+
+    /// Builds the induced-subgraph CSR of `universe` (sorting it ascending
+    /// first) from the shared reduced adjacency, primes the engine at floor
+    /// `lb` with `v` forced into S, and runs the search. Returns whether the
+    /// run completed.
+    fn solve_instance(
+        &mut self,
+        red_adj: &[Vec<u32>],
+        v: u32,
+        lb: usize,
+        deadline: Option<Instant>,
+    ) -> bool {
+        self.universe.sort_unstable();
+        self.csr_off.clear();
+        self.csr_dat.clear();
+        self.csr_off.push(0);
+        for (li, &u) in self.universe.iter().enumerate() {
+            self.local_id[u as usize] = li as u32;
+        }
+        for &u in &self.universe {
+            for &w in &red_adj[u as usize] {
+                if self.member.is_marked(w as usize) {
+                    self.csr_dat.push(self.local_id[w as usize]);
+                }
+            }
+            self.csr_off.push(self.csr_dat.len() as u32);
+        }
+        if self.primed {
+            self.reuses += 1;
+        } else {
+            self.primed = true;
+        }
+        self.instances += 1;
+        self.engine.reset(&self.csr_off, &self.csr_dat, lb);
+        self.engine.override_deadline(deadline);
+        self.engine.force_into_s(self.local_id[v as usize]);
+        self.engine.run()
+    }
+}
 
 /// Exact maximum k-defective clique via parallel ego decomposition.
 ///
@@ -60,17 +149,23 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
     let peeling = match &config.shared_peeling {
         Some(shared) => shared.clone(),
         None => {
-            fresh_peeling = std::sync::Arc::new(degeneracy::peel(g));
+            fresh_peeling = std::sync::Arc::new(kdc_graph::degeneracy::peel(g));
             fresh_peeling.clone()
         }
     };
     debug_assert_eq!(peeling.order.len(), g.n(), "peeling is for another graph");
-    // Initial solution — also the correctness gate.
-    let initial = match config.heuristic {
+    // Initial solution — also the correctness gate; an installed seed
+    // (warm service solves) may raise it further.
+    let mut initial = match config.heuristic {
         InitialHeuristic::None | InitialHeuristic::Degen => heuristic::degen_with(g, k, &peeling),
         InitialHeuristic::DegenOpt => heuristic::degen_opt_with(g, k, &peeling),
         InitialHeuristic::DegenOptLocalSearch => heuristic::degen_opt_ls_with(g, k, &peeling),
     };
+    if let Some(seed) = &config.seed_solution {
+        if seed.len() > initial.len() && crate::solver::valid_seed(g, seed, k) {
+            initial = seed.clone();
+        }
+    }
     if initial.len() < k + 2 {
         return crate::Solver::new(g, k, config).solve();
     }
@@ -82,15 +177,56 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
         threads
     };
 
-    let n = g.n();
+    // One CTCP-reduced universe shared by every ego subproblem: tighten the
+    // (possibly resident) reducer to the initial bound and extract once,
+    // atomically — if a concurrent solve already tightened the resident
+    // reducer past our bound, its universe may be missing solutions we must
+    // find, so fall back to a private reducer.
+    let ctcp = crate::solver::resident_ctcp(g, k, &config, initial.len());
+    let (removed_v, removed_e, red_adj, keep) = {
+        let mut c = ctcp.lock().expect("poisoned");
+        let rem = c.tighten(initial.len());
+        if c.lb() <= initial.len() {
+            let (adj, keep) = c.extract_universe();
+            (rem.vertices.len() as u64, rem.edges, adj, keep)
+        } else {
+            drop(c);
+            let mut private =
+                kdc_graph::ctcp::Ctcp::with_rules(g, k, config.enable_rr5, config.enable_rr6);
+            let rem = private.tighten(initial.len());
+            let (adj, keep) = private.extract_universe();
+            (rem.vertices.len() as u64, rem.edges, adj, keep)
+        }
+    };
+    let n_red = keep.len();
+    let red_m = red_adj.iter().map(Vec::len).sum::<usize>() / 2;
 
-    // Forward (successor) adjacency under the ordering.
-    let nplus: Vec<Vec<VertexId>> = (0..n as VertexId)
+    // The input ordering restricted to the survivors (any ordering keeps
+    // the containment argument valid; the degeneracy restriction keeps the
+    // successor sets small), plus ranks and forward adjacency, all in
+    // reduced ids.
+    let mut red_id: Vec<u32> = vec![u32::MAX; g.n()];
+    for (i, &v) in keep.iter().enumerate() {
+        red_id[v as usize] = i as u32;
+    }
+    let order: Vec<u32> = peeling
+        .order
+        .iter()
+        .filter_map(|&v| {
+            let r = red_id[v as usize];
+            (r != u32::MAX).then_some(r)
+        })
+        .collect();
+    let mut rank: Vec<u32> = vec![0; n_red];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i as u32;
+    }
+    let nplus: Vec<Vec<u32>> = (0..n_red as u32)
         .map(|u| {
-            g.neighbors(u)
+            red_adj[u as usize]
                 .iter()
                 .copied()
-                .filter(|&w| peeling.rank[w as usize] > peeling.rank[u as usize])
+                .filter(|&w| rank[w as usize] > rank[u as usize])
                 .collect()
         })
         .collect();
@@ -101,15 +237,22 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
     let deadline = config.time_limit.map(|d| t0 + d);
     // 0 = ran to completion, 1 = deadline expired, 2 = cancelled.
     let abort_code = AtomicUsize::new(0);
-    let total_nodes = AtomicUsize::new(0);
+    let total_nodes = AtomicU64::new(0);
+    let total_reuses = AtomicU64::new(0);
+    let total_instances = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let mut member = Marker::new(n);
+                // The arena's engine keeps one config for its whole life;
+                // per-instance deadlines go through override_deadline, so
+                // the engine must not re-arm a relative limit on reset.
+                let mut worker_config = config.clone();
+                worker_config.time_limit = None;
+                let mut arena = SubproblemArena::new(n_red, k, worker_config);
                 loop {
                     let i = next_task.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    if i >= n_red {
                         break;
                     }
                     if let Some(flag) = &config.cancel {
@@ -124,62 +267,56 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                             break;
                         }
                     }
-                    let v = peeling.order[i];
+                    let v = order[i];
                     let lb = best_size.load(Ordering::Relaxed);
                     // Universe: v + successors within distance 2 through
                     // successor paths.
-                    member.reset();
-                    member.mark(v as usize);
-                    let mut universe: Vec<VertexId> = vec![v];
+                    arena.member.reset();
+                    arena.member.mark(v as usize);
+                    arena.universe.clear();
+                    arena.universe.push(v);
                     for &w in &nplus[v as usize] {
-                        if !member.is_marked(w as usize) {
-                            member.mark(w as usize);
-                            universe.push(w);
+                        if !arena.member.is_marked(w as usize) {
+                            arena.member.mark(w as usize);
+                            arena.universe.push(w);
                         }
                     }
-                    let direct = universe.len();
-                    let v_rank = peeling.rank[v as usize];
+                    let direct = arena.universe.len();
+                    let v_rank = rank[v as usize];
                     for di in 1..direct {
-                        let w = universe[di];
+                        let w = arena.universe[di];
                         // All successors *of v* adjacent to w (their rank may
                         // be below w's, so w's full neighbour list is needed,
                         // filtered to the ≻ v region).
-                        for &x in g.neighbors(w) {
-                            if peeling.rank[x as usize] > v_rank && !member.is_marked(x as usize) {
-                                member.mark(x as usize);
-                                universe.push(x);
+                        for &x in &red_adj[w as usize] {
+                            if rank[x as usize] > v_rank && !arena.member.is_marked(x as usize) {
+                                arena.member.mark(x as usize);
+                                arena.universe.push(x);
                             }
                         }
                     }
                     // Solutions containing v of size > lb need ≥ lb + 1
                     // vertices in the universe.
-                    if universe.len() <= lb {
+                    if arena.universe.len() <= lb {
                         continue;
                     }
 
-                    let (sub, map) = g.induced_subgraph(&universe);
-                    let adj: Vec<Vec<u32>> = (0..sub.n() as u32)
-                        .map(|x| sub.neighbors(x).to_vec())
-                        .collect();
-                    let mut cfg = config.clone();
-                    cfg.time_limit =
-                        deadline.map(|d| d.saturating_duration_since(std::time::Instant::now()));
-                    let mut engine = Engine::new(adj, k, cfg, lb);
-                    engine.force_into_s(0); // v is universe[0] → local id 0
-                    let finished = engine.run();
-                    total_nodes.fetch_add(engine.stats.nodes as usize, Ordering::Relaxed);
+                    let finished = arena.solve_instance(&red_adj, v, lb, deadline);
+                    total_nodes.fetch_add(arena.engine.stats.nodes, Ordering::Relaxed);
                     if !finished {
-                        let code = if engine.abort_status() == Status::Cancelled {
+                        let code = if arena.engine.abort_status() == Status::Cancelled {
                             2
                         } else {
                             1
                         };
                         abort_code.fetch_max(code, Ordering::Relaxed);
                     }
-                    let found = engine.best();
+                    let found = arena.engine.best();
                     if found.len() > lb {
-                        let mapped: Vec<VertexId> =
-                            found.iter().map(|&x| map[x as usize]).collect();
+                        let mapped: Vec<VertexId> = found
+                            .iter()
+                            .map(|&x| keep[arena.universe[x as usize] as usize])
+                            .collect();
                         debug_assert!(g.is_k_defective_clique(&mapped, k));
                         let mut guard = best_sol.lock().expect("poisoned");
                         if mapped.len() > guard.len() {
@@ -188,6 +325,8 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                         }
                     }
                 }
+                total_reuses.fetch_add(arena.reuses, Ordering::Relaxed);
+                total_instances.fetch_add(arena.instances, Ordering::Relaxed);
             });
         }
     });
@@ -203,8 +342,15 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
         vertices,
         status,
         stats: SearchStats {
-            nodes: total_nodes.load(Ordering::Relaxed) as u64,
+            nodes: total_nodes.load(Ordering::Relaxed),
             initial_solution_size: initial.len(),
+            preprocessed_n: n_red,
+            preprocessed_m: red_m,
+            ctcp_vertex_removals: removed_v,
+            ctcp_edge_removals: removed_e,
+            arena_reuses: total_reuses.load(Ordering::Relaxed),
+            universe_rebuilds: 1,
+            ego_subproblems: total_instances.load(Ordering::Relaxed),
             search_time: t0.elapsed(),
             ..Default::default()
         },
@@ -304,5 +450,123 @@ mod tests {
         let sol = solve_decomposed(&g, 4, SolverConfig::kdc(), 0);
         assert!(sol.size() >= planted.len());
         assert!(sol.is_optimal());
+    }
+
+    #[test]
+    fn steady_state_ego_loop_reuses_the_arena() {
+        // The structural zero-allocation claim: a single-threaded decomposed
+        // solve builds the shared universe exactly once, and every searched
+        // ego instance beyond the first re-primes the worker's arena instead
+        // of allocating a fresh one.
+        let mut rng = gen::seeded_rng(4242);
+        let g = gen::community(
+            &gen::CommunityParams {
+                communities: 8,
+                community_size: 20,
+                p_in: 0.55,
+                p_out: 0.02,
+            },
+            &mut rng,
+        );
+        let sol = solve_decomposed(&g, 2, SolverConfig::kdc(), 1);
+        assert!(sol.is_optimal());
+        assert_eq!(sol.stats.universe_rebuilds, 1, "one shared universe");
+        assert!(
+            sol.stats.ego_subproblems >= 2,
+            "test graph too easy: {} instances",
+            sol.stats.ego_subproblems
+        );
+        assert_eq!(
+            sol.stats.arena_reuses,
+            sol.stats.ego_subproblems - 1,
+            "every instance after the first must reuse the arena"
+        );
+
+        // Multi-threaded: at most one non-reuse (first prime) per worker.
+        let sol = solve_decomposed(&g, 2, SolverConfig::kdc(), 4);
+        assert!(sol.is_optimal());
+        assert_eq!(sol.stats.universe_rebuilds, 1);
+        assert!(
+            sol.stats.ego_subproblems - sol.stats.arena_reuses <= 4,
+            "non-reused instances exceed worker count: {} of {}",
+            sol.stats.ego_subproblems - sol.stats.arena_reuses,
+            sol.stats.ego_subproblems
+        );
+    }
+
+    #[test]
+    fn hostile_seeds_are_rejected_not_panicked() {
+        // seed_solution is documented as validated: out-of-range ids and
+        // duplicates must be ignored gracefully on the decomposed path too.
+        let mut rng = gen::seeded_rng(4711);
+        let g = gen::gnp(40, 0.4, &mut rng);
+        let reference = solve_decomposed(&g, 2, SolverConfig::kdc(), 2);
+        for bad in [
+            vec![0u32, 0, 1],                      // duplicate
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9999], // out of range
+        ] {
+            let cfg = SolverConfig::kdc().with_seed_solution(bad);
+            let sol = solve_decomposed(&g, 2, cfg, 2);
+            assert_eq!(sol.size(), reference.size());
+            assert!(sol.is_optimal());
+        }
+    }
+
+    #[test]
+    fn concurrent_solves_on_one_resident_reducer_stay_sound() {
+        // Two solves sharing one resident reducer, racing with very
+        // different lower bounds (one seeded at the optimum, one not): the
+        // verify-and-extract guard must keep the weakly-bounded solve from
+        // searching an over-tightened universe, so both report the true
+        // optimum every time.
+        use kdc_graph::ctcp::Ctcp;
+        use std::sync::{Arc, Mutex};
+        let mut rng = gen::seeded_rng(4712);
+        let (g, _) = gen::planted_defective_clique(300, 14, 2, 0.03, &mut rng);
+        let k = 2;
+        let truth = crate::Solver::new(&g, k, SolverConfig::kdc()).solve();
+        assert!(truth.is_optimal());
+        for _ in 0..8 {
+            let resident = Arc::new(Mutex::new(Ctcp::new(&g, k)));
+            let strong_cfg = SolverConfig::kdc()
+                .with_shared_ctcp(resident.clone())
+                .with_seed_solution(truth.vertices.clone());
+            // The weak solve starts from the bare Degen heuristic (lower
+            // lb) while the strong one immediately tightens to the optimum.
+            let mut weak_cfg = SolverConfig::kdc().with_shared_ctcp(resident.clone());
+            weak_cfg.heuristic = InitialHeuristic::Degen;
+            let (a, b) = std::thread::scope(|scope| {
+                let ta = scope.spawn(|| crate::Solver::new(&g, k, strong_cfg).solve());
+                let tb = scope.spawn(|| solve_decomposed(&g, k, weak_cfg, 2));
+                (ta.join().unwrap(), tb.join().unwrap())
+            });
+            assert_eq!(a.size(), truth.size(), "strong solve regressed");
+            assert_eq!(
+                b.size(),
+                truth.size(),
+                "weak solve saw an over-pruned universe"
+            );
+            assert!(a.is_optimal() && b.is_optimal());
+        }
+    }
+
+    #[test]
+    fn ctcp_counters_surface_in_decomposed_stats() {
+        let mut rng = gen::seeded_rng(77);
+        let (g, _) = gen::planted_defective_clique(400, 16, 2, 0.02, &mut rng);
+        let sol = solve_decomposed(&g, 2, SolverConfig::kdc(), 2);
+        assert!(sol.is_optimal());
+        assert!(
+            sol.stats.ctcp_vertex_removals > 0,
+            "planted instance must shrink"
+        );
+        assert!(
+            sol.stats.ctcp_edge_removals > 0,
+            "removed vertices carry their edges with them"
+        );
+        assert_eq!(
+            sol.stats.preprocessed_n,
+            g.n() - sol.stats.ctcp_vertex_removals as usize
+        );
     }
 }

@@ -285,8 +285,9 @@ impl Engine {
             let v = self.scratch_cands[idx];
             self.scratch_serial += 1;
             let serial = self.scratch_serial;
-            for i in 0..self.adj[v as usize].len() {
-                let w = self.adj[v as usize][i];
+            let (start, end) = self.row_range(v);
+            for i in start..end {
+                let w = self.adj_dat[i];
                 if self.is_cand(w) {
                     let c = self.scratch_color[w as usize];
                     if c != u32::MAX {

@@ -56,14 +56,37 @@ pub(crate) enum Reduced {
     Open,
 }
 
+/// Reusable scratch for the bucket-queue degeneracy ranking of the root
+/// universe (an allocation-free [`Engine::reset`] needs the ranking without
+/// a per-instance heap).
+#[derive(Default)]
+struct RankScratch {
+    deg: Vec<u32>,
+    vert: Vec<u32>,
+    pos: Vec<u32>,
+    bucket_start: Vec<u32>,
+    next_slot: Vec<u32>,
+}
+
 /// The search engine over a fixed universe graph.
+///
+/// The universe adjacency is stored as a flat CSR (`adj_off`/`adj_dat`) so a
+/// long-lived engine can be re-primed for a new universe via
+/// [`Engine::reset`] without allocating: every buffer is cleared and
+/// refilled in place, retaining its capacity across instances (the
+/// steady-state contract of the decomposition arena).
 pub(crate) struct Engine {
     pub(crate) k: usize,
     n: usize,
-    /// Static sorted adjacency over the universe.
-    adj: Vec<Vec<u32>>,
+    /// Static sorted adjacency over the universe, CSR layout:
+    /// `adj_dat[adj_off[v] .. adj_off[v + 1]]` is the sorted row of `v`.
+    adj_off: Vec<u32>,
+    adj_dat: Vec<u32>,
     /// Optional dense adjacency for `n ≤ matrix_limit`.
     matrix: Option<BitMatrix>,
+    /// Parked matrix buffer while the current universe is too large for the
+    /// dense path, so a later small universe can reuse the allocation.
+    matrix_spare: Option<BitMatrix>,
     /// Alive-candidate membership mask (kept in sync with the partition; used
     /// by bit-parallel intersections).
     cand_mask: BitSet,
@@ -118,6 +141,17 @@ pub(crate) struct Engine {
     scratch_serial: u32,
     /// Scratch: (colour, |N̄_S|) pairs for UB1.
     scratch_pairs: Vec<(u32, u32)>,
+    /// Scratch: bucket-queue state for [`Engine::recompute_root_order`].
+    rank_scratch: RankScratch,
+
+    /// Called whenever the incumbent improves (new best size passed in);
+    /// returning `true` aborts the run with [`Engine::rebuild_requested`]
+    /// set, signalling the caller to re-extract a tightened universe and
+    /// restart. Installed by the solver's CTCP re-tightening loop.
+    improve_hook: Option<Box<dyn FnMut(usize) -> bool + Send>>,
+    /// Whether the last abort was a voluntary stop-for-rebuild (see
+    /// `improve_hook`), as opposed to a limit or cancellation.
+    rebuild_requested: bool,
 
     depth: usize,
     aborted: bool,
@@ -130,67 +164,215 @@ impl Engine {
     /// Builds an engine over a universe given by sorted adjacency lists.
     pub(crate) fn new(adj: Vec<Vec<u32>>, k: usize, config: SolverConfig, lb_floor: usize) -> Self {
         let n = adj.len();
-        let m2: usize = adj.iter().map(Vec::len).sum();
-        debug_assert!(
-            adj.iter().all(|l| l.windows(2).all(|w| w[0] < w[1])),
-            "adjacency must be sorted and deduped"
-        );
+        let mut off = Vec::with_capacity(n + 1);
+        let mut dat = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+        off.push(0u32);
+        for row in &adj {
+            dat.extend_from_slice(row);
+            off.push(dat.len() as u32);
+        }
+        let mut engine = Self::hollow(k, config);
+        engine.reset(&off, &dat, lb_floor);
+        engine
+    }
 
-        let matrix = if n > 0 && n <= config.matrix_limit {
-            let mut mx = BitMatrix::new(n, n);
-            for (u, list) in adj.iter().enumerate() {
-                for &v in list {
-                    mx.set(u, v as usize);
-                }
-            }
-            Some(mx)
-        } else {
-            None
-        };
-
-        let root_rank = rank_by_degeneracy(&adj);
-        let mut order_by_rank: Vec<u32> = (0..n as u32).collect();
-        order_by_rank.sort_unstable_by_key(|&v| std::cmp::Reverse(root_rank[v as usize]));
-        let deg: Vec<u32> = adj.iter().map(|l| l.len() as u32).collect();
-
+    /// An engine with zero-capacity buffers and no universe. Must be primed
+    /// with [`Engine::reset`] before use; exists so arenas can allocate the
+    /// struct once per worker and grow it on first reset.
+    pub(crate) fn hollow(k: usize, config: SolverConfig) -> Self {
         Engine {
             k,
-            n,
-            matrix,
-            cand_mask: BitSet::full(n),
-            vs: (0..n as u32).collect(),
-            pos: (0..n).collect(),
+            n: 0,
+            adj_off: Vec::new(),
+            adj_dat: Vec::new(),
+            matrix: None,
+            matrix_spare: None,
+            cand_mask: BitSet::new(0),
+            vs: Vec::new(),
+            pos: Vec::new(),
             s_end: 0,
-            cand_end: n,
-            deg,
-            non_nbr_s: vec![0; n],
+            cand_end: 0,
+            deg: Vec::new(),
+            non_nbr_s: Vec::new(),
             missing_in_s: 0,
-            edges_alive: m2 / 2,
-            trail: Vec::with_capacity(n.min(1 << 16)),
+            edges_alive: 0,
+            trail: Vec::new(),
             best: Vec::new(),
-            lb_floor,
+            lb_floor: 0,
             pool_r: 0,
             pool: Vec::new(),
             stats: SearchStats::default(),
-            root_rank,
-            order_by_rank,
+            root_rank: Vec::new(),
+            order_by_rank: Vec::new(),
             scratch_classes: Vec::new(),
             scratch_pairs_tmp: Vec::new(),
-            mark: Marker::new(n),
-            scratch_cands: Vec::with_capacity(n),
-            scratch_color: vec![0; n],
+            mark: Marker::new(0),
+            scratch_cands: Vec::new(),
+            scratch_color: Vec::new(),
             scratch_buckets: Vec::new(),
             scratch_used: Vec::new(),
             scratch_serial: 0,
             scratch_pairs: Vec::new(),
+            rank_scratch: RankScratch::default(),
+            improve_hook: None,
+            rebuild_requested: false,
             depth: 0,
             aborted: false,
             abort_status: crate::stats::Status::Optimal,
-            deadline: config.time_limit.map(|d| Instant::now() + d),
-            node_limit: config.node_limit,
-            adj,
+            deadline: None,
+            node_limit: None,
             config,
         }
+    }
+
+    /// Re-primes the engine for a new universe given as a CSR adjacency
+    /// (`data[offsets[v]..offsets[v + 1]]` = sorted row of `v`), clearing
+    /// every piece of per-run state in place. In steady state (capacities
+    /// already grown by earlier universes of at least this size) this
+    /// performs no heap allocation — the contract the decomposition arena's
+    /// `arena_reuses` counter asserts.
+    pub(crate) fn reset(&mut self, offsets: &[u32], data: &[u32], lb_floor: usize) {
+        let n = offsets.len() - 1;
+        debug_assert!((0..n).all(|v| {
+            data[offsets[v] as usize..offsets[v + 1] as usize]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
+        self.n = n;
+        self.adj_off.clear();
+        self.adj_off.extend_from_slice(offsets);
+        self.adj_dat.clear();
+        self.adj_dat.extend_from_slice(data);
+
+        if n > 0 && n <= self.config.matrix_limit {
+            let mut mx = match self.matrix.take().or_else(|| self.matrix_spare.take()) {
+                Some(mut mx) => {
+                    mx.reset(n, n);
+                    mx
+                }
+                None => BitMatrix::new(n, n),
+            };
+            for u in 0..n {
+                for i in offsets[u] as usize..offsets[u + 1] as usize {
+                    mx.set(u, data[i] as usize);
+                }
+            }
+            self.matrix = Some(mx);
+        } else if let Some(mx) = self.matrix.take() {
+            self.matrix_spare = Some(mx);
+        }
+
+        self.cand_mask.reset_full(n);
+        self.vs.clear();
+        self.vs.extend(0..n as u32);
+        self.pos.clear();
+        self.pos.extend(0..n);
+        self.s_end = 0;
+        self.cand_end = n;
+        self.deg.clear();
+        self.deg.extend((0..n).map(|v| offsets[v + 1] - offsets[v]));
+        self.non_nbr_s.clear();
+        self.non_nbr_s.resize(n, 0);
+        self.missing_in_s = 0;
+        self.edges_alive = data.len() / 2;
+        self.trail.clear();
+        self.best.clear();
+        self.lb_floor = lb_floor;
+        self.pool.clear();
+        self.stats = SearchStats::default();
+        self.recompute_root_order();
+        self.mark.ensure_capacity(n);
+        self.scratch_cands.clear();
+        self.scratch_color.clear();
+        self.scratch_color.resize(n, 0);
+        self.scratch_buckets.clear();
+        self.scratch_used.clear();
+        self.scratch_pairs.clear();
+        self.scratch_pairs_tmp.clear();
+        self.scratch_classes.clear();
+        self.depth = 0;
+        self.aborted = false;
+        self.rebuild_requested = false;
+        self.abort_status = crate::stats::Status::Optimal;
+        self.deadline = self.config.time_limit.map(|d| Instant::now() + d);
+        self.node_limit = self.config.node_limit;
+    }
+
+    /// The sorted universe row of `v`.
+    #[inline]
+    fn nbrs(&self, v: u32) -> &[u32] {
+        &self.adj_dat[self.adj_off[v as usize] as usize..self.adj_off[v as usize + 1] as usize]
+    }
+
+    /// `(start, end)` indices of `v`'s row in `adj_dat` (for loops that must
+    /// mutate other fields while walking the row).
+    #[inline]
+    fn row_range(&self, v: u32) -> (usize, usize) {
+        (
+            self.adj_off[v as usize] as usize,
+            self.adj_off[v as usize + 1] as usize,
+        )
+    }
+
+    /// Recomputes `root_rank` and `order_by_rank` for the current universe
+    /// with the reusable bucket-queue peel (no per-call heap allocation in
+    /// steady state). Ties among equal-degree vertices follow bucket order,
+    /// which is deterministic for a given universe.
+    fn recompute_root_order(&mut self) {
+        let n = self.n;
+        let rs = &mut self.rank_scratch;
+        rs.deg.clear();
+        rs.deg
+            .extend((0..n).map(|v| self.adj_off[v + 1] - self.adj_off[v]));
+        let max_deg = rs.deg.iter().copied().max().unwrap_or(0) as usize;
+        rs.bucket_start.clear();
+        rs.bucket_start.resize(max_deg + 2, 0);
+        for &d in &rs.deg {
+            rs.bucket_start[d as usize + 1] += 1;
+        }
+        for i in 1..rs.bucket_start.len() {
+            rs.bucket_start[i] += rs.bucket_start[i - 1];
+        }
+        rs.next_slot.clear();
+        rs.next_slot.extend_from_slice(&rs.bucket_start);
+        rs.vert.clear();
+        rs.vert.resize(n, 0);
+        rs.pos.clear();
+        rs.pos.resize(n, 0);
+        for v in 0..n {
+            let d = rs.deg[v] as usize;
+            rs.vert[rs.next_slot[d] as usize] = v as u32;
+            rs.pos[v] = rs.next_slot[d];
+            rs.next_slot[d] += 1;
+        }
+        self.root_rank.clear();
+        self.root_rank.resize(n, 0);
+        for i in 0..n {
+            let v = rs.vert[i];
+            self.root_rank[v as usize] = i as u32;
+            let start = self.adj_off[v as usize] as usize;
+            let end = self.adj_off[v as usize + 1] as usize;
+            for idx in start..end {
+                let w = self.adj_dat[idx] as usize;
+                if (rs.pos[w] as usize) <= i {
+                    continue; // already peeled
+                }
+                let dw = rs.deg[w] as usize;
+                let pw = rs.pos[w] as usize;
+                let front = (rs.bucket_start[dw] as usize).max(i + 1);
+                let u = rs.vert[front];
+                if u as usize != w {
+                    rs.vert.swap(front, pw);
+                    rs.pos[w] = front as u32;
+                    rs.pos[u as usize] = pw as u32;
+                }
+                rs.bucket_start[dw] = front as u32 + 1;
+                rs.deg[w] -= 1;
+            }
+        }
+        // Descending rank = reverse peel order (colouring order for UB1).
+        self.order_by_rank.clear();
+        self.order_by_rank.extend(rs.vert.iter().rev().copied());
     }
 
     /// Replaces the deadline (e.g. to make the limit cover heuristic +
@@ -281,12 +463,20 @@ impl Engine {
         self.cand_end - self.s_end
     }
 
-    /// Adjacency test over the universe.
+    /// Adjacency test over the universe (binary search probes the smaller
+    /// of the two rows on the list path).
     #[inline]
     pub(crate) fn has_edge(&self, u: u32, v: u32) -> bool {
         match &self.matrix {
             Some(mx) => mx.get(u as usize, v as usize),
-            None => self.adj[u as usize].binary_search(&v).is_ok(),
+            None => {
+                let (a, b) = if self.nbrs(u).len() <= self.nbrs(v).len() {
+                    (u, v)
+                } else {
+                    (v, u)
+                };
+                self.nbrs(a).binary_search(&b).is_ok()
+            }
         }
     }
 
@@ -310,7 +500,9 @@ impl Engine {
         self.missing_in_s += self.non_nbr_s[v as usize] as usize;
         // Every alive non-neighbour of v gains one S-non-neighbour.
         self.mark.reset();
-        for &w in &self.adj[v as usize] {
+        let (start, end) = self.row_range(v);
+        for i in start..end {
+            let w = self.adj_dat[i];
             self.mark.mark(w as usize);
         }
         for i in 0..self.cand_end {
@@ -330,8 +522,9 @@ impl Engine {
         self.swap_vs(p, self.cand_end - 1);
         self.cand_end -= 1;
         self.edges_alive -= self.deg[v as usize] as usize;
-        for i in 0..self.adj[v as usize].len() {
-            let w = self.adj[v as usize][i];
+        let (start, end) = self.row_range(v);
+        for i in start..end {
+            let w = self.adj_dat[i];
             if self.pos[w as usize] < self.cand_end {
                 self.deg[w as usize] -= 1;
             }
@@ -347,7 +540,9 @@ impl Engine {
                 Op::AddS(v) => {
                     debug_assert_eq!(self.pos[v as usize], self.s_end - 1);
                     self.mark.reset();
-                    for &w in &self.adj[v as usize] {
+                    let (start, end) = self.row_range(v);
+                    for i in start..end {
+                        let w = self.adj_dat[i];
                         self.mark.mark(w as usize);
                     }
                     for i in 0..self.cand_end {
@@ -362,8 +557,9 @@ impl Engine {
                 }
                 Op::RemoveCand(v) => {
                     debug_assert_eq!(self.pos[v as usize], self.cand_end);
-                    for i in 0..self.adj[v as usize].len() {
-                        let w = self.adj[v as usize][i];
+                    let (start, end) = self.row_range(v);
+                    for i in start..end {
+                        let w = self.adj_dat[i];
                         if self.pos[w as usize] < self.cand_end {
                             self.deg[w as usize] += 1;
                         }
@@ -426,6 +622,11 @@ impl Engine {
         // Anytime improvement: S itself is always a valid k-defective clique.
         if self.pool_r == 0 && self.s_end > self.lb() {
             self.best = self.vs[..self.s_end].to_vec();
+            self.notify_improved();
+            if self.aborted {
+                self.undo_to(cp);
+                return;
+            }
         }
 
         if self.any_bound_enabled() {
@@ -474,7 +675,32 @@ impl Engine {
             }
         } else if self.cand_end > self.lb() {
             self.best = self.vs[..self.cand_end].to_vec();
+            self.notify_improved();
         }
+    }
+
+    /// Runs the improvement hook (if any) after `best` grew; a `true`
+    /// return requests a stop-for-rebuild abort.
+    fn notify_improved(&mut self) {
+        let new_size = self.best.len();
+        if let Some(hook) = self.improve_hook.as_mut() {
+            if hook(new_size) {
+                self.aborted = true;
+                self.rebuild_requested = true;
+            }
+        }
+    }
+
+    /// Installs the incumbent-improvement hook (see [`Engine::reset`] docs;
+    /// survives resets so the solver's re-tightening loop installs it once).
+    pub(crate) fn set_improve_hook(&mut self, hook: Box<dyn FnMut(usize) -> bool + Send>) {
+        self.improve_hook = Some(hook);
+    }
+
+    /// Whether the last run aborted voluntarily to let the caller rebuild a
+    /// tightened universe (as opposed to hitting a limit).
+    pub(crate) fn rebuild_requested(&self) -> bool {
+        self.rebuild_requested
     }
 
     /// Whether the alive set is maximal with respect to the *whole universe*
@@ -489,10 +715,7 @@ impl Engine {
             if self.alive(u) {
                 continue;
             }
-            let nbrs_in = self.adj[u as usize]
-                .iter()
-                .filter(|&&w| self.alive(w))
-                .count();
+            let nbrs_in = self.nbrs(u).iter().filter(|&&w| self.alive(w)).count();
             if missing + (alive - nbrs_in) <= self.k {
                 return false;
             }
@@ -606,7 +829,8 @@ impl Engine {
         let s_set: std::collections::HashSet<u32> = self.vs[..self.s_end].iter().copied().collect();
         let mut edges = 0usize;
         for &v in &alive {
-            let d = self.adj[v as usize]
+            let d = self
+                .nbrs(v)
                 .iter()
                 .filter(|w| alive_set.contains(w))
                 .count();
@@ -614,7 +838,7 @@ impl Engine {
             edges += d;
             let nn = s_set
                 .iter()
-                .filter(|&&u| u != v && !self.adj[v as usize].contains(&u))
+                .filter(|&&u| u != v && !self.nbrs(v).contains(&u))
                 .count();
             assert_eq!(
                 nn, self.non_nbr_s[v as usize] as usize,
@@ -626,7 +850,7 @@ impl Engine {
         let s_vec: Vec<u32> = self.vs[..self.s_end].to_vec();
         for (i, &u) in s_vec.iter().enumerate() {
             for &w in &s_vec[i + 1..] {
-                if !self.adj[u as usize].contains(&w) {
+                if !self.nbrs(u).contains(&w) {
                     missing += 1;
                 }
             }
@@ -637,33 +861,6 @@ impl Engine {
             assert_eq!(self.cand_mask.contains(v as usize), self.is_cand(v));
         }
     }
-}
-
-/// Degeneracy ranks over raw adjacency lists (bucket peel; ties arbitrary).
-fn rank_by_degeneracy(adj: &[Vec<u32>]) -> Vec<u32> {
-    let n = adj.len();
-    let mut deg: Vec<usize> = adj.iter().map(Vec::len).collect();
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, u32)>> = (0..n as u32)
-        .map(|v| std::cmp::Reverse((deg[v as usize], v)))
-        .collect();
-    let mut peeled = vec![false; n];
-    let mut rank = vec![0u32; n];
-    let mut next = 0u32;
-    while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
-        if peeled[v as usize] || d != deg[v as usize] {
-            continue;
-        }
-        peeled[v as usize] = true;
-        rank[v as usize] = next;
-        next += 1;
-        for &w in &adj[v as usize] {
-            if !peeled[w as usize] {
-                deg[w as usize] -= 1;
-                heap.push(std::cmp::Reverse((deg[w as usize], w)));
-            }
-        }
-    }
-    rank
 }
 
 #[cfg(test)]

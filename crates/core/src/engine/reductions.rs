@@ -176,8 +176,9 @@ impl Engine {
             return;
         }
         self.mark.reset();
-        for i in 0..self.adj[u as usize].len() {
-            let w = self.adj[u as usize][i];
+        let (start, end) = self.row_range(u);
+        for i in start..end {
+            let w = self.adj_dat[i];
             if self.is_cand(w) {
                 self.mark.mark(w as usize);
             }
@@ -212,7 +213,7 @@ impl Engine {
             // exactly N(u) ∩ N(v) ∩ (candidates \ {v}).
             mx.row_row_mask_intersection_len(u as usize, v as usize, &self.cand_mask)
         } else {
-            self.adj[v as usize]
+            self.nbrs(v)
                 .iter()
                 .filter(|&&w| self.is_cand(w) && self.mark.is_marked(w as usize))
                 .count()

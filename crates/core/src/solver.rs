@@ -2,15 +2,25 @@
 //!
 //! 1. heuristically compute a large initial k-defective clique (§3.3);
 //! 2. reduce the input graph with RR5 (core) and RR6 (truss) using the
-//!    initial solution size as the lower bound (§3.2.3);
-//! 3. branch-and-bound on the reduced, relabelled universe.
+//!    initial solution size as the lower bound, via the incremental CTCP
+//!    reducer ([`kdc_graph::ctcp`]) instead of a from-scratch fixpoint;
+//! 3. branch-and-bound on the reduced, relabelled universe — and whenever
+//!    the incumbent improves mid-search, re-tighten the reducer; if that
+//!    removes anything, restart on the (strictly smaller) universe.
+//!
+//! Long-running services install a resident reducer + best-known witness
+//! via [`SolverConfig::shared_ctcp`] / [`SolverConfig::seed_solution`], so
+//! warm solves resume tightening where the previous solve stopped.
 
 use crate::config::{InitialHeuristic, SolverConfig};
 use crate::engine::Engine;
 use crate::heuristic;
-use crate::stats::{Solution, Status};
+use crate::stats::{SearchStats, Solution, Status};
+use kdc_graph::ctcp::Ctcp;
+use kdc_graph::degeneracy;
 use kdc_graph::graph::{Graph, VertexId};
-use kdc_graph::{degeneracy, truss};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Exact maximum k-defective clique solver.
@@ -43,50 +53,158 @@ impl<'g> Solver<'g> {
         let t_start = Instant::now();
         let deadline = config.time_limit.map(|d| t_start + d);
 
-        // Line 1 of Algorithm 2: initial solution.
-        let initial = initial_solution(graph, k, &config);
-        debug_assert!(graph.is_k_defective_clique(&initial, k));
-        let lb0 = initial.len();
+        // Line 1 of Algorithm 2: initial solution, possibly beaten by an
+        // installed known-solution seed (warm service solves).
+        let mut best = initial_solution(graph, k, &config);
+        debug_assert!(graph.is_k_defective_clique(&best, k));
+        if let Some(seed) = &config.seed_solution {
+            if seed.len() > best.len() && valid_seed(graph, seed, k) {
+                best = seed.clone();
+            }
+        }
+        let lb0 = best.len();
 
-        // Line 2: preprocessing.
-        let (adj, keep) = preprocess(graph, k, lb0, &config);
-        let preprocessed_n = keep.len();
-        let preprocessed_m = adj.iter().map(Vec::len).sum::<usize>() / 2;
+        // Line 2: preprocessing through the (possibly resident) incremental
+        // CTCP reducer. Removals are counted per-solve through the shared
+        // pair of atomics (a resident reducer also serves concurrent
+        // solves, so its global counters cannot be attributed to this run).
+        let mut stats = SearchStats::default();
+        let mut ctcp = resident_ctcp(graph, k, &config, lb0);
+        let removed = Arc::new((AtomicU64::new(0), AtomicU64::new(0)));
+        {
+            let mut c = ctcp.lock().expect("poisoned");
+            let rem = c.tighten(lb0);
+            removed
+                .0
+                .fetch_add(rem.vertices.len() as u64, Ordering::Relaxed);
+            removed.1.fetch_add(rem.edges, Ordering::Relaxed);
+        }
         let preprocess_time = t_start.elapsed();
 
-        // Line 3: branch and bound over the reduced universe.
+        // Line 3: branch and bound over the reduced universe. Whenever the
+        // incumbent improves, the engine re-tightens the reducer through the
+        // improvement hook; if that shrinks the universe, the run aborts and
+        // restarts on the smaller instance (each restart is paid for by at
+        // least one removal, so there are at most n + m of them).
         let t_search = Instant::now();
-        let mut engine = Engine::new(adj, k, config, lb0);
-        engine.override_deadline(deadline);
-        let completed = engine.run();
+        let status;
+        loop {
+            // Atomically verify-and-extract: a resident reducer may have
+            // been tightened past our incumbent by a concurrent solve, in
+            // which case its universe no longer contains every solution
+            // larger than *our* bound — fall back to a private reducer for
+            // the rest of this solve.
+            let (adj, keep) = {
+                let c = ctcp.lock().expect("poisoned");
+                if c.lb() > best.len() {
+                    drop(c);
+                    ctcp = Arc::new(Mutex::new(Ctcp::with_rules(
+                        graph,
+                        k,
+                        config.enable_rr5,
+                        config.enable_rr6,
+                    )));
+                    let mut c = ctcp.lock().expect("poisoned");
+                    c.tighten(best.len());
+                    c.extract_universe()
+                } else {
+                    c.extract_universe()
+                }
+            };
+            stats.universe_rebuilds += 1;
+            if stats.universe_rebuilds == 1 {
+                stats.preprocessed_n = keep.len();
+                stats.preprocessed_m = adj.iter().map(Vec::len).sum::<usize>() / 2;
+            }
+            let mut engine = Engine::new(adj, k, config.clone(), best.len());
+            engine.override_deadline(deadline);
+            let hook_ctcp = Arc::clone(&ctcp);
+            let hook_removed = Arc::clone(&removed);
+            engine.set_improve_hook(Box::new(move |new_lb| {
+                let rem = hook_ctcp.lock().expect("poisoned").tighten(new_lb);
+                hook_removed
+                    .0
+                    .fetch_add(rem.vertices.len() as u64, Ordering::Relaxed);
+                hook_removed.1.fetch_add(rem.edges, Ordering::Relaxed);
+                !rem.is_empty()
+            }));
+            let completed = engine.run();
+            if engine.best().len() > best.len() {
+                best = engine.best().iter().map(|&v| keep[v as usize]).collect();
+            }
+            stats.absorb(&engine.take_stats());
+            if completed {
+                status = Status::Optimal;
+                break;
+            }
+            if engine.rebuild_requested() {
+                continue;
+            }
+            status = engine.abort_status();
+            break;
+        }
         let search_time = t_search.elapsed();
 
-        let mut vertices: Vec<VertexId> = if engine.best().len() > lb0 {
-            engine.best().iter().map(|&v| keep[v as usize]).collect()
-        } else {
-            initial
-        };
+        let mut vertices = best;
         vertices.sort_unstable();
         debug_assert!(graph.is_k_defective_clique(&vertices, k));
 
-        let mut stats = engine.take_stats();
+        stats.ctcp_vertex_removals = removed.0.load(Ordering::Relaxed);
+        stats.ctcp_edge_removals = removed.1.load(Ordering::Relaxed);
         stats.initial_solution_size = lb0;
-        stats.preprocessed_n = preprocessed_n;
-        stats.preprocessed_m = preprocessed_m;
         stats.preprocess_time = preprocess_time;
         stats.search_time = search_time;
 
-        let status = if completed {
-            Status::Optimal
-        } else {
-            engine.abort_status()
-        };
         Solution {
             vertices,
             status,
             stats,
         }
     }
+}
+
+/// Whether `seed` is a usable known solution for `(g, k)`: in-range,
+/// duplicate-free and k-defective. Seeds travel across service boundaries,
+/// so they are fully validated rather than trusted. Range and duplicates
+/// are checked *before* the clique test, which would panic on either.
+pub(crate) fn valid_seed(g: &Graph, seed: &[VertexId], k: usize) -> bool {
+    if seed.iter().any(|&v| v as usize >= g.n()) {
+        return false;
+    }
+    let mut sorted = seed.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len() == seed.len() && g.is_k_defective_clique(seed, k)
+}
+
+/// The CTCP reducer for this solve: the installed resident one when it
+/// matches this graph, `k`, rule configuration and can be resumed at `lb`
+/// (its recorded bound must not exceed what this solve justifies); a fresh
+/// one otherwise.
+pub(crate) fn resident_ctcp(
+    g: &Graph,
+    k: usize,
+    config: &SolverConfig,
+    lb: usize,
+) -> Arc<Mutex<Ctcp>> {
+    if let Some(shared) = &config.shared_ctcp {
+        let usable = {
+            let c = shared.lock().expect("poisoned");
+            c.n() == g.n()
+                && c.k() == k
+                && c.rules() == (config.enable_rr5, config.enable_rr6)
+                && c.lb() <= lb
+        };
+        if usable {
+            return Arc::clone(shared);
+        }
+    }
+    Arc::new(Mutex::new(Ctcp::with_rules(
+        g,
+        k,
+        config.enable_rr5,
+        config.enable_rr6,
+    )))
 }
 
 /// Convenience wrapper: solve with the default kDC configuration.
@@ -109,11 +227,12 @@ pub struct PreprocessReport {
 /// Runs the heuristic and the RR5/RR6 preprocessing without searching.
 pub fn preprocess_report(graph: &Graph, k: usize, config: &SolverConfig) -> PreprocessReport {
     let initial = initial_solution(graph, k, config);
-    let (adj, keep) = preprocess(graph, k, initial.len(), config);
+    let mut ctcp = Ctcp::with_rules(graph, k, config.enable_rr5, config.enable_rr6);
+    ctcp.tighten(initial.len());
     PreprocessReport {
         initial,
-        n0: keep.len(),
-        m0: adj.iter().map(Vec::len).sum::<usize>() / 2,
+        n0: ctcp.alive_n(),
+        m0: ctcp.alive_m(),
     }
 }
 
@@ -138,48 +257,6 @@ pub(crate) fn initial_solution(graph: &Graph, k: usize, config: &SolverConfig) -
         InitialHeuristic::DegenOpt => heuristic::degen_opt_with(graph, k, peeling),
         InitialHeuristic::DegenOptLocalSearch => heuristic::degen_opt_ls_with(graph, k, peeling),
     }
-}
-
-/// Line 2 of Algorithm 2: reduce `g` with RR5 (to the (lb−k)-core) and RR6
-/// (to the (lb−k+1)-truss), then drop newly under-degree vertices with one
-/// more core pass. Returns the reduced universe as sorted adjacency lists
-/// plus the new→old id map.
-fn preprocess(
-    g: &Graph,
-    k: usize,
-    lb: usize,
-    config: &SolverConfig,
-) -> (Vec<Vec<u32>>, Vec<VertexId>) {
-    // RR5: vertices of degree < lb − k cannot be in a solution of size
-    // > lb; keep the (lb − k)-core.
-    let (mut current, mut keep): (Graph, Vec<VertexId>) = if config.enable_rr5 && lb > k {
-        degeneracy::k_core(g, lb - k)
-    } else {
-        (g.clone(), g.vertices().collect())
-    };
-
-    // RR6: edges with fewer than lb − k − 1 common neighbours cannot be in a
-    // solution of size > lb; keep the (lb − k + 1)-truss.
-    if config.enable_rr6 && lb > k + 1 {
-        let trussed = truss::truss_filter(&current, (lb - k - 1) as u32);
-        // Edge removals lower degrees: re-peel to the (lb − k)-core (a
-        // strictly beneficial extra pass; the paper applies RR5 before RR6
-        // only, but the truss is a subgraph of the core anyway and this pass
-        // merely discards now-isolated vertices).
-        let (cored, sub_keep) = if config.enable_rr5 && lb > k {
-            degeneracy::k_core(&trussed, lb - k)
-        } else {
-            let ids: Vec<VertexId> = trussed.vertices().collect();
-            (trussed, ids)
-        };
-        keep = sub_keep.iter().map(|&v| keep[v as usize]).collect();
-        current = cored;
-    }
-
-    let adj: Vec<Vec<u32>> = (0..current.n() as u32)
-        .map(|v| current.neighbors(v).to_vec())
-        .collect();
-    (adj, keep)
 }
 
 #[cfg(test)]
@@ -346,6 +423,112 @@ mod tests {
         let sol = Solver::new(&g, 2, SolverConfig::kdc()).solve();
         assert!(sol.stats.nodes >= 1);
         assert!(sol.stats.initial_solution_size >= 5);
+        assert!(
+            sol.stats.universe_rebuilds >= 1,
+            "the root universe is always extracted once"
+        );
+    }
+
+    #[test]
+    fn ctcp_counters_track_preprocessing() {
+        let mut rng = gen::seeded_rng(78);
+        let (g, _) = gen::planted_defective_clique(400, 16, 2, 0.02, &mut rng);
+        let sol = Solver::new(&g, 2, SolverConfig::kdc()).solve();
+        assert!(sol.is_optimal());
+        assert!(sol.stats.ctcp_vertex_removals > 0);
+        assert!(sol.stats.ctcp_edge_removals > 0);
+        // preprocessed_n reflects the first extraction, before any
+        // mid-search re-tighten.
+        assert!(sol.stats.preprocessed_n <= g.n() - sol.stats.ctcp_vertex_removals as usize + 1);
+    }
+
+    #[test]
+    fn seed_solution_raises_the_initial_bound() {
+        let mut rng = gen::seeded_rng(91);
+        let g = gen::gnp(40, 0.4, &mut rng);
+        let first = Solver::new(&g, 2, SolverConfig::kdc()).solve();
+        assert!(first.is_optimal());
+        let seeded_cfg = SolverConfig::kdc().with_seed_solution(first.vertices.clone());
+        let second = Solver::new(&g, 2, seeded_cfg).solve();
+        assert!(second.is_optimal());
+        assert_eq!(second.size(), first.size());
+        assert_eq!(
+            second.stats.initial_solution_size,
+            first.size(),
+            "the seed must become the initial bound"
+        );
+
+        // A hostile seed (duplicates / out-of-range / infeasible) is ignored.
+        for bad in [
+            vec![0u32, 0, 1],
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 999],
+        ] {
+            let cfg = SolverConfig::kdc().with_seed_solution(bad);
+            let sol = Solver::new(&g, 2, cfg).solve();
+            assert_eq!(sol.size(), first.size());
+            assert!(sol.is_optimal());
+        }
+    }
+
+    #[test]
+    fn shared_ctcp_resumes_across_solves() {
+        use kdc_graph::ctcp::Ctcp;
+        use std::sync::{Arc, Mutex};
+        let mut rng = gen::seeded_rng(92);
+        let (g, _) = gen::planted_defective_clique(300, 14, 2, 0.03, &mut rng);
+        let k = 2;
+
+        let cold = Solver::new(&g, k, SolverConfig::kdc()).solve();
+        assert!(cold.is_optimal());
+
+        // Warm pair: one resident reducer plus the cold result as seed.
+        let resident = Arc::new(Mutex::new(Ctcp::new(&g, k)));
+        let warm_cfg = SolverConfig::kdc()
+            .with_shared_ctcp(resident.clone())
+            .with_seed_solution(cold.vertices.clone());
+        let warm1 = Solver::new(&g, k, warm_cfg.clone()).solve();
+        assert!(warm1.is_optimal());
+        assert_eq!(warm1.size(), cold.size());
+        assert_eq!(warm1.vertices, cold.vertices, "byte-identical result");
+        assert!(
+            warm1.stats.ctcp_vertex_removals > 0,
+            "first warm solve pays"
+        );
+
+        let warm2 = Solver::new(&g, k, warm_cfg).solve();
+        assert!(warm2.is_optimal());
+        assert_eq!(warm2.vertices, cold.vertices);
+        assert_eq!(
+            warm2.stats.ctcp_vertex_removals, 0,
+            "resumed reducer is already at the fixpoint"
+        );
+        assert_eq!(warm2.stats.ctcp_edge_removals, 0);
+
+        // A mismatched resident reducer (wrong k) is ignored, not misused.
+        let wrong = Arc::new(Mutex::new(Ctcp::new(&g, k + 1)));
+        let sol = Solver::new(&g, k, SolverConfig::kdc().with_shared_ctcp(wrong)).solve();
+        assert_eq!(sol.size(), cold.size());
+        assert!(sol.is_optimal());
+    }
+
+    #[test]
+    fn mid_search_retighten_restarts_are_sound() {
+        // No-heuristic configurations start at lb = 0 and improve the
+        // incumbent many times mid-search, exercising the re-tighten +
+        // rebuild loop; the answer must match the fully warm-started solver.
+        let mut rng = gen::seeded_rng(93);
+        for trial in 0..4 {
+            let g = gen::gnp(45, 0.35, &mut rng);
+            for k in [0usize, 2] {
+                let mut cfg = SolverConfig::kdc();
+                cfg.heuristic = InitialHeuristic::None;
+                let cold = Solver::new(&g, k, cfg).solve();
+                let reference = Solver::new(&g, k, SolverConfig::kdc()).solve();
+                assert_eq!(cold.size(), reference.size(), "trial {trial} k {k}");
+                assert!(cold.is_optimal());
+                assert!(g.is_k_defective_clique(&cold.vertices, k));
+            }
+        }
     }
 
     #[test]

@@ -72,6 +72,20 @@ pub struct SearchStats {
     pub preprocessed_n: usize,
     /// Edges of the reduced graph after preprocessing (m0).
     pub preprocessed_m: usize,
+    /// Vertices removed by the incremental CTCP reducer (RR5/RR6 against
+    /// the rising lower bound, preprocessing *and* mid-search re-tightens).
+    pub ctcp_vertex_removals: u64,
+    /// Edges removed by the incremental CTCP reducer.
+    pub ctcp_edge_removals: u64,
+    /// Ego subproblems primed by re-using an existing arena (long-lived
+    /// engine + flat buffers) instead of allocating a fresh universe.
+    pub arena_reuses: u64,
+    /// Full universe (re)builds: relabelled adjacency extracted from
+    /// scratch. The warm paths keep this at one per solve.
+    pub universe_rebuilds: u64,
+    /// Ego subproblems actually searched by the decomposition (skipped
+    /// too-small universes excluded).
+    pub ego_subproblems: u64,
     /// Wall-clock time of the heuristic + preprocessing phase.
     pub preprocess_time: Duration,
     /// Wall-clock time of the branch-and-bound phase.
@@ -82,6 +96,28 @@ impl SearchStats {
     /// Total solve time (preprocessing + search).
     pub fn total_time(&self) -> Duration {
         self.preprocess_time + self.search_time
+    }
+
+    /// Folds the counters of another run into this one (restart loops and
+    /// per-worker aggregation): counts add, depths max, sizes and times of
+    /// `other` are ignored.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.leaves += other.leaves;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.rr1_removals += other.rr1_removals;
+        self.rr2_additions += other.rr2_additions;
+        self.rr3_removals += other.rr3_removals;
+        self.rr4_removals += other.rr4_removals;
+        self.rr5_removals += other.rr5_removals;
+        self.bound_prunes += other.bound_prunes;
+        self.ub1_prunes += other.ub1_prunes;
+        self.s_vertex_prunes += other.s_vertex_prunes;
+        self.ctcp_vertex_removals += other.ctcp_vertex_removals;
+        self.ctcp_edge_removals += other.ctcp_edge_removals;
+        self.arena_reuses += other.arena_reuses;
+        self.universe_rebuilds += other.universe_rebuilds;
+        self.ego_subproblems += other.ego_subproblems;
     }
 }
 

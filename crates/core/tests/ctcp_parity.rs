@@ -1,0 +1,61 @@
+//! Release-mode parity tests for the incremental CTCP solve path: every
+//! RR5/RR6 toggle combination must produce the same optimum as the
+//! theory-only kDC-t reference, through both the global solver (with its
+//! mid-search re-tighten loop) and the shared-universe decomposition.
+//!
+//! These run under proptest so a failure reports the exact seed; CI also
+//! runs this file in release mode (`cargo test --release --test
+//! ctcp_parity`) to keep the optimized perf path exercised.
+
+use kdc::{decompose::solve_decomposed, Solver, SolverConfig};
+use kdc_graph::gen;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rr5_rr6_toggles_agree_with_reference(
+        seed in 0u64..10_000,
+        n in 14usize..32,
+        p_percent in 25usize..50,
+        k in 0usize..4,
+    ) {
+        let mut rng = gen::seeded_rng(seed);
+        let g = gen::gnp(n, p_percent as f64 / 100.0, &mut rng);
+        let reference = Solver::new(&g, k, SolverConfig::kdc_t()).solve();
+        prop_assert!(reference.is_optimal());
+        for rr5 in [false, true] {
+            for rr6 in [false, true] {
+                let mut cfg = SolverConfig::kdc();
+                cfg.enable_rr5 = rr5;
+                cfg.enable_rr6 = rr6;
+                let sol = Solver::new(&g, k, cfg).solve();
+                prop_assert!(sol.is_optimal());
+                prop_assert_eq!(
+                    sol.size(), reference.size(),
+                    "rr5={} rr6={} k={}", rr5, rr6, k
+                );
+                prop_assert!(g.is_k_defective_clique(&sol.vertices, k));
+            }
+        }
+    }
+
+    #[test]
+    fn decomposed_toggles_agree_with_reference(
+        seed in 0u64..10_000,
+        k in 0usize..3,
+    ) {
+        let mut rng = gen::seeded_rng(seed);
+        let g = gen::gnp(36, 0.3, &mut rng);
+        let reference = Solver::new(&g, k, SolverConfig::kdc()).solve();
+        for rr6 in [false, true] {
+            let mut cfg = SolverConfig::kdc();
+            cfg.enable_rr6 = rr6;
+            let sol = solve_decomposed(&g, k, cfg, 2);
+            prop_assert!(sol.is_optimal());
+            prop_assert_eq!(sol.size(), reference.size(), "rr6={} k={}", rr6, k);
+            prop_assert!(g.is_k_defective_clique(&sol.vertices, k));
+        }
+    }
+}

@@ -107,6 +107,16 @@ impl BitSet {
         }
     }
 
+    /// Re-dimensions the set to `capacity` with every value present, reusing
+    /// the word buffer (no allocation when the new capacity needs no more
+    /// words than a previous one).
+    pub fn reset_full(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.words.clear();
+        self.words.resize(words_for(capacity), !0u64);
+        self.trim_tail();
+    }
+
     /// `self ∩ other` element count; the sets must share a capacity.
     #[inline]
     pub fn intersection_len(&self, other: &BitSet) -> usize {
@@ -241,6 +251,17 @@ impl BitMatrix {
             rows,
             cols,
         }
+    }
+
+    /// Re-dimensions to an all-zero `rows × cols` matrix, reusing the word
+    /// buffer (no allocation when the new shape needs no more words than a
+    /// previous one).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.words_per_row = words_for(cols);
+        self.rows = rows;
+        self.cols = cols;
+        self.words.clear();
+        self.words.resize(rows * self.words_per_row, 0);
     }
 
     /// Number of rows.

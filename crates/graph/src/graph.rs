@@ -350,6 +350,25 @@ mod tests {
     }
 
     #[test]
+    fn has_edge_probes_hubs_from_the_small_side() {
+        // A hub of degree n − 1 plus a sparse rim: every query must agree
+        // regardless of argument order (the probe runs over the smaller of
+        // the two adjacency lists, so hub queries are O(log d_min)).
+        let n = 64u32;
+        let mut edges: Vec<(VertexId, VertexId)> = (1..n).map(|v| (0, v)).collect();
+        edges.push((1, 2));
+        let g = Graph::from_edges(n as usize, &edges);
+        assert_eq!(g.degree(0), (n - 1) as usize);
+        for v in 1..n {
+            assert!(g.has_edge(0, v) && g.has_edge(v, 0));
+        }
+        assert!(g.has_edge(1, 2) && g.has_edge(2, 1));
+        for v in 3..n {
+            assert!(!g.has_edge(1, v) && !g.has_edge(v, 1), "v = {v}");
+        }
+    }
+
+    #[test]
     fn edges_iterator_is_canonical() {
         let g = path4();
         let e: Vec<_> = g.edges().collect();

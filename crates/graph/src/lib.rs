@@ -16,6 +16,9 @@
 //!   heuristics;
 //! * [`truss`] — k-truss peeling (Definition 2.5), used by reduction rule
 //!   RR6;
+//! * [`ctcp`] — incremental core–truss co-pruning: maintained degrees and
+//!   triangle supports let RR5 + RR6 re-tighten against a rising lower
+//!   bound without recomputing either fixpoint from scratch;
 //! * [`coloring`] — greedy colouring in reverse degeneracy order, used by
 //!   upper bound UB1 and the Eq. (2) baseline bound;
 //! * [`gen`] — deterministic synthetic workload generators standing in for
@@ -26,6 +29,7 @@
 
 pub mod bitset;
 pub mod coloring;
+pub mod ctcp;
 pub mod degeneracy;
 pub mod gen;
 pub mod graph;

@@ -48,6 +48,14 @@ impl Marker {
         self.stamp[v] == self.epoch
     }
 
+    /// Grows the marker to cover `[0, n)` (no-op when already large enough).
+    /// New slots start unmarked; existing marks are preserved.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+    }
+
     /// Capacity of the marker.
     #[inline]
     pub fn len(&self) -> usize {

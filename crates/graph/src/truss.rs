@@ -69,9 +69,17 @@ pub fn edge_supports(g: &Graph) -> (EdgeIndex, Vec<u32>) {
 }
 
 /// Looks up the edge id of `(u, v)` in the index, if the edge exists.
+/// Probes the *smaller* of the two incidence lists (the id is recorded in
+/// both), so a lookup against a hub vertex costs `O(log d_min)`, not
+/// `O(log d_max)` — the same smaller-side rule as [`Graph::has_edge`].
 pub fn edge_id(idx: &EdgeIndex, u: VertexId, v: VertexId) -> Option<u32> {
-    let list = &idx.inc[u as usize];
-    list.binary_search_by_key(&v, |&(w, _)| w)
+    let (a, b) = if idx.inc[u as usize].len() <= idx.inc[v as usize].len() {
+        (u, v)
+    } else {
+        (v, u)
+    };
+    let list = &idx.inc[a as usize];
+    list.binary_search_by_key(&b, |&(w, _)| w)
         .ok()
         .map(|i| list[i].1)
 }
@@ -169,6 +177,21 @@ mod tests {
     use crate::gen;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn edge_id_is_symmetric_and_hub_safe() {
+        // A star K1,6 with one extra rim edge: every lookup that involves
+        // the hub must resolve identically from either endpoint (the lookup
+        // probes the smaller incidence list).
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (5, 6)]);
+        let idx = EdgeIndex::new(&g);
+        for (e, &(u, v)) in idx.edges.iter().enumerate() {
+            assert_eq!(edge_id(&idx, u, v), Some(e as u32));
+            assert_eq!(edge_id(&idx, v, u), Some(e as u32), "symmetric lookup");
+        }
+        assert_eq!(edge_id(&idx, 1, 2), None);
+        assert_eq!(edge_id(&idx, 2, 1), None);
+    }
 
     #[test]
     fn supports_on_k4() {

@@ -1,0 +1,77 @@
+//! Property tests for the incremental CTCP reducer: against random and
+//! planted instances, an incrementally tightened [`Ctcp`] must land on
+//! exactly the fixpoint the from-scratch `truss_filter` + `k_core`
+//! iteration computes — same surviving vertices, same surviving edges —
+//! for every k and every point of a rising lower-bound schedule.
+
+use kdc_graph::ctcp::{scratch_fixpoint, Ctcp};
+use kdc_graph::{gen, Graph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tighten_matches_scratch_fixpoint_on_gnp(
+        seed in 0u64..10_000,
+        n in 12usize..40,
+        p_percent in 10usize..45,
+        k in 0usize..4,
+    ) {
+        let mut rng = gen::seeded_rng(seed);
+        let g = gen::gnp(n, p_percent as f64 / 100.0, &mut rng);
+        let mut warm = Ctcp::new(&g, k);
+        // A rising schedule, re-checking the invariant at every step: the
+        // incremental state must agree with a from-scratch fixpoint at the
+        // same bound, edges included.
+        for lb in [k + 1, k + 2, k + 4, k + 6] {
+            warm.tighten(lb);
+            let (expected, expected_keep) = scratch_fixpoint(&g, k, lb);
+            prop_assert_eq!(warm.alive_vertices(), expected_keep, "lb {}", lb);
+            let (adj, _) = warm.extract_universe();
+            prop_assert_eq!(Graph::from_adjacency(adj), expected, "lb {}", lb);
+        }
+    }
+
+    #[test]
+    fn tighten_matches_scratch_fixpoint_on_planted(
+        seed in 0u64..10_000,
+        k in 0usize..3,
+    ) {
+        let mut rng = gen::seeded_rng(seed);
+        let (g, planted) = gen::planted_defective_clique(120, 10, k, 0.05, &mut rng);
+        let mut warm = Ctcp::new(&g, k);
+        for lb in [4usize, 7, 9] {
+            warm.tighten(lb);
+            let (expected, expected_keep) = scratch_fixpoint(&g, k, lb);
+            prop_assert_eq!(warm.alive_vertices(), expected_keep, "lb {}", lb);
+            let (adj, _) = warm.extract_universe();
+            prop_assert_eq!(Graph::from_adjacency(adj), expected, "lb {}", lb);
+            // Soundness: the planted solution (size 10 > lb would require
+            // lb < 10) survives any tighten at lb < 10.
+            if lb < planted.len() {
+                for &v in &planted {
+                    prop_assert!(warm.is_alive(v), "planted vertex {} removed", v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn removal_counters_are_conserved(
+        seed in 0u64..10_000,
+        n in 10usize..35,
+        k in 0usize..3,
+        lb in 0usize..12,
+    ) {
+        let mut rng = gen::seeded_rng(seed);
+        let g = gen::gnp(n, 0.3, &mut rng);
+        let mut c = Ctcp::new(&g, k);
+        let rem = c.tighten(lb);
+        let (v_removed, e_removed) = c.removal_counters();
+        prop_assert_eq!(v_removed as usize, rem.vertices.len());
+        prop_assert_eq!(e_removed, rem.edges);
+        prop_assert_eq!(c.alive_n() + v_removed as usize, g.n());
+        prop_assert_eq!(c.alive_m() + e_removed as usize, g.m());
+    }
+}

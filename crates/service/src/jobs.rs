@@ -332,8 +332,17 @@ pub fn run_job(spec: &JobSpec, cancel: CancelFlag) -> JobOutcome {
             config.time_limit = *limit;
             config.cancel = Some(cancel);
             // Warm artifact reuse: the solver's heuristic/decomposition
-            // phase runs on the cached peeling instead of re-peeling.
+            // phase runs on the cached peeling instead of re-peeling, its
+            // preprocessing resumes the resident CTCP reducer for this
+            // (k, rules) pair, and the best known witness seeds the lower
+            // bound so the resumed reducer state is sound.
             config.shared_peeling = Some(entry.peeling());
+            config.shared_ctcp = Some(entry.ctcp_state(crate::cache::CtcpKey {
+                k: *k,
+                core_rule: config.enable_rr5,
+                truss_rule: config.enable_rr6,
+            }));
+            config.seed_solution = entry.best_known(*k);
             entry.record_solve();
             let solution = if *threads == 1 {
                 Solver::new(&entry.graph, *k, config).solve()
@@ -341,6 +350,7 @@ pub fn run_job(spec: &JobSpec, cancel: CancelFlag) -> JobOutcome {
                 let threads = (*threads).min(MAX_SOLVE_THREADS);
                 decompose::solve_decomposed(&entry.graph, *k, config, threads)
             };
+            entry.record_best_known(*k, &solution.vertices);
             if solution.is_optimal() {
                 entry.store_result(memo_key, solution.clone());
             }

@@ -279,6 +279,10 @@ fn solve(
             .field("cached", from_cache)
             .field("elapsed_ms", elapsed.as_millis())
             .field("nodes", solution.stats.nodes)
+            .field("ctcp_removed_v", solution.stats.ctcp_vertex_removals)
+            .field("ctcp_removed_e", solution.stats.ctcp_edge_removals)
+            .field("arena_reuses", solution.stats.arena_reuses)
+            .field("universe_rebuilds", solution.stats.universe_rebuilds)
             .render()),
         JobOutcome::Error(e) => Err(e),
         JobOutcome::Enumerate { .. } => Err("internal: wrong outcome kind".to_string()),
@@ -325,6 +329,7 @@ fn stats(daemon: &Daemon, graph: Option<&str>) -> Result<String, String> {
             // peel_builds already reflects this request's build (if any).
             let degeneracy = entry.degeneracy();
             let (hits, peel_builds, solves, result_hits) = entry.counters();
+            let (ctcp_builds, ctcp_resumes) = entry.ctcp_counters();
             Ok(OkLine::new()
                 .field("graph", name)
                 .field("n", entry.graph.n())
@@ -335,6 +340,8 @@ fn stats(daemon: &Daemon, graph: Option<&str>) -> Result<String, String> {
                 .field("peel_builds", peel_builds)
                 .field("solves", solves)
                 .field("result_hits", result_hits)
+                .field("ctcp_builds", ctcp_builds)
+                .field("ctcp_resumes", ctcp_resumes)
                 .render())
         }
         None => Ok(OkLine::new()
@@ -395,6 +402,10 @@ mod tests {
         let resp = request(&addr, "STATS fig2").unwrap();
         assert!(resp.contains("degeneracy="), "{resp}");
         assert!(resp.contains("peel_builds=1"), "{resp}");
+        assert!(
+            resp.contains("ctcp_builds=1") && resp.contains("ctcp_resumes=0"),
+            "one cold solve builds the resident reducer once: {resp}"
+        );
 
         let resp = request(&addr, "JOBS").unwrap();
         assert!(resp.starts_with("OK count=3"), "{resp}");

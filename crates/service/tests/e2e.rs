@@ -153,6 +153,22 @@ fn full_session_on_ephemeral_port() {
         "three LOADs, zero re-parses: {global}"
     );
 
+    // ---- warm CTCP: a different preset (dodging the result memo) resumes
+    // the resident reducer and is seeded with the recorded witness, so the
+    // re-solve has nothing left to remove and builds one universe ----------
+    let resp = control.send("SOLVE g1 k=2 preset=kdbb");
+    assert_eq!(field(&resp, "cached"), "false", "{resp}");
+    assert_eq!(field(&resp, "size"), direct1.size().to_string(), "{resp}");
+    assert_eq!(
+        field(&resp, "ctcp_removed_v"),
+        "0",
+        "resumed reducer is already at the fixpoint: {resp}"
+    );
+    assert_eq!(field(&resp, "universe_rebuilds"), "1", "{resp}");
+    let stats = control.send("STATS g1");
+    assert_eq!(field(&stats, "ctcp_builds"), "1", "{stats}");
+    assert_eq!(field(&stats, "ctcp_resumes"), "1", "{stats}");
+
     // ---- SHUTDOWN ------------------------------------------------------
     let resp = control.send("SHUTDOWN");
     assert_eq!(resp, "OK shutdown=ok");
