@@ -1,0 +1,808 @@
+//! The resident [`Session`]: one graph, every cached artifact, one typed
+//! query surface.
+
+use crate::query::{Budget, CacheInfo, Event, Observer, Options, Outcome, Query};
+use kdc::{counting, decompose, topr, EventHook, Solution, Solver};
+use kdc_graph::ctcp::Ctcp;
+use kdc_graph::degeneracy::{self, Peeling};
+use kdc_graph::{Graph, VertexId};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Workers may not spawn unbounded decomposition threads on a caller's
+/// say-so; `Budget::threads` beyond this is clamped (0 still means "all
+/// cores").
+const MAX_SOLVE_THREADS: usize = 256;
+
+/// Default cap on resident CTCP reducers (see
+/// [`Session::with_ctcp_capacity`]).
+pub const DEFAULT_CTCP_CAPACITY: usize = 8;
+
+/// Memo key for a proven-optimal solve result: the answer depends only on
+/// the graph, `k` and the algorithm variant (all exact presets agree on the
+/// *size*, but the key includes the preset so the reported vertex set is
+/// reproducible per preset).
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub struct SolveKey {
+    /// The k of the k-defective clique.
+    pub k: usize,
+    /// Preset name (`"kdc"` for the default).
+    pub preset: String,
+}
+
+/// Cache key for a resident CTCP reducer: its state depends on `k` and on
+/// which of the two rules (RR5 core / RR6 truss) the configuration enables.
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
+pub struct CtcpKey {
+    /// The k of the k-defective clique.
+    pub k: usize,
+    /// Whether the degree (RR5) rule is active.
+    pub core_rule: bool,
+    /// Whether the support (RR6) rule is active.
+    pub truss_rule: bool,
+}
+
+/// Usage counters of a [`Session`], for warm-vs-cold assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Degeneracy peelings computed (at most 1 for the session's lifetime).
+    pub peel_builds: u64,
+    /// Real (non-memo) searches executed.
+    pub solves: u64,
+    /// Queries answered from the proven-optimal result memo.
+    pub result_hits: u64,
+    /// Resident CTCP reducers built from scratch.
+    pub ctcp_builds: u64,
+    /// Solves that resumed a resident reducer.
+    pub ctcp_resumes: u64,
+    /// Reducers evicted from the bounded LRU cache.
+    pub ctcp_evictions: u64,
+}
+
+/// One resident reducer slot of the bounded LRU cache.
+struct CtcpSlot {
+    key: CtcpKey,
+    reducer: Arc<Mutex<Ctcp>>,
+    last_used: u64,
+}
+
+/// The bounded reducer cache: linear-scan LRU (the cap is single-digit).
+struct CtcpCache {
+    cap: usize,
+    tick: u64,
+    slots: Vec<CtcpSlot>,
+}
+
+/// A resident solver session over one graph.
+///
+/// A `Session` owns an `Arc<Graph>` plus every artifact worth keeping warm
+/// between queries — the degeneracy peeling, a bounded LRU cache of
+/// incremental CTCP reducers (one per `(k, rules)` combination), the best
+/// known witness per `k`, and a memo of proven-optimal results per
+/// `(k, preset)` — and answers typed [`Query`]s through [`Session::run`].
+/// The CLI, the daemon, the benches and embedding applications all drive
+/// this one surface, so the measured path *is* the served path.
+///
+/// All methods take `&self`; a `Session` wrapped in an `Arc` serves
+/// concurrent queries from many threads (counters are atomics, caches sit
+/// behind coarse mutexes, the solves themselves run outside any lock).
+pub struct Session {
+    graph: Arc<Graph>,
+    peeling: OnceLock<Arc<Peeling>>,
+    ctcp: Mutex<CtcpCache>,
+    results: Mutex<HashMap<SolveKey, Solution>>,
+    best_known: Mutex<HashMap<usize, Vec<VertexId>>>,
+    peel_builds: AtomicU64,
+    solves: AtomicU64,
+    result_hits: AtomicU64,
+    ctcp_builds: AtomicU64,
+    ctcp_resumes: AtomicU64,
+    ctcp_evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("n", &self.graph.n())
+            .field("m", &self.graph.m())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl Session {
+    /// A session over an owned graph.
+    pub fn new(graph: Graph) -> Self {
+        Self::from_arc(Arc::new(graph))
+    }
+
+    /// A session over an already shared graph (services that hand the same
+    /// `Arc<Graph>` to in-flight jobs).
+    pub fn from_arc(graph: Arc<Graph>) -> Self {
+        Session {
+            graph,
+            peeling: OnceLock::new(),
+            ctcp: Mutex::new(CtcpCache {
+                cap: DEFAULT_CTCP_CAPACITY,
+                tick: 0,
+                slots: Vec::new(),
+            }),
+            results: Mutex::new(HashMap::new()),
+            best_known: Mutex::new(HashMap::new()),
+            peel_builds: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            result_hits: AtomicU64::new(0),
+            ctcp_builds: AtomicU64::new(0),
+            ctcp_resumes: AtomicU64::new(0),
+            ctcp_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Parses a graph file (DIMACS/METIS/edge list by extension) into a
+    /// session.
+    pub fn open(path: &Path) -> Result<Self, String> {
+        let graph = kdc_graph::io::read_graph(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Ok(Self::new(graph))
+    }
+
+    /// Caps the number of resident CTCP reducers (default
+    /// [`DEFAULT_CTCP_CAPACITY`]); beyond it the least-recently-used reducer
+    /// is evicted (counted in [`SessionCounters::ctcp_evictions`]). A cap of
+    /// `0` disables reducer residency entirely — every solve builds fresh.
+    pub fn with_ctcp_capacity(self, cap: usize) -> Self {
+        self.ctcp.lock().expect("poisoned").cap = cap;
+        self
+    }
+
+    /// The session's graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The degeneracy peeling (ordering, ranks, core numbers), computed at
+    /// most once per session and shared from then on.
+    pub fn peeling(&self) -> Arc<Peeling> {
+        self.peeling
+            .get_or_init(|| {
+                self.peel_builds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(degeneracy::peel(&self.graph))
+            })
+            .clone()
+    }
+
+    /// Degeneracy of the graph (forces the peeling artifact).
+    pub fn degeneracy(&self) -> usize {
+        self.peeling().degeneracy
+    }
+
+    /// A snapshot of the usage counters.
+    pub fn counters(&self) -> SessionCounters {
+        SessionCounters {
+            peel_builds: self.peel_builds.load(Ordering::Relaxed),
+            solves: self.solves.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            ctcp_builds: self.ctcp_builds.load(Ordering::Relaxed),
+            ctcp_resumes: self.ctcp_resumes.load(Ordering::Relaxed),
+            ctcp_evictions: self.ctcp_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The best known solution for `k`, if any (cloned; seeds warm solves).
+    pub fn best_known(&self, k: usize) -> Option<Vec<VertexId>> {
+        self.best_known.lock().expect("poisoned").get(&k).cloned()
+    }
+
+    /// Records `vertices` as the best known solution for `k` when it beats
+    /// the stored witness. Witnesses come straight out of the solver, so
+    /// they are trusted here (and re-validated by the solver when seeded
+    /// back in).
+    fn record_best_known(&self, k: usize, vertices: &[VertexId]) {
+        let mut map = self.best_known.lock().expect("poisoned");
+        let entry = map.entry(k).or_default();
+        if vertices.len() > entry.len() {
+            *entry = vertices.to_vec();
+        }
+    }
+
+    /// A memoized proven-optimal result for `key`, if any.
+    fn cached_result(&self, key: &SolveKey) -> Option<Solution> {
+        let found = self.results.lock().expect("poisoned").get(key).cloned();
+        if found.is_some() {
+            self.result_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// The resident CTCP reducer for `key`, built on first use and resumed
+    /// from then on; returns `(reducer, resumed)`. Evicts the
+    /// least-recently-used slot when the cache is full.
+    fn ctcp_state(&self, key: CtcpKey) -> (Arc<Mutex<Ctcp>>, bool) {
+        let mut cache = self.ctcp.lock().expect("poisoned");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(slot) = cache.slots.iter_mut().find(|s| s.key == key) {
+            slot.last_used = tick;
+            self.ctcp_resumes.fetch_add(1, Ordering::Relaxed);
+            return (slot.reducer.clone(), true);
+        }
+        self.ctcp_builds.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(Mutex::new(Ctcp::with_rules(
+            &self.graph,
+            key.k,
+            key.core_rule,
+            key.truss_rule,
+        )));
+        if cache.cap == 0 {
+            return (fresh, false);
+        }
+        if cache.slots.len() >= cache.cap {
+            let lru = cache
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("cache is non-empty when full");
+            cache.slots.swap_remove(lru);
+            self.ctcp_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        cache.slots.push(CtcpSlot {
+            key,
+            reducer: fresh.clone(),
+            last_used: tick,
+        });
+        (fresh, false)
+    }
+
+    /// Convenience wrapper: [`Session::run`] with `Solve { k }` and default
+    /// budget/options (which cannot fail).
+    pub fn solve(&self, k: usize) -> Outcome {
+        self.run(&Query::Solve { k }, &Budget::default(), &Options::default())
+            .expect("default options are always valid")
+    }
+
+    /// Runs one query to completion. See [`Session::run_with`] for the
+    /// observer-carrying variant.
+    pub fn run(
+        &self,
+        query: &Query,
+        budget: &Budget,
+        options: &Options,
+    ) -> Result<Outcome, String> {
+        self.run_with(query, budget, options, None)
+    }
+
+    /// Runs one query, streaming [`Event`]s to `observer` while it executes.
+    /// Events are delivered synchronously from the solving thread(s); the
+    /// final [`Event::Done`] precedes the return.
+    pub fn run_with(
+        &self,
+        query: &Query,
+        budget: &Budget,
+        options: &Options,
+        observer: Option<Arc<dyn Observer>>,
+    ) -> Result<Outcome, String> {
+        let outcome = match *query {
+            Query::Solve { k } => self.run_solve(k, budget, options, observer.clone()),
+            Query::Enumerate { k } => self.run_top_r(k, usize::MAX, false, budget, options),
+            Query::TopR { k, r, diversify } => self.run_top_r(k, r, diversify, budget, options),
+            Query::Count { k, min_size } => self.run_count(k, min_size, budget),
+        }?;
+        if let Some(obs) = &observer {
+            obs.event(&Event::Done {
+                status: outcome.status,
+            });
+        }
+        Ok(outcome)
+    }
+
+    fn run_solve(
+        &self,
+        k: usize,
+        budget: &Budget,
+        options: &Options,
+        observer: Option<Arc<dyn Observer>>,
+    ) -> Result<Outcome, String> {
+        let t0 = Instant::now();
+        let memo_key = options.memo_preset().map(|preset| SolveKey {
+            k,
+            preset: preset.to_string(),
+        });
+        if let Some(key) = &memo_key {
+            if let Some(solution) = self.cached_result(key) {
+                return Ok(Outcome {
+                    witnesses: vec![solution.vertices],
+                    counts: None,
+                    status: solution.status,
+                    stats: solution.stats,
+                    cache: CacheInfo {
+                        result_memo_hit: true,
+                        ctcp_evictions: self.ctcp_evictions.load(Ordering::Relaxed),
+                        ..CacheInfo::default()
+                    },
+                    elapsed: t0.elapsed(),
+                });
+            }
+        }
+        let mut config = options.resolve()?;
+        apply_budget(&mut config, budget);
+        // Warm artifact reuse: the heuristic/decomposition phase runs on the
+        // cached peeling, preprocessing resumes the resident CTCP reducer
+        // for this (k, rules) pair, and the best known witness seeds the
+        // lower bound so the resumed reducer state is sound.
+        config.shared_peeling = Some(self.peeling());
+        let (ctcp, ctcp_resumed) = self.ctcp_state(CtcpKey {
+            k,
+            core_rule: config.enable_rr5,
+            truss_rule: config.enable_rr6,
+        });
+        config.shared_ctcp = Some(ctcp);
+        let seed = self.best_known(k);
+        let seeded = seed.is_some();
+        config.seed_solution = seed;
+        if let Some(obs) = observer {
+            config.on_event = Some(EventHook::new(move |e| {
+                obs.event(&Event::from_solve(e));
+            }));
+        }
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        let solution = if budget.threads == 1 {
+            Solver::new(&self.graph, k, config).solve()
+        } else {
+            let threads = budget.threads.min(MAX_SOLVE_THREADS);
+            decompose::solve_decomposed(&self.graph, k, config, threads)
+        };
+        self.record_best_known(k, &solution.vertices);
+        if solution.is_optimal() {
+            if let Some(key) = memo_key {
+                self.results
+                    .lock()
+                    .expect("poisoned")
+                    .insert(key, solution.clone());
+            }
+        }
+        Ok(Outcome {
+            witnesses: vec![solution.vertices],
+            counts: None,
+            status: solution.status,
+            stats: solution.stats,
+            cache: CacheInfo {
+                result_memo_hit: false,
+                ctcp_resumed,
+                peeling_shared: true,
+                seeded,
+                ctcp_evictions: self.ctcp_evictions.load(Ordering::Relaxed),
+            },
+            elapsed: t0.elapsed(),
+        })
+    }
+
+    fn run_top_r(
+        &self,
+        k: usize,
+        r: usize,
+        diversify: bool,
+        budget: &Budget,
+        options: &Options,
+    ) -> Result<Outcome, String> {
+        if r == 0 {
+            return Err("top-r pool size must be positive".to_string());
+        }
+        let t0 = Instant::now();
+        let mut config = options.resolve()?;
+        // Enumeration must not discard solutions via a precomputed lower
+        // bound, so no resident reducer and no witness seed are installed;
+        // budget limits still apply (the engine honours them per run).
+        apply_budget(&mut config, budget);
+        let result = if diversify {
+            topr::top_r_diversified_with_status(&self.graph, k, r, config)
+        } else {
+            topr::top_r_maximal_with_status(&self.graph, k, r, config)
+        };
+        Ok(Outcome {
+            witnesses: result.cliques,
+            counts: None,
+            // Anything but Optimal means a limit or cancellation cut the
+            // enumeration short: the pool may be truncated.
+            status: result.status,
+            stats: kdc::SearchStats::default(),
+            cache: CacheInfo {
+                ctcp_evictions: self.ctcp_evictions.load(Ordering::Relaxed),
+                ..CacheInfo::default()
+            },
+            elapsed: t0.elapsed(),
+        })
+    }
+
+    fn run_count(&self, k: usize, min_size: usize, budget: &Budget) -> Result<Outcome, String> {
+        let t0 = Instant::now();
+        // The counter honours cancellation and the wall clock (node limits
+        // do not apply: counting has no branch-and-bound nodes). A
+        // non-Optimal status means the counts are a lower bound.
+        let deadline = budget.time_limit.map(|d| t0 + d);
+        let (counts, status) = counting::count_k_defective_cliques_with(
+            &self.graph,
+            k,
+            min_size,
+            budget.cancel.as_ref(),
+            deadline,
+        );
+        Ok(Outcome {
+            witnesses: Vec::new(),
+            counts: Some(counts),
+            status,
+            stats: kdc::SearchStats::default(),
+            cache: CacheInfo {
+                ctcp_evictions: self.ctcp_evictions.load(Ordering::Relaxed),
+                ..CacheInfo::default()
+            },
+            elapsed: t0.elapsed(),
+        })
+    }
+}
+
+/// Installs a budget's limits on a config. Budget values win when present;
+/// values an embedder set on an [`Options::custom`] configuration survive
+/// an unlimited (default) budget instead of being silently clobbered.
+fn apply_budget(config: &mut kdc::SolverConfig, budget: &Budget) {
+    if budget.time_limit.is_some() {
+        config.time_limit = budget.time_limit;
+    }
+    if budget.node_limit.is_some() {
+        config.node_limit = budget.node_limit;
+    }
+    if budget.cancel.is_some() {
+        config.cancel = budget.cancel.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdc::Status;
+    use kdc_graph::{gen, named};
+
+    #[test]
+    fn solve_matches_direct_solver_and_memoizes() {
+        let session = Session::new(named::figure2());
+        let first = session.solve(2);
+        assert_eq!(first.size(), 6);
+        assert!(first.is_optimal());
+        assert!(!first.cache.result_memo_hit);
+        let second = session.solve(2);
+        assert!(second.cache.result_memo_hit, "identical query hits memo");
+        assert_eq!(second.witnesses, first.witnesses, "byte-identical answer");
+        let c = session.counters();
+        assert_eq!((c.solves, c.result_hits), (1, 1));
+    }
+
+    #[test]
+    fn peeling_is_built_exactly_once() {
+        let session = Session::new(named::figure2());
+        assert_eq!(session.counters().peel_builds, 0, "peel must be lazy");
+        let d1 = session.degeneracy();
+        let d2 = session.degeneracy();
+        assert_eq!(d1, d2);
+        assert_eq!(session.counters().peel_builds, 1);
+    }
+
+    #[test]
+    fn warm_solve_resumes_the_resident_reducer() {
+        let mut rng = gen::seeded_rng(31);
+        let (g, _) = gen::planted_defective_clique(200, 12, 2, 0.03, &mut rng);
+        let session = Session::new(g);
+        let q = Query::Solve { k: 2 };
+        let b = Budget::default();
+        let first = session
+            .run(&q, &b, &Options::preset("kdc").unwrap())
+            .unwrap();
+        assert!(!first.cache.ctcp_resumed, "cold solve builds");
+        // A different preset dodges the result memo but shares the same
+        // (rr5, rr6) rule set, so the resident reducer is resumed.
+        let second = session
+            .run(&q, &b, &Options::preset("kdbb").unwrap())
+            .unwrap();
+        assert!(!second.cache.result_memo_hit);
+        assert!(second.cache.ctcp_resumed, "warm solve must resume");
+        assert!(second.cache.seeded, "witness seeds the warm solve");
+        assert_eq!(second.size(), first.size());
+        assert_eq!(
+            second.stats.ctcp_vertex_removals, 0,
+            "resumed reducer already at the fixpoint for this bound"
+        );
+        let c = session.counters();
+        assert_eq!((c.ctcp_builds, c.ctcp_resumes), (1, 1));
+        assert_eq!(
+            session.best_known(2).unwrap().len(),
+            first.size(),
+            "witness recorded for seeding"
+        );
+    }
+
+    #[test]
+    fn lru_cap_evicts_least_recently_used_reducer() {
+        let session = Session::new(named::figure2()).with_ctcp_capacity(2);
+        // kdc (rr5+rr6), kdc at other k, then a third key: one eviction.
+        session.solve(0);
+        session.solve(1);
+        assert_eq!(session.counters().ctcp_evictions, 0);
+        session.solve(2);
+        let c = session.counters();
+        assert_eq!(c.ctcp_evictions, 1, "third key evicts the LRU slot");
+        assert_eq!(c.ctcp_builds, 3);
+        // k=0 was least recently used and is gone: re-touching it (memo
+        // dodged via a different preset) rebuilds instead of resuming.
+        session
+            .run(
+                &Query::Solve { k: 0 },
+                &Budget::default(),
+                &Options::preset("kdbb").unwrap(),
+            )
+            .unwrap();
+        let c = session.counters();
+        assert_eq!(c.ctcp_builds, 4, "evicted reducer must rebuild");
+        assert_eq!(c.ctcp_evictions, 2);
+        // k=2 stayed resident through it all.
+        session
+            .run(
+                &Query::Solve { k: 2 },
+                &Budget::default(),
+                &Options::preset("kdbb").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(session.counters().ctcp_resumes, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_residency() {
+        let session = Session::new(named::figure2()).with_ctcp_capacity(0);
+        session.solve(1);
+        session
+            .run(
+                &Query::Solve { k: 1 },
+                &Budget::default(),
+                &Options::preset("kdbb").unwrap(),
+            )
+            .unwrap();
+        let c = session.counters();
+        assert_eq!(c.ctcp_builds, 2, "nothing is resident at cap 0");
+        assert_eq!(c.ctcp_resumes, 0);
+        assert_eq!(c.ctcp_evictions, 0);
+    }
+
+    #[test]
+    fn observer_receives_incumbent_and_done_events() {
+        let session = Session::new(named::figure2());
+        let events: Arc<Mutex<Vec<Event>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = events.clone();
+        let observer: Arc<dyn Observer> = Arc::new(move |e: &Event| {
+            sink.lock().unwrap().push(*e);
+        });
+        let outcome = session
+            .run_with(
+                &Query::Solve { k: 2 },
+                &Budget::default(),
+                &Options::default(),
+                Some(observer),
+            )
+            .unwrap();
+        assert!(outcome.is_optimal());
+        let events = events.lock().unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::Incumbent { size } if *size >= 5)),
+            "at least one incumbent event expected: {events:?}"
+        );
+        assert!(
+            matches!(
+                events.last(),
+                Some(Event::Done {
+                    status: Status::Optimal
+                })
+            ),
+            "stream must end with Done: {events:?}"
+        );
+    }
+
+    #[test]
+    fn enumerate_and_topr_match_direct_calls() {
+        let g = named::figure2();
+        let session = Session::new(g.clone());
+        let direct = topr::top_r_maximal(&g, 1, 2, kdc::SolverConfig::kdc());
+        let outcome = session
+            .run(
+                &Query::TopR {
+                    k: 1,
+                    r: 2,
+                    diversify: false,
+                },
+                &Budget::default(),
+                &Options::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.witnesses, direct);
+        assert!(outcome.is_optimal());
+        let all = session
+            .run(
+                &Query::Enumerate { k: 1 },
+                &Budget::default(),
+                &Options::default(),
+            )
+            .unwrap();
+        assert_eq!(
+            all.witnesses,
+            topr::enumerate_maximal(&g, 1, kdc::SolverConfig::kdc())
+        );
+        assert!(
+            session
+                .run(
+                    &Query::TopR {
+                        k: 1,
+                        r: 0,
+                        diversify: false
+                    },
+                    &Budget::default(),
+                    &Options::default(),
+                )
+                .is_err(),
+            "r = 0 must be rejected, not assert"
+        );
+    }
+
+    #[test]
+    fn count_matches_direct_counter() {
+        let g = named::figure2();
+        let session = Session::new(g.clone());
+        let outcome = session
+            .run(
+                &Query::Count { k: 1, min_size: 5 },
+                &Budget::default(),
+                &Options::default(),
+            )
+            .unwrap();
+        let direct = counting::count_k_defective_cliques(&g, 1, 5);
+        assert_eq!(outcome.counts.unwrap(), direct);
+        assert!(outcome.witnesses.is_empty());
+    }
+
+    #[test]
+    fn budget_limits_and_cancellation_flow_through() {
+        let mut rng = gen::seeded_rng(42);
+        let g = gen::gnp(120, 0.5, &mut rng);
+        let session = Session::new(g);
+        // Node limit: best-effort status.
+        let outcome = session
+            .run(
+                &Query::Solve { k: 8 },
+                &Budget::default().with_node_limit(1),
+                &Options::preset("kdc_t").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, Status::NodeLimitReached);
+        // Pre-raised cancel flag: the search aborts immediately.
+        let flag = kdc::CancelFlag::new();
+        flag.cancel();
+        let outcome = session
+            .run(
+                &Query::Solve { k: 8 },
+                &Budget::default().with_cancel(flag),
+                &Options::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, Status::Cancelled);
+    }
+
+    #[test]
+    fn budget_interrupts_enumeration_and_counting() {
+        let mut rng = gen::seeded_rng(99);
+        let g = gen::gnp(40, 0.5, &mut rng);
+        let session = Session::new(g);
+        // Pre-raised cancel: the enumeration must not claim a complete pool.
+        let flag = kdc::CancelFlag::new();
+        flag.cancel();
+        let outcome = session
+            .run(
+                &Query::Enumerate { k: 2 },
+                &Budget::default().with_cancel(flag.clone()),
+                &Options::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, Status::Cancelled);
+        // Same for counting: a cancelled count is a lower bound, not an
+        // answer — and the worker is released promptly.
+        let outcome = session
+            .run(
+                &Query::Count { k: 2, min_size: 0 },
+                &Budget::default().with_cancel(flag),
+                &Options::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, Status::Cancelled);
+        // An already-expired deadline times the count out.
+        let outcome = session
+            .run(
+                &Query::Count { k: 2, min_size: 0 },
+                &Budget::default().with_time_limit(std::time::Duration::ZERO),
+                &Options::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, Status::TimedOut);
+    }
+
+    #[test]
+    fn enumeration_with_a_node_limit_is_not_reported_complete() {
+        let mut rng = gen::seeded_rng(98);
+        let g = gen::gnp(40, 0.5, &mut rng);
+        let session = Session::new(g);
+        let outcome = session
+            .run(
+                &Query::Enumerate { k: 2 },
+                &Budget::default().with_node_limit(1),
+                &Options::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, Status::NodeLimitReached);
+    }
+
+    #[test]
+    fn custom_config_limits_survive_a_default_budget() {
+        let mut rng = gen::seeded_rng(97);
+        let g = gen::gnp(60, 0.5, &mut rng);
+        let session = Session::new(g);
+        // A cancel flag installed on the custom config itself — with no
+        // budget-level flag — must still abort the solve.
+        let flag = kdc::CancelFlag::new();
+        flag.cancel();
+        let outcome = session
+            .run(
+                &Query::Solve { k: 4 },
+                &Budget::default(),
+                &Options::custom(kdc::SolverConfig::kdc().with_cancel(flag)),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, Status::Cancelled);
+        // Same for a config-level node limit.
+        let outcome = session
+            .run(
+                &Query::Solve { k: 4 },
+                &Budget::default(),
+                &Options::custom(kdc::SolverConfig::kdc_t().with_node_limit(1)),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, Status::NodeLimitReached);
+        // A budget-level limit still wins over the config's.
+        let outcome = session
+            .run(
+                &Query::Solve { k: 4 },
+                &Budget::default().with_node_limit(1),
+                &Options::custom(kdc::SolverConfig::kdc_t().with_node_limit(u64::MAX)),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, Status::NodeLimitReached);
+    }
+
+    #[test]
+    fn threaded_budget_uses_the_decomposition() {
+        let mut rng = gen::seeded_rng(7);
+        let (g, _) = gen::planted_defective_clique(300, 14, 2, 0.03, &mut rng);
+        let session = Session::new(g.clone());
+        let sequential = session.solve(2);
+        let threaded = session
+            .run(
+                &Query::Solve { k: 2 },
+                &Budget::default().with_threads(2),
+                &Options::preset("kdbb").unwrap(), // dodge the memo
+            )
+            .unwrap();
+        assert_eq!(threaded.size(), sequential.size());
+        assert!(threaded.is_optimal());
+        // Fully warm (seeded at the optimum): every ego instance may be
+        // skipped, so only the answer itself is asserted here.
+        assert!(g.is_k_defective_clique(threaded.best().unwrap(), 2));
+    }
+}

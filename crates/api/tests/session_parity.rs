@@ -1,0 +1,205 @@
+//! Session-parity suite: the [`Session`] layer must answer **byte-identical
+//! solutions and statuses** to the direct core entry points
+//! ([`kdc::Solver`], [`kdc::decompose::solve_decomposed`],
+//! [`kdc::topr::top_r_maximal`]) across every preset and k ∈ {0, 1, 2, 3},
+//! warm and cold — the session adds residency, never a different answer.
+//!
+//! Run in release mode by CI alongside the ctcp-parity step.
+
+use kdc::{decompose, topr, Solver, SolverConfig};
+use kdc_api::{Budget, Options, Query, Session};
+use kdc_graph::{gen, named, Graph};
+
+const PRESETS: [&str; 4] = ["kdc", "kdc_t", "kdbb", "madec"];
+const KS: [usize; 4] = [0, 1, 2, 3];
+
+fn test_graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = gen::seeded_rng(20_240_601);
+    vec![
+        ("figure2", named::figure2()),
+        ("gnp28", gen::gnp(28, 0.35, &mut rng)),
+        (
+            "planted",
+            gen::planted_defective_clique(90, 9, 2, 0.06, &mut rng).0,
+        ),
+    ]
+}
+
+#[test]
+fn cold_session_solves_are_byte_identical_to_direct_solver() {
+    for (name, g) in test_graphs() {
+        for preset in PRESETS {
+            for k in KS {
+                let direct = Solver::new(&g, k, SolverConfig::from_preset(preset).unwrap()).solve();
+                let session = Session::new(g.clone());
+                let outcome = session
+                    .run(
+                        &Query::Solve { k },
+                        &Budget::default(),
+                        &Options::preset(preset).unwrap(),
+                    )
+                    .unwrap();
+                assert_eq!(outcome.status, direct.status, "{name} {preset} k={k}");
+                assert_eq!(
+                    outcome.witnesses,
+                    vec![direct.vertices],
+                    "{name} {preset} k={k}: cold session must be byte-identical"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_session_solves_stay_byte_identical() {
+    // Warm = second query on a held session. The memo path answers with the
+    // stored (byte-identical) solution; the memo-dodging path (custom
+    // options) resumes the resident reducer and is seeded with the stored
+    // witness, and must land on the very same vertex set.
+    for (name, g) in test_graphs() {
+        for preset in PRESETS {
+            let session = Session::new(g.clone());
+            for k in KS {
+                let direct = Solver::new(&g, k, SolverConfig::from_preset(preset).unwrap()).solve();
+                let cold = session
+                    .run(
+                        &Query::Solve { k },
+                        &Budget::default(),
+                        &Options::preset(preset).unwrap(),
+                    )
+                    .unwrap();
+                let memo = session
+                    .run(
+                        &Query::Solve { k },
+                        &Budget::default(),
+                        &Options::preset(preset).unwrap(),
+                    )
+                    .unwrap();
+                assert!(memo.cache.result_memo_hit, "{name} {preset} k={k}");
+                let warm = session
+                    .run(
+                        &Query::Solve { k },
+                        &Budget::default(),
+                        &Options::custom(SolverConfig::from_preset(preset).unwrap()),
+                    )
+                    .unwrap();
+                assert!(!warm.cache.result_memo_hit, "{name} {preset} k={k}");
+                for (label, outcome) in [("cold", &cold), ("memo", &memo), ("warm", &warm)] {
+                    assert_eq!(
+                        outcome.status, direct.status,
+                        "{name} {preset} k={k} ({label})"
+                    );
+                    assert_eq!(
+                        outcome.witnesses,
+                        vec![direct.vertices.clone()],
+                        "{name} {preset} k={k} ({label}) must be byte-identical"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_session_solves_match_direct_decomposition() {
+    // The parallel path races workers for the incumbent, so the vertex set
+    // is not deterministic — sizes, statuses and validity are the contract.
+    for (name, g) in test_graphs() {
+        for k in KS {
+            let direct = decompose::solve_decomposed(&g, k, SolverConfig::kdc(), 2);
+            let session = Session::new(g.clone());
+            let outcome = session
+                .run(
+                    &Query::Solve { k },
+                    &Budget::default().with_threads(2),
+                    &Options::default(),
+                )
+                .unwrap();
+            assert_eq!(outcome.status, direct.status, "{name} k={k}");
+            assert_eq!(outcome.size(), direct.size(), "{name} k={k}");
+            assert!(
+                g.is_k_defective_clique(outcome.best().unwrap(), k),
+                "{name} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn session_top_r_is_byte_identical_to_direct_topr() {
+    for (name, g) in test_graphs() {
+        for k in KS {
+            for r in [1usize, 3] {
+                let direct = topr::top_r_maximal(&g, k, r, SolverConfig::kdc());
+                let session = Session::new(g.clone());
+                let outcome = session
+                    .run(
+                        &Query::TopR {
+                            k,
+                            r,
+                            diversify: false,
+                        },
+                        &Budget::default(),
+                        &Options::default(),
+                    )
+                    .unwrap();
+                assert!(outcome.is_optimal(), "{name} k={k} r={r}");
+                assert_eq!(outcome.witnesses, direct, "{name} k={k} r={r}");
+                // Warm repetition must not change the enumeration answer
+                // (no lower-bound state may leak into the pool search).
+                let again = session
+                    .run(
+                        &Query::TopR {
+                            k,
+                            r,
+                            diversify: false,
+                        },
+                        &Budget::default(),
+                        &Options::default(),
+                    )
+                    .unwrap();
+                assert_eq!(again.witnesses, direct, "{name} k={k} r={r} (warm)");
+            }
+        }
+    }
+}
+
+#[test]
+fn solves_do_not_perturb_later_enumerations() {
+    // A session that has already tightened reducers and stored witnesses
+    // must still enumerate the full maximal family.
+    let g = named::figure2();
+    let session = Session::new(g.clone());
+    for k in KS {
+        session.solve(k);
+    }
+    for k in [0usize, 1, 2] {
+        let direct = topr::enumerate_maximal(&g, k, SolverConfig::kdc());
+        let outcome = session
+            .run(
+                &Query::Enumerate { k },
+                &Budget::default(),
+                &Options::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.witnesses, direct, "k={k}");
+    }
+}
+
+#[test]
+fn session_counts_match_direct_counts() {
+    let g = named::figure2();
+    let session = Session::new(g.clone());
+    session.solve(1); // warm state must not affect counting
+    for (k, min_size) in [(0usize, 0usize), (1, 3), (2, 5)] {
+        let direct = kdc::counting::count_k_defective_cliques(&g, k, min_size);
+        let outcome = session
+            .run(
+                &Query::Count { k, min_size },
+                &Budget::default(),
+                &Options::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.counts.unwrap(), direct, "k={k} min={min_size}");
+    }
+}

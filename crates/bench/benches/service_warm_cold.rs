@@ -1,20 +1,23 @@
-//! Cold vs. warm solve latency through the `kdc_service` graph cache.
+//! Cold vs. warm solve latency through the `kdc_service` graph cache and
+//! the `kdc_api` Session layer it is built on.
 //!
 //! * `cold_process_per_query` models today's one-shot CLI: every query pays
-//!   file parsing, cache construction and a full solve (a fresh
+//!   file parsing, session construction and a full solve (a fresh
 //!   [`GraphCache`] per iteration, like a fresh process).
 //! * `warm_cached_graph` models a resident daemon answering with a shared
-//!   `Arc<Graph>`: the solve still runs, but parsing is gone.
+//!   session: the solve still runs, but parsing is gone and the cached
+//!   degeneracy peeling is reused.
 //! * `warm_result_memo` is the full warm service path: after the first
-//!   query the per-graph result memo answers without searching at all.
+//!   query the per-session result memo answers without searching at all.
 //!
-//! Beyond timing, the bench *asserts* (via the service counters, not the
+//! Beyond timing, the bench *asserts* (via the session counters, not the
 //! clock) that the warm paths performed exactly one parse and one real
 //! search across all iterations — the warm/cold contrast is structural,
 //! not statistical.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use kdc::{CancelFlag, Solver, SolverConfig};
+use kdc::CancelFlag;
+use kdc_api::{Budget, Options, Query};
 use kdc_graph::gen;
 use kdc_service::jobs::{run_job, JobOutcome, JobSpec};
 use kdc_service::GraphCache;
@@ -42,13 +45,15 @@ fn solve_spec(cache: &GraphCache, name: &str) -> JobSpec {
         k: K,
         preset: "kdc".to_string(),
         limit: Some(Duration::from_secs(60)),
+        nodes: None,
         threads: 1,
+        observer: None,
     }
 }
 
 fn expect_solve_size(outcome: JobOutcome) -> usize {
     match outcome {
-        JobOutcome::Solve { solution, .. } => solution.size(),
+        JobOutcome::Done(outcome) => outcome.size(),
         other => panic!("expected a solve outcome, got {other:?}"),
     }
 }
@@ -72,16 +77,22 @@ fn bench_warm_cold(c: &mut Criterion) {
     });
 
     // Warm: one resident cache. The graph is parsed exactly once; each
-    // query solves on the shared Arc<Graph>.
+    // query solves on the shared session (memo dodged via a custom options
+    // object, which is never memoized, so the search really runs).
     let warm_cache = GraphCache::new();
     warm_cache.load(&path_str, "g").expect("load graph");
     group.bench_function("warm_cached_graph", |b| {
         b.iter(|| {
             let entry = warm_cache.get("g").expect("cached");
-            // The daemon's warm solve path: shared Arc<Graph> plus the
-            // cached degeneracy peeling (no re-peel in the heuristic phase).
-            let config = SolverConfig::kdc().with_shared_peeling(entry.peeling());
-            Solver::new(&entry.graph, K, config).solve().size()
+            entry
+                .session()
+                .run(
+                    &Query::Solve { k: K },
+                    &Budget::default(),
+                    &Options::custom(kdc::SolverConfig::kdc()),
+                )
+                .expect("solve")
+                .size()
         })
     });
 
@@ -98,8 +109,8 @@ fn bench_warm_cold(c: &mut Criterion) {
     group.finish();
 
     // Structural assertions: warm really skipped re-parsing and
-    // re-searching. `parses` counts file parses; `counters().2` counts real
-    // (non-memo) searches; `counters().3` counts memo hits.
+    // re-searching. `parses` counts file parses; the session counters count
+    // real (non-memo) searches and memo hits.
     assert_eq!(
         cold_size, warm_size,
         "warm and cold must agree on the answer"
@@ -110,22 +121,34 @@ fn bench_warm_cold(c: &mut Criterion) {
         "warm path must not re-parse the graph file"
     );
     let entry = warm_cache.get("g").expect("cached");
-    let (_, peel_builds, solves, result_hits) = entry.counters();
+    let counters = entry.session().counters();
     assert_eq!(
-        peel_builds, 1,
+        counters.peel_builds, 1,
         "warm path must reuse the cached degeneracy peeling"
     );
-    assert_eq!(solves, 1, "memo must reduce repeated queries to one search");
     assert!(
-        result_hits >= 1,
-        "repeated warm queries must hit the result memo"
+        counters.result_hits >= 1,
+        "repeated warm memo queries must hit the result memo"
     );
+    assert_eq!(
+        counters.ctcp_builds, 1,
+        "one resident reducer serves every warm search"
+    );
+    assert!(
+        counters.ctcp_resumes >= 1,
+        "warm searches must resume the resident reducer"
+    );
+    assert_eq!(counters.ctcp_evictions, 0, "one key never evicts");
     println!(
-        "service_warm_cold: parses={} peel_builds={} searches={} memo_hits={}",
+        "service_warm_cold: parses={} peel_builds={} searches={} memo_hits={} \
+         ctcp_builds={} ctcp_resumes={} ctcp_evictions={}",
         warm_cache.parses(),
-        peel_builds,
-        solves,
-        result_hits
+        counters.peel_builds,
+        counters.solves,
+        counters.result_hits,
+        counters.ctcp_builds,
+        counters.ctcp_resumes,
+        counters.ctcp_evictions
     );
 }
 

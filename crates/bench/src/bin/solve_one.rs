@@ -12,7 +12,8 @@
 //! Presets: kdc (default), kdc_t, no_ub1, no_rr34, no_ub1_rr34, degen,
 //! kdbb, madec.
 
-use kdc::{Solver, SolverConfig};
+use kdc::SolverConfig;
+use kdc_api::{Budget, Options, Query, Session};
 use kdc_graph::{gen, io, Graph};
 use std::time::{Duration, Instant};
 
@@ -67,10 +68,19 @@ fn main() {
         g.density()
     );
 
-    let mut cfg = preset(preset_name);
-    cfg.time_limit = limit.map(Duration::from_secs_f64);
+    // The measured path is the served path: drive the same kdc_api Session
+    // the CLI and the daemon use. Ablation presets beyond the public name
+    // table ride in as explicit (non-memoized) configurations.
+    let cfg = preset(preset_name);
+    let session = Session::new(g);
+    let budget = Budget {
+        time_limit: limit.map(Duration::from_secs_f64),
+        ..Budget::default()
+    };
     let t0 = Instant::now();
-    let sol = Solver::new(&g, k, cfg).solve();
+    let sol = session
+        .run(&Query::Solve { k }, &budget, &Options::custom(cfg))
+        .expect("session solve");
     let elapsed = t0.elapsed();
 
     println!("preset {preset_name}, k = {k}");

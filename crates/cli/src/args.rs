@@ -13,7 +13,14 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["parallel", "quick", "verbose", "stats"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "parallel",
+    "quick",
+    "verbose",
+    "stats",
+    "watch",
+    "diversify",
+];
 
 /// Parses `args` into positionals and flags.
 pub fn parse(args: &[String]) -> Result<Parsed, String> {
@@ -71,6 +78,13 @@ impl Parsed {
         self.flags.contains_key(name)
     }
 
+    /// The raw (unparsed) value of a flag, for validators that want the
+    /// original token in their error message (e.g. the shared limit
+    /// parsers in `kdc::config`).
+    pub fn raw(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
     /// A string flag with a default.
     pub fn string_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
         self.flags.get(name).map(String::as_str).unwrap_or(default)
@@ -115,6 +129,13 @@ mod tests {
         let p = parse(&argv("g.clq --threads x")).unwrap();
         assert!(p.optional::<usize>("threads").is_err());
         assert!(parse(&argv("g.clq --threads")).is_err());
+    }
+
+    #[test]
+    fn raw_returns_the_unparsed_token() {
+        let p = parse(&argv("g.clq --limit 2.5x")).unwrap();
+        assert_eq!(p.raw("limit"), Some("2.5x"));
+        assert_eq!(p.raw("absent"), None);
     }
 
     #[test]

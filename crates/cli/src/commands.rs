@@ -1,94 +1,172 @@
 //! The `kdc` subcommands.
+//!
+//! Every solver-facing command (`solve`, `enumerate`, `count`) constructs a
+//! [`kdc_api::Session`] and drives the same typed query surface the daemon
+//! and the benches use; the CLI adds only argument parsing and printing.
 
-use crate::args::parse;
+use crate::args::{parse, Parsed};
 use crate::load_graph;
-use kdc::{decompose, gamma_k, sigma_k, topr, Solver, SolverConfig, Status};
+use kdc::{gamma_k, sigma_k, Status};
+use kdc_api::{Budget, Event, Observer, Options, Query, Session};
 use kdc_graph::stats::graph_stats;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-// One preset table for the whole system (core's `SolverConfig::from_preset`):
-// `kdc solve --preset X` and the daemon's `SOLVE g preset=X` never disagree.
-fn preset(name: &str) -> Result<SolverConfig, String> {
-    SolverConfig::from_preset(name)
+/// Parsed `kdc solve` arguments, separated from the argv handling so tests
+/// can run several solves against one held [`Session`].
+pub(crate) struct SolveArgs {
+    k: usize,
+    preset: String,
+    limit: Option<std::time::Duration>,
+    nodes: Option<u64>,
+    /// `None` = sequential; `Some(0)` = all cores.
+    threads: Option<usize>,
+    watch: bool,
+    stats: bool,
+    cert: Option<String>,
 }
 
-/// `kdc solve <file> --k K [--preset P] [--limit S] [--parallel]
-/// [--threads N] [--stats]`
+impl SolveArgs {
+    fn from_parsed(p: &Parsed) -> Result<SolveArgs, String> {
+        Ok(SolveArgs {
+            k: p.required("k")?,
+            preset: p.string_or("preset", "kdc").to_string(),
+            // The shared validators from kdc::config — the same ones the
+            // daemon protocol uses — so hostile limits fail identically on
+            // every surface.
+            limit: p
+                .raw("limit")
+                .map(kdc::config::parse_time_limit_arg)
+                .transpose()?,
+            nodes: p
+                .raw("nodes")
+                .map(kdc::config::parse_node_limit_arg)
+                .transpose()?,
+            // --threads N selects the parallel ego decomposition with
+            // exactly N threads (0 = all cores); --parallel remains the
+            // "all cores" shorthand.
+            threads: match p.optional("threads")? {
+                Some(n) => Some(n),
+                None if p.has("parallel") => Some(0),
+                None => None,
+            },
+            watch: p.has("watch"),
+            stats: p.has("stats"),
+            cert: p.optional("cert")?,
+        })
+    }
+}
+
+/// `kdc solve <file> --k K [--preset P] [--limit S] [--nodes N] [--parallel]
+/// [--threads N] [--stats] [--watch] [--cert F]`
 ///
 /// `--stats` additionally prints the reduction/arena counters (CTCP
-/// removals, arena reuses, universe rebuilds) so perf-path regressions are
-/// visible straight from the CLI.
+/// removals, arena reuses, universe rebuilds) and the session cache
+/// counters, so perf-path regressions are visible straight from the CLI.
+/// `--watch` streams incumbent/retighten/restart events as the search runs.
 ///
 /// Returns the process exit code: `0` for a proven-optimal solution,
 /// [`crate::EXIT_BEST_EFFORT`] when a limit expired first.
 pub fn solve(args: &[String]) -> Result<ExitCode, String> {
     let p = parse(args)?;
     let path = p.positional(0, "graph-file")?;
-    let k: usize = p.required("k")?;
-    let limit: Option<f64> = p.optional("limit")?;
-    let threads: Option<usize> = p.optional("threads")?;
     let preset_name = p.string_or("preset", "kdc");
     let g = load_graph(path)?;
 
     if preset_name == "rds" {
+        let k: usize = p.required("k")?;
         let sol = kdc_baselines::max_defective_clique_rds(&g, k);
         println!("size: {}", sol.len());
         println!("vertices: {:?}", sol);
         return Ok(ExitCode::SUCCESS);
     }
 
-    let mut config = preset(preset_name)?;
-    config.time_limit = limit.map(kdc::config::parse_time_limit).transpose()?;
+    let solve_args = SolveArgs::from_parsed(&p)?;
+    let session = Session::new(g);
+    solve_on_session(&session, &solve_args)
+}
 
-    let cert_out: Option<String> = p.optional("cert")?;
-    // --threads N selects the parallel ego decomposition with exactly N
-    // threads (0 = all cores); --parallel remains the "all cores" shorthand.
-    let sol = match threads {
-        Some(n) => decompose::solve_decomposed(&g, k, config, n),
-        None if p.has("parallel") => decompose::solve_decomposed(&g, k, config, 0),
-        None => Solver::new(&g, k, config).solve(),
+/// Runs one solve against a (possibly held, possibly warm) session and
+/// prints the report. Split out of [`solve`] so the warm path is testable:
+/// a second call on the same session must reuse the resident reducer.
+pub(crate) fn solve_on_session(session: &Session, a: &SolveArgs) -> Result<ExitCode, String> {
+    let budget = Budget {
+        time_limit: a.limit,
+        node_limit: a.nodes,
+        threads: a.threads.unwrap_or(1),
+        cancel: None,
     };
-    if let Some(out) = cert_out {
-        let cert =
-            kdc::verify::Certificate::new(&g, k, &sol.vertices, sol.status == Status::Optimal);
-        std::fs::write(&out, cert.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let options = Options::preset(&a.preset)?;
+    let observer: Option<Arc<dyn Observer>> = a.watch.then(|| {
+        Arc::new(|e: &Event| match *e {
+            Event::Incumbent { size } => println!("watch: incumbent size={size}"),
+            Event::Retighten { vertices, edges } => {
+                println!("watch: retighten removed-vertices={vertices} removed-edges={edges}")
+            }
+            Event::Restart { universe } => println!("watch: restart universe={universe}"),
+            Event::Done { .. } => {}
+        }) as Arc<dyn Observer>
+    });
+    let outcome = session.run_with(&Query::Solve { k: a.k }, &budget, &options, observer)?;
+
+    let witness = outcome.best().unwrap_or_default().to_vec();
+    if let Some(out) = &a.cert {
+        let cert = kdc::verify::Certificate::new(
+            session.graph(),
+            a.k,
+            &witness,
+            outcome.status == Status::Optimal,
+        );
+        std::fs::write(out, cert.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("certificate: {out}");
     }
-    match sol.status {
+    match outcome.status {
         Status::Optimal => println!("status: optimal"),
         Status::TimedOut => println!("status: timeout (best-effort)"),
         Status::NodeLimitReached => println!("status: node-limit (best-effort)"),
         Status::Cancelled => println!("status: cancelled (best-effort)"),
     }
-    println!("size: {}", sol.size());
-    println!("vertices: {:?}", sol.vertices);
+    println!("size: {}", outcome.size());
+    println!("vertices: {:?}", witness);
     println!(
-        "missing-edges: {} / {k}",
-        g.missing_edges_within(&sol.vertices)
+        "missing-edges: {} / {}",
+        session.graph().missing_edges_within(&witness),
+        a.k
     );
     println!(
         "time: {:.3}s (preprocess {:.3}s, search {:.3}s)",
-        sol.stats.total_time().as_secs_f64(),
-        sol.stats.preprocess_time.as_secs_f64(),
-        sol.stats.search_time.as_secs_f64()
+        outcome.stats.total_time().as_secs_f64(),
+        outcome.stats.preprocess_time.as_secs_f64(),
+        outcome.stats.search_time.as_secs_f64()
     );
-    println!("nodes: {}", sol.stats.nodes);
-    if p.has("stats") {
+    println!("nodes: {}", outcome.stats.nodes);
+    if a.stats {
+        let s = &outcome.stats;
         println!(
             "reduced: n0 {} m0 {} (initial lb {})",
-            sol.stats.preprocessed_n, sol.stats.preprocessed_m, sol.stats.initial_solution_size
+            s.preprocessed_n, s.preprocessed_m, s.initial_solution_size
         );
         println!(
             "ctcp: vertex-removals {} edge-removals {}",
-            sol.stats.ctcp_vertex_removals, sol.stats.ctcp_edge_removals
+            s.ctcp_vertex_removals, s.ctcp_edge_removals
         );
         println!(
             "arena: reuses {} universe-rebuilds {} ego-subproblems {}",
-            sol.stats.arena_reuses, sol.stats.universe_rebuilds, sol.stats.ego_subproblems
+            s.arena_reuses, s.universe_rebuilds, s.ego_subproblems
+        );
+        let c = session.counters();
+        println!(
+            "session: memo-hit {} ctcp-resumed {} seeded {} (builds {} resumes {} evictions {})",
+            outcome.cache.result_memo_hit,
+            outcome.cache.ctcp_resumed,
+            outcome.cache.seeded,
+            c.ctcp_builds,
+            c.ctcp_resumes,
+            c.ctcp_evictions
         );
     }
-    Ok(if sol.is_optimal() {
+    Ok(if outcome.is_optimal() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(crate::EXIT_BEST_EFFORT)
@@ -126,28 +204,75 @@ pub fn client(args: &[String]) -> Result<ExitCode, String> {
     let response =
         kdc_service::request(addr, &line).map_err(|e| format!("cannot reach {addr}: {e}"))?;
     println!("{response}");
-    Ok(if response.starts_with("ERR") {
+    // A verbose solve streams EVENT lines first; the verdict is the final
+    // line.
+    let verdict_is_err = response
+        .lines()
+        .last()
+        .is_some_and(|l| l.starts_with("ERR"));
+    Ok(if verdict_is_err {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     })
 }
 
-/// `kdc enumerate <file> --k K [--top R]`
+/// `kdc enumerate <file> --k K [--top R] [--diversify]`
 pub fn enumerate(args: &[String]) -> Result<(), String> {
     let p = parse(args)?;
     let path = p.positional(0, "graph-file")?;
     let k: usize = p.required("k")?;
     let top: Option<usize> = p.optional("top")?;
-    let g = load_graph(path)?;
+    let session = Session::new(load_graph(path)?);
 
-    let cliques = match top {
-        Some(r) => topr::top_r_maximal(&g, k, r, SolverConfig::kdc()),
-        None => topr::enumerate_maximal(&g, k, SolverConfig::kdc()),
+    let query = match top {
+        Some(r) => Query::TopR {
+            k,
+            r,
+            diversify: p.has("diversify"),
+        },
+        None if p.has("diversify") => {
+            return Err("--diversify requires --top <R>".to_string());
+        }
+        None => Query::Enumerate { k },
     };
-    println!("maximal {k}-defective cliques: {}", cliques.len());
-    for (i, c) in cliques.iter().enumerate() {
+    let outcome = session.run(&query, &Budget::default(), &Options::default())?;
+    let label = if p.has("diversify") {
+        "diversified"
+    } else {
+        "maximal"
+    };
+    println!("{label} {k}-defective cliques: {}", outcome.witnesses.len());
+    for (i, c) in outcome.witnesses.iter().enumerate() {
         println!("#{i}: size {} {:?}", c.len(), c);
+    }
+    Ok(())
+}
+
+/// `kdc count <file> --k K [--min-size S]` — exact per-size counts of
+/// k-defective cliques (`#P`-hard in general; keep `--min-size` close to
+/// the maximum on non-toy graphs).
+pub fn count(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let path = p.positional(0, "graph-file")?;
+    let k: usize = p.required("k")?;
+    let min_size: usize = p.optional("min-size")?.unwrap_or(0);
+    let session = Session::new(load_graph(path)?);
+    let outcome = session.run(
+        &Query::Count { k, min_size },
+        &Budget::default(),
+        &Options::default(),
+    )?;
+    let counts = outcome.counts.expect("count queries return counts");
+    println!("max-size: {}", counts.max_size());
+    println!(
+        "total (size >= {min_size}): {}",
+        counts.total_at_least(min_size)
+    );
+    for (size, &c) in counts.counts.iter().enumerate() {
+        if c > 0 {
+            println!("size {size}: {c}");
+        }
     }
     Ok(())
 }
@@ -345,6 +470,69 @@ mod tests {
         let path = write_sample();
         enumerate(&argv(&[&path, "--k", "1", "--top", "3"])).unwrap();
         enumerate(&argv(&[&path, "--k", "0"])).unwrap();
+        enumerate(&argv(&[&path, "--k", "1", "--top", "2", "--diversify"])).unwrap();
+        assert!(
+            enumerate(&argv(&[&path, "--k", "1", "--diversify"])).is_err(),
+            "--diversify requires --top"
+        );
+    }
+
+    #[test]
+    fn count_command_runs() {
+        let path = write_sample();
+        count(&argv(&[&path, "--k", "1", "--min-size", "5"])).unwrap();
+        count(&argv(&[&path, "--k", "0"])).unwrap();
+        assert!(count(&argv(&[&path])).is_err(), "missing --k");
+        assert!(count(&argv(&["/nonexistent.clq", "--k", "1"])).is_err());
+    }
+
+    #[test]
+    fn solve_watch_and_limit_flags_parse() {
+        let path = write_sample();
+        solve(&argv(&[&path, "--k", "2", "--watch"])).unwrap();
+        solve(&argv(&[&path, "--k", "2", "--nodes", "100000"])).unwrap();
+        // Hostile limits are rejected by the shared validators.
+        for bad in [
+            vec![&path[..], "--k", "2", "--limit", "NaN"],
+            vec![&path[..], "--k", "2", "--limit", "-1"],
+            vec![&path[..], "--k", "2", "--nodes", "0"],
+            vec![&path[..], "--k", "2", "--nodes", "1.5"],
+        ] {
+            assert!(solve(&argv(&bad)).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn second_solve_on_a_held_session_reuses_the_reducer() {
+        // The warm-solve-through-CLI contract: the command layer is a thin
+        // shell over kdc_api::Session, so holding a session across two
+        // `kdc solve` invocations reuses the resident reducer (asserted via
+        // counters, not timings). The second run uses a different preset so
+        // the result memo cannot answer.
+        let session = kdc_api::Session::new(kdc_graph::named::figure2());
+        let base = |preset: &str| SolveArgs {
+            k: 2,
+            preset: preset.to_string(),
+            limit: None,
+            nodes: None,
+            threads: None,
+            watch: false,
+            stats: true,
+            cert: None,
+        };
+        let first = solve_on_session(&session, &base("kdc")).unwrap();
+        assert_eq!(first, std::process::ExitCode::SUCCESS);
+        let counters = session.counters();
+        assert_eq!((counters.ctcp_builds, counters.ctcp_resumes), (1, 0));
+        let second = solve_on_session(&session, &base("kdbb")).unwrap();
+        assert_eq!(second, std::process::ExitCode::SUCCESS);
+        let counters = session.counters();
+        assert_eq!(
+            (counters.ctcp_builds, counters.ctcp_resumes),
+            (1, 1),
+            "warm CLI solve must resume the resident reducer"
+        );
+        assert_eq!(counters.solves, 2, "both runs really searched");
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! kdc solve <graph-file> --k <K> [--preset kdc|kdc_t|kdbb|madec] [--limit S]
-//!           [--parallel] [--threads N]
-//! kdc enumerate <graph-file> --k <K> [--top R]
+//!           [--nodes N] [--parallel] [--threads N] [--stats] [--watch]
+//! kdc enumerate <graph-file> --k <K> [--top R] [--diversify]
+//! kdc count <graph-file> --k <K> [--min-size S]
 //! kdc stats <graph-file>
 //! kdc convert <input> <output>      # by extension: .clq/.graph/.txt
 //! kdc gamma [max_k]
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
     let result: Result<ExitCode, String> = match command.as_str() {
         "solve" => commands::solve(rest),
         "enumerate" => commands::enumerate(rest).map(|()| ExitCode::SUCCESS),
+        "count" => commands::count(rest).map(|()| ExitCode::SUCCESS),
         "verify" => commands::verify(rest).map(|()| ExitCode::SUCCESS),
         "stats" => commands::stats(rest).map(|()| ExitCode::SUCCESS),
         "convert" => commands::convert(rest).map(|()| ExitCode::SUCCESS),
@@ -63,9 +65,10 @@ fn usage() -> &'static str {
 
 USAGE:
   kdc solve <graph-file> --k <K> [--preset kdc|kdc_t|kdbb|madec|rds]
-            [--limit <seconds>] [--parallel] [--threads <N>]
-            [--cert <out-file>]
-  kdc enumerate <graph-file> --k <K> [--top <R>]
+            [--limit <seconds>] [--nodes <N>] [--parallel] [--threads <N>]
+            [--stats] [--watch] [--cert <out-file>]
+  kdc enumerate <graph-file> --k <K> [--top <R>] [--diversify]
+  kdc count <graph-file> --k <K> [--min-size <S>]
   kdc verify <graph-file> <certificate-file>
   kdc stats <graph-file>
   kdc convert <input-file> <output-file>
@@ -78,10 +81,13 @@ anything else is read as a 0-based whitespace edge list.
 
 Exit codes: 0 = success/optimal, 1 = error, 2 = best-effort (limit hit).
 
-The daemon protocol (one line per request/response):
+The daemon protocol (one line per request/response; SOLVE verbose=1
+streams EVENT lines before the final OK):
   LOAD <path> AS <name>
-  SOLVE <name> k=<K> [preset=..] [limit=..] [threads=..]
+  SOLVE <name> k=<K> [preset=..] [limit=..] [nodes=..] [threads=..]
+        [verbose=0|1]
   ENUMERATE <name> k=<K> top=<R>
+  COUNT <name> k=<K> [min=<S>]
   STATS [<name>] | UNLOAD <name> | JOBS | CANCEL <id> | SHUTDOWN"
 }
 

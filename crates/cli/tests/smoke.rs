@@ -175,6 +175,70 @@ fn solve_threads_flag_works_end_to_end() {
 }
 
 #[test]
+fn solve_watch_streams_incumbent_lines() {
+    let path = sample_graph();
+    let out = run(&["solve", path.to_str().unwrap(), "--k", "2", "--watch"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    // The observer renders incumbent events before the final report.
+    let watch_pos = text
+        .find("watch: incumbent size=")
+        .unwrap_or_else(|| panic!("no watch line in: {text}"));
+    let status_pos = text.find("status: optimal").expect("status line");
+    assert!(
+        watch_pos < status_pos,
+        "watch output must precede the final report: {text}"
+    );
+    assert!(text.contains("size: 6"), "output: {text}");
+}
+
+#[test]
+fn count_command_reports_counts() {
+    let path = sample_graph();
+    let out = run(&[
+        "count",
+        path.to_str().unwrap(),
+        "--k",
+        "1",
+        "--min-size",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("max-size: 5"), "output: {text}");
+    assert!(text.contains("size 5: "), "output: {text}");
+}
+
+#[test]
+fn solve_node_limit_flag_is_validated() {
+    let path = sample_graph();
+    // Valid node limit: runs (and on figure2 still proves optimality well
+    // within the budget).
+    let out = run(&[
+        "solve",
+        path.to_str().unwrap(),
+        "--k",
+        "2",
+        "--nodes",
+        "1000000",
+    ]);
+    assert!(out.status.success());
+    // Hostile node limit: rejected by the shared validator, exit code 1.
+    let out = run(&["solve", path.to_str().unwrap(), "--k", "2", "--nodes", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("node limit"), "stderr: {err}");
+}
+
+#[test]
 fn serve_and_client_roundtrip() {
     use std::io::BufRead;
     let path = sample_graph();
@@ -211,6 +275,18 @@ fn serve_and_client_roundtrip() {
     let text = stdout(&out);
     assert!(text.contains("status=optimal"), "{text}");
     assert!(text.contains("size=6"), "{text}");
+
+    // A verbose solve through `kdc client` prints the EVENT stream and the
+    // final OK verdict (a different preset dodges the daemon's result memo
+    // so a real search runs and emits events).
+    let out = client(&["SOLVE", "fig2", "k=2", "preset=kdbb", "verbose=1"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("EVENT type=incumbent"), "{text}");
+    assert!(
+        text.lines().last().unwrap().starts_with("OK "),
+        "verdict must be the last line: {text}"
+    );
 
     // ERR responses surface as a failing client exit code.
     let out = client(&["SOLVE", "ghost", "k=2"]);

@@ -30,6 +30,41 @@ pub fn parse_time_limit(seconds: f64) -> Result<Duration, String> {
     Ok(Duration::from_secs_f64(seconds))
 }
 
+/// Parses a raw time-limit *token* (CLI `--limit`, daemon `limit=`) and
+/// validates it via [`parse_time_limit`]. The single entry point for every
+/// surface that accepts a wall-clock limit as text, so hostile inputs
+/// (`-1`, `NaN`, `inf`, `1e30`, garbage) are rejected identically
+/// everywhere.
+pub fn parse_time_limit_arg(raw: &str) -> Result<Duration, String> {
+    let seconds: f64 = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid time limit {raw:?} (expected seconds)"))?;
+    parse_time_limit(seconds)
+}
+
+/// Validates a branch-and-bound node limit. Zero is rejected (a search that
+/// may visit no node cannot report anything meaningful) so every surface
+/// treats "no limit" as *absent*, never as `0`.
+pub fn parse_node_limit(nodes: u64) -> Result<u64, String> {
+    if nodes == 0 {
+        return Err("invalid node limit 0 (must be >= 1; omit for unlimited)".to_string());
+    }
+    Ok(nodes)
+}
+
+/// Parses a raw node-limit *token* (CLI `--nodes`, daemon `nodes=`) and
+/// validates it via [`parse_node_limit`]. Rejects non-numeric, negative,
+/// fractional and overflowing values with an error instead of panicking on
+/// untrusted input.
+pub fn parse_node_limit_arg(raw: &str) -> Result<u64, String> {
+    let nodes: u64 = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid node limit {raw:?} (expected a positive integer)"))?;
+    parse_node_limit(nodes)
+}
+
 /// A shared cooperative-cancellation flag.
 ///
 /// Clone the flag, hand one copy to the solver via
@@ -55,6 +90,61 @@ impl CancelFlag {
     /// Whether the flag has been raised.
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A coarse progress event emitted during a solve when an [`EventHook`] is
+/// installed via [`SolverConfig::on_event`].
+///
+/// Events are emitted synchronously on the solving thread at incumbent
+/// improvements and preprocessing milestones — never per branch-and-bound
+/// node — so a hook costs nothing on the hot path and a slow consumer (a
+/// TCP writer, a progress bar) only stalls the solve at those milestones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveEvent {
+    /// The best known solution improved to `size` vertices. The first event
+    /// of a solve reports the initial heuristic/seed bound (when non-zero).
+    Incumbent {
+        /// Size of the new incumbent.
+        size: usize,
+    },
+    /// The CTCP reducer re-tightened against a risen lower bound and
+    /// removed something.
+    Retighten {
+        /// Vertices removed by this tightening step.
+        vertices: u64,
+        /// Edges removed by this tightening step.
+        edges: u64,
+    },
+    /// Branch and bound (re)started on a universe of `universe` vertices
+    /// (once per solve on the warm path; again after each mid-search
+    /// retighten that shrank the universe).
+    Restart {
+        /// Vertex count of the universe being searched.
+        universe: usize,
+    },
+}
+
+/// A shareable callback receiving [`SolveEvent`]s; install via
+/// [`SolverConfig::with_event_hook`]. Cloning shares the same callback.
+#[derive(Clone)]
+pub struct EventHook(Arc<dyn Fn(SolveEvent) + Send + Sync>);
+
+impl EventHook {
+    /// Wraps a callback.
+    pub fn new(hook: impl Fn(SolveEvent) + Send + Sync + 'static) -> Self {
+        EventHook(Arc::new(hook))
+    }
+
+    /// Delivers one event to the callback.
+    pub fn emit(&self, event: SolveEvent) {
+        (self.0)(event);
+    }
+}
+
+impl std::fmt::Debug for EventHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EventHook(..)")
     }
 }
 
@@ -156,6 +246,10 @@ pub struct SolverConfig {
     /// tight as every earlier solve — which in turn makes `shared_ctcp`'s
     /// accumulated removals sound for this run.
     pub seed_solution: Option<Vec<VertexId>>,
+    /// Progress callback, fired at incumbent improvements, retightens and
+    /// search restarts (see [`SolveEvent`]). `None` disables event emission
+    /// entirely.
+    pub on_event: Option<EventHook>,
 }
 
 impl SolverConfig {
@@ -182,6 +276,7 @@ impl SolverConfig {
             shared_peeling: None,
             shared_ctcp: None,
             seed_solution: None,
+            on_event: None,
         }
     }
 
@@ -209,6 +304,7 @@ impl SolverConfig {
             shared_peeling: None,
             shared_ctcp: None,
             seed_solution: None,
+            on_event: None,
         }
     }
 
@@ -273,6 +369,7 @@ impl SolverConfig {
             shared_peeling: None,
             shared_ctcp: None,
             seed_solution: None,
+            on_event: None,
         }
     }
 
@@ -299,6 +396,7 @@ impl SolverConfig {
             shared_peeling: None,
             shared_ctcp: None,
             seed_solution: None,
+            on_event: None,
         }
     }
 
@@ -360,6 +458,13 @@ impl SolverConfig {
         self.seed_solution = Some(seed);
         self
     }
+
+    /// Builder-style installation of a progress-event callback (see
+    /// [`SolverConfig::on_event`]).
+    pub fn with_event_hook(mut self, hook: EventHook) -> Self {
+        self.on_event = Some(hook);
+        self
+    }
 }
 
 impl Default for SolverConfig {
@@ -417,6 +522,60 @@ mod tests {
         for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e30] {
             assert!(parse_time_limit(bad).is_err(), "{bad} must be rejected");
         }
+    }
+
+    #[test]
+    fn time_limit_arg_parsing_rejects_hostile_tokens() {
+        assert_eq!(
+            parse_time_limit_arg("2.5").unwrap(),
+            Duration::from_secs_f64(2.5)
+        );
+        assert_eq!(parse_time_limit_arg(" 0 ").unwrap(), Duration::ZERO);
+        for bad in ["-1", "NaN", "inf", "-inf", "1e30", "", "fast", "1s"] {
+            assert!(
+                parse_time_limit_arg(bad).is_err(),
+                "limit token {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn node_limit_parsing_rejects_hostile_tokens() {
+        assert_eq!(parse_node_limit_arg("1").unwrap(), 1);
+        assert_eq!(parse_node_limit_arg(" 1000000 ").unwrap(), 1_000_000);
+        assert_eq!(parse_node_limit(u64::MAX).unwrap(), u64::MAX);
+        assert!(parse_node_limit(0).is_err(), "0 nodes means no search");
+        for bad in [
+            "0",
+            "-1",
+            "1.5",
+            "1e9",
+            "NaN",
+            "",
+            "many",
+            "18446744073709551616", // u64::MAX + 1
+        ] {
+            assert!(
+                parse_node_limit_arg(bad).is_err(),
+                "node token {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn event_hook_delivers_and_clones_share() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let hook = EventHook::new(move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        hook.emit(SolveEvent::Incumbent { size: 3 });
+        hook.clone().emit(SolveEvent::Restart { universe: 10 });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+        // Installing it on a config keeps the config Clone + Debug.
+        let cfg = SolverConfig::kdc().with_event_hook(hook);
+        let _ = format!("{:?}", cfg.clone());
     }
 
     #[test]

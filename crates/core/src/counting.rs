@@ -11,7 +11,10 @@
 //! Counting is `#P`-hard in general; use on small graphs or with a
 //! `min_size` close to the maximum.
 
+use crate::config::CancelFlag;
+use crate::stats::Status;
 use kdc_graph::graph::{Graph, VertexId};
+use std::time::Instant;
 
 /// Per-size counts of k-defective cliques (vertex subsets inducing at most
 /// `k` missing edges). `counts[s]` is the number of such subsets of size
@@ -39,40 +42,113 @@ impl DefectiveCounts {
 /// (sizes below `min_size` report 0, except the conventional empty set when
 /// `min_size == 0`).
 pub fn count_k_defective_cliques(g: &Graph, k: usize, min_size: usize) -> DefectiveCounts {
+    count_k_defective_cliques_with(g, k, min_size, None, None).0
+}
+
+/// Abort checks for the counting recursion: a cooperative cancel flag and a
+/// wall-clock deadline, sampled every [`CHECK_INTERVAL`] recursion steps so
+/// the per-node cost stays negligible.
+struct Limiter<'a> {
+    cancel: Option<&'a CancelFlag>,
+    deadline: Option<Instant>,
+    tick: u32,
+    status: Status,
+}
+
+/// Recursion steps between limiter samples (an `Instant::now()` per step
+/// would dominate the cheap per-node work).
+const CHECK_INTERVAL: u32 = 256;
+
+impl Limiter<'_> {
+    /// Whether the enumeration must stop; sticky once tripped.
+    fn interrupted(&mut self) -> bool {
+        if self.status != Status::Optimal {
+            return true;
+        }
+        self.tick += 1;
+        if self.tick < CHECK_INTERVAL {
+            return false;
+        }
+        self.tick = 0;
+        if self.cancel.is_some_and(CancelFlag::is_cancelled) {
+            self.status = Status::Cancelled;
+        } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.status = Status::TimedOut;
+        }
+        self.status != Status::Optimal
+    }
+}
+
+/// [`count_k_defective_cliques`] with cooperative interruption: the count
+/// aborts at the next check when `cancel` is raised or `deadline` passes.
+/// Returns the counts plus a status — anything other than
+/// [`Status::Optimal`] means the enumeration was cut short and the counts
+/// are a **lower bound**, not the exact answer. Services run the `#P`-hard
+/// counter through this entry point so a hostile `COUNT` cannot pin a
+/// worker forever.
+pub fn count_k_defective_cliques_with(
+    g: &Graph,
+    k: usize,
+    min_size: usize,
+    cancel: Option<&CancelFlag>,
+    deadline: Option<Instant>,
+) -> (DefectiveCounts, Status) {
     let n = g.n();
     let mut counts = vec![0u64; n + 1];
     if min_size == 0 {
         counts[0] = 1;
     }
     let mut current: Vec<VertexId> = Vec::new();
+    /// Everything constant across the recursion, plus the abort limiter.
+    struct Ctx<'a> {
+        g: &'a Graph,
+        k: usize,
+        min_size: usize,
+        limiter: Limiter<'a>,
+    }
     // Canonical enumeration: members are added in increasing id order, so
     // each subset is generated exactly once.
     fn recurse(
-        g: &Graph,
-        k: usize,
-        min_size: usize,
+        ctx: &mut Ctx<'_>,
         next: usize,
         missing: usize,
         current: &mut Vec<VertexId>,
         counts: &mut [u64],
     ) {
-        if !current.is_empty() && current.len() >= min_size {
+        if ctx.limiter.interrupted() {
+            return;
+        }
+        if !current.is_empty() && current.len() >= ctx.min_size {
             counts[current.len()] += 1;
         }
-        let n = g.n();
+        let n = ctx.g.n();
         for cand in next..n {
             let v = cand as VertexId;
-            let added = current.iter().filter(|&&u| !g.has_edge(u, v)).count();
-            if missing + added > k {
+            let added = current.iter().filter(|&&u| !ctx.g.has_edge(u, v)).count();
+            if missing + added > ctx.k {
                 continue;
             }
             current.push(v);
-            recurse(g, k, min_size, cand + 1, missing + added, current, counts);
+            recurse(ctx, cand + 1, missing + added, current, counts);
             current.pop();
+            if ctx.limiter.status != Status::Optimal {
+                return;
+            }
         }
     }
-    recurse(g, k, min_size, 0, 0, &mut current, &mut counts);
-    DefectiveCounts { counts }
+    let mut ctx = Ctx {
+        g,
+        k,
+        min_size,
+        limiter: Limiter {
+            cancel,
+            deadline,
+            tick: 0,
+            status: Status::Optimal,
+        },
+    };
+    recurse(&mut ctx, 0, 0, &mut current, &mut counts);
+    (DefectiveCounts { counts }, ctx.limiter.status)
 }
 
 #[cfg(test)]
@@ -159,6 +235,28 @@ mod tests {
         assert_eq!(c1.counts[5], expected);
         assert_eq!(c1.max_size(), 5);
         assert_eq!(c1.total_at_least(5), expected);
+    }
+
+    #[test]
+    fn cancelled_count_reports_partial_status() {
+        let mut rng = gen::seeded_rng(75);
+        // Dense enough that the full count takes many recursion steps.
+        let g = gen::gnp(24, 0.6, &mut rng);
+        let flag = CancelFlag::new();
+        flag.cancel(); // pre-raised: abort at the first limiter sample
+        let (_, status) = count_k_defective_cliques_with(&g, 2, 0, Some(&flag), None);
+        assert_eq!(status, Status::Cancelled);
+
+        // An un-raised flag must not disturb the count.
+        let flag = CancelFlag::new();
+        let (counts, status) = count_k_defective_cliques_with(&g, 1, 3, Some(&flag), None);
+        assert_eq!(status, Status::Optimal);
+        assert_eq!(counts, count_k_defective_cliques(&g, 1, 3));
+
+        // An already-expired deadline aborts with TimedOut.
+        let (_, status) =
+            count_k_defective_cliques_with(&g, 2, 0, None, Some(std::time::Instant::now()));
+        assert_eq!(status, Status::TimedOut);
     }
 
     #[test]

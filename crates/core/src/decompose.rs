@@ -28,15 +28,15 @@
 //! incremental reducer ([`kdc_graph::ctcp`]) is tightened once against the
 //! heuristic lower bound and extracted once (`universe_rebuilds = 1`), and
 //! the degeneracy ordering is restricted to the survivors. Each worker then
-//! owns a [`SubproblemArena`]: flat CSR buffers, a reusable [`Marker`], and
-//! one long-lived [`Engine`] re-primed per vertex via `Engine::reset` — so
+//! owns a `SubproblemArena`: flat CSR buffers, a reusable `Marker`, and
+//! one long-lived engine re-primed per vertex via `Engine::reset` — so
 //! the per-vertex loop performs **no universe allocation in steady state**
 //! (`arena_reuses` counts exactly the instances served this way).
 //!
 //! Instances are independent, so they are solved on parallel threads
 //! (std scoped threads; the incumbent size is shared through an atomic).
 
-use crate::config::{InitialHeuristic, SolverConfig};
+use crate::config::{InitialHeuristic, SolveEvent, SolverConfig};
 use crate::engine::Engine;
 use crate::heuristic;
 use crate::stats::{SearchStats, Solution, Status};
@@ -169,6 +169,13 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
     if initial.len() < k + 2 {
         return crate::Solver::new(g, k, config).solve();
     }
+    // The fallback above emits its own events via the sequential solver;
+    // from here on this coordinator is the event source.
+    if let Some(hook) = &config.on_event {
+        hook.emit(SolveEvent::Incumbent {
+            size: initial.len(),
+        });
+    }
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|p| p.get())
@@ -200,6 +207,15 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
     };
     let n_red = keep.len();
     let red_m = red_adj.iter().map(Vec::len).sum::<usize>() / 2;
+    if let Some(hook) = &config.on_event {
+        if removed_v > 0 || removed_e > 0 {
+            hook.emit(SolveEvent::Retighten {
+                vertices: removed_v,
+                edges: removed_e,
+            });
+        }
+        hook.emit(SolveEvent::Restart { universe: n_red });
+    }
 
     // The input ordering restricted to the survivors (any ordering keeps
     // the containment argument valid; the degeneracy restriction keeps the
@@ -321,6 +337,9 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                         let mut guard = best_sol.lock().expect("poisoned");
                         if mapped.len() > guard.len() {
                             best_size.store(mapped.len(), Ordering::Relaxed);
+                            if let Some(hook) = &config.on_event {
+                                hook.emit(SolveEvent::Incumbent { size: mapped.len() });
+                            }
                             *guard = mapped;
                         }
                     }

@@ -54,7 +54,7 @@ pub mod verify;
 
 mod engine;
 
-pub use config::{BranchPolicy, CancelFlag, InitialHeuristic, SolverConfig};
+pub use config::{BranchPolicy, CancelFlag, EventHook, InitialHeuristic, SolveEvent, SolverConfig};
 pub use gamma::{gamma_k, sigma_k};
 pub use solver::{max_defective_clique, Solver};
 pub use stats::{SearchStats, Solution, Status};

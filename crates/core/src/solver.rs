@@ -12,7 +12,7 @@
 //! via [`SolverConfig::shared_ctcp`] / [`SolverConfig::seed_solution`], so
 //! warm solves resume tightening where the previous solve stopped.
 
-use crate::config::{InitialHeuristic, SolverConfig};
+use crate::config::{InitialHeuristic, SolveEvent, SolverConfig};
 use crate::engine::Engine;
 use crate::heuristic;
 use crate::stats::{SearchStats, Solution, Status};
@@ -63,6 +63,11 @@ impl<'g> Solver<'g> {
             }
         }
         let lb0 = best.len();
+        if lb0 > 0 {
+            if let Some(hook) = &config.on_event {
+                hook.emit(SolveEvent::Incumbent { size: lb0 });
+            }
+        }
 
         // Line 2: preprocessing through the (possibly resident) incremental
         // CTCP reducer. Removals are counted per-solve through the shared
@@ -74,6 +79,14 @@ impl<'g> Solver<'g> {
         {
             let mut c = ctcp.lock().expect("poisoned");
             let rem = c.tighten(lb0);
+            if !rem.is_empty() {
+                if let Some(hook) = &config.on_event {
+                    hook.emit(SolveEvent::Retighten {
+                        vertices: rem.vertices.len() as u64,
+                        edges: rem.edges,
+                    });
+                }
+            }
             removed
                 .0
                 .fetch_add(rem.vertices.len() as u64, Ordering::Relaxed);
@@ -116,17 +129,36 @@ impl<'g> Solver<'g> {
                 stats.preprocessed_n = keep.len();
                 stats.preprocessed_m = adj.iter().map(Vec::len).sum::<usize>() / 2;
             }
+            if let Some(hook) = &config.on_event {
+                hook.emit(SolveEvent::Restart {
+                    universe: keep.len(),
+                });
+            }
             let mut engine = Engine::new(adj, k, config.clone(), best.len());
             engine.override_deadline(deadline);
             let hook_ctcp = Arc::clone(&ctcp);
             let hook_removed = Arc::clone(&removed);
+            let hook_events = config.on_event.clone();
             engine.set_improve_hook(Box::new(move |new_lb| {
+                if let Some(events) = &hook_events {
+                    events.emit(SolveEvent::Incumbent { size: new_lb });
+                }
                 let rem = hook_ctcp.lock().expect("poisoned").tighten(new_lb);
                 hook_removed
                     .0
                     .fetch_add(rem.vertices.len() as u64, Ordering::Relaxed);
                 hook_removed.1.fetch_add(rem.edges, Ordering::Relaxed);
-                !rem.is_empty()
+                if !rem.is_empty() {
+                    if let Some(events) = &hook_events {
+                        events.emit(SolveEvent::Retighten {
+                            vertices: rem.vertices.len() as u64,
+                            edges: rem.edges,
+                        });
+                    }
+                    true
+                } else {
+                    false
+                }
             }));
             let completed = engine.run();
             if engine.best().len() > best.len() {

@@ -12,7 +12,19 @@
 use crate::config::SolverConfig;
 use crate::engine::Engine;
 use crate::solver::Solver;
+use crate::stats::Status;
 use kdc_graph::graph::{Graph, VertexId};
+
+/// An enumeration answer plus its completeness: [`Status::Optimal`] means
+/// the pool is proven exact; any other status means a limit or a
+/// cancellation interrupted the search and the pool may be truncated.
+#[derive(Clone, Debug)]
+pub struct TopRResult {
+    /// The collected cliques, size-descending (ties by vertex set).
+    pub cliques: Vec<Vec<VertexId>>,
+    /// [`Status::Optimal`] iff the enumeration ran to completion.
+    pub status: Status,
+}
 
 /// The `r` largest maximal k-defective cliques of `g` (fewer if the graph
 /// has fewer maximal cliques), sorted by size descending. Ties at the pool
@@ -29,13 +41,30 @@ use kdc_graph::graph::{Graph, VertexId};
 /// assert_eq!(top[0].len(), 5);
 /// ```
 pub fn top_r_maximal(g: &Graph, k: usize, r: usize, config: SolverConfig) -> Vec<Vec<VertexId>> {
+    top_r_maximal_with_status(g, k, r, config).cliques
+}
+
+/// [`top_r_maximal`] plus the completion status, for callers that pass a
+/// time/node limit or a cancellation flag in `config` and must not read a
+/// truncated pool as the proven top-r answer.
+pub fn top_r_maximal_with_status(
+    g: &Graph,
+    k: usize,
+    r: usize,
+    config: SolverConfig,
+) -> TopRResult {
     assert!(r > 0, "r must be positive");
     let adj: Vec<Vec<u32>> = (0..g.n() as u32).map(|v| g.neighbors(v).to_vec()).collect();
     // Enumeration must not discard solutions via a precomputed lower bound,
     // so no heuristic floor and no lb-driven preprocessing are used.
     let mut engine = Engine::new(adj, k, config, 0);
     engine.enable_pool(r);
-    engine.run();
+    let completed = engine.run();
+    let status = if completed {
+        Status::Optimal
+    } else {
+        engine.abort_status()
+    };
     let mut out: Vec<Vec<VertexId>> = engine
         .take_pool()
         .into_iter()
@@ -45,10 +74,16 @@ pub fn top_r_maximal(g: &Graph, k: usize, r: usize, config: SolverConfig) -> Vec
         })
         .collect();
     out.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
-    debug_assert!(out
-        .iter()
-        .all(|c| crate::verify::is_maximal_k_defective(g, c, k)));
-    out
+    debug_assert!(
+        status != Status::Optimal
+            || out
+                .iter()
+                .all(|c| crate::verify::is_maximal_k_defective(g, c, k))
+    );
+    TopRResult {
+        cliques: out,
+        status,
+    }
 }
 
 /// Enumerates **all** maximal k-defective cliques of `g`, sorted by size
@@ -68,7 +103,21 @@ pub fn top_r_diversified(
     r: usize,
     config: SolverConfig,
 ) -> Vec<Vec<VertexId>> {
+    top_r_diversified_with_status(g, k, r, config).cliques
+}
+
+/// [`top_r_diversified`] plus the completion status: anything other than
+/// [`Status::Optimal`] means some peel-and-solve round was interrupted by a
+/// limit or cancellation, so the covered sets are valid but the coverage
+/// guarantee does not hold.
+pub fn top_r_diversified_with_status(
+    g: &Graph,
+    k: usize,
+    r: usize,
+    config: SolverConfig,
+) -> TopRResult {
     assert!(r > 0, "r must be positive");
+    let mut status = Status::Optimal;
     let mut out = Vec::new();
     let mut remaining: Vec<VertexId> = g.vertices().collect();
     let mut current = g.clone();
@@ -77,6 +126,9 @@ pub fn top_r_diversified(
             break;
         }
         let sol = Solver::new(&current, k, config.clone()).solve();
+        if !sol.is_optimal() {
+            status = sol.status;
+        }
         if sol.vertices.is_empty() {
             break;
         }
@@ -96,8 +148,14 @@ pub fn top_r_diversified(
         let mut covered_sorted = covered;
         covered_sorted.sort_unstable();
         out.push(covered_sorted);
+        if status != Status::Optimal {
+            break;
+        }
     }
-    out
+    TopRResult {
+        cliques: out,
+        status,
+    }
 }
 
 #[cfg(test)]

@@ -279,6 +279,22 @@ impl Ctcp {
         out
     }
 
+    /// Applies a whole schedule of lower-bound steps in one queue drain:
+    /// a single [`Ctcp::tighten`] at the schedule's maximum, which is
+    /// semantically identical to calling `tighten` once per entry (in any
+    /// order — tighten clamps to the running maximum; parity-tested in
+    /// `tests/ctcp_prop.rs`) but pays one bucket sweep and one propagation
+    /// pass instead of one per step. Callers holding several pending
+    /// incumbent improvements (a decompose worker draining a shared
+    /// incumbent, a warm service folding queued bounds) hand them over
+    /// without pre-reducing; an empty slice is a no-op.
+    pub fn tighten_batch(&mut self, lbs: &[usize]) -> Removals {
+        match lbs.iter().copied().max() {
+            Some(lb) => self.tighten(lb),
+            None => Removals::default(),
+        }
+    }
+
     /// Files `v` under its (just decremented) degree, or queues it for
     /// removal when it crossed the active threshold.
     #[inline]
@@ -630,6 +646,55 @@ mod tests {
             let mapped: Vec<u32> = adj[i].iter().map(|&nw| keep[nw as usize]).collect();
             assert_eq!(buf, mapped, "row {i}");
         }
+    }
+
+    #[test]
+    fn tighten_batch_matches_sequential_tighten() {
+        let mut rng = gen::seeded_rng(303);
+        for trial in 0..8 {
+            let g = gen::gnp(45, 0.25, &mut rng);
+            for k in 0..3usize {
+                let schedule = [3usize, 5, 4, 8]; // deliberately non-monotone
+                let mut sequential = Ctcp::new(&g, k);
+                let mut total = Removals::default();
+                for &lb in &schedule {
+                    let rem = sequential.tighten(lb);
+                    total.vertices.extend(rem.vertices);
+                    total.edges += rem.edges;
+                }
+                let mut batched = Ctcp::new(&g, k);
+                let rem = batched.tighten_batch(&schedule);
+                assert_eq!(
+                    batched.alive_vertices(),
+                    sequential.alive_vertices(),
+                    "trial {trial} k {k}"
+                );
+                assert_eq!(batched.lb(), sequential.lb());
+                assert_eq!(rem.edges, total.edges, "trial {trial} k {k}");
+                // The removed vertex *sets* agree (order may differ: one
+                // drain visits the buckets in a different sequence).
+                let mut a = rem.vertices.clone();
+                let mut b = total.vertices.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "trial {trial} k {k}");
+                let (adj_a, _) = batched.extract_universe();
+                let (adj_b, _) = sequential.extract_universe();
+                assert_eq!(adj_a, adj_b, "universes differ: trial {trial} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn tighten_batch_edge_cases() {
+        let g = gen::complete(5);
+        let mut c = Ctcp::new(&g, 1);
+        assert!(c.tighten_batch(&[]).is_empty(), "empty schedule is a no-op");
+        assert_eq!(c.lb(), 0);
+        c.tighten(6);
+        // A batch entirely below the current bound is clamped away.
+        assert!(c.tighten_batch(&[1, 2, 3]).is_empty());
+        assert_eq!(c.lb(), 6);
     }
 
     #[test]

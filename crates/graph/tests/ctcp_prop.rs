@@ -58,6 +58,40 @@ proptest! {
     }
 
     #[test]
+    fn tighten_batch_is_equivalent_to_the_sequential_schedule(
+        seed in 0u64..10_000,
+        n in 12usize..40,
+        k in 0usize..3,
+        a in 0usize..10,
+        b in 0usize..10,
+        c in 0usize..10,
+    ) {
+        let mut rng = gen::seeded_rng(seed);
+        let g = gen::gnp(n, 0.3, &mut rng);
+        let schedule = [a, b, c];
+        let mut sequential = Ctcp::new(&g, k);
+        let mut removed_edges = 0u64;
+        let mut removed_vertices = Vec::new();
+        for &lb in &schedule {
+            let rem = sequential.tighten(lb);
+            removed_edges += rem.edges;
+            removed_vertices.extend(rem.vertices);
+        }
+        let mut batched = Ctcp::new(&g, k);
+        let rem = batched.tighten_batch(&schedule);
+        prop_assert_eq!(batched.lb(), sequential.lb());
+        prop_assert_eq!(batched.alive_vertices(), sequential.alive_vertices());
+        prop_assert_eq!(rem.edges, removed_edges);
+        let mut batch_v = rem.vertices;
+        batch_v.sort_unstable();
+        removed_vertices.sort_unstable();
+        prop_assert_eq!(batch_v, removed_vertices);
+        let (adj_batch, _) = batched.extract_universe();
+        let (adj_seq, _) = sequential.extract_universe();
+        prop_assert_eq!(adj_batch, adj_seq);
+    }
+
+    #[test]
     fn removal_counters_are_conserved(
         seed in 0u64..10_000,
         n in 10usize..35,

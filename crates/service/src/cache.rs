@@ -1,187 +1,58 @@
-//! The resident graph cache: parse once, solve many times.
+//! The resident graph cache: parse once, serve many sessions.
 //!
-//! Each [`GraphEntry`] owns an `Arc<Graph>` plus lazily computed, cached
-//! per-graph artifacts (the degeneracy peeling, i.e. ordering + core
-//! numbers, and one incremental CTCP reducer per `(k, rules)` pair) and a
-//! memo of proven-optimal solve results keyed by `(k, preset)` plus the
-//! best known witness solution per `k` (which seeds warm solves so the
-//! resident reducer's accumulated removals stay sound). Every counter a
-//! warm-vs-cold comparison needs is tracked explicitly — `parses`,
-//! `graph_hits`, `peel_builds`, `result_hits`, `ctcp_builds`,
-//! `ctcp_resumes` — so tests and benches can assert that the warm path
-//! really skips re-parsing and re-preprocessing instead of inferring it
-//! from timings.
+//! Since the `kdc_api` Session layer, this module is *only* the name-keyed
+//! map the daemon protocol needs: each [`GraphEntry`] pairs a cache name
+//! and parse cost with a [`kdc_api::Session`], and every solver-side
+//! artifact (degeneracy peeling, resident CTCP reducers with LRU bounds,
+//! best-known witnesses, the proven-optimal result memo) lives inside the
+//! session where the CLI, the benches and embedders share the exact same
+//! code path. Counters stay explicit — `parses` and per-entry `hits` here,
+//! everything else via [`kdc_api::SessionCounters`] — so warm-vs-cold
+//! claims are asserted, not inferred from timings.
 
-use kdc::Solution;
-use kdc_graph::ctcp::Ctcp;
-use kdc_graph::degeneracy::{self, Peeling};
-use kdc_graph::{Graph, VertexId};
+use kdc_api::Session;
+use kdc_graph::Graph;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Memo key for a solve result: the answer depends only on the graph, `k`
-/// and the algorithm variant (all exact presets agree on the *size*, but we
-/// key on the preset so the reported vertex set is reproducible per preset).
-#[derive(Clone, Debug, Hash, PartialEq, Eq)]
-pub struct SolveKey {
-    /// The k of the k-defective clique.
-    pub k: usize,
-    /// Preset name (`"kdc"` for the default).
-    pub preset: String,
-}
-
-/// Cache key for a resident CTCP reducer: its state depends on `k` and on
-/// which of the two rules (RR5 core / RR6 truss) the preset enables.
-#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
-pub struct CtcpKey {
-    /// The k of the k-defective clique.
-    pub k: usize,
-    /// Whether the degree (RR5) rule is active.
-    pub core_rule: bool,
-    /// Whether the support (RR6) rule is active.
-    pub truss_rule: bool,
-}
-
-/// A cached graph plus its lazily built artifacts and usage counters.
+/// A cached graph: one resident solver session plus protocol bookkeeping.
 #[derive(Debug)]
 pub struct GraphEntry {
     /// Cache key this entry is stored under.
     pub name: String,
-    /// The parsed graph, shared with in-flight jobs.
-    pub graph: Arc<Graph>,
     /// Wall-clock cost of the original parse (what the warm path saves).
     pub parse_time: Duration,
-    peeling: OnceLock<Arc<Peeling>>,
-    peel_builds: AtomicU64,
+    session: Session,
     hits: AtomicU64,
-    solves: AtomicU64,
-    result_hits: AtomicU64,
-    results: Mutex<HashMap<SolveKey, Solution>>,
-    /// Resident incremental reducers, one per `(k, rules)` combination.
-    ctcp: Mutex<HashMap<CtcpKey, Arc<Mutex<Ctcp>>>>,
-    ctcp_builds: AtomicU64,
-    ctcp_resumes: AtomicU64,
-    /// Best known solution per `k` (any preset): the witness that makes the
-    /// resident reducer's accumulated lower bound sound for warm solves.
-    best_known: Mutex<HashMap<usize, Vec<VertexId>>>,
 }
 
 impl GraphEntry {
     fn new(name: String, graph: Graph, parse_time: Duration) -> Self {
         GraphEntry {
             name,
-            graph: Arc::new(graph),
             parse_time,
-            peeling: OnceLock::new(),
-            peel_builds: AtomicU64::new(0),
+            session: Session::new(graph),
             hits: AtomicU64::new(0),
-            solves: AtomicU64::new(0),
-            result_hits: AtomicU64::new(0),
-            results: Mutex::new(HashMap::new()),
-            ctcp: Mutex::new(HashMap::new()),
-            ctcp_builds: AtomicU64::new(0),
-            ctcp_resumes: AtomicU64::new(0),
-            best_known: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The degeneracy peeling (ordering, ranks, core numbers), computed at
-    /// most once per cached graph and shared from then on.
-    pub fn peeling(&self) -> Arc<Peeling> {
-        self.peeling
-            .get_or_init(|| {
-                self.peel_builds.fetch_add(1, Ordering::Relaxed);
-                Arc::new(degeneracy::peel(&self.graph))
-            })
-            .clone()
+    /// The resident solver session — the single query surface every job
+    /// runs through.
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
-    /// Degeneracy of the cached graph (forces the peeling artifact).
-    pub fn degeneracy(&self) -> usize {
-        self.peeling().degeneracy
+    /// The parsed graph, shared with in-flight jobs.
+    pub fn graph(&self) -> &Arc<Graph> {
+        self.session.graph()
     }
 
-    /// A memoized proven-optimal result for `key`, if any.
-    pub fn cached_result(&self, key: &SolveKey) -> Option<Solution> {
-        let found = self.results.lock().expect("poisoned").get(key).cloned();
-        if found.is_some() {
-            self.result_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        found
-    }
-
-    /// Memoizes `solution` for `key`; only proven-optimal results may be
-    /// stored (best-effort answers depend on the deadline, not the graph).
-    pub fn store_result(&self, key: SolveKey, solution: Solution) {
-        debug_assert!(solution.is_optimal());
-        self.results.lock().expect("poisoned").insert(key, solution);
-    }
-
-    /// Records one solve executed against this entry.
-    pub fn record_solve(&self) {
-        self.solves.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// The resident CTCP reducer for `key`, built on first use (counted in
-    /// `ctcp_builds`) and resumed from then on (counted in `ctcp_resumes`).
-    /// Warm solves hand this to the solver via
-    /// `SolverConfig::shared_ctcp`, so a higher lower bound resumes
-    /// tightening where the previous solve stopped instead of recomputing
-    /// the core/truss fixpoint from a fresh clone.
-    pub fn ctcp_state(&self, key: CtcpKey) -> Arc<Mutex<Ctcp>> {
-        let mut map = self.ctcp.lock().expect("poisoned");
-        if let Some(existing) = map.get(&key) {
-            self.ctcp_resumes.fetch_add(1, Ordering::Relaxed);
-            return existing.clone();
-        }
-        self.ctcp_builds.fetch_add(1, Ordering::Relaxed);
-        let fresh = Arc::new(Mutex::new(Ctcp::with_rules(
-            &self.graph,
-            key.k,
-            key.core_rule,
-            key.truss_rule,
-        )));
-        map.insert(key, fresh.clone());
-        fresh
-    }
-
-    /// The best known solution for `k`, if any (cloned; used to seed warm
-    /// solves).
-    pub fn best_known(&self, k: usize) -> Option<Vec<VertexId>> {
-        self.best_known.lock().expect("poisoned").get(&k).cloned()
-    }
-
-    /// Records `vertices` as the best known solution for `k` when it beats
-    /// the stored witness. Solutions come straight out of the solver, so
-    /// they are trusted here (and re-validated by the solver when seeded
-    /// back in).
-    pub fn record_best_known(&self, k: usize, vertices: &[VertexId]) {
-        let mut map = self.best_known.lock().expect("poisoned");
-        let entry = map.entry(k).or_default();
-        if vertices.len() > entry.len() {
-            *entry = vertices.to_vec();
-        }
-    }
-
-    /// Usage counters: `(hits, peel_builds, solves, result_hits)`.
-    pub fn counters(&self) -> (u64, u64, u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.peel_builds.load(Ordering::Relaxed),
-            self.solves.load(Ordering::Relaxed),
-            self.result_hits.load(Ordering::Relaxed),
-        )
-    }
-
-    /// Reducer counters: `(ctcp_builds, ctcp_resumes)`.
-    pub fn ctcp_counters(&self) -> (u64, u64) {
-        (
-            self.ctcp_builds.load(Ordering::Relaxed),
-            self.ctcp_resumes.load(Ordering::Relaxed),
-        )
+    /// Successful cache lookups of this entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 }
 
@@ -238,7 +109,7 @@ impl GraphCache {
         entry
     }
 
-    /// Drops `name` from the cache; running jobs keep their `Arc<Graph>`.
+    /// Drops `name` from the cache; running jobs keep their `Arc`.
     pub fn unload(&self, name: &str) -> bool {
         self.entries
             .lock()
@@ -276,12 +147,19 @@ mod tests {
     fn peeling_is_built_exactly_once() {
         let cache = GraphCache::new();
         let entry = cache.insert("fig2", named::figure2());
-        assert_eq!(entry.counters().1, 0, "peel must be lazy");
-        let d1 = entry.degeneracy();
-        let d2 = entry.degeneracy();
+        assert_eq!(
+            entry.session().counters().peel_builds,
+            0,
+            "peel must be lazy"
+        );
+        let d1 = entry.session().degeneracy();
+        let d2 = entry.session().degeneracy();
         assert_eq!(d1, d2);
-        let (_, peel_builds, _, _) = entry.counters();
-        assert_eq!(peel_builds, 1, "artifact must be cached after first use");
+        assert_eq!(
+            entry.session().counters().peel_builds,
+            1,
+            "artifact must be cached after first use"
+        );
     }
 
     #[test]
@@ -293,7 +171,7 @@ mod tests {
         assert!(cache.get("a").is_some());
         assert!(cache.get("missing").is_none());
         let entry = cache.get("a").unwrap();
-        assert_eq!(entry.counters().0, 3, "three successful lookups");
+        assert_eq!(entry.hits(), 3, "three successful lookups");
         assert_eq!(cache.parses(), 1, "lookups must not re-parse");
     }
 
@@ -301,117 +179,11 @@ mod tests {
     fn unload_drops_but_arc_survives() {
         let cache = GraphCache::new();
         let entry = cache.insert("a", named::figure2());
-        let graph = entry.graph.clone();
+        let graph = entry.graph().clone();
         assert!(cache.unload("a"));
         assert!(!cache.unload("a"));
         assert!(cache.get("a").is_none());
         assert_eq!(graph.n(), 12, "in-flight Arc keeps the graph alive");
-    }
-
-    #[test]
-    fn result_memo_only_hits_same_key() {
-        let cache = GraphCache::new();
-        let entry = cache.insert("a", named::figure2());
-        let key = SolveKey {
-            k: 2,
-            preset: "kdc".into(),
-        };
-        assert!(entry.cached_result(&key).is_none());
-        let sol = kdc::max_defective_clique(&entry.graph, 2);
-        entry.store_result(key.clone(), sol.clone());
-        assert_eq!(entry.cached_result(&key).unwrap().size(), sol.size());
-        let other = SolveKey {
-            k: 3,
-            preset: "kdc".into(),
-        };
-        assert!(entry.cached_result(&other).is_none());
-        assert_eq!(entry.counters().3, 1, "exactly one result hit");
-    }
-
-    #[test]
-    fn ctcp_state_is_built_once_per_key_and_resumed() {
-        let cache = GraphCache::new();
-        let entry = cache.insert("fig2", named::figure2());
-        assert_eq!(entry.ctcp_counters(), (0, 0), "reducers must be lazy");
-        let key = CtcpKey {
-            k: 2,
-            core_rule: true,
-            truss_rule: true,
-        };
-        let a = entry.ctcp_state(key);
-        assert_eq!(entry.ctcp_counters(), (1, 0));
-        let b = entry.ctcp_state(key);
-        assert_eq!(entry.ctcp_counters(), (1, 1), "same key resumes");
-        assert!(Arc::ptr_eq(&a, &b));
-        // A different rule set is a different resident reducer.
-        let other = entry.ctcp_state(CtcpKey {
-            k: 2,
-            core_rule: true,
-            truss_rule: false,
-        });
-        assert_eq!(entry.ctcp_counters(), (2, 1));
-        assert!(!Arc::ptr_eq(&a, &other));
-    }
-
-    #[test]
-    fn best_known_keeps_the_largest_witness() {
-        let cache = GraphCache::new();
-        let entry = cache.insert("fig2", named::figure2());
-        assert!(entry.best_known(1).is_none());
-        entry.record_best_known(1, &[7, 8, 9]);
-        entry.record_best_known(1, &[7, 8]); // smaller: ignored
-        assert_eq!(entry.best_known(1).unwrap(), vec![7, 8, 9]);
-        entry.record_best_known(1, &[7, 8, 9, 10]);
-        assert_eq!(entry.best_known(1).unwrap().len(), 4);
-        assert!(entry.best_known(2).is_none(), "witnesses are per-k");
-    }
-
-    #[test]
-    fn warm_solve_resumes_the_resident_reducer() {
-        // End-to-end through run_job: two identical solves with different
-        // presets (dodging the result memo) must build the reducer once and
-        // resume it once, with identical answers.
-        use crate::jobs::{run_job, JobOutcome, JobSpec};
-        use kdc::CancelFlag;
-        let mut rng = kdc_graph::gen::seeded_rng(31);
-        let (g, _) = kdc_graph::gen::planted_defective_clique(200, 12, 2, 0.03, &mut rng);
-        let cache = GraphCache::new();
-        let entry = cache.insert("planted", g);
-        let spec = |preset: &str| JobSpec::Solve {
-            entry: entry.clone(),
-            k: 2,
-            preset: preset.into(),
-            limit: None,
-            threads: 1,
-        };
-        let JobOutcome::Solve { solution: s1, .. } = run_job(&spec("kdc"), CancelFlag::new())
-        else {
-            panic!("expected solve outcome");
-        };
-        assert_eq!(entry.ctcp_counters(), (1, 0), "cold solve builds");
-        let JobOutcome::Solve {
-            solution: s2,
-            from_cache,
-            ..
-        } = run_job(&spec("kdbb"), CancelFlag::new())
-        else {
-            panic!("expected solve outcome");
-        };
-        assert!(!from_cache, "different preset must not hit the memo");
-        assert_eq!(s1.size(), s2.size());
-        let (builds, resumes) = entry.ctcp_counters();
-        // kdbb shares kdc's (rr5, rr6) = (true, true) rule set, so the
-        // second solve resumes the same resident reducer.
-        assert_eq!((builds, resumes), (1, 1), "warm solve must resume");
-        assert_eq!(
-            s2.stats.ctcp_vertex_removals, 0,
-            "resumed reducer already at the fixpoint for this bound"
-        );
-        assert_eq!(
-            entry.best_known(2).unwrap().len(),
-            s1.size(),
-            "witness recorded for seeding"
-        );
     }
 
     #[test]

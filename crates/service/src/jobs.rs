@@ -2,23 +2,34 @@
 //!
 //! Connection threads [`JobQueue::submit`] work and block in
 //! [`JobQueue::wait`]; a fixed set of worker threads pops jobs FIFO and runs
-//! them through the existing `kdc` entry points ([`kdc::Solver`],
-//! [`kdc::decompose::solve_decomposed`], [`kdc::topr::top_r_maximal`]). All
-//! coordination is one `Mutex` around the queue state plus two `Condvar`s
-//! (`work_ready` wakes idle workers, `job_done` wakes waiters), so the pool
-//! is std-only.
+//! them through the resident [`kdc_api::Session`] of the cached graph — the
+//! same typed query surface the CLI and embedders use, so the daemon serves
+//! exactly the measured path. All coordination is one `Mutex` around the
+//! queue state plus two `Condvar`s (`work_ready` wakes idle workers,
+//! `job_done` wakes waiters), so the pool is std-only.
 //!
 //! Cancellation is cooperative: every job owns a [`CancelFlag`] that is
-//! threaded into the solver config, and `CANCEL <id>` simply raises it —
+//! threaded into the session budget, and `CANCEL <id>` simply raises it —
 //! the branch-and-bound engine notices at its next node. Per-job deadlines
-//! reuse the solver's own `time_limit`.
+//! and node limits ride the same [`kdc_api::Budget`].
 
-use crate::cache::{GraphEntry, SolveKey};
-use kdc::{decompose, topr, CancelFlag, Solution, Solver, SolverConfig, Status};
-use kdc_graph::VertexId;
+use crate::cache::GraphEntry;
+use kdc::{CancelFlag, Status};
+use kdc_api::{Budget, Observer, Options, Outcome, Query};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// A Debug-opaque observer handle, so [`JobSpec`] stays derive-Debuggable
+/// while a verbose job streams [`kdc_api::Event`]s back to its connection.
+#[derive(Clone)]
+pub struct JobObserver(pub Arc<dyn Observer>);
+
+impl std::fmt::Debug for JobObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JobObserver(..)")
+    }
+}
 
 /// What a job should run.
 #[derive(Clone, Debug)]
@@ -33,9 +44,13 @@ pub enum JobSpec {
         preset: String,
         /// Per-job wall-clock deadline.
         limit: Option<Duration>,
+        /// Per-job branch-and-bound node limit.
+        nodes: Option<u64>,
         /// 1 = sequential solver, otherwise parallel ego decomposition
         /// (0 = all cores).
         threads: usize,
+        /// Event stream for `SOLVE verbose=1` connections.
+        observer: Option<JobObserver>,
     },
     /// Top-r maximal k-defective clique enumeration.
     Enumerate {
@@ -45,6 +60,15 @@ pub enum JobSpec {
         k: usize,
         /// Pool size r.
         top: usize,
+    },
+    /// Exact per-size counting of k-defective cliques.
+    Count {
+        /// Cached graph to count on.
+        entry: Arc<GraphEntry>,
+        /// The k of the k-defective clique.
+        k: usize,
+        /// Smallest size to count.
+        min_size: usize,
     },
 }
 
@@ -57,6 +81,9 @@ impl JobSpec {
             } => format!("solve({},k={k},preset={preset})", entry.name),
             JobSpec::Enumerate { entry, k, top } => {
                 format!("enumerate({},k={k},top={top})", entry.name)
+            }
+            JobSpec::Count { entry, k, min_size } => {
+                format!("count({},k={k},min={min_size})", entry.name)
             }
         }
     }
@@ -93,26 +120,10 @@ impl JobState {
 /// Result of a finished job.
 #[derive(Clone, Debug)]
 pub enum JobOutcome {
-    /// A solve finished (possibly best-effort); `from_cache` is true when
-    /// the answer came from the per-graph result memo without searching.
-    Solve {
-        /// The solution, including status and search statistics.
-        solution: Solution,
-        /// Whether the result memo answered without running the solver.
-        from_cache: bool,
-        /// Wall-clock execution time on the worker.
-        elapsed: Duration,
-    },
-    /// An enumeration finished.
-    Enumerate {
-        /// The r largest maximal k-defective cliques, size-descending.
-        cliques: Vec<Vec<VertexId>>,
-        /// False when the job was cancelled mid-search: the clique list may
-        /// be truncated and must not be read as the full top-r answer.
-        complete: bool,
-        /// Wall-clock execution time on the worker.
-        elapsed: Duration,
-    },
+    /// The query finished (possibly best-effort; see
+    /// [`kdc_api::Outcome::status`]). Boxed: an `Outcome` carries witness
+    /// vectors and full search statistics, far larger than the error arm.
+    Done(Box<Outcome>),
     /// The job failed before producing a result.
     Error(String),
 }
@@ -216,14 +227,17 @@ impl JobQueue {
         record.cancel.cancel();
         let was = record.state;
         if was == JobState::Queued {
-            // The worker that eventually pops it will see the raised flag,
-            // but finalize now so JOBS/wait reflect the cancellation
-            // without waiting for a free worker.
+            // Finalize now so JOBS/wait reflect the cancellation without
+            // waiting for a free worker, and drop the spec from the queue
+            // immediately — a verbose job's event channel lives inside the
+            // spec, and its waiting connection unblocks only when the
+            // sender is dropped.
             let record = state.records.get_mut(&id).expect("checked above");
             record.state = JobState::Cancelled;
             record.outcome = Some(JobOutcome::Error(format!(
                 "job {id} cancelled while queued"
             )));
+            state.queue.retain(|(queued_id, _)| *queued_id != id);
             drop(state);
             self.job_done.notify_all();
         }
@@ -298,79 +312,62 @@ impl JobQueue {
     }
 }
 
-/// Workers may not spawn unbounded decomposition threads on a client's
-/// say-so; `threads=` beyond this is clamped (0 still means "all cores").
-const MAX_SOLVE_THREADS: usize = 256;
-
-/// Executes one job spec with the given cancel flag; pure function of its
-/// inputs so it is unit-testable without a pool.
+/// Executes one job spec with the given cancel flag; a pure dispatch onto
+/// the entry's [`kdc_api::Session`], so it is unit-testable without a pool.
 pub fn run_job(spec: &JobSpec, cancel: CancelFlag) -> JobOutcome {
-    let t0 = Instant::now();
-    match spec {
+    let (entry, query, budget, options, observer) = match spec {
         JobSpec::Solve {
             entry,
             k,
             preset,
             limit,
+            nodes,
             threads,
+            observer,
         } => {
-            let memo_key = SolveKey {
-                k: *k,
-                preset: preset.clone(),
-            };
-            if let Some(solution) = entry.cached_result(&memo_key) {
-                return JobOutcome::Solve {
-                    solution,
-                    from_cache: true,
-                    elapsed: t0.elapsed(),
-                };
-            }
-            let mut config = match SolverConfig::from_preset(preset) {
-                Ok(c) => c,
+            let options = match Options::preset(preset) {
+                Ok(options) => options,
                 Err(e) => return JobOutcome::Error(e),
             };
-            config.time_limit = *limit;
-            config.cancel = Some(cancel);
-            // Warm artifact reuse: the solver's heuristic/decomposition
-            // phase runs on the cached peeling instead of re-peeling, its
-            // preprocessing resumes the resident CTCP reducer for this
-            // (k, rules) pair, and the best known witness seeds the lower
-            // bound so the resumed reducer state is sound.
-            config.shared_peeling = Some(entry.peeling());
-            config.shared_ctcp = Some(entry.ctcp_state(crate::cache::CtcpKey {
+            let mut budget = Budget::default().with_threads(*threads).with_cancel(cancel);
+            budget.time_limit = *limit;
+            budget.node_limit = *nodes;
+            (
+                entry,
+                Query::Solve { k: *k },
+                budget,
+                options,
+                observer.as_ref().map(|o| o.0.clone()),
+            )
+        }
+        JobSpec::Enumerate { entry, k, top } => (
+            entry,
+            Query::TopR {
                 k: *k,
-                core_rule: config.enable_rr5,
-                truss_rule: config.enable_rr6,
-            }));
-            config.seed_solution = entry.best_known(*k);
-            entry.record_solve();
-            let solution = if *threads == 1 {
-                Solver::new(&entry.graph, *k, config).solve()
-            } else {
-                let threads = (*threads).min(MAX_SOLVE_THREADS);
-                decompose::solve_decomposed(&entry.graph, *k, config, threads)
-            };
-            entry.record_best_known(*k, &solution.vertices);
-            if solution.is_optimal() {
-                entry.store_result(memo_key, solution.clone());
-            }
-            JobOutcome::Solve {
-                solution,
-                from_cache: false,
-                elapsed: t0.elapsed(),
-            }
-        }
-        JobSpec::Enumerate { entry, k, top } => {
-            let config = SolverConfig::kdc().with_cancel(cancel.clone());
-            let cliques = topr::top_r_maximal(&entry.graph, *k, *top, config);
-            JobOutcome::Enumerate {
-                cliques,
-                // The sticky flag is the only cancellation signal topr
-                // exposes; raised means the pool may be truncated.
-                complete: !cancel.is_cancelled(),
-                elapsed: t0.elapsed(),
-            }
-        }
+                r: *top,
+                diversify: false,
+            },
+            Budget::default().with_cancel(cancel),
+            Options::default(),
+            None,
+        ),
+        JobSpec::Count { entry, k, min_size } => (
+            entry,
+            Query::Count {
+                k: *k,
+                min_size: *min_size,
+            },
+            Budget::default().with_cancel(cancel),
+            Options::default(),
+            None,
+        ),
+    };
+    match entry
+        .session()
+        .run_with(&query, &budget, &options, observer)
+    {
+        Ok(outcome) => JobOutcome::Done(Box::new(outcome)),
+        Err(e) => JobOutcome::Error(e),
     }
 }
 
@@ -428,14 +425,9 @@ fn worker_loop(queue: &JobQueue) {
                     JobOutcome::Error(format!("job {id} panicked: {msg}"))
                 });
         let state_after = match &outcome {
-            JobOutcome::Solve { solution, .. } if solution.status == Status::Cancelled => {
-                JobState::Cancelled
-            }
-            JobOutcome::Enumerate {
-                complete: false, ..
-            } => JobState::Cancelled,
+            JobOutcome::Done(outcome) if outcome.status == Status::Cancelled => JobState::Cancelled,
             JobOutcome::Error(_) => JobState::Failed,
-            _ => JobState::Done,
+            JobOutcome::Done(_) => JobState::Done,
         };
         queue.finish(id, state_after, outcome);
     }
@@ -452,43 +444,95 @@ mod tests {
         cache.insert("fig2", named::figure2())
     }
 
+    fn solve_spec(entry: Arc<GraphEntry>, k: usize, preset: &str) -> JobSpec {
+        JobSpec::Solve {
+            entry,
+            k,
+            preset: preset.into(),
+            limit: None,
+            nodes: None,
+            threads: 1,
+            observer: None,
+        }
+    }
+
     #[test]
     fn pool_runs_solve_jobs_and_memoizes() {
         let entry = figure2_entry();
         let queue = Arc::new(JobQueue::new());
         let pool = WorkerPool::new(queue.clone(), 2);
-        let spec = JobSpec::Solve {
-            entry: entry.clone(),
-            k: 2,
-            preset: "kdc".into(),
-            limit: None,
-            threads: 1,
-        };
+        let spec = solve_spec(entry.clone(), 2, "kdc");
         let first = queue.submit(spec.clone());
-        let JobOutcome::Solve {
-            solution,
-            from_cache,
-            ..
-        } = queue.wait(first)
-        else {
+        let JobOutcome::Done(outcome) = queue.wait(first) else {
             panic!("expected a solve outcome");
         };
-        assert_eq!(solution.size(), 6);
-        assert!(!from_cache);
+        assert_eq!(outcome.size(), 6);
+        assert!(!outcome.cache.result_memo_hit);
 
         let second = queue.submit(spec);
-        let JobOutcome::Solve {
-            solution,
-            from_cache,
-            ..
-        } = queue.wait(second)
-        else {
+        let JobOutcome::Done(outcome) = queue.wait(second) else {
             panic!("expected a solve outcome");
         };
-        assert_eq!(solution.size(), 6);
-        assert!(from_cache, "second identical solve must hit the memo");
-        assert_eq!(entry.counters().2, 1, "only one real solve executed");
+        assert_eq!(outcome.size(), 6);
+        assert!(
+            outcome.cache.result_memo_hit,
+            "second identical solve must hit the memo"
+        );
+        assert_eq!(
+            entry.session().counters().solves,
+            1,
+            "only one real solve executed"
+        );
         pool.join();
+    }
+
+    #[test]
+    fn warm_solve_resumes_the_resident_reducer() {
+        // End-to-end through run_job: two identical solves with different
+        // presets (dodging the result memo) must build the reducer once and
+        // resume it once, with identical answers.
+        let mut rng = kdc_graph::gen::seeded_rng(31);
+        let (g, _) = kdc_graph::gen::planted_defective_clique(200, 12, 2, 0.03, &mut rng);
+        let cache = GraphCache::new();
+        let entry = cache.insert("planted", g);
+        let JobOutcome::Done(first) =
+            run_job(&solve_spec(entry.clone(), 2, "kdc"), CancelFlag::new())
+        else {
+            panic!("expected solve outcome");
+        };
+        let counters = entry.session().counters();
+        assert_eq!(
+            (counters.ctcp_builds, counters.ctcp_resumes),
+            (1, 0),
+            "cold solve builds"
+        );
+        let JobOutcome::Done(second) =
+            run_job(&solve_spec(entry.clone(), 2, "kdbb"), CancelFlag::new())
+        else {
+            panic!("expected solve outcome");
+        };
+        assert!(
+            !second.cache.result_memo_hit,
+            "different preset must not hit the memo"
+        );
+        assert_eq!(first.size(), second.size());
+        let counters = entry.session().counters();
+        // kdbb shares kdc's (rr5, rr6) = (true, true) rule set, so the
+        // second solve resumes the same resident reducer.
+        assert_eq!(
+            (counters.ctcp_builds, counters.ctcp_resumes),
+            (1, 1),
+            "warm solve must resume"
+        );
+        assert_eq!(
+            second.stats.ctcp_vertex_removals, 0,
+            "resumed reducer already at the fixpoint for this bound"
+        );
+        assert_eq!(
+            entry.session().best_known(2).unwrap().len(),
+            first.size(),
+            "witness recorded for seeding"
+        );
     }
 
     #[test]
@@ -496,17 +540,42 @@ mod tests {
         let entry = figure2_entry();
         let queue = Arc::new(JobQueue::new());
         // No workers: the job stays queued forever unless cancel finalizes it.
-        let id = queue.submit(JobSpec::Solve {
-            entry,
-            k: 1,
-            preset: "kdc".into(),
-            limit: None,
-            threads: 1,
-        });
+        let id = queue.submit(solve_spec(entry, 1, "kdc"));
         assert_eq!(queue.cancel(id).unwrap(), JobState::Queued);
         assert!(matches!(queue.wait(id), JobOutcome::Error(_)));
         assert_eq!(queue.list()[0].state, JobState::Cancelled);
         assert!(queue.cancel(999).is_err());
+    }
+
+    #[test]
+    fn cancelling_a_queued_verbose_job_releases_its_event_channel() {
+        // A verbose connection drains the job's event channel until the
+        // sender drops. Cancelling a *queued* job must drop its spec (and
+        // with it the sender) immediately — not when some worker eventually
+        // pops it — or the connection hangs behind unrelated jobs.
+        use std::sync::mpsc;
+        let entry = figure2_entry();
+        let queue = Arc::new(JobQueue::new()); // deliberately no workers
+        let (tx, rx) = mpsc::channel::<kdc_api::Event>();
+        let tx = Mutex::new(tx);
+        let observer: Arc<dyn kdc_api::Observer> = Arc::new(move |e: &kdc_api::Event| {
+            let _ = tx.lock().expect("poisoned").send(*e);
+        });
+        let id = queue.submit(JobSpec::Solve {
+            entry,
+            k: 2,
+            preset: "kdc".into(),
+            limit: None,
+            nodes: None,
+            threads: 1,
+            observer: Some(JobObserver(observer)),
+        });
+        queue.cancel(id).unwrap();
+        assert!(
+            rx.recv().is_err(),
+            "sender must be dropped with the queued spec"
+        );
+        assert!(matches!(queue.wait(id), JobOutcome::Error(_)));
     }
 
     #[test]
@@ -516,13 +585,7 @@ mod tests {
         let entry = cache.insert("hard", gen::gnp(220, 0.5, &mut rng));
         let queue = Arc::new(JobQueue::new());
         let pool = WorkerPool::new(queue.clone(), 1);
-        let id = queue.submit(JobSpec::Solve {
-            entry,
-            k: 12,
-            preset: "kdc".into(),
-            limit: None,
-            threads: 1,
-        });
+        let id = queue.submit(solve_spec(entry, 12, "kdc"));
         // Wait for it to leave the queue, then cancel mid-search.
         loop {
             let info = &queue.list()[0];
@@ -532,10 +595,10 @@ mod tests {
             std::thread::yield_now();
         }
         queue.cancel(id).unwrap();
-        let JobOutcome::Solve { solution, .. } = queue.wait(id) else {
+        let JobOutcome::Done(outcome) = queue.wait(id) else {
             panic!("expected a solve outcome");
         };
-        assert_eq!(solution.status, Status::Cancelled);
+        assert_eq!(outcome.status, Status::Cancelled);
         assert_eq!(queue.list()[0].state, JobState::Cancelled);
         pool.join();
     }
@@ -545,16 +608,30 @@ mod tests {
         let entry = figure2_entry();
         let queue = Arc::new(JobQueue::new());
         let pool = WorkerPool::new(queue.clone(), 1);
-        let id = queue.submit(JobSpec::Solve {
-            entry,
-            k: 1,
-            preset: "nope".into(),
-            limit: None,
-            threads: 1,
-        });
+        let id = queue.submit(solve_spec(entry, 1, "nope"));
         assert!(matches!(queue.wait(id), JobOutcome::Error(_)));
         assert_eq!(queue.list()[0].state, JobState::Failed);
         pool.join();
+    }
+
+    #[test]
+    fn node_limited_job_reports_best_effort() {
+        let mut rng = gen::seeded_rng(77);
+        let cache = GraphCache::new();
+        let entry = cache.insert("dense", gen::gnp(80, 0.5, &mut rng));
+        let spec = JobSpec::Solve {
+            entry,
+            k: 6,
+            preset: "kdc_t".into(),
+            limit: None,
+            nodes: Some(1),
+            threads: 1,
+            observer: None,
+        };
+        let JobOutcome::Done(outcome) = run_job(&spec, CancelFlag::new()) else {
+            panic!("expected solve outcome");
+        };
+        assert_eq!(outcome.status, Status::NodeLimitReached);
     }
 
     #[test]
@@ -567,11 +644,29 @@ mod tests {
             k: 1,
             top: 2,
         });
-        let JobOutcome::Enumerate { cliques, .. } = queue.wait(id) else {
+        let JobOutcome::Done(outcome) = queue.wait(id) else {
             panic!("expected an enumerate outcome");
         };
-        assert_eq!(cliques.len(), 2);
-        assert_eq!(cliques[0].len(), 5);
+        assert_eq!(outcome.witnesses.len(), 2);
+        assert_eq!(outcome.witnesses[0].len(), 5);
+        pool.join();
+    }
+
+    #[test]
+    fn count_jobs_work() {
+        let entry = figure2_entry();
+        let direct = kdc::counting::count_k_defective_cliques(entry.graph(), 1, 5);
+        let queue = Arc::new(JobQueue::new());
+        let pool = WorkerPool::new(queue.clone(), 1);
+        let id = queue.submit(JobSpec::Count {
+            entry,
+            k: 1,
+            min_size: 5,
+        });
+        let JobOutcome::Done(outcome) = queue.wait(id) else {
+            panic!("expected a count outcome");
+        };
+        assert_eq!(outcome.counts.unwrap(), direct);
         pool.join();
     }
 
@@ -583,13 +678,7 @@ mod tests {
         queue.shutdown();
         pool.join();
         // No workers remain; wait() must still return, not block forever.
-        let id = queue.submit(JobSpec::Solve {
-            entry,
-            k: 1,
-            preset: "kdc".into(),
-            limit: None,
-            threads: 1,
-        });
+        let id = queue.submit(solve_spec(entry, 1, "kdc"));
         assert!(matches!(queue.wait(id), JobOutcome::Error(_)));
         let listed = queue.list();
         assert_eq!(listed.last().unwrap().state, JobState::Cancelled);
@@ -616,10 +705,14 @@ mod tests {
             std::thread::yield_now();
         }
         queue.cancel(id).unwrap();
-        let JobOutcome::Enumerate { complete, .. } = queue.wait(id) else {
+        let JobOutcome::Done(outcome) = queue.wait(id) else {
             panic!("expected an enumerate outcome");
         };
-        assert!(!complete, "truncated enumeration must not claim completion");
+        assert_eq!(
+            outcome.status,
+            Status::Cancelled,
+            "truncated enumeration must not claim completion"
+        );
         assert_eq!(queue.list()[0].state, JobState::Cancelled);
         pool.join();
     }
@@ -628,13 +721,7 @@ mod tests {
     fn shutdown_cancels_queued_jobs() {
         let entry = figure2_entry();
         let queue = Arc::new(JobQueue::new());
-        let id = queue.submit(JobSpec::Solve {
-            entry,
-            k: 1,
-            preset: "kdc".into(),
-            limit: None,
-            threads: 1,
-        });
+        let id = queue.submit(solve_spec(entry, 1, "kdc"));
         let pool = WorkerPool::new(queue.clone(), 1);
         queue.shutdown();
         pool.join();

@@ -13,16 +13,19 @@
 //! newline-delimited text protocol over `TcpListener` (loopback by
 //! default); see [`protocol`] for the grammar. It owns three pieces:
 //!
-//! * [`cache::GraphCache`] — name-keyed `Arc<Graph>` sharing plus lazily
-//!   cached per-graph artifacts (degeneracy ordering / core numbers) and a
-//!   memo of proven-optimal results, all with explicit counters so warm
-//!   reuse is assertable, not just observable in timings;
+//! * [`cache::GraphCache`] — a name-keyed map of [`kdc_api::Session`]s;
+//!   every solver-side artifact (degeneracy peeling, LRU-bounded resident
+//!   CTCP reducers, best-known witnesses, the proven-optimal result memo)
+//!   lives *inside* the session, with explicit counters so warm reuse is
+//!   assertable, not just observable in timings;
 //! * [`jobs::JobQueue`] / [`jobs::WorkerPool`] — a FIFO queue and a fixed
 //!   `std::thread` pool coordinated by one `Mutex` and two `Condvar`s,
-//!   running solves through the existing [`kdc::Solver`] /
-//!   [`kdc::decompose::solve_decomposed`] entry points with cooperative
-//!   cancellation ([`kdc::CancelFlag`]) and per-job deadlines;
-//! * [`server::Server`] — the accept loop and per-connection handlers.
+//!   running typed [`kdc_api::Query`]s through the cached session with
+//!   cooperative cancellation ([`kdc::CancelFlag`]), per-job deadlines and
+//!   node limits ([`kdc_api::Budget`]);
+//! * [`server::Server`] — the accept loop and per-connection handlers,
+//!   including the `SOLVE verbose=1` `EVENT` stream fed by a
+//!   [`kdc_api::Observer`] registered on the job.
 //!
 //! ## Threading model
 //!
@@ -65,7 +68,7 @@ pub mod jobs;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{GraphCache, GraphEntry, SolveKey};
-pub use jobs::{JobInfo, JobOutcome, JobQueue, JobSpec, JobState, WorkerPool};
+pub use cache::{GraphCache, GraphEntry};
+pub use jobs::{JobInfo, JobObserver, JobOutcome, JobQueue, JobSpec, JobState, WorkerPool};
 pub use protocol::{parse_command, Command};
 pub use server::{request, Server, ServerHandle};

@@ -7,14 +7,20 @@
 //! ```text
 //! LOAD <path> AS <name>
 //! SOLVE <name> k=<K> [preset=<kdc|kdc_t|kdbb|madec>] [limit=<seconds>]
-//!       [threads=<N>]
+//!       [nodes=<N>] [threads=<N>] [verbose=<0|1>]
 //! ENUMERATE <name> k=<K> top=<R>
+//! COUNT <name> k=<K> [min=<S>]
 //! STATS [<name>]
 //! UNLOAD <name>
 //! JOBS
 //! CANCEL <id>
 //! SHUTDOWN
 //! ```
+//!
+//! With `verbose=1`, a `SOLVE` response is preceded by zero or more `EVENT
+//! key=value ...` lines streamed while the search runs (incumbent
+//! improvements, reducer retightens, restarts); the final line is the usual
+//! `OK`/`ERR`. Clients must read until a non-`EVENT` line.
 //!
 //! Verbs are case-insensitive; `<path>` and `<name>` must be free of
 //! whitespace (and, because `key=value` tokens are options, free of `=`).
@@ -24,6 +30,7 @@
 
 use std::collections::HashMap;
 use std::fmt::Display;
+use std::time::Duration;
 
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,7 +42,8 @@ pub enum Command {
         /// Cache key the graph is stored under.
         name: String,
     },
-    /// `SOLVE <name> k=<K> [preset=..] [limit=..] [threads=..]`.
+    /// `SOLVE <name> k=<K> [preset=..] [limit=..] [nodes=..] [threads=..]
+    /// [verbose=..]`.
     Solve {
         /// Cache key of the graph to solve on.
         graph: String,
@@ -43,11 +51,17 @@ pub enum Command {
         k: usize,
         /// Solver preset (`kdc` when omitted).
         preset: Option<String>,
-        /// Per-job wall-clock deadline in seconds.
-        limit: Option<f64>,
+        /// Per-job wall-clock deadline, validated at the protocol edge via
+        /// [`kdc::config::parse_time_limit_arg`].
+        limit: Option<Duration>,
+        /// Per-job branch-and-bound node limit, validated via
+        /// [`kdc::config::parse_node_limit_arg`].
+        nodes: Option<u64>,
         /// Solver threads: 1 = sequential, 0 = all cores, N = N-thread
         /// ego decomposition.
         threads: usize,
+        /// Stream `EVENT` lines while the search runs.
+        verbose: bool,
     },
     /// `ENUMERATE <name> k=<K> top=<R>` — the r largest maximal k-defective
     /// cliques.
@@ -58,6 +72,16 @@ pub enum Command {
         k: usize,
         /// Pool size r.
         top: usize,
+    },
+    /// `COUNT <name> k=<K> [min=<S>]` — exact per-size counts of
+    /// k-defective cliques with at least `min` vertices.
+    Count {
+        /// Cache key of the graph.
+        graph: String,
+        /// The k of the k-defective clique.
+        k: usize,
+        /// Smallest size to count (0 when omitted).
+        min_size: usize,
     },
     /// `STATS [<name>]` — per-graph cache statistics, or server-wide when no
     /// name is given.
@@ -150,21 +174,36 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             })
         }
         "SOLVE" => {
-            known_options(&["k", "preset", "limit", "threads"])?;
-            positional_count(1, "SOLVE <name> k=<K> [preset=..] [limit=..] [threads=..]")?;
+            known_options(&["k", "preset", "limit", "nodes", "threads", "verbose"])?;
+            positional_count(
+                1,
+                "SOLVE <name> k=<K> [preset=..] [limit=..] [nodes=..] [threads=..] [verbose=..]",
+            )?;
             let k = parse_option::<usize>(&options, "k")?.ok_or("SOLVE requires k=<K>")?;
-            let limit: Option<f64> = parse_option(&options, "limit")?;
-            if let Some(seconds) = limit {
-                // Reject hostile values (negative/NaN/inf/huge) at the
-                // protocol edge, where they still produce an ERR line.
-                kdc::config::parse_time_limit(seconds)?;
-            }
+            // Hostile limits (negative/NaN/inf/huge/zero-node) are rejected
+            // at the protocol edge — through the same shared parsers the
+            // CLI uses — where they still produce an ERR line.
+            let limit = options
+                .get("limit")
+                .map(|raw| kdc::config::parse_time_limit_arg(raw))
+                .transpose()?;
+            let nodes = options
+                .get("nodes")
+                .map(|raw| kdc::config::parse_node_limit_arg(raw))
+                .transpose()?;
+            let verbose = match parse_option::<u8>(&options, "verbose")?.unwrap_or(0) {
+                0 => false,
+                1 => true,
+                other => return Err(format!("verbose= must be 0 or 1 (got {other})")),
+            };
             Ok(Command::Solve {
                 graph: positional[0].clone(),
                 k,
                 preset: options.get("preset").cloned(),
                 limit,
+                nodes,
                 threads: parse_option(&options, "threads")?.unwrap_or(1),
+                verbose,
             })
         }
         "ENUMERATE" => {
@@ -180,6 +219,16 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 graph: positional[0].clone(),
                 k,
                 top,
+            })
+        }
+        "COUNT" => {
+            known_options(&["k", "min"])?;
+            positional_count(1, "COUNT <name> k=<K> [min=<S>]")?;
+            let k = parse_option::<usize>(&options, "k")?.ok_or("COUNT requires k=<K>")?;
+            Ok(Command::Count {
+                graph: positional[0].clone(),
+                k,
+                min_size: parse_option(&options, "min")?.unwrap_or(0),
             })
         }
         "STATS" => {
@@ -284,15 +333,18 @@ mod tests {
 
     #[test]
     fn parses_solve_with_options_in_any_order() {
-        let cmd = parse_command("SOLVE g1 limit=2.5 k=3 threads=4 preset=kdbb").unwrap();
+        let cmd = parse_command("SOLVE g1 limit=2.5 k=3 threads=4 preset=kdbb nodes=500 verbose=1")
+            .unwrap();
         assert_eq!(
             cmd,
             Command::Solve {
                 graph: "g1".into(),
                 k: 3,
                 preset: Some("kdbb".into()),
-                limit: Some(2.5),
+                limit: Some(Duration::from_secs_f64(2.5)),
+                nodes: Some(500),
                 threads: 4,
+                verbose: true,
             }
         );
         let minimal = parse_command("SOLVE g1 k=0").unwrap();
@@ -303,9 +355,57 @@ mod tests {
                 k: 0,
                 preset: None,
                 limit: None,
+                nodes: None,
                 threads: 1,
+                verbose: false,
             }
         );
+    }
+
+    #[test]
+    fn verbose_option_is_strictly_binary() {
+        assert!(parse_command("SOLVE g k=1 verbose=0").is_ok());
+        assert!(parse_command("SOLVE g k=1 verbose=1").is_ok());
+        for bad in ["2", "yes", "true", "-1"] {
+            assert!(
+                parse_command(&format!("SOLVE g k=1 verbose={bad}")).is_err(),
+                "verbose={bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_node_limits_are_rejected_at_parse_time() {
+        assert!(parse_command("SOLVE g k=1 nodes=1").is_ok());
+        assert!(parse_command("SOLVE g k=1 nodes=1000000").is_ok());
+        for bad in ["0", "-5", "1.5", "1e9", "many", "18446744073709551616"] {
+            assert!(
+                parse_command(&format!("SOLVE g k=1 nodes={bad}")).is_err(),
+                "nodes={bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_count() {
+        assert_eq!(
+            parse_command("COUNT g k=2 min=5").unwrap(),
+            Command::Count {
+                graph: "g".into(),
+                k: 2,
+                min_size: 5
+            }
+        );
+        assert_eq!(
+            parse_command("count g k=0").unwrap(),
+            Command::Count {
+                graph: "g".into(),
+                k: 0,
+                min_size: 0
+            }
+        );
+        assert!(parse_command("COUNT g").is_err(), "k required");
+        assert!(parse_command("COUNT g k=1 top=3").is_err(), "bad option");
     }
 
     #[test]

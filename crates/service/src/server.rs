@@ -8,13 +8,15 @@
 //! returns without platform-specific non-blocking machinery.
 
 use crate::cache::GraphCache;
-use crate::jobs::{JobOutcome, JobQueue, JobSpec, WorkerPool};
+use crate::jobs::{JobObserver, JobOutcome, JobQueue, JobSpec, WorkerPool};
 use crate::protocol::{err_line, parse_command, render_vertices, Command, OkLine};
-use kdc::{SolverConfig, Status};
+use kdc::Status;
+use kdc_api::{Event, Observer, Options};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Shared daemon state: the graph cache, the job queue, the shutdown latch.
@@ -160,7 +162,7 @@ fn handle_connection(stream: TcpStream, daemon: &Daemon) {
         }
         let (response, shutdown) = match parse_command(line.trim()) {
             Err(e) => (err_line(&e), false),
-            Ok(command) => execute(command, daemon),
+            Ok(command) => execute(command, daemon, &mut writer),
         };
         if writer
             .write_all(format!("{response}\n").as_bytes())
@@ -186,14 +188,16 @@ fn status_token(status: Status) -> &'static str {
     }
 }
 
-/// Executes one command; returns the response line and whether to shut down.
-fn execute(command: Command, daemon: &Daemon) -> (String, bool) {
+/// Executes one command; returns the final response line and whether to
+/// shut down. A `SOLVE .. verbose=1` additionally streams `EVENT` lines to
+/// `writer` while the search runs, before the final line is returned.
+fn execute(command: Command, daemon: &Daemon, writer: &mut TcpStream) -> (String, bool) {
     let response = match command {
         Command::Load { path, name } => daemon.cache.load(&path, &name).map(|entry| {
             OkLine::new()
                 .field("loaded", &entry.name)
-                .field("n", entry.graph.n())
-                .field("m", entry.graph.m())
+                .field("n", entry.graph().n())
+                .field("m", entry.graph().m())
                 .field("parse_ms", entry.parse_time.as_millis())
                 .render()
         }),
@@ -202,9 +206,24 @@ fn execute(command: Command, daemon: &Daemon) -> (String, bool) {
             k,
             preset,
             limit,
+            nodes,
             threads,
-        } => solve(daemon, &graph, k, preset, limit, threads),
+            verbose,
+        } => solve(
+            daemon,
+            &graph,
+            SolveParams {
+                k,
+                preset,
+                limit,
+                nodes,
+                threads,
+                verbose,
+            },
+            writer,
+        ),
         Command::Enumerate { graph, k, top } => enumerate(daemon, &graph, k, top),
+        Command::Count { graph, k, min_size } => count(daemon, &graph, k, min_size),
         Command::Stats { graph } => stats(daemon, graph.as_deref()),
         Command::Unload { graph } => {
             if daemon.cache.unload(&graph) {
@@ -240,52 +259,93 @@ fn execute(command: Command, daemon: &Daemon) -> (String, bool) {
     }
 }
 
+/// Parameters of one `SOLVE` request (bundled to keep the call sites flat).
+struct SolveParams {
+    k: usize,
+    preset: Option<String>,
+    limit: Option<Duration>,
+    nodes: Option<u64>,
+    threads: usize,
+    verbose: bool,
+}
+
+/// Renders one streamed event as an `EVENT` protocol line.
+fn event_line(event: &Event) -> String {
+    match *event {
+        Event::Incumbent { size } => format!("EVENT type=incumbent size={size}"),
+        Event::Retighten { vertices, edges } => {
+            format!("EVENT type=retighten removed_v={vertices} removed_e={edges}")
+        }
+        Event::Restart { universe } => format!("EVENT type=restart universe={universe}"),
+        Event::Done { status } => format!("EVENT type=done status={}", status_token(status)),
+    }
+}
+
 fn solve(
     daemon: &Daemon,
     graph: &str,
-    k: usize,
-    preset: Option<String>,
-    limit: Option<f64>,
-    threads: usize,
+    params: SolveParams,
+    writer: &mut TcpStream,
 ) -> Result<String, String> {
     let entry = daemon
         .cache
         .get(graph)
         .ok_or_else(|| format!("no graph named {graph:?} (LOAD it first)"))?;
-    let preset = preset.unwrap_or_else(|| "kdc".to_string());
+    let preset = params.preset.unwrap_or_else(|| "kdc".to_string());
     // Fail fast on a bad preset instead of burning a worker slot.
-    SolverConfig::from_preset(&preset)?;
-    // parse_command validated the limit, but convert defensively anyway —
-    // this thread must never panic on client input.
-    let limit = limit.map(kdc::config::parse_time_limit).transpose()?;
+    Options::preset(&preset)?;
+    // verbose=1: the job forwards events into a channel; this handler
+    // drains it onto the connection until the worker drops its sender (job
+    // finished), then falls through to the final response line. mpsc
+    // senders are wrapped in a mutex only to stay `Sync` for the observer.
+    let (observer, events) = if params.verbose {
+        let (tx, rx) = mpsc::channel::<Event>();
+        let tx = Mutex::new(tx);
+        let observer: Arc<dyn Observer> = Arc::new(move |e: &Event| {
+            let _ = tx.lock().expect("poisoned").send(*e);
+        });
+        (Some(JobObserver(observer)), Some(rx))
+    } else {
+        (None, None)
+    };
     let id = daemon.queue.submit(JobSpec::Solve {
         entry,
-        k,
+        k: params.k,
         preset,
-        limit,
-        threads,
+        limit: params.limit,
+        nodes: params.nodes,
+        threads: params.threads,
+        observer,
     });
+    if let Some(rx) = events {
+        while let Ok(event) = rx.recv() {
+            // A dead client cannot be told about it; keep draining so the
+            // job is not blocked on a full channel, skip the writes.
+            let _ = writer
+                .write_all(format!("{}\n", event_line(&event)).as_bytes())
+                .and_then(|()| writer.flush());
+        }
+    }
     match daemon.queue.wait(id) {
-        JobOutcome::Solve {
-            solution,
-            from_cache,
-            elapsed,
-        } => Ok(OkLine::new()
+        JobOutcome::Done(outcome) => Ok(OkLine::new()
             .field("job", id)
             .field("graph", graph)
-            .field("status", status_token(solution.status))
-            .field("size", solution.size())
-            .field("vertices", render_vertices(&solution.vertices))
-            .field("cached", from_cache)
-            .field("elapsed_ms", elapsed.as_millis())
-            .field("nodes", solution.stats.nodes)
-            .field("ctcp_removed_v", solution.stats.ctcp_vertex_removals)
-            .field("ctcp_removed_e", solution.stats.ctcp_edge_removals)
-            .field("arena_reuses", solution.stats.arena_reuses)
-            .field("universe_rebuilds", solution.stats.universe_rebuilds)
+            .field("status", status_token(outcome.status))
+            .field("size", outcome.size())
+            .field(
+                "vertices",
+                render_vertices(outcome.best().unwrap_or_default()),
+            )
+            .field("cached", outcome.cache.result_memo_hit)
+            .field("ctcp_resumed", outcome.cache.ctcp_resumed)
+            .field("elapsed_ms", outcome.elapsed.as_millis())
+            .field("nodes", outcome.stats.nodes)
+            .field("ctcp_removed_v", outcome.stats.ctcp_vertex_removals)
+            .field("ctcp_removed_e", outcome.stats.ctcp_edge_removals)
+            .field("arena_reuses", outcome.stats.arena_reuses)
+            .field("universe_rebuilds", outcome.stats.universe_rebuilds)
             .render()),
         JobOutcome::Error(e) => Err(e),
-        JobOutcome::Enumerate { .. } => Err("internal: wrong outcome kind".to_string()),
     }
 }
 
@@ -296,25 +356,59 @@ fn enumerate(daemon: &Daemon, graph: &str, k: usize, top: usize) -> Result<Strin
         .ok_or_else(|| format!("no graph named {graph:?} (LOAD it first)"))?;
     let id = daemon.queue.submit(JobSpec::Enumerate { entry, k, top });
     match daemon.queue.wait(id) {
-        JobOutcome::Enumerate {
-            cliques,
-            complete,
-            elapsed,
-        } => {
-            let sizes: Vec<String> = cliques.iter().map(|c| c.len().to_string()).collect();
-            let rendered: Vec<String> = cliques.iter().map(|c| render_vertices(c)).collect();
+        JobOutcome::Done(outcome) => {
+            let complete = outcome.status == Status::Optimal;
+            let sizes: Vec<String> = outcome
+                .witnesses
+                .iter()
+                .map(|c| c.len().to_string())
+                .collect();
+            let rendered: Vec<String> = outcome
+                .witnesses
+                .iter()
+                .map(|c| render_vertices(c))
+                .collect();
             Ok(OkLine::new()
                 .field("job", id)
                 .field("graph", graph)
                 .field("status", if complete { "complete" } else { "cancelled" })
-                .field("count", cliques.len())
+                .field("count", outcome.witnesses.len())
                 .field("sizes", sizes.join(","))
                 .field("cliques", rendered.join(";"))
-                .field("elapsed_ms", elapsed.as_millis())
+                .field("elapsed_ms", outcome.elapsed.as_millis())
                 .render())
         }
         JobOutcome::Error(e) => Err(e),
-        JobOutcome::Solve { .. } => Err("internal: wrong outcome kind".to_string()),
+    }
+}
+
+fn count(daemon: &Daemon, graph: &str, k: usize, min_size: usize) -> Result<String, String> {
+    let entry = daemon
+        .cache
+        .get(graph)
+        .ok_or_else(|| format!("no graph named {graph:?} (LOAD it first)"))?;
+    let id = daemon.queue.submit(JobSpec::Count { entry, k, min_size });
+    match daemon.queue.wait(id) {
+        JobOutcome::Done(outcome) => {
+            let counts = outcome.counts.expect("count outcome carries counts");
+            // Render only the non-zero sizes as size:count pairs.
+            let rendered: Vec<String> = counts
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(s, &c)| format!("{s}:{c}"))
+                .collect();
+            Ok(OkLine::new()
+                .field("job", id)
+                .field("graph", graph)
+                .field("max_size", counts.max_size())
+                .field("total", counts.total_at_least(min_size))
+                .field("counts", rendered.join(","))
+                .field("elapsed_ms", outcome.elapsed.as_millis())
+                .render())
+        }
+        JobOutcome::Error(e) => Err(e),
     }
 }
 
@@ -327,21 +421,21 @@ fn stats(daemon: &Daemon, graph: Option<&str>) -> Result<String, String> {
                 .ok_or_else(|| format!("no graph named {name:?}"))?;
             // Force the artifact before sampling counters, so the reported
             // peel_builds already reflects this request's build (if any).
-            let degeneracy = entry.degeneracy();
-            let (hits, peel_builds, solves, result_hits) = entry.counters();
-            let (ctcp_builds, ctcp_resumes) = entry.ctcp_counters();
+            let degeneracy = entry.session().degeneracy();
+            let counters = entry.session().counters();
             Ok(OkLine::new()
                 .field("graph", name)
-                .field("n", entry.graph.n())
-                .field("m", entry.graph.m())
+                .field("n", entry.graph().n())
+                .field("m", entry.graph().m())
                 .field("degeneracy", degeneracy)
                 .field("parse_ms", entry.parse_time.as_millis())
-                .field("hits", hits)
-                .field("peel_builds", peel_builds)
-                .field("solves", solves)
-                .field("result_hits", result_hits)
-                .field("ctcp_builds", ctcp_builds)
-                .field("ctcp_resumes", ctcp_resumes)
+                .field("hits", entry.hits())
+                .field("peel_builds", counters.peel_builds)
+                .field("solves", counters.solves)
+                .field("result_hits", counters.result_hits)
+                .field("ctcp_builds", counters.ctcp_builds)
+                .field("ctcp_resumes", counters.ctcp_resumes)
+                .field("ctcp_evictions", counters.ctcp_evictions)
                 .render())
         }
         None => Ok(OkLine::new()
@@ -352,16 +446,29 @@ fn stats(daemon: &Daemon, graph: Option<&str>) -> Result<String, String> {
     }
 }
 
-/// One-shot client helper: connect, send one command line, read one response
-/// line. Used by `kdc client` and the tests.
+/// One-shot client helper: connect, send one command line, read the
+/// response. Any `EVENT` lines streamed by a `verbose=1` solve are included
+/// (newline-separated) before the final `OK`/`ERR` line, which is always
+/// the last line of the returned string. Used by `kdc client` and the tests.
 pub fn request(addr: &str, command: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     stream.write_all(format!("{command}\n").as_bytes())?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    Ok(line.trim_end().to_string())
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break; // server hung up mid-stream; return what arrived
+        }
+        let trimmed = line.trim_end().to_string();
+        let is_event = trimmed.starts_with("EVENT ");
+        lines.push(trimmed);
+        if !is_event {
+            break;
+        }
+    }
+    Ok(lines.join("\n"))
 }
 
 #[cfg(test)]

@@ -169,8 +169,96 @@ fn full_session_on_ephemeral_port() {
     assert_eq!(field(&stats, "ctcp_builds"), "1", "{stats}");
     assert_eq!(field(&stats, "ctcp_resumes"), "1", "{stats}");
 
+    // ---- COUNT through the same session --------------------------------
+    let direct_counts = kdc::counting::count_k_defective_cliques(&g1, 1, 5);
+    let resp = control.send("COUNT g1 k=1 min=5");
+    assert_eq!(
+        field(&resp, "total"),
+        direct_counts.total_at_least(5).to_string(),
+        "{resp}"
+    );
+    assert_eq!(
+        field(&resp, "max_size"),
+        direct_counts.max_size().to_string(),
+        "{resp}"
+    );
+
+    // ---- the reducer cache is LRU-bounded and reports evictions --------
+    let stats = control.send("STATS g1");
+    assert_eq!(field(&stats, "ctcp_evictions"), "0", "{stats}");
+
     // ---- SHUTDOWN ------------------------------------------------------
     let resp = control.send("SHUTDOWN");
     assert_eq!(resp, "OK shutdown=ok");
+    handle.join().expect("clean server exit");
+}
+
+#[test]
+fn verbose_solve_streams_events_end_to_end() {
+    // `SOLVE verbose=1` must deliver EVENT lines (at least one incumbent)
+    // over the wire *before* the final OK line — the daemon leg of the
+    // Observer channel.
+    let g = named::figure2();
+    let path = write_graph("fig2_verbose.clq", &g);
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+        .expect("bind ephemeral port")
+        .spawn();
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr);
+    let resp = client.send(&format!("LOAD {} AS fig2", path.display()));
+    assert_eq!(field(&resp, "loaded"), "fig2", "{resp}");
+
+    // Raw line-by-line read: EVENT* then the final OK.
+    client
+        .writer
+        .write_all(b"SOLVE fig2 k=2 verbose=1\n")
+        .unwrap();
+    client.writer.flush().unwrap();
+    let mut events: Vec<String> = Vec::new();
+    let final_line = loop {
+        let mut line = String::new();
+        client.reader.read_line(&mut line).unwrap();
+        let line = line.trim_end().to_string();
+        if line.starts_with("EVENT ") {
+            events.push(line);
+        } else {
+            break line;
+        }
+    };
+    assert!(
+        events
+            .iter()
+            .any(|e| e.contains("type=incumbent") && e.contains("size=")),
+        "an incumbent event must be streamed: {events:?}"
+    );
+    assert!(
+        events.last().unwrap().contains("type=done status=optimal"),
+        "the stream ends with a done event: {events:?}"
+    );
+    assert_eq!(field(&final_line, "status"), "optimal", "{final_line}");
+    assert_eq!(field(&final_line, "size"), "6", "{final_line}");
+
+    // The one-shot request helper folds the stream into one response whose
+    // last line is the verdict (what `kdc client` prints). A warm verbose
+    // re-solve under another preset still streams its incumbent.
+    let resp = kdc_service::request(&addr, "SOLVE fig2 k=2 preset=kdbb verbose=1").unwrap();
+    let lines: Vec<&str> = resp.lines().collect();
+    assert!(
+        lines.iter().any(|l| l.starts_with("EVENT type=incumbent")),
+        "{resp}"
+    );
+    assert!(lines.last().unwrap().starts_with("OK "), "{resp}");
+    assert_eq!(
+        field(lines.last().unwrap(), "ctcp_resumed"),
+        "true",
+        "{resp}"
+    );
+
+    // verbose=0 (and omitted) keeps the single-line response contract.
+    let resp = kdc_service::request(&addr, "SOLVE fig2 k=2 verbose=0").unwrap();
+    assert_eq!(resp.lines().count(), 1, "{resp}");
+
+    client.send("SHUTDOWN");
     handle.join().expect("clean server exit");
 }

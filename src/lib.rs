@@ -8,6 +8,11 @@
 //! * [`kdc`] — the paper's contribution: the exact maximum k-defective clique
 //!   solver with all branching/reduction/bounding rules and the §6 top-r
 //!   extensions;
+//! * [`api`] — the resident, typed query surface: a [`api::Session`] owning
+//!   the graph plus every warm artifact (peeling, LRU-bounded CTCP
+//!   reducers, witnesses, result memos), driven by `Query` x `Budget` x
+//!   `Options` with an `Observer` event stream — the same surface the CLI,
+//!   the daemon and the benches use;
 //! * [`baselines`] — KDBB-like and MADEC-like baselines, a maximum-clique
 //!   solver, and an independent brute-force reference solver.
 //!
@@ -25,5 +30,6 @@
 //! ```
 
 pub use kdc;
+pub use kdc_api as api;
 pub use kdc_baselines as baselines;
 pub use kdc_graph as graph;
