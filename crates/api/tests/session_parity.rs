@@ -10,7 +10,7 @@ use kdc::{decompose, topr, Solver, SolverConfig};
 use kdc_api::{Budget, Options, Query, Session};
 use kdc_graph::{gen, named, Graph};
 
-const PRESETS: [&str; 4] = ["kdc", "kdc_t", "kdbb", "madec"];
+const PRESETS: [&str; 5] = ["kdc", "kdc_t", "kdclub", "kdbb", "madec"];
 const KS: [usize; 4] = [0, 1, 2, 3];
 
 fn test_graphs() -> Vec<(&'static str, Graph)> {

@@ -1,0 +1,320 @@
+//! `bench-snapshot`: the machine-readable perf baseline of the suite.
+//!
+//! Runs the planted solve and CTCP cases and writes `BENCH_5.json` — one
+//! line per case with the median wall-clock nanoseconds, explored
+//! branch-and-bound nodes and the bound-prune counters — so the perf
+//! trajectory across PRs is diffable by tools, not just by eyeballing
+//! criterion output. Node counts are deterministic for a given algorithm,
+//! so CI gates on them (`--check` fails when any case regresses nodes by
+//! more than 5% against the committed baseline); wall-clock is recorded for
+//! trend reading but never gated, because CI hardware varies.
+//!
+//! Every solve case runs in three variants: the flagship `kdc` preset on
+//! the word-parallel kernel, the same preset forced onto the scalar kernel
+//! (`kdc-scalar`, the speedup baseline), and `kdclub` (the KD-Club-style
+//! re-colouring bound, the node-reduction headline).
+//!
+//! Usage: `bench-snapshot [--out PATH] [--check [PATH]] [--reps N]`.
+
+use kdc::{Solver, SolverConfig};
+use kdc_graph::ctcp::Ctcp;
+use kdc_graph::{gen, Graph};
+use std::time::Instant;
+
+/// Default snapshot path, relative to the invocation directory (the
+/// workspace root under `cargo run`).
+const DEFAULT_PATH: &str = "BENCH_5.json";
+
+/// Allowed relative node-count growth before `--check` fails.
+const NODE_TOLERANCE: f64 = 0.05;
+
+/// One measured case: a name plus ordered numeric metrics.
+struct CaseResult {
+    name: String,
+    median_ns: u128,
+    runs: usize,
+    metrics: Vec<(&'static str, u64)>,
+}
+
+/// The planted solve workloads: the shared search-heavy cases (one source
+/// of generator parameters for this bin and the `engine` criterion bench)
+/// plus one preprocessing-dominated case — the classic low-noise plant
+/// collapses to the planted set before any search, pinning the heuristic +
+/// CTCP wall-clock.
+fn solve_cases() -> Vec<(String, Graph, usize)> {
+    let mut cases: Vec<(String, Graph, usize)> = kdc_bench::collections::planted_snapshot_cases()
+        .into_iter()
+        .map(|(name, g, k)| (name.to_string(), g, k))
+        .collect();
+    let (g, _) = gen::planted_defective_clique(2_000, 18, 2, 0.01, &mut gen::seeded_rng(11));
+    cases.push(("planted-2k-k2".to_string(), g, 2));
+    cases
+}
+
+/// Runs `f` `reps` times and returns the median duration in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Measures one (graph, k, config) solve variant.
+fn run_solve_case(
+    name: String,
+    g: &Graph,
+    k: usize,
+    cfg: &SolverConfig,
+    reps: usize,
+) -> CaseResult {
+    let reference = Solver::new(g, k, cfg.clone()).solve();
+    assert!(
+        reference.is_optimal(),
+        "{name}: case must solve to optimality"
+    );
+    let median = median_ns(reps, || {
+        let sol = Solver::new(g, k, cfg.clone()).solve();
+        assert_eq!(
+            sol.stats.nodes, reference.stats.nodes,
+            "{name}: node counts must be deterministic"
+        );
+    });
+    let s = &reference.stats;
+    CaseResult {
+        name,
+        median_ns: median,
+        runs: reps,
+        metrics: vec![
+            ("nodes", s.nodes),
+            ("bound_prunes", s.bound_prunes),
+            ("ub1_prunes", s.ub1_prunes),
+            ("kdclub_prunes", s.kdclub_prunes),
+            ("size", reference.size() as u64),
+        ],
+    }
+}
+
+/// Measures the incremental CTCP case: a warm reducer driven across the
+/// rising lower-bound schedule of the `ctcp` criterion bench.
+fn run_ctcp_case(reps: usize) -> CaseResult {
+    const SCHEDULE: [usize; 6] = [8, 10, 12, 14, 16, 18];
+    let (g, _) = gen::planted_defective_clique(2_000, 18, 2, 0.01, &mut gen::seeded_rng(11));
+    let mut vertex_removals = 0u64;
+    let mut edge_removals = 0u64;
+    let median = median_ns(reps, || {
+        let mut ctcp = Ctcp::new(&g, 2);
+        let mut vs = 0u64;
+        let mut es = 0u64;
+        for &lb in &SCHEDULE {
+            let rem = ctcp.tighten(lb);
+            vs += rem.vertices.len() as u64;
+            es += rem.edges;
+        }
+        vertex_removals = vs;
+        edge_removals = es;
+    });
+    CaseResult {
+        name: "ctcp/planted-2k-schedule".to_string(),
+        median_ns: median,
+        runs: reps,
+        metrics: vec![
+            ("vertex_removals", vertex_removals),
+            ("edge_removals", edge_removals),
+        ],
+    }
+}
+
+fn collect(reps: usize) -> Vec<CaseResult> {
+    let mut out = Vec::new();
+    for (name, g, k) in solve_cases() {
+        let word = SolverConfig::kdc();
+        let scalar = SolverConfig::kdc().with_scalar_kernel();
+        let kdclub = SolverConfig::kdclub();
+        out.push(run_solve_case(
+            format!("solve/{name}/kdc"),
+            &g,
+            k,
+            &word,
+            reps,
+        ));
+        out.push(run_solve_case(
+            format!("solve/{name}/kdc-scalar"),
+            &g,
+            k,
+            &scalar,
+            reps,
+        ));
+        out.push(run_solve_case(
+            format!("solve/{name}/kdclub"),
+            &g,
+            k,
+            &kdclub,
+            reps,
+        ));
+    }
+    out.push(run_ctcp_case(reps));
+    out
+}
+
+fn render(cases: &[CaseResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"BENCH_5\",\n  \"schema\": 1,\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"runs\": {}",
+            c.name, c.median_ns, c.runs
+        ));
+        for (k, v) in &c.metrics {
+            s.push_str(&format!(", \"{k}\": {v}"));
+        }
+        s.push_str(if i + 1 == cases.len() { "}\n" } else { "},\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts a `"key": value` numeric field from a one-case JSON line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the `"name"` field from a one-case JSON line.
+fn field_name(line: &str) -> Option<String> {
+    let pat = "\"name\": \"";
+    let at = line.find(pat)? + pat.len();
+    let rest = &line[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Parses a committed snapshot into (name → (median_ns, nodes, size)).
+fn parse_snapshot(text: &str) -> Vec<(String, u128, Option<u64>, Option<u64>)> {
+    text.lines()
+        .filter_map(|line| {
+            let name = field_name(line)?;
+            let median = field_u64(line, "median_ns")? as u128;
+            Some((
+                name,
+                median,
+                field_u64(line, "nodes"),
+                field_u64(line, "size"),
+            ))
+        })
+        .collect()
+}
+
+/// `--check`: re-measure and compare against the committed snapshot. Node
+/// counts (and solution sizes) gate; wall-clock deltas are only reported.
+fn check(baseline_path: &str, cases: &[CaseResult]) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = parse_snapshot(&text);
+    if baseline.is_empty() {
+        return Err(format!("baseline {baseline_path} contains no cases"));
+    }
+    let mut failures = Vec::new();
+    for (name, base_ns, base_nodes, base_size) in &baseline {
+        let Some(case) = cases.iter().find(|c| &c.name == name) else {
+            failures.push(format!("case {name} missing from this run"));
+            continue;
+        };
+        let metric = |key: &str| {
+            case.metrics
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, v)| v)
+        };
+        let ratio = case.median_ns as f64 / *base_ns as f64;
+        println!(
+            "{name}: wall {:.2}x of baseline ({} ns vs {} ns)",
+            ratio, case.median_ns, base_ns
+        );
+        if let (Some(base), Some(now)) = (*base_nodes, metric("nodes")) {
+            let limit = (base as f64 * (1.0 + NODE_TOLERANCE)).floor() as u64;
+            if now > limit {
+                failures.push(format!(
+                    "case {name}: nodes regressed {base} -> {now} (> {:.0}% tolerance)",
+                    NODE_TOLERANCE * 100.0
+                ));
+            } else {
+                println!("{name}: nodes {now} (baseline {base}) ok");
+            }
+        }
+        if let (Some(base), Some(now)) = (*base_size, metric("size")) {
+            if base != now {
+                failures.push(format!(
+                    "case {name}: solution size changed {base} -> {now}"
+                ));
+            }
+        }
+    }
+    for case in cases {
+        if !baseline.iter().any(|(n, ..)| n == &case.name) {
+            println!("note: new case {} not in baseline", case.name);
+        }
+    }
+    if failures.is_empty() {
+        println!("bench-snapshot check passed ({} cases)", baseline.len());
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = DEFAULT_PATH.to_string();
+    let mut check_mode = false;
+    let mut reps = 5usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            "--check" => {
+                check_mode = true;
+                if let Some(path) = args.get(i + 1) {
+                    if !path.starts_with("--") {
+                        i += 1;
+                        out = path.clone();
+                    }
+                }
+            }
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|r| r.parse().ok())
+                    .expect("--reps needs a positive integer");
+                assert!(reps > 0, "--reps needs a positive integer");
+            }
+            other => panic!("unknown argument {other:?} (see --out/--check/--reps)"),
+        }
+        i += 1;
+    }
+
+    let cases = collect(reps);
+    if check_mode {
+        if let Err(e) = check(&out, &cases) {
+            eprintln!("bench-snapshot check FAILED:\n{e}");
+            std::process::exit(1);
+        }
+    } else {
+        let text = render(&cases);
+        std::fs::write(&out, &text).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        print!("{text}");
+        println!("wrote {out} ({} cases)", cases.len());
+    }
+}

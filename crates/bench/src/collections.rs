@@ -52,6 +52,18 @@ impl Scale {
     }
 }
 
+/// The search-heavy planted cases of `bench-snapshot` (`BENCH_5.json`):
+/// `(name, graph, k)` triples whose noise is tuned so preprocessing leaves
+/// a real branch-and-bound search. The single source of these generator
+/// parameters — the snapshot bin and the `engine` criterion bench must
+/// measure identical instances, or the committed baseline stops describing
+/// the bench.
+pub fn planted_snapshot_cases() -> Vec<(&'static str, Graph, usize)> {
+    let (g200, _) = gen::planted_defective_clique(200, 14, 3, 0.30, &mut gen::seeded_rng(13));
+    let (g220, _) = gen::planted_defective_clique(220, 14, 3, 0.28, &mut gen::seeded_rng(17));
+    vec![("planted-200-k3", g200, 3), ("planted-220-k3", g220, 3)]
+}
+
 /// The real-world-like collection: sparse graphs with skewed degrees.
 pub fn real_world_like(scale: Scale) -> Collection {
     let mut instances = Vec::new();

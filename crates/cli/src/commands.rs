@@ -62,8 +62,10 @@ impl SolveArgs {
 /// [--threads N] [--stats] [--watch] [--cert F]`
 ///
 /// `--stats` additionally prints the reduction/arena counters (CTCP
-/// removals, arena reuses, universe rebuilds) and the session cache
-/// counters, so perf-path regressions are visible straight from the CLI.
+/// removals, arena reuses, universe rebuilds), the bound-prune counters
+/// (total prunes and how many were decided by UB1 / the KD-Club bound) and
+/// the session cache counters, so perf-path regressions are visible
+/// straight from the CLI.
 /// `--watch` streams incumbent/retighten/restart events as the search runs.
 ///
 /// Returns the process exit code: `0` for a proven-optimal solution,
@@ -150,6 +152,10 @@ pub(crate) fn solve_on_session(session: &Session, a: &SolveArgs) -> Result<ExitC
         println!(
             "ctcp: vertex-removals {} edge-removals {}",
             s.ctcp_vertex_removals, s.ctcp_edge_removals
+        );
+        println!(
+            "bounds: prunes {} (ub1 {} kdclub {})",
+            s.bound_prunes, s.ub1_prunes, s.kdclub_prunes
         );
         println!(
             "arena: reuses {} universe-rebuilds {} ego-subproblems {}",
@@ -376,6 +382,7 @@ mod tests {
         let path = write_sample();
         solve(&argv(&[&path, "--k", "2"])).unwrap();
         solve(&argv(&[&path, "--k", "1", "--preset", "kdbb"])).unwrap();
+        solve(&argv(&[&path, "--k", "1", "--preset", "kdclub"])).unwrap();
         solve(&argv(&[&path, "--k", "1", "--preset", "rds"])).unwrap();
         solve(&argv(&[&path, "--k", "1", "--parallel"])).unwrap();
         // --stats is a boolean flag and combines with the other options.

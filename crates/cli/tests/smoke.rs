@@ -84,6 +84,8 @@ fn solve_stats_prints_reduction_counters() {
     );
     let text = stdout(&out);
     assert!(text.contains("ctcp: vertex-removals"), "output: {text}");
+    assert!(text.contains("bounds: prunes"), "output: {text}");
+    assert!(text.contains("kdclub"), "output: {text}");
     assert!(text.contains("arena: reuses"), "output: {text}");
     assert!(text.contains("universe-rebuilds"), "output: {text}");
 
@@ -91,6 +93,26 @@ fn solve_stats_prints_reduction_counters() {
     let out = run(&["solve", path.to_str().unwrap(), "--k", "2"]);
     let text = stdout(&out);
     assert!(!text.contains("ctcp:"), "output: {text}");
+    assert!(!text.contains("bounds:"), "output: {text}");
+
+    // The KD-Club bound preset drives the same pipeline end to end.
+    let out = run(&[
+        "solve",
+        path.to_str().unwrap(),
+        "--k",
+        "2",
+        "--preset",
+        "kdclub",
+        "--stats",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("size: 6"), "output: {text}");
+    assert!(text.contains("bounds: prunes"), "output: {text}");
 
     // The parallel path surfaces the arena counters too.
     let out = run(&[

@@ -209,9 +209,26 @@ pub struct SolverConfig {
     /// leaves unused for cost reasons; off in every preset, available for
     /// experimentation via [`SolverConfig::with_ub4`].
     pub enable_ub4: bool,
+    /// KD-Club-style colouring bound \[Jin et al., AAAI 2024\]: re-colour the
+    /// *current* candidate subgraph at every node, packing the non-neighbours
+    /// of `S` first, and distribute the remaining missing-edge budget
+    /// `k − |Ē(S)|` greedily across the colour classes. Evaluated after
+    /// UB1–UB3 (only when they fail to prune), so enabling it can only
+    /// shrink the search tree; see [`SearchStats::kdclub_prunes`] for how
+    /// often it was the deciding bound.
+    ///
+    /// [`SearchStats::kdclub_prunes`]: crate::SearchStats
+    pub enable_kdclub: bool,
     /// Replace UB1 by the weaker Eq. (2) colouring bound of MADEC+ \[11\]
     /// (used by the MADEC-like baseline and the tightness experiments).
     pub use_eq2_bound: bool,
+    /// Drive the engine's per-node hot path (S-insertion, candidate removal,
+    /// backtracking, maximality checks, RR4 common-neighbour counts) through
+    /// masked `u64`-word sweeps instead of per-vertex probes. The search
+    /// tree is bit-identical either way — this flag exists so the scalar
+    /// path stays testable as the parity reference and measurable as the
+    /// benchmark baseline.
+    pub word_kernel: bool,
     /// Initial-solution heuristic (Line 1 of Algorithm 2).
     pub heuristic: InitialHeuristic,
     /// Build a bit-matrix over the reduced universe when it has at most this
@@ -267,7 +284,9 @@ impl SolverConfig {
             enable_ub2: true,
             enable_ub3: true,
             enable_ub4: false,
+            enable_kdclub: false,
             use_eq2_bound: false,
+            word_kernel: true,
             heuristic: InitialHeuristic::DegenOpt,
             matrix_limit: 16_384,
             time_limit: None,
@@ -295,7 +314,9 @@ impl SolverConfig {
             enable_ub2: false,
             enable_ub3: false,
             enable_ub4: false,
+            enable_kdclub: false,
             use_eq2_bound: false,
+            word_kernel: true,
             heuristic: InitialHeuristic::None,
             matrix_limit: 16_384,
             time_limit: None,
@@ -305,6 +326,18 @@ impl SolverConfig {
             shared_ctcp: None,
             seed_solution: None,
             on_event: None,
+        }
+    }
+
+    /// kDC augmented with the KD-Club-style colouring bound: everything in
+    /// [`SolverConfig::kdc`] plus a per-node re-colouring bound evaluated
+    /// when UB1–UB3 fail to prune. Typically explores fewer branch-and-bound
+    /// nodes than `kdc` at a higher per-node cost; preferable on instances
+    /// where the search tree, not the bound evaluation, dominates.
+    pub fn kdclub() -> Self {
+        SolverConfig {
+            enable_kdclub: true,
+            ..Self::kdc()
         }
     }
 
@@ -360,7 +393,9 @@ impl SolverConfig {
             enable_ub2: true,
             enable_ub3: true,
             enable_ub4: false,
+            enable_kdclub: false,
             use_eq2_bound: false,
+            word_kernel: true,
             heuristic: InitialHeuristic::Degen,
             matrix_limit: 16_384,
             time_limit: None,
@@ -387,7 +422,9 @@ impl SolverConfig {
             enable_ub2: true,
             enable_ub3: false,
             enable_ub4: false,
+            enable_kdclub: false,
             use_eq2_bound: true,
+            word_kernel: true,
             heuristic: InitialHeuristic::Degen,
             matrix_limit: 16_384,
             time_limit: None,
@@ -408,6 +445,7 @@ impl SolverConfig {
         Ok(match name {
             "kdc" => Self::kdc(),
             "kdc_t" => Self::kdc_t(),
+            "kdclub" => Self::kdclub(),
             "kdbb" => Self::kdbb_like(),
             "madec" => Self::madec_like(),
             other => return Err(format!("unknown preset {other:?}")),
@@ -417,6 +455,14 @@ impl SolverConfig {
     /// Enables the experimental RR4-derived bound UB4 (see §3.2.2).
     pub fn with_ub4(mut self) -> Self {
         self.enable_ub4 = true;
+        self
+    }
+
+    /// Disables the word-parallel engine kernel, forcing the scalar
+    /// per-vertex hot path (the parity reference and benchmark baseline;
+    /// see [`SolverConfig::word_kernel`]).
+    pub fn with_scalar_kernel(mut self) -> Self {
+        self.word_kernel = false;
         self
     }
 
@@ -505,9 +551,13 @@ mod tests {
 
     #[test]
     fn from_preset_resolves_every_name() {
-        for name in ["kdc", "kdc_t", "kdbb", "madec"] {
+        for name in ["kdc", "kdc_t", "kdclub", "kdbb", "madec"] {
             assert!(SolverConfig::from_preset(name).is_ok(), "{name}");
         }
+        assert!(
+            SolverConfig::from_preset("kdclub").unwrap().enable_kdclub,
+            "kdclub preset enables the KD-Club bound"
+        );
         assert!(SolverConfig::from_preset("nope").is_err());
         assert_eq!(
             SolverConfig::from_preset("kdc_t").unwrap().heuristic,
@@ -585,5 +635,21 @@ mod tests {
             .with_node_limit(100);
         assert_eq!(c.time_limit, Some(Duration::from_secs(3)));
         assert_eq!(c.node_limit, Some(100));
+    }
+
+    #[test]
+    fn word_kernel_is_on_everywhere_and_scalar_is_opt_in() {
+        for preset in ["kdc", "kdc_t", "kdclub", "kdbb", "madec"] {
+            assert!(
+                SolverConfig::from_preset(preset).unwrap().word_kernel,
+                "{preset} must default to the word kernel"
+            );
+        }
+        let scalar = SolverConfig::kdc().with_scalar_kernel();
+        assert!(!scalar.word_kernel);
+        assert!(
+            !SolverConfig::kdc().enable_kdclub,
+            "the KD-Club bound is opt-in"
+        );
     }
 }

@@ -11,17 +11,30 @@
 //! * **Eq. (2)** — the original MADEC colouring bound
 //!   `|S| + Σ_i min(⌊(1+√(8k+1))/2⌋, |π_i|)`, kept for the MADEC-like
 //!   baseline and for tightness experiments; UB1 is never larger.
+//! * **KD-Club bound** — a KD-Club-style \[Jin et al., AAAI 2024\] per-node
+//!   re-colouring: instead of reusing the static root-universe colouring
+//!   order, the *current* candidate subgraph is re-coloured with the
+//!   non-neighbours of `S` packed first (ordered by `|N̄_S(·)|` descending,
+//!   then current alive degree descending), and the budget `k − |Ē(S)|` is
+//!   distributed greedily across the resulting colour classes. Fresh classes
+//!   track the reduced subgraph, so the costly vertices concentrate in few
+//!   classes and pick up larger within-class penalties — usually a tighter
+//!   bound, always a sound one (any proper colouring yields valid classes).
+//!   Evaluated only when UB1–UB3 fail to prune, so it can shrink the tree
+//!   but never loosen it.
 
 use super::Engine;
 
 impl Engine {
     /// Computes an upper bound for the current instance, evaluating the
-    /// cheap bounds (UB2, UB3) first and the colouring bounds (UB1/Eq. (2))
-    /// only when the cheap ones fail to prune against `lb`. Returns
-    /// `(bound, ub1_was_strictly_needed)` where the flag records that UB1
-    /// was strictly smaller than every other enabled bound (used by the
-    /// ablation statistics).
-    pub(crate) fn upper_bound(&mut self, lb: usize) -> (usize, bool) {
+    /// cheap bounds (UB2, UB3) first, the colouring bounds (UB1/Eq. (2))
+    /// when the cheap ones fail to prune against `lb`, and the KD-Club
+    /// re-colouring bound last of the standard set. Returns
+    /// `(bound, ub1_was_strictly_needed, kdclub_was_strictly_needed)`; each
+    /// flag records that the bound was strictly smaller than every other
+    /// enabled bound (used by the ablation statistics and the `--stats`
+    /// prune counters).
+    pub(crate) fn upper_bound(&mut self, lb: usize) -> (usize, bool, bool) {
         let s = self.s_end;
         debug_assert!(self.missing_in_s <= self.k);
         let budget = self.k - self.missing_in_s;
@@ -36,7 +49,7 @@ impl Engine {
                 .expect("S nonempty");
             best = best.min(min_deg + 1 + self.k);
             if best <= lb {
-                return (best, false);
+                return (best, false, false);
             }
         }
 
@@ -54,7 +67,7 @@ impl Engine {
             }
             best = best.min(s + cnt);
             if best <= lb {
-                return (best, false);
+                return (best, false, false);
             }
         }
 
@@ -71,19 +84,40 @@ impl Engine {
                 best = best.min(ub1);
             }
             if best <= lb {
-                return (best, ub1_flag);
+                return (best, ub1_flag, false);
+            }
+        }
+
+        // KD-Club re-colouring: the most expensive colouring bound, so it
+        // only runs on instances every cheaper bound failed to close.
+        let mut kdclub_flag = false;
+        if self.config.enable_kdclub {
+            let ubk = self.kdclub_bound(budget);
+            if ubk < best {
+                kdclub_flag = true;
+                ub1_flag = false;
+                best = ubk;
+            }
+            if best <= lb {
+                return (best, ub1_flag, kdclub_flag);
             }
         }
 
         // UB4 — the RR4-derived second-order bound the paper sketches but
         // does not deploy (§3.2.2: "an upper bound could be designed based
         // on RR4 … time-consuming"). Optional; evaluated last because it is
-        // the most expensive.
+        // the most expensive. When it is the strict minimum, the earlier
+        // flags no longer name the deciding bound and are cleared.
         if self.config.enable_ub4 && s > 0 {
-            best = best.min(self.ub4_second_order());
+            let ub4 = self.ub4_second_order();
+            if ub4 < best {
+                ub1_flag = false;
+                kdclub_flag = false;
+                best = ub4;
+            }
         }
 
-        (best, ub1_flag)
+        (best, ub1_flag, kdclub_flag)
     }
 
     /// UB4: every solution strictly containing S includes some candidate
@@ -172,26 +206,86 @@ impl Engine {
         debug_assert_eq!(self.scratch_cands.len(), num_cands);
 
         // Greedy first-fit colouring.
+        let num_colors = self.color_scratch_cands();
+
+        let (taken, eq2_sum) = self.distribute_budget_over_classes(budget, num_colors);
+
+        // UB1: longest ascending-weight prefix fitting in the budget.
+        let ub1 = s + taken;
+
+        // Eq. (2): each class contributes up to ⌊(1+√(8k+1))/2⌋ vertices,
+        // independently of S and of the other classes.
+        let eq2 = s + eq2_sum;
+
+        (ub1, eq2, num_colors)
+    }
+
+    /// KD-Club-style bound: re-colour the *current* candidate subgraph with
+    /// the non-neighbours of S packed first (|N̄_S| descending, then current
+    /// alive degree descending, vertex id as the final total-order
+    /// tie-break), then distribute `budget = k − |Ē(S)|` greedily across the
+    /// fresh colour classes exactly as UB1 does. Sound for any proper
+    /// colouring; tighter than UB1 whenever the per-node classes pack the
+    /// costly vertices better than the stale root-order classes.
+    pub(crate) fn kdclub_bound(&mut self, budget: usize) -> usize {
+        let s = self.s_end;
+        if self.cand_end == self.s_end {
+            return s;
+        }
+        self.scratch_cands.clear();
+        self.scratch_cands
+            .extend_from_slice(&self.vs[self.s_end..self.cand_end]);
+        let non_nbr_s = &self.non_nbr_s;
+        let deg = &self.deg;
+        self.scratch_cands.sort_unstable_by_key(|&v| {
+            (
+                std::cmp::Reverse(non_nbr_s[v as usize]),
+                std::cmp::Reverse(deg[v as usize]),
+                v,
+            )
+        });
+        let num_colors = self.color_scratch_cands();
+        let (taken, _) = self.distribute_budget_over_classes(budget, num_colors);
+        s + taken
+    }
+
+    /// First-fit colours `scratch_cands` in its current order through
+    /// whichever machinery fits the representation; returns the number of
+    /// colours used (`scratch_color[v]` holds each candidate's class).
+    fn color_scratch_cands(&mut self) -> usize {
         let words = self.matrix.as_ref().map_or(usize::MAX, |m| m.row(0).len());
         let num_colors = if words <= 16 {
             self.color_candidates_matrix(words)
         } else {
             self.color_candidates_lists()
         };
+        num_colors as usize
+    }
 
+    /// The shared tail of every class-based colouring bound: given coloured
+    /// `scratch_cands`, sorts the (colour, |N̄_S|) pairs, assigns the j-th
+    /// member of a class the weight `|N̄_S| + (j − 1)` and greedily takes the
+    /// longest ascending-weight prefix whose sum fits in `budget`. Returns
+    /// `(taken, eq2_sum)` where `eq2_sum` is the fused Eq. (2) per-class cap
+    /// `Σ_i min(⌊(1+√(8k+1))/2⌋, |π_i|)`.
+    fn distribute_budget_over_classes(
+        &mut self,
+        budget: usize,
+        num_colors: usize,
+    ) -> (usize, usize) {
         // Pairs (colour, |N̄_S|) sorted by colour then non-neighbour count:
         // two stable counting sorts (by nn, then by colour).
         self.scratch_pairs.clear();
-        for idx in 0..num_cands {
+        for idx in 0..self.scratch_cands.len() {
             let v = self.scratch_cands[idx];
             self.scratch_pairs
                 .push((self.scratch_color[v as usize], self.non_nbr_s[v as usize]));
         }
-        self.counting_sort_pairs(num_colors as usize);
+        self.counting_sort_pairs(num_colors);
 
         // Weights, clamped to budget + 1 ("never takeable"), counting-sorted.
-        // The Eq. (2) per-class cap Σ min(d_max, |π_i|) is fused into the
-        // same pairs walk so no per-node allocation is needed.
+        // The Eq. (2) per-class cap is fused into the same pairs walk so no
+        // per-node allocation is needed.
         self.scratch_buckets.clear();
         self.scratch_buckets.resize(budget + 2, 0);
         let d_max = ((1.0 + ((8 * self.k + 1) as f64).sqrt()) / 2.0).floor() as usize;
@@ -211,7 +305,7 @@ impl Engine {
             j += 1;
         }
 
-        // UB1: longest ascending-weight prefix fitting in the budget.
+        // Longest ascending-weight prefix fitting in the budget.
         let mut left = budget;
         let mut taken = 0usize;
         for w in 0..=budget {
@@ -229,13 +323,7 @@ impl Engine {
                 break;
             }
         }
-        let ub1 = s + taken;
-
-        // Eq. (2): each class contributes up to ⌊(1+√(8k+1))/2⌋ vertices,
-        // independently of S and of the other classes (accumulated above).
-        let eq2 = s + eq2_sum;
-
-        (ub1, eq2, num_colors as usize)
+        (taken, eq2_sum)
     }
 
     /// First-fit colouring of `scratch_cands` (already in colouring order)
@@ -377,7 +465,7 @@ mod tests {
         cfg.enable_ub1 = true;
         let mut e = figure5_engine(cfg);
         assert_eq!(e.missing_in_s_for_test(), 1);
-        let (ub, ub1_needed) = e.upper_bound(0);
+        let (ub, ub1_needed, _) = e.upper_bound(0);
         assert_eq!(ub, 3, "UB1 of Example 3.7");
         assert!(ub1_needed);
     }
@@ -387,7 +475,7 @@ mod tests {
         let mut cfg = SolverConfig::kdc_t();
         cfg.use_eq2_bound = true;
         let mut e = figure5_engine(cfg);
-        let (ub, _) = e.upper_bound(0);
+        let (ub, _, _) = e.upper_bound(0);
         assert_eq!(ub, 11, "Eq. (2) of Example 3.6");
     }
 
@@ -423,7 +511,7 @@ mod tests {
         let mut cfg = SolverConfig::kdc_t();
         cfg.enable_ub2 = true;
         let mut e = figure5_engine(cfg);
-        let (ub, _) = e.upper_bound(0);
+        let (ub, _, _) = e.upper_bound(0);
         assert_eq!(ub, 4);
     }
 
@@ -434,7 +522,7 @@ mod tests {
         let mut cfg = SolverConfig::kdc_t();
         cfg.enable_ub3 = true;
         let mut e = figure5_engine(cfg);
-        let (ub, _) = e.upper_bound(0);
+        let (ub, _, _) = e.upper_bound(0);
         assert_eq!(ub, 3);
     }
 
@@ -545,7 +633,7 @@ mod tests {
                 cfg.enable_ub3 = true;
                 cfg.use_eq2_bound = true;
                 let mut e = engine(&g, k, cfg);
-                let (ub, _) = e.upper_bound(0);
+                let (ub, _, _) = e.upper_bound(0);
                 assert!(
                     ub >= opt,
                     "trial {trial} k {k}: root bound {ub} below optimum {opt}"

@@ -32,9 +32,17 @@ mod stress_tests;
 
 use crate::config::{BranchPolicy, SolverConfig};
 use crate::stats::SearchStats;
-use kdc_graph::bitset::{BitMatrix, BitSet};
+use kdc_graph::bitset::{
+    self, for_each_bit_and, for_each_bit_and_not, popcount_and, BitMatrix, BitSet,
+};
 use kdc_graph::scratch::Marker;
 use std::time::Instant;
+
+/// Budget (in `u64` words) for the adjacency-list path's lazily built
+/// per-vertex neighbour masks: universes with `n · ⌈n/64⌉` beyond this run
+/// the scalar kernel instead (the cache would cost more memory than the
+/// sweeps save). 2^23 words = 64 MiB.
+const LIST_MASK_WORDS_LIMIT: usize = 1 << 23;
 
 /// Trail entries; undone in reverse order.
 #[derive(Clone, Copy, Debug)]
@@ -90,6 +98,21 @@ pub(crate) struct Engine {
     /// Alive-candidate membership mask (kept in sync with the partition; used
     /// by bit-parallel intersections).
     cand_mask: BitSet,
+    /// Alive-vertex membership mask (`S ∪ candidates`), the word-kernel
+    /// companion of `cand_mask`: the non-neighbour sweeps of `add_to_s` and
+    /// the neighbour sweeps of `remove_cand` intersect adjacency rows
+    /// against it instead of probing `pos` per vertex.
+    alive_mask: BitSet,
+    /// Words per cached neighbour-mask row on the adjacency-list path
+    /// (`0` = cache disabled: a matrix is present, the word kernel is off,
+    /// or the universe exceeds [`LIST_MASK_WORDS_LIMIT`]).
+    nbr_mask_words: usize,
+    /// Flat `n × nbr_mask_words` storage for the lazily built rows.
+    nbr_mask_data: Vec<u64>,
+    /// Per-vertex build stamp: a row is valid iff its stamp equals
+    /// `nbr_mask_serial` (O(1) whole-cache invalidation on reset).
+    nbr_mask_epoch: Vec<u32>,
+    nbr_mask_serial: u32,
 
     vs: Vec<u32>,
     pos: Vec<usize>,
@@ -188,6 +211,11 @@ impl Engine {
             matrix: None,
             matrix_spare: None,
             cand_mask: BitSet::new(0),
+            alive_mask: BitSet::new(0),
+            nbr_mask_words: 0,
+            nbr_mask_data: Vec::new(),
+            nbr_mask_epoch: Vec::new(),
+            nbr_mask_serial: 0,
             vs: Vec::new(),
             pos: Vec::new(),
             s_end: 0,
@@ -263,6 +291,34 @@ impl Engine {
         }
 
         self.cand_mask.reset_full(n);
+        self.alive_mask.reset_full(n);
+        // List-path neighbour-mask cache: lazily built rows, invalidated as a
+        // whole by bumping the serial (no O(n · words) clear per reset).
+        let row_words = bitset::words_for(n);
+        self.nbr_mask_words = if self.config.word_kernel
+            && self.matrix.is_none()
+            && n > 0
+            && n.checked_mul(row_words)
+                .is_some_and(|total| total <= LIST_MASK_WORDS_LIMIT)
+        {
+            row_words
+        } else {
+            0
+        };
+        if self.nbr_mask_words > 0 {
+            let need = n * self.nbr_mask_words;
+            if self.nbr_mask_data.len() < need {
+                self.nbr_mask_data.resize(need, 0);
+            }
+            if self.nbr_mask_epoch.len() < n {
+                self.nbr_mask_epoch.resize(n, 0);
+            }
+            self.nbr_mask_serial = self.nbr_mask_serial.wrapping_add(1);
+            if self.nbr_mask_serial == 0 {
+                self.nbr_mask_epoch.fill(0);
+                self.nbr_mask_serial = 1;
+            }
+        }
         self.vs.clear();
         self.vs.extend(0..n as u32);
         self.pos.clear();
@@ -480,6 +536,96 @@ impl Engine {
         }
     }
 
+    // ---- word kernel -------------------------------------------------------
+
+    /// Whether the per-node hot path runs as masked word sweeps: the word
+    /// kernel is configured on and a word-granular adjacency representation
+    /// exists (dense matrix, or the list-path neighbour-mask cache).
+    #[inline]
+    fn word_kernel_active(&self) -> bool {
+        self.config.word_kernel && (self.matrix.is_some() || self.nbr_mask_words > 0)
+    }
+
+    /// Ensures the cached neighbour mask of `v` is built (list path only);
+    /// returns its range in `nbr_mask_data`. Each universe pays the O(words
+    /// + deg) build at most once per vertex per reset.
+    fn ensure_nbr_mask(&mut self, v: u32) -> (usize, usize) {
+        debug_assert!(self.nbr_mask_words > 0);
+        let start = v as usize * self.nbr_mask_words;
+        let end = start + self.nbr_mask_words;
+        if self.nbr_mask_epoch[v as usize] != self.nbr_mask_serial {
+            let row = &mut self.nbr_mask_data[start..end];
+            row.fill(0);
+            let from = self.adj_off[v as usize] as usize;
+            let to = self.adj_off[v as usize + 1] as usize;
+            for &w in &self.adj_dat[from..to] {
+                row[w as usize / 64] |= 1u64 << (w as usize % 64);
+            }
+            self.nbr_mask_epoch[v as usize] = self.nbr_mask_serial;
+        }
+        (start, end)
+    }
+
+    /// The word-granular adjacency row of `v`: the matrix row when dense,
+    /// the (already built — call [`Engine::ensure_nbr_mask`] first) cached
+    /// neighbour mask otherwise.
+    #[inline]
+    fn word_row(&self, v: u32) -> &[u64] {
+        match &self.matrix {
+            Some(mx) => mx.row(v as usize),
+            None => {
+                debug_assert_eq!(self.nbr_mask_epoch[v as usize], self.nbr_mask_serial);
+                let start = v as usize * self.nbr_mask_words;
+                &self.nbr_mask_data[start..start + self.nbr_mask_words]
+            }
+        }
+    }
+
+    /// Word sweep behind `add_to_s`/its undo: adds `delta` (±1 as a wrapping
+    /// `u32`) to `non_nbr_s[w]` for every alive non-neighbour `w ≠ v` of `v`.
+    fn sweep_alive_non_neighbors(&mut self, v: u32, delta: u32) {
+        if self.matrix.is_none() {
+            self.ensure_nbr_mask(v);
+        }
+        // Disjoint field borrows: the row aliases only the adjacency storage.
+        let row: &[u64] = match &self.matrix {
+            Some(mx) => mx.row(v as usize),
+            None => {
+                let start = v as usize * self.nbr_mask_words;
+                &self.nbr_mask_data[start..start + self.nbr_mask_words]
+            }
+        };
+        let non_nbr_s = &mut self.non_nbr_s;
+        for_each_bit_and_not(self.alive_mask.words(), row, |w| {
+            non_nbr_s[w] = non_nbr_s[w].wrapping_add(delta);
+        });
+        // v is alive and not its own neighbour, so the sweep touched it;
+        // the scalar loop excludes it.
+        let own = &mut self.non_nbr_s[v as usize];
+        *own = own.wrapping_sub(delta);
+    }
+
+    /// Word sweep behind `remove_cand`/its undo: adds `delta` (±1 as a
+    /// wrapping `u32`) to `deg[w]` for every alive neighbour `w` of `v`.
+    /// `alive_mask` must not contain vertices the scalar predicate
+    /// (`pos[w] < cand_end`) would exclude — both call sites hold that.
+    fn sweep_alive_neighbors(&mut self, v: u32, delta: u32) {
+        if self.matrix.is_none() {
+            self.ensure_nbr_mask(v);
+        }
+        let row: &[u64] = match &self.matrix {
+            Some(mx) => mx.row(v as usize),
+            None => {
+                let start = v as usize * self.nbr_mask_words;
+                &self.nbr_mask_data[start..start + self.nbr_mask_words]
+            }
+        };
+        let deg = &mut self.deg;
+        for_each_bit_and(self.alive_mask.words(), row, |w| {
+            deg[w] = deg[w].wrapping_add(delta);
+        });
+    }
+
     // ---- trailed operations ------------------------------------------------
 
     #[inline]
@@ -499,16 +645,20 @@ impl Engine {
         self.s_end += 1;
         self.missing_in_s += self.non_nbr_s[v as usize] as usize;
         // Every alive non-neighbour of v gains one S-non-neighbour.
-        self.mark.reset();
-        let (start, end) = self.row_range(v);
-        for i in start..end {
-            let w = self.adj_dat[i];
-            self.mark.mark(w as usize);
-        }
-        for i in 0..self.cand_end {
-            let w = self.vs[i];
-            if w != v && !self.mark.is_marked(w as usize) {
-                self.non_nbr_s[w as usize] += 1;
+        if self.word_kernel_active() {
+            self.sweep_alive_non_neighbors(v, 1);
+        } else {
+            self.mark.reset();
+            let (start, end) = self.row_range(v);
+            for i in start..end {
+                let w = self.adj_dat[i];
+                self.mark.mark(w as usize);
+            }
+            for i in 0..self.cand_end {
+                let w = self.vs[i];
+                if w != v && !self.mark.is_marked(w as usize) {
+                    self.non_nbr_s[w as usize] += 1;
+                }
             }
         }
         self.cand_mask.remove(v as usize);
@@ -516,20 +666,29 @@ impl Engine {
     }
 
     /// Removes candidate `v` from the graph (right branch / RR1/RR3–RR5).
+    /// Degrees of remaining alive vertices are decremented incrementally on
+    /// both adjacency representations — never re-derived from scratch.
     fn remove_cand(&mut self, v: u32) {
         debug_assert!(self.is_cand(v));
         let p = self.pos[v as usize];
         self.swap_vs(p, self.cand_end - 1);
         self.cand_end -= 1;
         self.edges_alive -= self.deg[v as usize] as usize;
-        let (start, end) = self.row_range(v);
-        for i in start..end {
-            let w = self.adj_dat[i];
-            if self.pos[w as usize] < self.cand_end {
-                self.deg[w as usize] -= 1;
+        if self.word_kernel_active() {
+            // `alive_mask` still contains v here, but v ∉ row(v), so the
+            // sweep set equals the scalar predicate's.
+            self.sweep_alive_neighbors(v, 1u32.wrapping_neg());
+        } else {
+            let (start, end) = self.row_range(v);
+            for i in start..end {
+                let w = self.adj_dat[i];
+                if self.pos[w as usize] < self.cand_end {
+                    self.deg[w as usize] -= 1;
+                }
             }
         }
         self.cand_mask.remove(v as usize);
+        self.alive_mask.remove(v as usize);
         self.trail.push(Op::RemoveCand(v));
     }
 
@@ -539,16 +698,20 @@ impl Engine {
             match self.trail.pop().expect("trail underflow") {
                 Op::AddS(v) => {
                     debug_assert_eq!(self.pos[v as usize], self.s_end - 1);
-                    self.mark.reset();
-                    let (start, end) = self.row_range(v);
-                    for i in start..end {
-                        let w = self.adj_dat[i];
-                        self.mark.mark(w as usize);
-                    }
-                    for i in 0..self.cand_end {
-                        let w = self.vs[i];
-                        if w != v && !self.mark.is_marked(w as usize) {
-                            self.non_nbr_s[w as usize] -= 1;
+                    if self.word_kernel_active() {
+                        self.sweep_alive_non_neighbors(v, 1u32.wrapping_neg());
+                    } else {
+                        self.mark.reset();
+                        let (start, end) = self.row_range(v);
+                        for i in start..end {
+                            let w = self.adj_dat[i];
+                            self.mark.mark(w as usize);
+                        }
+                        for i in 0..self.cand_end {
+                            let w = self.vs[i];
+                            if w != v && !self.mark.is_marked(w as usize) {
+                                self.non_nbr_s[w as usize] -= 1;
+                            }
                         }
                     }
                     self.missing_in_s -= self.non_nbr_s[v as usize] as usize;
@@ -557,16 +720,23 @@ impl Engine {
                 }
                 Op::RemoveCand(v) => {
                     debug_assert_eq!(self.pos[v as usize], self.cand_end);
-                    let (start, end) = self.row_range(v);
-                    for i in start..end {
-                        let w = self.adj_dat[i];
-                        if self.pos[w as usize] < self.cand_end {
-                            self.deg[w as usize] += 1;
+                    if self.word_kernel_active() {
+                        // v is not yet back in `alive_mask`, matching the
+                        // scalar predicate (pos[v] == cand_end).
+                        self.sweep_alive_neighbors(v, 1);
+                    } else {
+                        let (start, end) = self.row_range(v);
+                        for i in start..end {
+                            let w = self.adj_dat[i];
+                            if self.pos[w as usize] < self.cand_end {
+                                self.deg[w as usize] += 1;
+                            }
                         }
                     }
                     self.edges_alive += self.deg[v as usize] as usize;
                     self.cand_end += 1;
                     self.cand_mask.insert(v as usize);
+                    self.alive_mask.insert(v as usize);
                 }
             }
         }
@@ -631,11 +801,14 @@ impl Engine {
 
         if self.any_bound_enabled() {
             let lb = self.lb();
-            let (ub, ub1_was_min) = self.upper_bound(lb);
+            let (ub, ub1_was_min, kdclub_was_min) = self.upper_bound(lb);
             if ub <= self.lb() {
                 self.stats.bound_prunes += 1;
                 if ub1_was_min {
                     self.stats.ub1_prunes += 1;
+                }
+                if kdclub_was_min {
+                    self.stats.kdclub_prunes += 1;
                 }
                 self.undo_to(cp);
                 return;
@@ -711,11 +884,22 @@ impl Engine {
         let alive = self.cand_end;
         let missing = alive * alive.saturating_sub(1) / 2 - self.edges_alive;
         debug_assert!(missing <= self.k);
+        let word = self.word_kernel_active();
         for u in 0..self.n as u32 {
             if self.alive(u) {
                 continue;
             }
-            let nbrs_in = self.nbrs(u).iter().filter(|&&w| self.alive(w)).count();
+            // |N(u) ∩ alive| as a masked popcount on the word paths; the
+            // removed vertex's `deg` entry is frozen at removal time, so the
+            // live count cannot be read off the degree array.
+            let nbrs_in = if word {
+                if self.matrix.is_none() {
+                    self.ensure_nbr_mask(u);
+                }
+                popcount_and(self.word_row(u), self.alive_mask.words())
+            } else {
+                self.nbrs(u).iter().filter(|&&w| self.alive(w)).count()
+            };
             if missing + (alive - nbrs_in) <= self.k {
                 return false;
             }
@@ -726,7 +910,7 @@ impl Engine {
     /// Whether any upper bound is configured.
     fn any_bound_enabled(&self) -> bool {
         let c = &self.config;
-        c.enable_ub1 || c.enable_ub2 || c.enable_ub3 || c.use_eq2_bound
+        c.enable_ub1 || c.enable_ub2 || c.enable_ub3 || c.use_eq2_bound || c.enable_kdclub
     }
 
     /// Branching rule BR (§3.1.1): prefer a candidate with at least one
@@ -859,6 +1043,7 @@ impl Engine {
         assert!(self.missing_in_s <= self.k, "S must stay k-defective");
         for v in 0..self.n as u32 {
             assert_eq!(self.cand_mask.contains(v as usize), self.is_cand(v));
+            assert_eq!(self.alive_mask.contains(v as usize), self.alive(v));
         }
     }
 }

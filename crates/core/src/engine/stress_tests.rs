@@ -6,6 +6,96 @@ use crate::config::SolverConfig;
 use crate::solver::Solver;
 use kdc_graph::{gen, Graph};
 
+/// Replays an interleaved add/remove/undo script on two engines over the
+/// same universe — the word kernel and the scalar kernel, both forced onto
+/// the adjacency-list path — and asserts after every operation that the
+/// incrementally maintained quantities agree with each other *and* with a
+/// from-scratch recount. This pins the contract that candidate removal
+/// decrements degrees incrementally on the list path (mirroring the matrix
+/// path) instead of re-deriving them.
+#[test]
+fn list_path_word_and_scalar_kernels_maintain_identical_state() {
+    use crate::engine::Engine;
+    let mut rng = gen::seeded_rng(424);
+    for trial in 0..6 {
+        let g = gen::gnp(40, 0.35, &mut rng);
+        let adj: Vec<Vec<u32>> = (0..g.n() as u32).map(|v| g.neighbors(v).to_vec()).collect();
+        let mut word_cfg = SolverConfig::kdc_t();
+        word_cfg.matrix_limit = 0; // force the list path on both
+        let scalar_cfg = word_cfg.clone().with_scalar_kernel();
+        let k = 3usize;
+        let mut ew = Engine::new(adj.clone(), k, word_cfg, 0);
+        let mut es = Engine::new(adj.clone(), k, scalar_cfg, 0);
+        assert!(ew.word_kernel_active(), "list path must use cached masks");
+        assert!(!es.word_kernel_active());
+
+        let assert_state = |ew: &Engine, es: &Engine, step: usize| {
+            assert_eq!(ew.deg, es.deg, "trial {trial} step {step}: deg");
+            assert_eq!(
+                ew.non_nbr_s, es.non_nbr_s,
+                "trial {trial} step {step}: non_nbr_s"
+            );
+            assert_eq!(ew.missing_in_s, es.missing_in_s);
+            assert_eq!(ew.edges_alive, es.edges_alive);
+            assert_eq!(ew.vs, es.vs, "identical op sequences keep vs aligned");
+            // From-scratch recount of alive degrees on the word engine.
+            let alive: Vec<u32> = ew.vs[..ew.cand_end].to_vec();
+            for &v in &alive {
+                let expect = adj[v as usize].iter().filter(|w| alive.contains(w)).count();
+                assert_eq!(
+                    ew.deg[v as usize] as usize, expect,
+                    "trial {trial} step {step}: incremental deg[{v}] diverged from recount"
+                );
+            }
+        };
+
+        let mut checkpoints = Vec::new();
+        for step in 0..60 {
+            let cands = ew.cand_end - ew.s_end;
+            if cands == 0 {
+                break;
+            }
+            match step % 5 {
+                // Right-branch removal: the satellite's target operation.
+                0 | 1 | 3 => {
+                    let pick = ew.vs[ew.s_end + (step * 7) % cands];
+                    ew.remove_cand(pick);
+                    es.remove_cand(pick);
+                }
+                // Left branch: include a feasible candidate if any.
+                2 => {
+                    let (a, b) = (
+                        ew.first_feasible_candidate_for_test(),
+                        es.first_feasible_candidate_for_test(),
+                    );
+                    assert_eq!(a, b);
+                    if let Some(v) = a {
+                        ew.add_to_s(v);
+                        es.add_to_s(v);
+                    } else {
+                        checkpoints.push(ew.trail.len());
+                    }
+                }
+                // Periodic backtrack over a random span.
+                _ => {
+                    if let Some(cp) = checkpoints.pop() {
+                        ew.undo_to(cp);
+                        es.undo_to(cp);
+                    } else {
+                        checkpoints.push(ew.trail.len());
+                    }
+                }
+            }
+            assert_state(&ew, &es, step);
+        }
+        // Full unwind restores the root state exactly.
+        ew.undo_to(0);
+        es.undo_to(0);
+        assert_state(&ew, &es, usize::MAX);
+        assert_eq!(ew.edges_alive, g.m());
+    }
+}
+
 #[test]
 fn k_larger_than_all_possible_missing_edges() {
     // With k ≥ C(n,2), everything is one big k-defective clique.

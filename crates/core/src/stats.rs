@@ -64,6 +64,10 @@ pub struct SearchStats {
     pub bound_prunes: u64,
     /// Instances pruned by UB1 specifically (UB1 was the smallest bound).
     pub ub1_prunes: u64,
+    /// Instances pruned by the KD-Club-style colouring bound specifically:
+    /// UB1–UB3 failed to prune and the per-node re-colouring bound was the
+    /// one that closed the instance.
+    pub kdclub_prunes: u64,
     /// Instances pruned while applying RR5 to a vertex of S.
     pub s_vertex_prunes: u64,
     /// Size of the initial heuristic solution (|C0|).
@@ -112,6 +116,7 @@ impl SearchStats {
         self.rr5_removals += other.rr5_removals;
         self.bound_prunes += other.bound_prunes;
         self.ub1_prunes += other.ub1_prunes;
+        self.kdclub_prunes += other.kdclub_prunes;
         self.s_vertex_prunes += other.s_vertex_prunes;
         self.ctcp_vertex_removals += other.ctcp_vertex_removals;
         self.ctcp_edge_removals += other.ctcp_edge_removals;

@@ -2,12 +2,19 @@
 //!
 //! These are the workhorses of the dense search path: adjacency tests become
 //! single bit probes and common-neighbour counts become word-wise popcounts.
+//! The free functions at the bottom are masked word kernels that fuse a set
+//! operation with iteration or counting, so no intermediate set is
+//! materialised and zero words cost one comparison each — the
+//! branch-and-bound engine's hot sweeps run on [`for_each_bit_and`],
+//! [`for_each_bit_and_not`], [`popcount_and`] and [`popcount_and3`];
+//! [`popcount_and_not`] completes the family for symmetry.
 
 /// Number of bits per storage word.
 const WORD_BITS: usize = 64;
 
+/// Number of `u64` words needed to hold `nbits` bits.
 #[inline]
-fn words_for(nbits: usize) -> usize {
+pub fn words_for(nbits: usize) -> usize {
     nbits.div_ceil(WORD_BITS)
 }
 
@@ -178,6 +185,39 @@ impl BitSet {
         }
     }
 
+    /// Iterates set elements `≥ start` in increasing order. Resuming from a
+    /// known position skips the leading words entirely instead of re-walking
+    /// them bit by bit.
+    pub fn iter_from(&self, start: usize) -> BitIter<'_> {
+        let word_idx = start / WORD_BITS;
+        if word_idx >= self.words.len() {
+            return BitIter {
+                words: &self.words,
+                word_idx: self.words.len().saturating_sub(1),
+                current: 0,
+            };
+        }
+        // Mask off the bits below `start` in the first word.
+        let current = self.words[word_idx] & (!0u64 << (start % WORD_BITS));
+        BitIter {
+            words: &self.words,
+            word_idx,
+            current,
+        }
+    }
+
+    /// Calls `f(word_index, word)` for every *non-zero* storage word, in
+    /// increasing word order. The word-granular companion to [`BitSet::iter`]
+    /// for kernels that process 64 elements at a time.
+    #[inline]
+    pub fn for_each_word(&self, mut f: impl FnMut(usize, u64)) {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                f(wi, w);
+            }
+        }
+    }
+
     /// The smallest element, if any.
     pub fn first(&self) -> Option<usize> {
         self.iter().next()
@@ -188,6 +228,74 @@ impl BitSet {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+}
+
+// ---- masked word kernels ---------------------------------------------------
+//
+// The engine's hot loops are expressed over raw word slices (a `BitSet`'s
+// words, a `BitMatrix` row, or a cached neighbour mask) so one set of kernels
+// serves every storage combination.
+
+/// Calls `f(i)` for every bit `i` set in `a ∩ b`. Zero words are skipped with
+/// one comparison; set bits are extracted with `trailing_zeros`.
+#[inline]
+pub fn for_each_bit_and(a: &[u64], b: &[u64], mut f: impl FnMut(usize)) {
+    debug_assert_eq!(a.len(), b.len());
+    for (wi, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let mut bits = x & y;
+        while bits != 0 {
+            let bit = bits.trailing_zeros() as usize;
+            f(wi * WORD_BITS + bit);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Calls `f(i)` for every bit `i` set in `a \ b`.
+#[inline]
+pub fn for_each_bit_and_not(a: &[u64], b: &[u64], mut f: impl FnMut(usize)) {
+    debug_assert_eq!(a.len(), b.len());
+    for (wi, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let mut bits = x & !y;
+        while bits != 0 {
+            let bit = bits.trailing_zeros() as usize;
+            f(wi * WORD_BITS + bit);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// `|a ∩ b|` over raw word slices.
+#[inline]
+pub fn popcount_and(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// `|a \ b|` over raw word slices.
+#[inline]
+pub fn popcount_and_not(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & !y).count_ones() as usize)
+        .sum()
+}
+
+/// `|a ∩ b ∩ c|` over raw word slices (e.g. two adjacency rows against a
+/// candidate mask: the common-neighbour count of RR4).
+#[inline]
+pub fn popcount_and3(a: &[u64], b: &[u64], c: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), c.len());
+    a.iter()
+        .zip(b)
+        .zip(c)
+        .map(|((x, y), z)| (x & y & z).count_ones() as usize)
+        .sum()
 }
 
 impl FromIterator<usize> for BitSet {
@@ -423,6 +531,76 @@ mod tests {
         let mut d = a.clone();
         d.difference_with(&b);
         assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 64]);
+    }
+
+    #[test]
+    fn iter_from_starts_at_the_right_bit() {
+        let mut s = BitSet::new(400);
+        for i in [0usize, 63, 64, 130, 131, 320, 399] {
+            s.insert(i);
+        }
+        assert_eq!(
+            s.iter_from(0).collect::<Vec<_>>(),
+            s.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            s.iter_from(64).collect::<Vec<_>>(),
+            vec![64, 130, 131, 320, 399]
+        );
+        assert_eq!(
+            s.iter_from(65).collect::<Vec<_>>(),
+            vec![130, 131, 320, 399]
+        );
+        assert_eq!(s.iter_from(131).collect::<Vec<_>>(), vec![131, 320, 399]);
+        assert_eq!(s.iter_from(399).collect::<Vec<_>>(), vec![399]);
+        assert_eq!(s.iter_from(400).count(), 0, "past capacity");
+        assert_eq!(s.iter_from(4000).count(), 0, "far past capacity");
+        assert_eq!(BitSet::new(0).iter_from(0).count(), 0, "empty set");
+    }
+
+    #[test]
+    fn iter_skips_long_zero_word_runs() {
+        // One bit at the very end of a 100-word set: iteration must reach it
+        // (and, structurally, skip the 99 zero words a word at a time).
+        let mut s = BitSet::new(6400);
+        s.insert(6399);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![6399]);
+        s.insert(0);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 6399]);
+    }
+
+    #[test]
+    fn for_each_word_visits_nonzero_words_only() {
+        let mut s = BitSet::new(300);
+        s.insert(1);
+        s.insert(65);
+        s.insert(66);
+        s.insert(299);
+        let mut seen = Vec::new();
+        s.for_each_word(|wi, w| seen.push((wi, w.count_ones())));
+        assert_eq!(seen, vec![(0, 1), (1, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn masked_word_kernels_match_set_algebra() {
+        let a: BitSet = [1usize, 2, 3, 64, 65, 130].into_iter().collect();
+        let mut b = BitSet::new(a.capacity());
+        for i in [2usize, 3, 4, 65, 129] {
+            b.insert(i);
+        }
+        let mut and = Vec::new();
+        for_each_bit_and(a.words(), b.words(), |i| and.push(i));
+        assert_eq!(and, vec![2, 3, 65]);
+        let mut diff = Vec::new();
+        for_each_bit_and_not(a.words(), b.words(), |i| diff.push(i));
+        assert_eq!(diff, vec![1, 64, 130]);
+        assert_eq!(popcount_and(a.words(), b.words()), 3);
+        assert_eq!(popcount_and_not(a.words(), b.words()), 3);
+        let c = BitSet::full(a.capacity());
+        assert_eq!(popcount_and3(a.words(), b.words(), c.words()), 3);
+        let mut none = BitSet::new(a.capacity());
+        none.insert(2);
+        assert_eq!(popcount_and3(a.words(), b.words(), none.words()), 1);
     }
 
     #[test]

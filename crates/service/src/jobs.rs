@@ -40,7 +40,7 @@ pub enum JobSpec {
         entry: Arc<GraphEntry>,
         /// The k of the k-defective clique.
         k: usize,
-        /// Preset name (`"kdc"`, `"kdc_t"`, `"kdbb"`, `"madec"`).
+        /// Preset name (`"kdc"`, `"kdc_t"`, `"kdclub"`, `"kdbb"`, `"madec"`).
         preset: String,
         /// Per-job wall-clock deadline.
         limit: Option<Duration>,

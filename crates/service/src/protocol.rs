@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! LOAD <path> AS <name>
-//! SOLVE <name> k=<K> [preset=<kdc|kdc_t|kdbb|madec>] [limit=<seconds>]
+//! SOLVE <name> k=<K> [preset=<kdc|kdc_t|kdclub|kdbb|madec>] [limit=<seconds>]
 //!       [nodes=<N>] [threads=<N>] [verbose=<0|1>]
 //! ENUMERATE <name> k=<K> top=<R>
 //! COUNT <name> k=<K> [min=<S>]
