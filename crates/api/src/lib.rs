@@ -1,4 +1,5 @@
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # kdc_api — the resident, typed query surface of the kDC suite
 //!

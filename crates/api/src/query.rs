@@ -138,7 +138,21 @@ impl Default for Options {
 impl Options {
     /// A named preset, validated against the system-wide preset table
     /// ([`SolverConfig::from_preset`]) so a typo fails here, not mid-job.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown preset (and listing the known
+    /// ones) when `name` is not in the preset table.
     pub fn preset(name: &str) -> Result<Self, String> {
+        #[cfg(debug_assertions)]
+        if name == PANIC_PRESET {
+            // Accepted here, detonated in `resolve()`: fault injection for
+            // the daemon's panic-isolation e2e test (debug builds only).
+            return Ok(Options {
+                preset: name.to_string(),
+                custom: None,
+            });
+        }
         SolverConfig::from_preset(name)?;
         Ok(Options {
             preset: name.to_string(),
@@ -169,13 +183,32 @@ impl Options {
     }
 
     /// Resolves to a concrete solver configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the stored preset name is unknown to
+    /// [`SolverConfig::from_preset`] (possible only for an `Options`
+    /// deserialized or constructed outside [`Options::preset`]).
     pub fn resolve(&self) -> Result<SolverConfig, String> {
+        #[cfg(debug_assertions)]
+        if self.preset == PANIC_PRESET {
+            // kdc-lint: allow(no_panic) — deliberate fault injection; the
+            // worker's catch_unwind must turn this into an ERR reply.
+            panic!("fault injection: preset {PANIC_PRESET} requested");
+        }
         match &self.custom {
             Some(config) => Ok(config.clone()),
             None => SolverConfig::from_preset(&self.preset),
         }
     }
 }
+
+/// Debug-only fault-injection preset: accepted by [`Options::preset`],
+/// panics inside [`Options::resolve`]. Exists so the daemon's e2e suite
+/// can prove a panicking job yields an ERR reply while the worker pool
+/// keeps serving. Not a real preset; unknown in release builds.
+#[cfg(debug_assertions)]
+pub const PANIC_PRESET: &str = "__panic";
 
 /// A progress event streamed to an [`Observer`] while a query runs. Events
 /// arrive synchronously on the solving thread(s).

@@ -9,8 +9,17 @@ use kdc_graph::{Graph, VertexId};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
+
+/// Locks `m`, recovering the data if a previous holder panicked. Every
+/// structure behind a session mutex is a cache keyed by value (reducer
+/// slots, result memos, witness maps): a panic mid-update can at worst
+/// lose one entry, never corrupt an invariant, so serving the recovered
+/// state beats poisoning every later query on the session.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Workers may not spawn unbounded decomposition threads on a caller's
 /// say-so; `Budget::threads` beyond this is clamped (0 still means "all
@@ -143,6 +152,11 @@ impl Session {
 
     /// Parses a graph file (DIMACS/METIS/edge list by extension) into a
     /// session.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a message naming the path when the file cannot be read
+    /// or parsed in any supported format.
     pub fn open(path: &Path) -> Result<Self, String> {
         let graph = kdc_graph::io::read_graph(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -154,7 +168,7 @@ impl Session {
     /// is evicted (counted in [`SessionCounters::ctcp_evictions`]). A cap of
     /// `0` disables reducer residency entirely — every solve builds fresh.
     pub fn with_ctcp_capacity(self, cap: usize) -> Self {
-        self.ctcp.lock().expect("poisoned").cap = cap;
+        lock_unpoisoned(&self.ctcp).cap = cap;
         self
     }
 
@@ -193,7 +207,7 @@ impl Session {
 
     /// The best known solution for `k`, if any (cloned; seeds warm solves).
     pub fn best_known(&self, k: usize) -> Option<Vec<VertexId>> {
-        self.best_known.lock().expect("poisoned").get(&k).cloned()
+        lock_unpoisoned(&self.best_known).get(&k).cloned()
     }
 
     /// Records `vertices` as the best known solution for `k` when it beats
@@ -201,7 +215,7 @@ impl Session {
     /// they are trusted here (and re-validated by the solver when seeded
     /// back in).
     fn record_best_known(&self, k: usize, vertices: &[VertexId]) {
-        let mut map = self.best_known.lock().expect("poisoned");
+        let mut map = lock_unpoisoned(&self.best_known);
         let entry = map.entry(k).or_default();
         if vertices.len() > entry.len() {
             *entry = vertices.to_vec();
@@ -210,7 +224,7 @@ impl Session {
 
     /// A memoized proven-optimal result for `key`, if any.
     fn cached_result(&self, key: &SolveKey) -> Option<Solution> {
-        let found = self.results.lock().expect("poisoned").get(key).cloned();
+        let found = lock_unpoisoned(&self.results).get(key).cloned();
         if found.is_some() {
             self.result_hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -221,7 +235,7 @@ impl Session {
     /// from then on; returns `(reducer, resumed)`. Evicts the
     /// least-recently-used slot when the cache is full.
     fn ctcp_state(&self, key: CtcpKey) -> (Arc<Mutex<Ctcp>>, bool) {
-        let mut cache = self.ctcp.lock().expect("poisoned");
+        let mut cache = lock_unpoisoned(&self.ctcp);
         cache.tick += 1;
         let tick = cache.tick;
         if let Some(slot) = cache.slots.iter_mut().find(|s| s.key == key) {
@@ -240,13 +254,12 @@ impl Session {
             return (fresh, false);
         }
         if cache.slots.len() >= cache.cap {
-            let lru = cache
-                .slots
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.last_used)
-                .map(|(i, _)| i)
-                .expect("cache is non-empty when full");
+            let mut lru = 0;
+            for (i, slot) in cache.slots.iter().enumerate().skip(1) {
+                if slot.last_used < cache.slots[lru].last_used {
+                    lru = i;
+                }
+            }
             cache.slots.swap_remove(lru);
             self.ctcp_evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -262,11 +275,18 @@ impl Session {
     /// budget/options (which cannot fail).
     pub fn solve(&self, k: usize) -> Outcome {
         self.run(&Query::Solve { k }, &Budget::default(), &Options::default())
+            // kdc-lint: allow(no_panic) — the default preset is statically valid.
             .expect("default options are always valid")
     }
 
     /// Runs one query to completion. See [`Session::run_with`] for the
     /// observer-carrying variant.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid options (unknown preset) or invalid query
+    /// parameters (e.g. a zero top-r pool); never on solver-side limits,
+    /// which are reported through [`Outcome::status`].
     pub fn run(
         &self,
         query: &Query,
@@ -279,6 +299,12 @@ impl Session {
     /// Runs one query, streaming [`Event`]s to `observer` while it executes.
     /// Events are delivered synchronously from the solving thread(s); the
     /// final [`Event::Done`] precedes the return.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Session::run`]: invalid options or query
+    /// parameters fail fast, exhausted budgets come back as a non-optimal
+    /// [`Outcome::status`].
     pub fn run_with(
         &self,
         query: &Query,
@@ -359,10 +385,7 @@ impl Session {
         self.record_best_known(k, &solution.vertices);
         if solution.is_optimal() {
             if let Some(key) = memo_key {
-                self.results
-                    .lock()
-                    .expect("poisoned")
-                    .insert(key, solution.clone());
+                lock_unpoisoned(&self.results).insert(key, solution.clone());
             }
         }
         Ok(Outcome {
@@ -804,5 +827,44 @@ mod tests {
         // Fully warm (seeded at the optimum): every ego instance may be
         // skipped, so only the answer itself is asserted here.
         assert!(g.is_k_defective_clique(threaded.best().unwrap(), 2));
+    }
+
+    #[test]
+    fn lock_unpoisoned_recovers_the_inner_value() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let poisoner = std::sync::Arc::clone(&m);
+        // kdc-lint: allow(no_panic) — deliberately poisoning the mutex.
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex must be poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 7, "value survives the poison");
+        *lock_unpoisoned(&m) = 8;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn session_survives_a_panicking_run() {
+        // The daemon-side contract, proven at the API layer: a run that
+        // panics (fault-injection preset) leaves the session fully usable.
+        let session = Session::new(named::figure2());
+        let q = Query::Solve { k: 2 };
+        let b = Budget::default();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            session.run(
+                &q,
+                &b,
+                &Options::preset(crate::query::PANIC_PRESET).unwrap(),
+            )
+        }));
+        assert!(boom.is_err(), "fault-injection preset must panic");
+        let after = session
+            .run(&q, &b, &Options::preset("kdc").unwrap())
+            .unwrap();
+        assert_eq!(after.size(), 6);
+        assert!(after.is_optimal());
     }
 }

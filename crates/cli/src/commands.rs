@@ -436,7 +436,10 @@ mod tests {
     #[test]
     fn client_drives_a_live_server() {
         let path = write_sample();
-        let handle = kdc_service::Server::bind("127.0.0.1:0", 1).unwrap().spawn();
+        let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+            .unwrap()
+            .spawn()
+            .unwrap();
         let addr = handle.addr().to_string();
         client(&argv(&[&addr, "LOAD", &path, "AS", "fig2"])).unwrap();
         client(&argv(&[&addr, "SOLVE", "fig2", "k=2"])).unwrap();

@@ -48,10 +48,12 @@ use std::time::Instant;
 
 /// Per-worker reusable state for the ego-subproblem loop: universe and
 /// relabelling buffers, the flat CSR of the current instance, and one
-/// long-lived engine re-primed via [`Engine::reset`]. After the first
+/// long-lived engine re-primed via `Engine::reset`. After the first
 /// instance has grown the buffers, priming another instance of no larger
-/// size allocates nothing.
-struct SubproblemArena {
+/// size allocates nothing — a claim checked directly by the counting
+/// global-allocator test in `crates/lint/tests/alloc_guard.rs`, which is
+/// why the admit/solve cycle is public.
+pub struct SubproblemArena {
     engine: Engine,
     /// Current ego universe (reduced ids, sorted ascending once built).
     universe: Vec<u32>,
@@ -71,7 +73,9 @@ struct SubproblemArena {
 }
 
 impl SubproblemArena {
-    fn new(n_reduced: usize, k: usize, config: SolverConfig) -> Self {
+    /// An arena for ego instances drawn from a reduced universe of
+    /// `n_reduced` vertices.
+    pub fn new(n_reduced: usize, k: usize, config: SolverConfig) -> Self {
         SubproblemArena {
             engine: Engine::hollow(k, config),
             universe: Vec::new(),
@@ -85,11 +89,47 @@ impl SubproblemArena {
         }
     }
 
+    /// Starts a new instance: clears the membership marker and the
+    /// universe buffer (no deallocation — capacity is the point).
+    pub fn begin_instance(&mut self) {
+        self.member.reset();
+        self.universe.clear();
+    }
+
+    /// Admits `u` (a reduced id) into the current universe unless already
+    /// a member; returns whether it was new.
+    pub fn admit(&mut self, u: u32) -> bool {
+        if self.member.is_marked(u as usize) {
+            return false;
+        }
+        self.member.mark(u as usize);
+        self.universe.push(u);
+        true
+    }
+
+    /// Current universe size.
+    pub fn universe_len(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Instances served by re-priming existing buffers (everything after
+    /// the first, for a worker fed same-or-smaller instances).
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Size of the best solution found by the most recent instance.
+    pub fn best_len(&self) -> usize {
+        self.engine.best().len()
+    }
+
     /// Builds the induced-subgraph CSR of `universe` (sorting it ascending
     /// first) from the shared reduced adjacency, primes the engine at floor
     /// `lb` with `v` forced into S, and runs the search. Returns whether the
-    /// run completed.
-    fn solve_instance(
+    /// run completed. This is the steady-state hot path: after warm-up it
+    /// must not touch the allocator.
+    // kdc-lint: hot-path
+    pub fn solve_instance(
         &mut self,
         red_adj: &[Vec<u32>],
         v: u32,
@@ -287,15 +327,10 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                     let lb = best_size.load(Ordering::Relaxed);
                     // Universe: v + successors within distance 2 through
                     // successor paths.
-                    arena.member.reset();
-                    arena.member.mark(v as usize);
-                    arena.universe.clear();
-                    arena.universe.push(v);
+                    arena.begin_instance();
+                    arena.admit(v);
                     for &w in &nplus[v as usize] {
-                        if !arena.member.is_marked(w as usize) {
-                            arena.member.mark(w as usize);
-                            arena.universe.push(w);
-                        }
+                        arena.admit(w);
                     }
                     let direct = arena.universe.len();
                     let v_rank = rank[v as usize];
@@ -305,9 +340,8 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                         // be below w's, so w's full neighbour list is needed,
                         // filtered to the ≻ v region).
                         for &x in &red_adj[w as usize] {
-                            if rank[x as usize] > v_rank && !arena.member.is_marked(x as usize) {
-                                arena.member.mark(x as usize);
-                                arena.universe.push(x);
+                            if rank[x as usize] > v_rank {
+                                arena.admit(x);
                             }
                         }
                     }

@@ -583,6 +583,7 @@ impl Engine {
 
     /// Word sweep behind `add_to_s`/its undo: adds `delta` (±1 as a wrapping
     /// `u32`) to `non_nbr_s[w]` for every alive non-neighbour `w ≠ v` of `v`.
+    // kdc-lint: hot-path
     fn sweep_alive_non_neighbors(&mut self, v: u32, delta: u32) {
         if self.matrix.is_none() {
             self.ensure_nbr_mask(v);
@@ -609,6 +610,7 @@ impl Engine {
     /// wrapping `u32`) to `deg[w]` for every alive neighbour `w` of `v`.
     /// `alive_mask` must not contain vertices the scalar predicate
     /// (`pos[w] < cand_end`) would exclude — both call sites hold that.
+    // kdc-lint: hot-path
     fn sweep_alive_neighbors(&mut self, v: u32, delta: u32) {
         if self.matrix.is_none() {
             self.ensure_nbr_mask(v);
@@ -791,7 +793,8 @@ impl Engine {
 
         // Anytime improvement: S itself is always a valid k-defective clique.
         if self.pool_r == 0 && self.s_end > self.lb() {
-            self.best = self.vs[..self.s_end].to_vec();
+            self.best.clear();
+            self.best.extend_from_slice(&self.vs[..self.s_end]);
             self.notify_improved();
             if self.aborted {
                 self.undo_to(cp);
@@ -847,7 +850,8 @@ impl Engine {
                 self.pool.truncate(self.pool_r);
             }
         } else if self.cand_end > self.lb() {
-            self.best = self.vs[..self.cand_end].to_vec();
+            self.best.clear();
+            self.best.extend_from_slice(&self.vs[..self.cand_end]);
             self.notify_improved();
         }
     }
@@ -1008,19 +1012,16 @@ impl Engine {
         if self.stats.nodes % 64 != 1 || self.n > 512 {
             return;
         }
-        let alive: Vec<u32> = self.vs[..self.cand_end].to_vec();
-        let alive_set: std::collections::HashSet<u32> = alive.iter().copied().collect();
-        let s_set: std::collections::HashSet<u32> = self.vs[..self.s_end].iter().copied().collect();
+        // Membership goes through the `pos`-based predicates rather than
+        // materialised sets: the checker runs inside the alloc-guard test's
+        // counting window, so it must not heap-allocate itself.
         let mut edges = 0usize;
-        for &v in &alive {
-            let d = self
-                .nbrs(v)
-                .iter()
-                .filter(|w| alive_set.contains(w))
-                .count();
+        for i in 0..self.cand_end {
+            let v = self.vs[i];
+            let d = self.nbrs(v).iter().filter(|&&w| self.alive(w)).count();
             assert_eq!(d, self.deg[v as usize] as usize, "deg[{v}] stale");
             edges += d;
-            let nn = s_set
+            let nn = self.vs[..self.s_end]
                 .iter()
                 .filter(|&&u| u != v && !self.nbrs(v).contains(&u))
                 .count();
@@ -1031,9 +1032,9 @@ impl Engine {
         }
         assert_eq!(edges / 2, self.edges_alive, "edges_alive stale");
         let mut missing = 0usize;
-        let s_vec: Vec<u32> = self.vs[..self.s_end].to_vec();
-        for (i, &u) in s_vec.iter().enumerate() {
-            for &w in &s_vec[i + 1..] {
+        for i in 0..self.s_end {
+            let u = self.vs[i];
+            for &w in &self.vs[i + 1..self.s_end] {
                 if !self.nbrs(u).contains(&w) {
                     missing += 1;
                 }

@@ -214,6 +214,7 @@ impl Ctcp {
     /// Raises the lower bound to `lb` (values below the current bound are
     /// clamped — removals are never undone) and propagates RR5/RR6 to the
     /// joint fixpoint. Returns what this call removed.
+    // kdc-lint: hot-path
     pub fn tighten(&mut self, lb: usize) -> Removals {
         let lb = lb.max(self.lb);
         self.lb = lb;

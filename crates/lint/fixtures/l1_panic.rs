@@ -1,0 +1,36 @@
+// Fixture: L1 no_panic violations in a daemon-scope file. Checked by
+// tests/fixtures.rs under the fabricated path crates/service/src/fixture.rs.
+
+fn handles_request(input: Option<u32>) -> u32 {
+    let a = input.unwrap(); // finding: .unwrap()
+    let b = input.expect("always set"); // finding: .expect()
+    if a + b == 0 {
+        panic!("zero"); // finding: panic!
+    }
+    todo!() // finding: todo!
+}
+
+fn not_yet() {
+    unimplemented!() // finding: unimplemented!
+}
+
+fn escape_hatch(input: Option<u32>) -> u32 {
+    // kdc-lint: allow(no_panic) — fixture demonstrates the escape hatch.
+    input.unwrap()
+}
+
+fn false_positive_guards(input: Option<u32>) -> u32 {
+    // None of these may be flagged: not method calls / different idents.
+    let s = "call .unwrap() inside a string";
+    let c = input.unwrap_or_else(|| s.len() as u32);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        Some(1u32).unwrap();
+        std::panic::catch_unwind(|| panic!("fine in tests")).ok();
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: L2 no_unsafe violations. Checked as a library crate root, so
+// the missing #![forbid(unsafe_code)] is itself a finding.
+
+fn peek(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() } // finding: unsafe token
+}
+
+fn strings_do_not_count() -> &'static str {
+    "unsafe is fine inside a string literal"
+}

@@ -1,0 +1,46 @@
+// Fixture: L3 lock_order violations against the repo's LOCK_ORDER.md
+// ranks (state=1, entries=2, ctcp=3).
+
+fn inverted(&self) {
+    let guard = self.entries.write(); // rank 2 acquired first
+    let q = self.state.lock(); // finding: rank 1 while rank 2 live
+    drop(q);
+    drop(guard);
+}
+
+fn recursive(&self) {
+    let a = self.state.lock();
+    let b = self.state.lock(); // finding: rank 1 while rank 1 live
+    drop(b);
+    drop(a);
+}
+
+fn in_order(&self) {
+    let a = self.state.lock(); // rank 1
+    let b = self.entries.read(); // rank 2 after rank 1: fine
+    drop(b);
+    drop(a);
+}
+
+fn released_first(&self) {
+    let guard = self.entries.write();
+    drop(guard);
+    let q = self.state.lock(); // fine: rank-2 guard dropped above
+    drop(q);
+}
+
+fn temporaries_die_at_semicolon(&self) {
+    let n = self.entries.read().len();
+    let q = self.state.lock(); // fine: the read() temporary is gone
+    drop(q);
+    let _ = n;
+}
+
+fn scoped_guard(&self) {
+    {
+        let guard = self.entries.write();
+        drop(guard);
+    }
+    let q = self.state.lock(); // fine: block-scoped guard ended
+    drop(q);
+}

@@ -1,0 +1,23 @@
+// Fixture: L4 hot_path_alloc violations inside an annotated function.
+
+// kdc-lint: hot-path
+fn sweep(&mut self, xs: &[u32]) -> usize {
+    let grown: Vec<u32> = xs.iter().copied().collect(); // finding: collect
+    let copy = xs.to_vec(); // finding: to_vec
+    let buf = Vec::with_capacity(xs.len()); // finding: Vec::with_capacity
+    let boxed = Box::new(xs.len()); // finding: Box::new
+    let label = format!("{} items", xs.len()); // finding: format!
+    grown.len() + copy.len() + buf.capacity() + *boxed + label.len()
+}
+
+// kdc-lint: hot-path
+fn clean_sweep(&mut self, xs: &mut [u32]) {
+    // In-place work: nothing here may be flagged.
+    for x in xs.iter_mut() {
+        *x = x.wrapping_add(1);
+    }
+}
+
+fn cold_path_allocates_freely(xs: &[u32]) -> Vec<u32> {
+    xs.iter().copied().collect()
+}

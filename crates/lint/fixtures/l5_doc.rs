@@ -1,0 +1,31 @@
+// Fixture: L5 doc_errors violations. Checked under a fabricated
+// crates/api/src path.
+
+/// Parses a thing. No Errors section, so this is a finding.
+pub fn parse_thing(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "nope".to_string())
+}
+
+/// Documented properly.
+///
+/// # Errors
+///
+/// Fails when `s` is not a number.
+pub fn parse_documented(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "nope".to_string())
+}
+
+/// Not pub: no doc obligation.
+fn parse_private(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "nope".to_string())
+}
+
+/// Restricted visibility: no doc obligation either.
+pub(crate) fn parse_crate(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "nope".to_string())
+}
+
+/// Infallible: no obligation.
+pub fn no_result(s: &str) -> usize {
+    s.len()
+}

@@ -1,0 +1,41 @@
+// Fixture: lexer stress file. Every scary token below is inside a
+// literal or a comment, so a correct lexer reports ZERO findings even
+// under daemon-path scoping.
+
+/* block comment mentioning unwrap() and unsafe
+   /* nested block comment: panic!("still a comment") */
+   still outer */
+
+fn literals_only() -> usize {
+    let plain = "contains .unwrap() and panic!(\"x\") and unsafe";
+    let raw = r#"raw with "quotes" and .expect("y") and // no comment"#;
+    let rawer = r##"even r#"nested-looking"# raw strings"##;
+    let bytes = b"byte string with todo!()";
+    let raw_bytes = br#"raw bytes with unimplemented!()"#;
+    let quote_char = '"';
+    let slash_char = '/';
+    let escaped_quote = '\'';
+    let newline = '\n';
+    let byte_char = b'!';
+    let lifetime_test: &'static str = "lifetime, not a char literal";
+    plain.len()
+        + raw.len()
+        + rawer.len()
+        + bytes.len()
+        + raw_bytes.len()
+        + (quote_char as usize)
+        + (slash_char as usize)
+        + (escaped_quote as usize)
+        + (newline as usize)
+        + (byte_char as usize)
+        + lifetime_test.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoping_makes_this_invisible() {
+        Some(1).unwrap();
+        panic!("test regions are exempt from no_panic");
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-file analysis context: test-region scoping and allow-directives.
+//!
+//! Rules never look at raw source; they look at a [`FileContext`], which
+//! pre-computes the two pieces of scoping every rule shares — which lines
+//! are test code (`#[cfg(test)]` / `#[test]` / `mod tests`) and which
+//! lines are covered by a `// kdc-lint: allow(<rule>)` escape hatch.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// A lexed file plus the scoping facts rules need.
+pub struct FileContext {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Source lines (1-based access via [`FileContext::snippet`]).
+    pub lines: Vec<String>,
+    /// The lexed token/comment streams.
+    pub lexed: Lexed,
+    /// Inclusive line ranges that are test code.
+    test_ranges: Vec<(u32, u32)>,
+    /// `(rule, first_line, last_line)` coverage of allow-directives.
+    allows: Vec<(String, u32, u32)>,
+}
+
+impl FileContext {
+    /// Builds the context for one file.
+    pub fn new(path: String, src: &str) -> FileContext {
+        let lexed = crate::lexer::lex(src);
+        let lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let test_ranges = find_test_ranges(&lexed.tokens);
+        let allows = find_allows(&lexed);
+        FileContext {
+            path,
+            lines,
+            lexed,
+            test_ranges,
+            allows,
+        }
+    }
+
+    /// The trimmed source text of 1-based `line` (empty if out of range).
+    pub fn snippet(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim())
+            .unwrap_or("")
+    }
+
+    /// Whether `line` is inside a test region.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Whether an `allow(<rule>)` directive covers `line`.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(r, a, b)| r == rule && *a <= line && line <= *b)
+    }
+}
+
+/// Inclusive line ranges of items under `#[cfg(test)]` / `#[test]`, plus
+/// any `mod tests { … }` block. The range runs from the attribute to the
+/// matching close brace of the item body.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let start = tokens[i].line;
+        if let Some(after) = match_test_attr(tokens, i) {
+            if let Some((_, end_line)) = body_after(tokens, after) {
+                ranges.push((start, end_line));
+                // Continue scanning *after* the attribute (nested test
+                // items inside are already covered by this range).
+                i = after;
+                continue;
+            }
+        }
+        if tokens[i].kind == TokKind::Ident
+            && tokens[i].text == "mod"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "tests")
+        {
+            if let Some((_, end_line)) = body_after(tokens, i + 2) {
+                ranges.push((start, end_line));
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// If `tokens[i..]` opens a `#[cfg(test)]` or `#[test]` attribute, returns
+/// the index just past its closing `]`.
+fn match_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.text != "#" || tokens.get(i + 1)?.text != "[" {
+        return None;
+    }
+    // Find the matching `]` (attributes can nest brackets: cfg_attr etc.).
+    let mut depth = 0usize;
+    let mut end = i + 1;
+    let mut is_test = false;
+    for (j, t) in tokens.iter().enumerate().skip(i + 1) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    end = j;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if t.kind == TokKind::Ident {
+            // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` …
+            if t.text == "test"
+                && (j == i + 2 || tokens[i + 2].text == "cfg" || tokens[i + 2].text == "cfg_attr")
+            {
+                is_test = true;
+            }
+        }
+    }
+    (is_test && end > i + 1).then_some(end + 1)
+}
+
+/// Finds the item body opened by the first `{` at or after `from`
+/// (skipping further attributes and the item header); returns
+/// `(index_past_close, close_line)`. Bails on a `;` at header level
+/// (e.g. `mod foo;`).
+fn body_after(tokens: &[Token], from: usize) -> Option<(usize, u32)> {
+    let mut j = from;
+    // Skip over any further attributes.
+    while tokens.get(j).is_some_and(|t| t.text == "#")
+        && tokens.get(j + 1).is_some_and(|t| t.text == "[")
+    {
+        let mut depth = 0usize;
+        while let Some(t) = tokens.get(j) {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j += 1;
+    }
+    // Scan the item header for its opening brace.
+    let mut depth = 0usize;
+    while let Some(t) = tokens.get(j) {
+        match t.text.as_str() {
+            ";" if depth == 0 => return None,
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "{" if depth == 0 => return close_of_brace(tokens, j),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Given `tokens[open]` == `{`, returns `(index_past_close, close_line)`.
+fn close_of_brace(tokens: &[Token], open: usize) -> Option<(usize, u32)> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some((j + 1, t.line));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unbalanced file: treat the rest of it as the body.
+    tokens.last().map(|t| (tokens.len(), t.line))
+}
+
+/// Collects `kdc-lint: allow(<rule>)` directives. A directive covers its
+/// own line through the end of the statement that follows it: the line of
+/// the next `;`, `{` or `}` token after the comment (so a trailing
+/// comment covers its own statement, and a standalone comment covers a
+/// multi-line statement below it, which is how rustfmt lays them out).
+fn find_allows(lexed: &Lexed) -> Vec<(String, u32, u32)> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find("kdc-lint: allow(") else {
+            continue;
+        };
+        let rest = &c.text[pos + "kdc-lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let end = lexed
+            .tokens
+            .iter()
+            .find(|t| t.line > c.line && matches!(t.text.as_str(), ";" | "{" | "}"))
+            .map(|t| t.line)
+            .unwrap_or(c.line + 1);
+        out.push((rule, c.line, end));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_scoped() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let ctx = FileContext::new("x.rs".into(), src);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(2), "attribute line itself is in the region");
+        assert!(ctx.in_test(5));
+        assert!(ctx.in_test(6));
+        assert!(!ctx.in_test(7));
+    }
+
+    #[test]
+    fn test_attr_on_fn_is_scoped() {
+        let src = "fn live() {}\n#[test]\nfn t() {\n    boom();\n}\nfn live2() {}\n";
+        let ctx = FileContext::new("x.rs".into(), src);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(4));
+        assert!(!ctx.in_test(6));
+    }
+
+    #[test]
+    fn allow_covers_following_statement() {
+        let src = "// kdc-lint: allow(no_panic) — reason\nfoo()\n    .expect(\"fine\");\nbar().expect(\"not fine\");\n";
+        let ctx = FileContext::new("x.rs".into(), src);
+        assert!(ctx.allowed("no_panic", 1));
+        assert!(ctx.allowed("no_panic", 3));
+        assert!(!ctx.allowed("no_panic", 4));
+        assert!(!ctx.allowed("other_rule", 1));
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let src = "foo().expect(\"fine\"); // kdc-lint: allow(no_panic)\n";
+        let ctx = FileContext::new("x.rs".into(), src);
+        assert!(ctx.allowed("no_panic", 1));
+    }
+}

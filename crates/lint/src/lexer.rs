@@ -1,0 +1,475 @@
+//! A small hand-rolled Rust lexer: just enough syntax to lint safely.
+//!
+//! The rules in this crate are token-pattern matchers, so the one job of
+//! the lexer is to never hand them a token that was really inside a
+//! comment, a string, or a char literal. That means getting the awkward
+//! corners right: nested block comments, raw strings (`r#"…"#` with any
+//! number of hashes, plus the `b`/`c` prefixes), byte/char literals that
+//! contain `"` or `//`, and the `'a` lifetime vs `'a'` char ambiguity.
+//! Everything else — numbers, idents, one-character punctuation — is
+//! deliberately simple; the rules do their own multi-token matching.
+
+/// What kind of token a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `state`, `r#match`, …).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `(`, `::` is two of these).
+    Punct,
+    /// String/char/number literal. The rules only care that its *contents*
+    /// are opaque, so the text is the raw literal.
+    Literal,
+    /// A lifetime such as `'a` (distinguished from the char literal `'a'`).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The kind of token.
+    pub kind: TokKind,
+    /// The token text (single char for `Punct`).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block) with the 1-based line it starts on. Block
+/// comment text keeps its newlines; directives only appear in line
+/// comments in practice but both are searched.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*`.
+    pub line: u32,
+    /// Full comment text including the delimiters.
+    pub text: String,
+}
+
+/// The result of lexing one file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`. Unterminated literals or comments never panic: the lexer
+/// consumes to end-of-file and returns what it has, because a linter that
+/// dies on malformed input is itself a CI liability.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, '"'),
+                '\'' => self.lifetime_or_char(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if is_ident_start(c) => self.ident_or_prefixed_literal(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// A cooked (escape-processing) string body, opening quote included.
+    fn string(&mut self, line: u32, quote: char) {
+        let mut text = String::new();
+        text.push(quote);
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == quote {
+                text.push(c);
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    /// A raw string body: `#`s already counted, cursor on the opening `"`.
+    /// No escapes; terminated by `"` followed by `hashes` `#`s.
+    fn raw_string(&mut self, line: u32, hashes: usize) {
+        let mut text = String::from('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let mut all = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        all = false;
+                        break;
+                    }
+                }
+                if all {
+                    for _ in 0..=hashes {
+                        if let Some(t) = self.bump() {
+                            text.push(t);
+                        }
+                    }
+                    break;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    fn lifetime_or_char(&mut self, line: u32) {
+        // `'a` (lifetime) iff the quote is followed by an identifier char
+        // that is NOT itself followed by a closing quote (`'a'` is a char).
+        let next = self.peek(1);
+        let after = self.peek(2);
+        if let Some(n) = next {
+            if is_ident_start(n) && after != Some('\'') {
+                self.bump(); // '
+                let mut text = String::from('\'');
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push(TokKind::Lifetime, text, line);
+                return;
+            }
+        }
+        // Char literal: consume to the closing quote, skipping escapes.
+        let mut text = String::from('\'');
+        self.bump(); // opening '
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '\'' {
+                text.push(c);
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5` but not `0..n` (the second `.` is not a digit).
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    /// An identifier, or one of the literal prefixes `r"…"`, `r#"…"#`,
+    /// `b"…"`, `br#"…"#`, `b'x'`, `c"…"`, `cr#"…"#`, or a raw ident
+    /// `r#ident`.
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let c = self.peek(0).unwrap_or(' ');
+        let d = self.peek(1);
+        match (c, d) {
+            // b'x' — byte char literal.
+            ('b', Some('\'')) => {
+                self.bump(); // b
+                self.lifetime_or_char(line);
+            }
+            // b"…" / c"…" — cooked strings with a prefix.
+            ('b' | 'c', Some('"')) => {
+                self.bump();
+                self.string(line, '"');
+            }
+            // br / cr — raw strings with a prefix.
+            ('b' | 'c', Some('r')) if matches!(self.peek(2), Some('"' | '#')) => {
+                let mut hashes = 0;
+                while self.peek(2 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(2 + hashes) == Some('"') {
+                    self.bump(); // b/c
+                    self.bump(); // r
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(line, hashes);
+                } else {
+                    self.plain_ident(line);
+                }
+            }
+            // r"…" — raw string, no hashes.
+            ('r', Some('"')) => {
+                self.bump();
+                self.raw_string(line, 0);
+            }
+            // r#… — raw string (r#"…"#) or raw identifier (r#match).
+            ('r', Some('#')) => {
+                let mut hashes = 0;
+                while self.peek(1 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(1 + hashes) == Some('"') {
+                    self.bump(); // r
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(line, hashes);
+                } else if hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.plain_ident(line);
+                } else {
+                    self.plain_ident(line);
+                }
+            }
+            _ => self.plain_ident(line),
+        }
+    }
+
+    fn plain_ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "unwrap() // not a comment";"#);
+        assert_eq!(
+            idents(r#"let s = "unwrap() // not a comment";"#),
+            ["let", "s"]
+        );
+        assert!(
+            l.comments.is_empty(),
+            "string body must not become a comment"
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"say "unwrap()" loudly"#; done()"####;
+        assert_eq!(idents(src), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes() {
+        assert_eq!(
+            idents(r#"let a = b"panic!"; let c2 = c"todo!";"#),
+            ["let", "a", "let", "c2"]
+        );
+        let src = r####"let a = br#"unsafe"#;"####;
+        assert_eq!(idents(src), ["let", "a"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn after() {}";
+        let l = lex(src);
+        assert_eq!(idents(src), ["fn", "after"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn char_literals_with_quote_and_slashes() {
+        // '"' and '/' must not open a string or comment.
+        let src = "let q = '\"'; let s = '/'; let e = '\\''; next()";
+        assert_eq!(idents(src), ["let", "q", "let", "s", "let", "e", "next"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; }";
+        let l = lex(src);
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["'a'"]);
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        assert_eq!(
+            idents("let b1 = b'x'; let b2 = b'\\''; end()"),
+            ["let", "b1", "let", "b2", "end"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "let r#match = 1; use r#fn::thing;";
+        assert_eq!(idents(src), ["let", "match", "use", "fn", "thing"]);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_literals() {
+        let src = "let a = \"two\nlines\";\nunwrap_target()";
+        let l = lex(src);
+        let t = l.tokens.iter().find(|t| t.text == "unwrap_target").unwrap();
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let src = "for i in 0..10 { f(1.5); }";
+        let l = lex(src);
+        let lits: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, ["0", "10", "1.5"]);
+    }
+
+    #[test]
+    fn unterminated_input_does_not_panic() {
+        lex("let s = \"never closed");
+        lex("/* never closed");
+        lex("let c = 'x");
+        lex("let s = r#\"never closed");
+    }
+}

@@ -1,0 +1,199 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # kdc_lint — the workspace's own static-analysis pass
+//!
+//! A std-only linter purpose-built for this repository: a hand-rolled
+//! Rust [`lexer`], a per-file [`context`] (test-region scoping,
+//! `// kdc-lint: allow(<rule>)` escape hatches), and five [`rules`] that
+//! encode the invariants the daemon and the hot paths depend on — no
+//! panics in request paths, no `unsafe`, a declared lock hierarchy, no
+//! allocation in annotated kernels, and documented failure modes on the
+//! public API. `cargo run -p kdc_lint -- check` gates CI; `--json`
+//! emits machine-readable findings for baseline diffing.
+//!
+//! The runtime half of the same invariants lives elsewhere:
+//! `kdc_service::sync::{TrackedMutex, TrackedRwLock}` enforce the lock
+//! hierarchy dynamically in debug builds, and `tests/alloc_guard.rs`
+//! here asserts the zero-allocation claims with a counting global
+//! allocator.
+
+pub mod context;
+pub mod lexer;
+pub mod rules;
+
+use context::FileContext;
+use rules::{Finding, LockOrder};
+use std::path::{Path, PathBuf};
+
+/// A whole-tree lint run: the repo root plus the parsed lock manifest.
+pub struct Workspace {
+    root: PathBuf,
+    lock_order: LockOrder,
+}
+
+impl Workspace {
+    /// Opens the workspace at `root` (the directory holding the top-level
+    /// `Cargo.toml`). Reads `LOCK_ORDER.md` if present; a missing
+    /// manifest just disables the `lock_order` rule.
+    pub fn open(root: &Path) -> std::io::Result<Workspace> {
+        if !root.join("Cargo.toml").is_file() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!(
+                    "{} does not look like the repo root (no Cargo.toml)",
+                    root.display()
+                ),
+            ));
+        }
+        let manifest = std::fs::read_to_string(root.join("LOCK_ORDER.md")).unwrap_or_default();
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            lock_order: LockOrder::parse(&manifest),
+        })
+    }
+
+    /// The parsed lock hierarchy (empty when `LOCK_ORDER.md` is absent).
+    pub fn lock_order(&self) -> &LockOrder {
+        &self.lock_order
+    }
+
+    /// The `.rs` files the pass covers: `src/` of the facade package and
+    /// of every crate under `crates/`, sorted for deterministic output.
+    /// Vendored crates, integration tests, benches and lint fixtures are
+    /// out of scope by construction (none live under a covered `src/`).
+    pub fn source_files(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut files = Vec::new();
+        collect_rs(&self.root.join("src"), &mut files)?;
+        let crates_dir = self.root.join("crates");
+        if crates_dir.is_dir() {
+            let mut entries: Vec<_> = std::fs::read_dir(&crates_dir)?
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .collect();
+            entries.sort();
+            for krate in entries {
+                collect_rs(&krate.join("src"), &mut files)?;
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    /// Lints one file (path may be absolute or root-relative).
+    pub fn check_file(&self, path: &Path) -> std::io::Result<Vec<Finding>> {
+        let abs = if path.is_absolute() {
+            path.to_path_buf()
+        } else {
+            self.root.join(path)
+        };
+        let src = std::fs::read_to_string(&abs)?;
+        let rel = abs
+            .strip_prefix(&self.root)
+            .unwrap_or(&abs)
+            .to_string_lossy()
+            .replace('\\', "/");
+        Ok(check_source(&rel, &src, &self.lock_order))
+    }
+
+    /// Lints the whole tree; findings are sorted by (file, line, rule).
+    pub fn check_all(&self) -> std::io::Result<Vec<Finding>> {
+        let mut findings = Vec::new();
+        for file in self.source_files()? {
+            findings.extend(self.check_file(&file)?);
+        }
+        findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+        Ok(findings)
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` (no-op if absent).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule on one file's source. `rel_path` selects rule scope
+/// (daemon crates for `no_panic`, `crates/api` for `doc_errors`, library
+/// crate roots for the `forbid(unsafe_code)` anchor).
+pub fn check_source(rel_path: &str, src: &str, order: &LockOrder) -> Vec<Finding> {
+    let ctx = FileContext::new(rel_path.to_string(), src);
+    let is_crate_root = rel_path == "src/lib.rs"
+        || (rel_path.starts_with("crates/") && rel_path.ends_with("/src/lib.rs"));
+    let mut findings = Vec::new();
+    rules::no_panic(&ctx, &mut findings);
+    rules::no_unsafe(&ctx, is_crate_root, &mut findings);
+    rules::lock_order(&ctx, order, &mut findings);
+    rules::hot_path_alloc(&ctx, &mut findings);
+    rules::doc_errors(&ctx, &mut findings);
+    findings
+}
+
+/// Renders findings as text, one per line: `rule file:line snippet`.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}: {}:{}: {} — `{}`\n",
+            f.rule, f.file, f.line, f.message, f.snippet
+        ));
+    }
+    out
+}
+
+/// Renders findings as a JSON array (hand-rolled; the linter is std-only
+/// by design so CI can never lose it to a dependency break).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"snippet\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.snippet),
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,83 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! kdc_lint check [--json] [--root DIR] [FILE …]
+//! ```
+//!
+//! With no `FILE` arguments the whole tree is checked. Exit code 0 means
+//! no findings; 1 means findings (printed to stdout); 2 means usage or
+//! I/O error. CI runs `cargo run -p kdc_lint -- check`.
+
+use kdc_lint::Workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: kdc_lint check [--json] [--root DIR] [FILE ...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(("check", rest)) = args.split_first().map(|(a, r)| (a.as_str(), r)) else {
+        return usage();
+    };
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            flag if flag.starts_with('-') => return usage(),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    // Default root: the workspace this binary was built from, so
+    // `cargo run -p kdc_lint -- check` works from any directory.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    let ws = match Workspace::open(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("kdc_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = if files.is_empty() {
+        ws.check_all()
+    } else {
+        files.iter().try_fold(Vec::new(), |mut acc, f| {
+            acc.extend(ws.check_file(f)?);
+            Ok(acc)
+        })
+    };
+    let findings = match findings {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("kdc_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", kdc_lint::render_json(&findings));
+    } else if findings.is_empty() {
+        println!("kdc_lint: clean");
+    } else {
+        print!("{}", kdc_lint::render_text(&findings));
+        println!("kdc_lint: {} finding(s)", findings.len());
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,501 @@
+//! The rule catalog: five token-pattern rules over a [`FileContext`].
+//!
+//! | rule             | scope                       | what it flags |
+//! |------------------|-----------------------------|---------------|
+//! | `no_panic`       | `kdc_service`, `kdc_api`    | `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` outside tests |
+//! | `no_unsafe`      | whole tree                  | any `unsafe` token; missing `#![forbid(unsafe_code)]` in a library crate root |
+//! | `lock_order`     | whole tree                  | acquiring a lower-ranked lock (per `LOCK_ORDER.md`) while a higher-ranked guard is live |
+//! | `hot_path_alloc` | `// kdc-lint: hot-path` fns | allocating calls (`Vec::new`, `with_capacity`, `to_vec`, `collect()`, `format!`, …) |
+//! | `doc_errors`     | `kdc_api`                   | `pub fn … -> Result` without an `# Errors` doc section |
+//!
+//! Every rule honours `// kdc-lint: allow(<rule>)` on the offending
+//! statement (see [`FileContext::allowed`]) and skips test regions where
+//! noted. Rules are purely syntactic — they see tokens, not types — so
+//! they are tuned to have zero false positives on this tree rather than
+//! zero false negatives in general.
+
+use crate::context::FileContext;
+use crate::lexer::{TokKind, Token};
+use std::collections::HashMap;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`no_panic`, `no_unsafe`, …).
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Trimmed source line.
+    pub snippet: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+fn finding(ctx: &FileContext, rule: &'static str, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        file: ctx.path.clone(),
+        line,
+        snippet: ctx.snippet(line).to_string(),
+        message,
+    }
+}
+
+/// True when `ctx` belongs to a daemon-path crate (L1 scope).
+fn in_daemon_scope(path: &str) -> bool {
+    path.starts_with("crates/service/src/") || path.starts_with("crates/api/src/")
+}
+
+/// L1 — no panics in daemon request/job paths. A worker that panics on a
+/// poisoned lock or a malformed request takes a thread out of the pool
+/// instead of answering `ERR`; the daemon crates must return typed errors.
+pub fn no_panic(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !in_daemon_scope(&ctx.path) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) || ctx.allowed("no_panic", t.line) {
+            continue;
+        }
+        let method_call =
+            i > 0 && toks[i - 1].text == "." && toks.get(i + 1).is_some_and(|n| n.text == "(");
+        let bang = toks.get(i + 1).is_some_and(|n| n.text == "!");
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" => method_call,
+            "panic" | "todo" | "unimplemented" => bang,
+            _ => false,
+        };
+        if hit {
+            let what = if method_call {
+                format!(".{}()", t.text)
+            } else {
+                format!("{}!", t.text)
+            };
+            out.push(finding(
+                ctx,
+                "no_panic",
+                t.line,
+                format!("{what} in daemon path code; return a typed error or recover"),
+            ));
+        }
+    }
+}
+
+/// L2 — the tree stays `unsafe`-free. Flags any `unsafe` token anywhere
+/// (tests included: an unsafe test is still compiled into the crate), and
+/// separately checks that library crate roots carry
+/// `#![forbid(unsafe_code)]` so the compiler enforces the same thing.
+pub fn no_unsafe(ctx: &FileContext, is_crate_root: bool, out: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.tokens;
+    for t in toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" && !ctx.allowed("no_unsafe", t.line) {
+            out.push(finding(
+                ctx,
+                "no_unsafe",
+                t.line,
+                "`unsafe` token; the workspace is unsafe-free by policy".to_string(),
+            ));
+        }
+    }
+    if is_crate_root {
+        let has_forbid = toks.windows(8).any(|w| {
+            w[0].text == "#"
+                && w[1].text == "!"
+                && w[2].text == "["
+                && w[3].text == "forbid"
+                && w[4].text == "("
+                && w[5].text == "unsafe_code"
+                && w[6].text == ")"
+                && w[7].text == "]"
+        });
+        if !has_forbid && !ctx.allowed("no_unsafe", 1) {
+            out.push(finding(
+                ctx,
+                "no_unsafe",
+                1,
+                "library crate root lacks #![forbid(unsafe_code)]".to_string(),
+            ));
+        }
+    }
+}
+
+/// The declared lock hierarchy, parsed from `LOCK_ORDER.md` lines of the
+/// form `` 1. `state` — rationale ``. Lower rank locks first.
+#[derive(Clone, Debug, Default)]
+pub struct LockOrder {
+    ranks: HashMap<String, u32>,
+}
+
+impl LockOrder {
+    /// Parses the manifest text. Unrecognized lines are ignored so the
+    /// manifest stays a readable document, not a config file.
+    pub fn parse(manifest: &str) -> LockOrder {
+        let mut ranks = HashMap::new();
+        for line in manifest.lines() {
+            let line = line.trim();
+            let Some(dot) = line.find('.') else { continue };
+            let Ok(rank) = line[..dot].trim().parse::<u32>() else {
+                continue;
+            };
+            let rest = &line[dot + 1..];
+            let Some(open) = rest.find('`') else { continue };
+            let Some(close) = rest[open + 1..].find('`') else {
+                continue;
+            };
+            let name = rest[open + 1..open + 1 + close].trim();
+            if !name.is_empty() {
+                ranks.insert(name.to_string(), rank);
+            }
+        }
+        LockOrder { ranks }
+    }
+
+    /// Rank of a receiver name, if it is a declared lock field.
+    pub fn rank(&self, name: &str) -> Option<u32> {
+        self.ranks.get(name).copied()
+    }
+
+    /// Number of declared locks.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the manifest declared no locks.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+}
+
+/// A guard tracked by the L3 scan.
+struct LiveGuard {
+    rank: u32,
+    /// The `let` binding name (empty for a temporary).
+    binding: String,
+    /// Brace depth of the block the guard lives in.
+    depth: usize,
+    /// Temporaries die at the next `;`, bindings at end of block.
+    temp: bool,
+}
+
+/// L3 — lock-hierarchy discipline. Purely syntactic shadow of the runtime
+/// `TrackedMutex` checker: inside each function, watch for
+/// `<recv>.lock()` / `.read()` / `.write()` where `<recv>`'s last
+/// identifier is a declared lock name, keep let-bound guards live until
+/// their block closes (or `drop(name)`), temporaries until the next `;`,
+/// and flag any acquisition whose rank is ≤ a live guard's rank.
+pub fn lock_order(ctx: &FileContext, order: &LockOrder, out: &mut Vec<Finding>) {
+    if order.is_empty() {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" && !ctx.in_test(toks[i].line) {
+            if let Some((body_start, body_end)) = fn_body(toks, i) {
+                scan_fn_for_lock_order(ctx, order, toks, body_start, body_end, out);
+                i = body_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Given `tokens[at]` == `fn`, returns the body's `(open_idx, close_idx)`.
+fn fn_body(toks: &[Token], at: usize) -> Option<(usize, usize)> {
+    let mut depth = 0usize;
+    let mut j = at + 1;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            ";" if depth == 0 => return None, // trait method declaration
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth = depth.saturating_sub(1),
+            "{" if depth == 0 => {
+                // Find the matching close brace.
+                let mut d = 0usize;
+                for (k, u) in toks.iter().enumerate().skip(j) {
+                    match u.text.as_str() {
+                        "{" => d += 1,
+                        "}" => {
+                            d = d.saturating_sub(1);
+                            if d == 0 {
+                                return Some((j, k));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                return Some((j, toks.len() - 1));
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+fn scan_fn_for_lock_order(
+    ctx: &FileContext,
+    order: &LockOrder,
+    toks: &[Token],
+    body_start: usize,
+    body_end: usize,
+    out: &mut Vec<Finding>,
+) {
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut depth = 0usize;
+    // Start of the current statement (for `let` binding detection).
+    let mut stmt_start = body_start + 1;
+    let mut i = body_start;
+    while i <= body_end {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                stmt_start = i + 1;
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                stmt_start = i + 1;
+            }
+            ";" => {
+                guards.retain(|g| !g.temp);
+                stmt_start = i + 1;
+            }
+            "drop"
+                if toks.get(i + 1).is_some_and(|n| n.text == "(")
+                    && toks.get(i + 3).is_some_and(|n| n.text == ")") =>
+            {
+                if let Some(name) = toks.get(i + 2) {
+                    guards.retain(|g| g.binding != name.text);
+                }
+            }
+            "lock" | "read" | "write"
+                if i > body_start
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                    && toks.get(i + 2).is_some_and(|n| n.text == ")") =>
+            {
+                // Receiver: the identifier right before the `.`.
+                let recv = toks
+                    .get(i.wrapping_sub(2))
+                    .filter(|r| r.kind == TokKind::Ident);
+                if let Some(rank) = recv.and_then(|r| order.rank(&r.text)) {
+                    let recv_name = &recv.map(|r| r.text.clone()).unwrap_or_default();
+                    if !ctx.in_test(t.line) && !ctx.allowed("lock_order", t.line) {
+                        if let Some(held) = guards
+                            .iter()
+                            .filter(|g| g.rank >= rank)
+                            .max_by_key(|g| g.rank)
+                        {
+                            out.push(finding(
+                                ctx,
+                                "lock_order",
+                                t.line,
+                                format!(
+                                    "acquires `{recv_name}` (rank {rank}) while a rank-{} guard is live; see LOCK_ORDER.md",
+                                    held.rank
+                                ),
+                            ));
+                        }
+                    }
+                    // Track the new guard: let-bound only when the call is
+                    // the whole right-hand side of a `let` (`let g =
+                    // x.lock();`). A chained call (`x.lock().len()`)
+                    // consumes the guard within the statement, so it stays
+                    // a temporary whatever the statement binds.
+                    let ends_stmt = toks.get(i + 3).is_some_and(|n| n.text == ";");
+                    let binding = if ends_stmt {
+                        let_binding(toks, stmt_start, i)
+                    } else {
+                        String::new()
+                    };
+                    guards.push(LiveGuard {
+                        rank,
+                        temp: binding.is_empty(),
+                        binding,
+                        depth,
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// If the statement starting at `stmt_start` (and containing index `at`)
+/// is `let [mut] <name> = …`, returns `<name>`; empty string otherwise.
+fn let_binding(toks: &[Token], stmt_start: usize, at: usize) -> String {
+    let mut j = stmt_start;
+    if toks.get(j).is_some_and(|t| t.text == "let") {
+        j += 1;
+        if toks.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        if j < at {
+            if let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                return name.text.clone();
+            }
+        }
+    }
+    String::new()
+}
+
+/// Allocating call patterns flagged by L4 inside hot-path functions.
+const ALLOC_METHODS: &[&str] = &["collect", "to_vec", "to_string", "to_owned", "clone_into"];
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "Box", "String", "VecDeque", "HashMap", "HashSet", "BTreeMap",
+];
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from", "from_iter"];
+
+/// L4 — no allocation in hot paths. A `// kdc-lint: hot-path` comment
+/// marks the next `fn`; inside its body every allocating pattern is
+/// flagged. The point is the steady-state claims of PR 3: kernel sweeps,
+/// arena re-primes and `Ctcp::tighten` must stay allocation-free, and a
+/// stray `collect()` in a refactor should fail CI, not a profile.
+pub fn hot_path_alloc(ctx: &FileContext, out: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.tokens;
+    for c in &ctx.lexed.comments {
+        // Exact line-comment directive only: doc comments *describing*
+        // the annotation (like this crate's own rule table) must not
+        // mark the next function as hot.
+        if !c.text.trim_start().starts_with("// kdc-lint: hot-path") {
+            continue;
+        }
+        // The annotated function: first `fn` token after the comment.
+        let Some(fn_idx) = toks
+            .iter()
+            .position(|t| t.line > c.line && t.kind == TokKind::Ident && t.text == "fn")
+        else {
+            continue;
+        };
+        let Some((body_start, body_end)) = fn_body(toks, fn_idx) else {
+            continue;
+        };
+        for i in body_start..=body_end {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || ctx.allowed("hot_path_alloc", t.line) {
+                continue;
+            }
+            let prev_dot = i > 0 && toks[i - 1].text == ".";
+            let next = toks.get(i + 1).map(|n| n.text.as_str());
+            let method_hit =
+                prev_dot && next == Some("(") && ALLOC_METHODS.contains(&t.text.as_str());
+            let macro_hit = next == Some("!") && ALLOC_MACROS.contains(&t.text.as_str());
+            let ctor_hit = ALLOC_TYPES.contains(&t.text.as_str())
+                && next == Some(":")
+                && toks.get(i + 2).is_some_and(|n| n.text == ":")
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|n| ALLOC_CTORS.contains(&n.text.as_str()));
+            if method_hit || macro_hit || ctor_hit {
+                let what = if ctor_hit {
+                    format!("{}::{}", t.text, toks[i + 3].text)
+                } else if macro_hit {
+                    format!("{}!", t.text)
+                } else {
+                    format!(".{}()", t.text)
+                };
+                out.push(finding(
+                    ctx,
+                    "hot_path_alloc",
+                    t.line,
+                    format!("allocating call `{what}` in a hot-path function"),
+                ));
+            }
+        }
+    }
+}
+
+/// L5 — documented failure modes. Every `pub fn` in `kdc_api` whose
+/// return type mentions `Result` must carry an `# Errors` section in its
+/// doc comment; the API crate is the embedding surface, and "when does
+/// this fail" is the first question an embedder asks.
+pub fn doc_errors(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !ctx.path.starts_with("crates/api/src/") {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "pub" || ctx.in_test(t.line) {
+            continue;
+        }
+        // `pub(crate)` and friends are not public API.
+        if toks.get(i + 1).is_some_and(|n| n.text == "(") {
+            continue;
+        }
+        // Find `fn` within the next couple of tokens (`pub fn`, and
+        // `pub const fn` / `pub async fn` for future-proofing).
+        let mut j = i + 1;
+        while toks
+            .get(j)
+            .is_some_and(|n| matches!(n.text.as_str(), "const" | "async" | "unsafe" | "extern"))
+        {
+            j += 1;
+        }
+        if toks.get(j).is_none_or(|n| n.text != "fn") {
+            continue;
+        }
+        let Some(name) = toks.get(j + 1) else {
+            continue;
+        };
+        // Signature: tokens up to the body `{` (or `;`), looking for
+        // `-> … Result …`.
+        let Some((body_start, _)) = fn_body(toks, j) else {
+            continue;
+        };
+        let mut returns_result = false;
+        let mut saw_arrow = false;
+        for w in toks[j..body_start].windows(2) {
+            if w[0].text == "-" && w[1].text == ">" {
+                saw_arrow = true;
+            }
+            if saw_arrow && w[1].kind == TokKind::Ident && w[1].text == "Result" {
+                returns_result = true;
+                break;
+            }
+        }
+        if !returns_result || ctx.allowed("doc_errors", t.line) {
+            continue;
+        }
+        if !doc_block_above(ctx, t.line).contains("# Errors") {
+            out.push(finding(
+                ctx,
+                "doc_errors",
+                t.line,
+                format!(
+                    "pub fn `{}` returns Result but its doc comment has no `# Errors` section",
+                    name.text
+                ),
+            ));
+        }
+    }
+}
+
+/// The contiguous `///` doc-comment block above `line`, skipping
+/// attribute lines (`#[…]`) between the docs and the item.
+fn doc_block_above(ctx: &FileContext, line: u32) -> String {
+    let mut docs = Vec::new();
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let text = ctx.snippet(l);
+        if text.starts_with("///") {
+            docs.push(text.to_string());
+        } else if text.starts_with("#[")
+            || text.starts_with("#![")
+            || text.ends_with(']') && text.starts_with('#')
+        {
+            // attribute between docs and item — keep climbing
+        } else {
+            break;
+        }
+        l -= 1;
+    }
+    docs.join("\n")
+}

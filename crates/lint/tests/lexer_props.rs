@@ -1,0 +1,83 @@
+//! Property-based robustness tests for the hand-rolled lexer: arbitrary
+//! byte soup must never panic it, and code assembled from known pieces
+//! must lex to exactly the idents that live *outside* literals and
+//! comments — the property every rule depends on.
+
+use kdc_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Idents the lexer reports for `src`.
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexing_never_panics(src in "[ -~\n\t]{0,300}") {
+        // Printable-ASCII soup: unterminated strings, stray quotes, half
+        // comments — the lexer must consume it all without panicking.
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn concealed_idents_stay_concealed(
+        payload in "[a-z_]{1,12}",
+        container in 0usize..6,
+    ) {
+        // Wrap a would-be ident in each literal/comment form; it must not
+        // surface as an Ident token.
+        let src = match container {
+            0 => format!("let x = \"{payload}\";"),
+            1 => format!("let x = r#\"{payload}\"#;"),
+            2 => format!("let x = b\"{payload}\";"),
+            3 => format!("// {payload}\nlet x = 1;"),
+            4 => format!("/* {payload} */ let x = 1;"),
+            5 => format!("/* outer /* {payload} */ */ let x = 1;"),
+            _ => unreachable!(),
+        };
+        let found = idents(&src);
+        prop_assert!(
+            !found.iter().any(|i| i == &payload) || payload == "let" || payload == "x",
+            "{payload:?} leaked out of container {container}: {found:?}"
+        );
+        // The surrounding code is still seen.
+        prop_assert!(found.iter().any(|i| i == "let"), "lost code around {container}: {found:?}");
+    }
+
+    #[test]
+    fn visible_idents_stay_visible(words in proptest::collection::vec("[a-z_]{1,10}", 1..8)) {
+        // Idents joined by whitespace and noise literals lex back exactly.
+        let mut src = String::new();
+        for (i, w) in words.iter().enumerate() {
+            if i % 2 == 0 {
+                src.push_str("\"noise // string\" ");
+            } else {
+                src.push_str("/* noise */ ");
+            }
+            src.push_str(w);
+            src.push(' ');
+        }
+        prop_assert_eq!(idents(&src), words);
+    }
+
+    #[test]
+    fn line_numbers_are_monotone(src in "[ -~\n]{0,300}") {
+        let lexed = lex(&src);
+        let mut last = 1;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= last, "line went backwards at {:?}", t.text);
+            last = t.line;
+        }
+        let line_count = src.lines().count() as u32;
+        for t in &lexed.tokens {
+            prop_assert!(t.line <= line_count.max(1), "line {} beyond file end", t.line);
+        }
+    }
+}

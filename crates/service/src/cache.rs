@@ -10,12 +10,13 @@
 //! everything else via [`kdc_api::SessionCounters`] — so warm-vs-cold
 //! claims are asserted, not inferred from timings.
 
+use crate::sync::{rank, TrackedRwLock};
 use kdc_api::Session;
 use kdc_graph::Graph;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A cached graph: one resident solver session plus protocol bookkeeping.
@@ -56,17 +57,30 @@ impl GraphEntry {
     }
 }
 
-/// Name-keyed cache of [`GraphEntry`]s shared by every connection and worker.
-#[derive(Debug, Default)]
+/// Name-keyed cache of [`GraphEntry`]s shared by every connection and
+/// worker. Lookups take a shared (read) lock so concurrent `SOLVE`s on
+/// different connections never serialize on the map; only `LOAD`/`UNLOAD`
+/// take the exclusive lock. The lock is rank-checked against
+/// `LOCK_ORDER.md` in debug builds and recovers from poisoning.
+#[derive(Debug)]
 pub struct GraphCache {
-    entries: Mutex<HashMap<String, Arc<GraphEntry>>>,
+    entries: TrackedRwLock<HashMap<String, Arc<GraphEntry>>>,
     parses: AtomicU64,
+}
+
+impl Default for GraphCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl GraphCache {
     /// An empty cache.
     pub fn new() -> Self {
-        Self::default()
+        GraphCache {
+            entries: TrackedRwLock::new(rank::GRAPH_CACHE, "GraphCache::entries", HashMap::new()),
+            parses: AtomicU64::new(0),
+        }
     }
 
     /// Parses `path` and stores it under `name`, replacing any previous
@@ -77,10 +91,7 @@ impl GraphCache {
             .map_err(|e| format!("cannot read {path}: {e}"))?;
         self.parses.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(GraphEntry::new(name.to_string(), graph, t0.elapsed()));
-        self.entries
-            .lock()
-            .expect("poisoned")
-            .insert(name.to_string(), entry.clone());
+        self.entries.write().insert(name.to_string(), entry.clone());
         Ok(entry)
     }
 
@@ -93,16 +104,13 @@ impl GraphCache {
             graph,
             Duration::default(),
         ));
-        self.entries
-            .lock()
-            .expect("poisoned")
-            .insert(name.to_string(), entry.clone());
+        self.entries.write().insert(name.to_string(), entry.clone());
         entry
     }
 
     /// Looks up `name`, counting a cache hit on success.
     pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
-        let entry = self.entries.lock().expect("poisoned").get(name).cloned();
+        let entry = self.entries.read().get(name).cloned();
         if let Some(e) = &entry {
             e.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -111,11 +119,7 @@ impl GraphCache {
 
     /// Drops `name` from the cache; running jobs keep their `Arc`.
     pub fn unload(&self, name: &str) -> bool {
-        self.entries
-            .lock()
-            .expect("poisoned")
-            .remove(name)
-            .is_some()
+        self.entries.write().remove(name).is_some()
     }
 
     /// Number of graph files parsed since startup (LOAD + insert calls —
@@ -126,13 +130,7 @@ impl GraphCache {
 
     /// Currently cached names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .entries
-            .lock()
-            .expect("poisoned")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = self.entries.read().keys().cloned().collect();
         names.sort();
         names
     }

@@ -14,10 +14,11 @@
 //! and node limits ride the same [`kdc_api::Budget`].
 
 use crate::cache::GraphEntry;
+use crate::sync::{rank, TrackedMutex};
 use kdc::{CancelFlag, Status};
 use kdc_api::{Budget, Observer, Options, Outcome, Query};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::time::Duration;
 
 /// A Debug-opaque observer handle, so [`JobSpec`] stays derive-Debuggable
@@ -157,24 +158,36 @@ struct QueueState {
 }
 
 /// The shared queue: submit/wait/cancel/list on one mutex, two condvars.
-#[derive(Default)]
+/// The mutex is rank-checked against `LOCK_ORDER.md` in debug builds and
+/// recovers from poisoning — a job that panics mid-flight must not wedge
+/// the queue for every later request.
 pub struct JobQueue {
-    state: Mutex<QueueState>,
+    state: TrackedMutex<QueueState>,
     work_ready: Condvar,
     job_done: Condvar,
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl JobQueue {
     /// An empty queue.
     pub fn new() -> Self {
-        Self::default()
+        JobQueue {
+            state: TrackedMutex::new(rank::JOB_QUEUE, "JobQueue::state", QueueState::default()),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        }
     }
 
     /// Enqueues `spec`; returns the job id immediately. After
     /// [`JobQueue::shutdown`] the job is finalized as cancelled on the spot
     /// (no worker will ever pop it), so waiters never block forever.
     pub fn submit(&self, spec: JobSpec) -> u64 {
-        let mut state = self.state.lock().expect("poisoned");
+        let mut state = self.state.lock();
         state.next_id += 1;
         let id = state.next_id;
         let shutting_down = state.shutdown;
@@ -203,7 +216,7 @@ impl JobQueue {
 
     /// Blocks until job `id` reaches a terminal state; returns its outcome.
     pub fn wait(&self, id: u64) -> JobOutcome {
-        let mut state = self.state.lock().expect("poisoned");
+        let mut state = self.state.lock();
         loop {
             match state.records.get(&id) {
                 None => return JobOutcome::Error(format!("unknown job {id}")),
@@ -213,15 +226,15 @@ impl JobQueue {
                     }
                 }
             }
-            state = self.job_done.wait(state).expect("poisoned");
+            state.wait(&self.job_done);
         }
     }
 
     /// Raises job `id`'s cancel flag. A queued job is finalized immediately;
     /// a running one aborts at the engine's next branch-and-bound node.
     pub fn cancel(&self, id: u64) -> Result<JobState, String> {
-        let mut state = self.state.lock().expect("poisoned");
-        let Some(record) = state.records.get(&id) else {
+        let mut state = self.state.lock();
+        let Some(record) = state.records.get_mut(&id) else {
             return Err(format!("unknown job {id}"));
         };
         record.cancel.cancel();
@@ -232,7 +245,6 @@ impl JobQueue {
             // immediately — a verbose job's event channel lives inside the
             // spec, and its waiting connection unblocks only when the
             // sender is dropped.
-            let record = state.records.get_mut(&id).expect("checked above");
             record.state = JobState::Cancelled;
             record.outcome = Some(JobOutcome::Error(format!(
                 "job {id} cancelled while queued"
@@ -246,17 +258,17 @@ impl JobQueue {
 
     /// Every job ever submitted, in submission order.
     pub fn list(&self) -> Vec<JobInfo> {
-        let state = self.state.lock().expect("poisoned");
+        let state = self.state.lock();
         state
             .history
             .iter()
-            .map(|id| {
-                let record = &state.records[id];
-                JobInfo {
+            .filter_map(|id| {
+                let record = state.records.get(id)?;
+                Some(JobInfo {
                     id: *id,
                     state: record.state,
                     description: record.description.clone(),
-                }
+                })
             })
             .collect()
     }
@@ -264,7 +276,7 @@ impl JobQueue {
     /// Stops the pool: cancels everything outstanding and wakes all workers
     /// and waiters. Idempotent.
     pub fn shutdown(&self) {
-        let mut state = self.state.lock().expect("poisoned");
+        let mut state = self.state.lock();
         state.shutdown = true;
         for record in state.records.values_mut() {
             record.cancel.cancel();
@@ -281,28 +293,32 @@ impl JobQueue {
 
     /// Worker side: blocks for the next job, or `None` on shutdown.
     fn next_job(&self) -> Option<(u64, JobSpec, CancelFlag)> {
-        let mut state = self.state.lock().expect("poisoned");
+        let mut state = self.state.lock();
         loop {
             if state.shutdown {
                 return None;
             }
             if let Some((id, spec)) = state.queue.pop_front() {
-                let record = state.records.get_mut(&id).expect("record exists");
+                // A record missing its entry (impossible today, but cheap to
+                // tolerate) or already finalized (cancelled while queued) is
+                // skipped, not panicked over.
+                let Some(record) = state.records.get_mut(&id) else {
+                    continue;
+                };
                 if record.state != JobState::Queued {
-                    // Cancelled while queued; already finalized.
                     continue;
                 }
                 record.state = JobState::Running;
                 let flag = record.cancel.clone();
                 return Some((id, spec, flag));
             }
-            state = self.work_ready.wait(state).expect("poisoned");
+            state.wait(&self.work_ready);
         }
     }
 
     /// Worker side: publishes the outcome and wakes waiters.
     fn finish(&self, id: u64, state_after: JobState, outcome: JobOutcome) {
-        let mut state = self.state.lock().expect("poisoned");
+        let mut state = self.state.lock();
         if let Some(record) = state.records.get_mut(&id) {
             record.state = state_after;
             record.outcome = Some(outcome);
@@ -378,19 +394,25 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads (at least one) on `queue`.
-    pub fn new(queue: Arc<JobQueue>, workers: usize) -> Self {
+    /// Spawns `workers` threads (at least one) on `queue`. Fails with the
+    /// OS error if no worker thread could be spawned at all; a partially
+    /// spawned pool (resource exhaustion mid-loop) is returned and simply
+    /// runs narrower.
+    pub fn new(queue: Arc<JobQueue>, workers: usize) -> std::io::Result<Self> {
         let workers = workers.max(1);
-        let handles = (0..workers)
-            .map(|i| {
-                let queue = queue.clone();
-                std::thread::Builder::new()
-                    .name(format!("kdc-worker-{i}"))
-                    .spawn(move || worker_loop(&queue))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        WorkerPool { queue, handles }
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let queue = queue.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("kdc-worker-{i}"))
+                .spawn(move || worker_loop(&queue));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) if handles.is_empty() => return Err(e),
+                Err(_) => break,
+            }
+        }
+        Ok(WorkerPool { queue, handles })
     }
 
     /// Shuts the queue down and joins every worker.
@@ -460,7 +482,7 @@ mod tests {
     fn pool_runs_solve_jobs_and_memoizes() {
         let entry = figure2_entry();
         let queue = Arc::new(JobQueue::new());
-        let pool = WorkerPool::new(queue.clone(), 2);
+        let pool = WorkerPool::new(queue.clone(), 2).expect("spawn pool");
         let spec = solve_spec(entry.clone(), 2, "kdc");
         let first = queue.submit(spec.clone());
         let JobOutcome::Done(outcome) = queue.wait(first) else {
@@ -557,7 +579,7 @@ mod tests {
         let entry = figure2_entry();
         let queue = Arc::new(JobQueue::new()); // deliberately no workers
         let (tx, rx) = mpsc::channel::<kdc_api::Event>();
-        let tx = Mutex::new(tx);
+        let tx = std::sync::Mutex::new(tx);
         let observer: Arc<dyn kdc_api::Observer> = Arc::new(move |e: &kdc_api::Event| {
             let _ = tx.lock().expect("poisoned").send(*e);
         });
@@ -584,7 +606,7 @@ mod tests {
         let cache = GraphCache::new();
         let entry = cache.insert("hard", gen::gnp(220, 0.5, &mut rng));
         let queue = Arc::new(JobQueue::new());
-        let pool = WorkerPool::new(queue.clone(), 1);
+        let pool = WorkerPool::new(queue.clone(), 1).expect("spawn pool");
         let id = queue.submit(solve_spec(entry, 12, "kdc"));
         // Wait for it to leave the queue, then cancel mid-search.
         loop {
@@ -607,7 +629,7 @@ mod tests {
     fn unknown_preset_fails_the_job() {
         let entry = figure2_entry();
         let queue = Arc::new(JobQueue::new());
-        let pool = WorkerPool::new(queue.clone(), 1);
+        let pool = WorkerPool::new(queue.clone(), 1).expect("spawn pool");
         let id = queue.submit(solve_spec(entry, 1, "nope"));
         assert!(matches!(queue.wait(id), JobOutcome::Error(_)));
         assert_eq!(queue.list()[0].state, JobState::Failed);
@@ -638,7 +660,7 @@ mod tests {
     fn enumerate_jobs_work() {
         let entry = figure2_entry();
         let queue = Arc::new(JobQueue::new());
-        let pool = WorkerPool::new(queue.clone(), 1);
+        let pool = WorkerPool::new(queue.clone(), 1).expect("spawn pool");
         let id = queue.submit(JobSpec::Enumerate {
             entry,
             k: 1,
@@ -657,7 +679,7 @@ mod tests {
         let entry = figure2_entry();
         let direct = kdc::counting::count_k_defective_cliques(entry.graph(), 1, 5);
         let queue = Arc::new(JobQueue::new());
-        let pool = WorkerPool::new(queue.clone(), 1);
+        let pool = WorkerPool::new(queue.clone(), 1).expect("spawn pool");
         let id = queue.submit(JobSpec::Count {
             entry,
             k: 1,
@@ -674,7 +696,7 @@ mod tests {
     fn submit_after_shutdown_fails_fast() {
         let entry = figure2_entry();
         let queue = Arc::new(JobQueue::new());
-        let pool = WorkerPool::new(queue.clone(), 1);
+        let pool = WorkerPool::new(queue.clone(), 1).expect("spawn pool");
         queue.shutdown();
         pool.join();
         // No workers remain; wait() must still return, not block forever.
@@ -692,7 +714,7 @@ mod tests {
         // loop below.
         let entry = cache.insert("dense", gen::gnp(80, 0.5, &mut rng));
         let queue = Arc::new(JobQueue::new());
-        let pool = WorkerPool::new(queue.clone(), 1);
+        let pool = WorkerPool::new(queue.clone(), 1).expect("spawn pool");
         let id = queue.submit(JobSpec::Enumerate {
             entry,
             k: 2,
@@ -722,7 +744,7 @@ mod tests {
         let entry = figure2_entry();
         let queue = Arc::new(JobQueue::new());
         let id = queue.submit(solve_spec(entry, 1, "kdc"));
-        let pool = WorkerPool::new(queue.clone(), 1);
+        let pool = WorkerPool::new(queue.clone(), 1).expect("spawn pool");
         queue.shutdown();
         pool.join();
         // The queued job was either finished by a racing worker or

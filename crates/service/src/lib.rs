@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # kdc_service — a long-running kDC solver daemon
 //!
@@ -67,6 +68,7 @@ pub mod cache;
 pub mod jobs;
 pub mod protocol;
 pub mod server;
+pub mod sync;
 
 pub use cache::{GraphCache, GraphEntry};
 pub use jobs::{JobInfo, JobObserver, JobOutcome, JobQueue, JobSpec, JobState, WorkerPool};

@@ -67,9 +67,13 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Waits for the server to shut down.
+    /// Waits for the server to shut down. A panicked accept loop is
+    /// reported as an I/O error, not propagated as a panic.
     pub fn join(self) -> std::io::Result<()> {
-        self.thread.join().expect("server thread panicked")
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("server thread panicked")),
+        }
     }
 }
 
@@ -103,7 +107,7 @@ impl Server {
             daemon,
             workers,
         } = self;
-        let pool = WorkerPool::new(daemon.queue.clone(), workers);
+        let pool = WorkerPool::new(daemon.queue.clone(), workers)?;
         for stream in listener.incoming() {
             if daemon.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -123,13 +127,13 @@ impl Server {
     }
 
     /// Runs the accept loop on a background thread; returns immediately.
-    pub fn spawn(self) -> ServerHandle {
+    /// Fails with the OS error if the thread cannot be spawned.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr();
         let thread = std::thread::Builder::new()
             .name("kdc-accept".to_string())
-            .spawn(move || self.run())
-            .expect("spawn server thread");
-        ServerHandle { addr, thread }
+            .spawn(move || self.run())?;
+        Ok(ServerHandle { addr, thread })
     }
 }
 
@@ -302,7 +306,12 @@ fn solve(
         let (tx, rx) = mpsc::channel::<Event>();
         let tx = Mutex::new(tx);
         let observer: Arc<dyn Observer> = Arc::new(move |e: &Event| {
-            let _ = tx.lock().expect("poisoned").send(*e);
+            // A poisoned sender mutex means an earlier event callback
+            // panicked; dropping this event is strictly better than killing
+            // the whole job with a second panic.
+            if let Ok(tx) = tx.lock() {
+                let _ = tx.send(*e);
+            }
         });
         (Some(JobObserver(observer)), Some(rx))
     } else {
@@ -390,7 +399,9 @@ fn count(daemon: &Daemon, graph: &str, k: usize, min_size: usize) -> Result<Stri
     let id = daemon.queue.submit(JobSpec::Count { entry, k, min_size });
     match daemon.queue.wait(id) {
         JobOutcome::Done(outcome) => {
-            let counts = outcome.counts.expect("count outcome carries counts");
+            let Some(counts) = outcome.counts else {
+                return Err("internal: count job returned no counts".to_string());
+            };
             // Render only the non-zero sizes as size:count pairs.
             let rendered: Vec<String> = counts
                 .counts
@@ -487,7 +498,7 @@ mod tests {
     #[test]
     fn single_connection_session() {
         let path = write_figure2();
-        let handle = Server::bind("127.0.0.1:0", 2).unwrap().spawn();
+        let handle = Server::bind("127.0.0.1:0", 2).unwrap().spawn().unwrap();
         let addr = handle.addr().to_string();
 
         let resp = request(&addr, &format!("LOAD {path} AS fig2")).unwrap();
@@ -529,7 +540,7 @@ mod tests {
 
     #[test]
     fn malformed_lines_get_err_without_killing_connection() {
-        let handle = Server::bind("127.0.0.1:0", 1).unwrap().spawn();
+        let handle = Server::bind("127.0.0.1:0", 1).unwrap().spawn().unwrap();
         let addr = handle.addr().to_string();
         // One persistent connection, several bad lines, then a good one.
         let mut stream = TcpStream::connect(&addr).unwrap();
@@ -550,7 +561,7 @@ mod tests {
 
     #[test]
     fn unload_missing_graph_is_an_error() {
-        let handle = Server::bind("127.0.0.1:0", 1).unwrap().spawn();
+        let handle = Server::bind("127.0.0.1:0", 1).unwrap().spawn().unwrap();
         let addr = handle.addr().to_string();
         assert!(request(&addr, "UNLOAD ghost").unwrap().starts_with("ERR "));
         assert!(request(&addr, "CANCEL 42").unwrap().starts_with("ERR "));

@@ -1,0 +1,356 @@
+//! Rank-checked, poison-tolerant lock wrappers.
+//!
+//! [`TrackedMutex`] and [`TrackedRwLock`] enforce the lock hierarchy
+//! declared in the repository's `LOCK_ORDER.md` at runtime in debug builds:
+//! every lock carries a rank, a thread-local stack records the ranks the
+//! current thread holds, and acquiring a lock whose rank is not strictly
+//! greater than every held rank panics with a description of the inversion
+//! *before* blocking on the lock — turning a potential cross-thread
+//! deadlock into a deterministic test failure. Release builds compile the
+//! wrappers down to plain `std::sync` primitives with no thread-local
+//! bookkeeping (the rank and name are not even stored).
+//!
+//! Both wrappers also recover from poisoning instead of panicking: a worker
+//! that panicked mid-job must not take the whole daemon down with it, and
+//! every critical section guarded by these locks keeps its data structurally
+//! consistent at each panic point (single-call map/queue operations), so the
+//! poison flag carries no information worth dying for. The static half of
+//! the same contract is `kdc_lint`'s `lock_order` rule, which checks the
+//! declared hierarchy against every `.lock()`/`.read()`/`.write()` site in
+//! the tree.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// Lock ranks, outermost first. Must mirror `LOCK_ORDER.md` at the
+/// repository root; `kdc_lint`'s `lock_order` rule checks the source tree
+/// against that manifest.
+pub mod rank {
+    /// `JobQueue::state` — the job queue mutex (held across submit/finish).
+    pub const JOB_QUEUE: u8 = 1;
+    /// `GraphCache::entries` — the name-keyed graph cache map.
+    pub const GRAPH_CACHE: u8 = 2;
+}
+
+#[cfg(debug_assertions)]
+mod tracking {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks (and names, for diagnostics) of the locks this thread holds.
+        static HELD: RefCell<Vec<(u8, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Records an acquisition; panics on a hierarchy inversion (acquiring a
+    /// rank that is not strictly above every rank already held).
+    pub(super) fn acquire(rank: u8, name: &'static str) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(held_rank, held_name)) = held.iter().find(|&&(r, _)| r >= rank) {
+                // kdc-lint: allow(no_panic) — the checker's entire job is to
+                // panic loudly (debug builds only) on a hierarchy inversion.
+                panic!(
+                    "lock hierarchy inversion: acquiring {name} (rank {rank}) while \
+                     holding {held_name} (rank {held_rank}); see LOCK_ORDER.md"
+                );
+            }
+            held.push((rank, name));
+        });
+    }
+
+    /// Removes the most recent acquisition of `rank` from the stack.
+    pub(super) fn release(rank: u8) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(i) = held.iter().rposition(|&(r, _)| r == rank) {
+                held.remove(i);
+            }
+        });
+    }
+}
+
+/// A [`Mutex`] that participates in the declared lock hierarchy (debug
+/// builds) and recovers from poisoning instead of panicking.
+#[derive(Debug)]
+pub struct TrackedMutex<T> {
+    inner: Mutex<T>,
+    #[cfg(debug_assertions)]
+    rank: u8,
+    #[cfg(debug_assertions)]
+    name: &'static str,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Wraps `value` with hierarchy rank `rank` (see [`rank`]); `name` is
+    /// used in inversion diagnostics only.
+    pub fn new(rank: u8, name: &'static str, value: T) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = (rank, name);
+        TrackedMutex {
+            inner: Mutex::new(value),
+            #[cfg(debug_assertions)]
+            rank,
+            #[cfg(debug_assertions)]
+            name,
+        }
+    }
+
+    /// Locks, checking the hierarchy first (debug builds) and recovering the
+    /// data from a poisoned lock instead of panicking.
+    pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        tracking::acquire(self.rank, self.name);
+        TrackedMutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            #[cfg(debug_assertions)]
+            rank: self.rank,
+        }
+    }
+}
+
+/// RAII guard of a [`TrackedMutex`]; releases the hierarchy slot on drop.
+#[derive(Debug)]
+pub struct TrackedMutexGuard<'a, T> {
+    /// `Some` except transiently inside [`TrackedMutexGuard::wait`], which
+    /// takes the inner guard out to hand it to the condvar.
+    inner: Option<MutexGuard<'a, T>>,
+    #[cfg(debug_assertions)]
+    rank: u8,
+}
+
+impl<T> TrackedMutexGuard<'_, T> {
+    /// Atomically releases the lock, waits on `cv`, and reacquires before
+    /// returning — the [`Condvar`] protocol. The hierarchy slot stays held
+    /// across the wait: the thread reacquires the same lock before
+    /// continuing, and the stack is per-thread, so no inversion can hide
+    /// behind a wait.
+    pub fn wait(&mut self, cv: &Condvar) {
+        if let Some(guard) = self.inner.take() {
+            self.inner = Some(cv.wait(guard).unwrap_or_else(PoisonError::into_inner));
+        }
+    }
+}
+
+impl<T> Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // kdc-lint: allow(no_panic) — `inner` is only vacated inside
+        // `wait`, which refills it before returning; no safe caller can
+        // observe the `None`.
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // kdc-lint: allow(no_panic) — see `Deref`.
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for TrackedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std guard before the hierarchy slot so the slot never
+        // outlives the actual critical section.
+        self.inner = None;
+        #[cfg(debug_assertions)]
+        tracking::release(self.rank);
+    }
+}
+
+/// An [`RwLock`] that participates in the declared lock hierarchy (debug
+/// builds) and recovers from poisoning instead of panicking. Read and write
+/// acquisitions are ranked identically: reacquiring a lock the thread
+/// already holds — even read-after-read — is flagged, because a writer
+/// queued between the two reads deadlocks both.
+#[derive(Debug)]
+pub struct TrackedRwLock<T> {
+    inner: RwLock<T>,
+    #[cfg(debug_assertions)]
+    rank: u8,
+    #[cfg(debug_assertions)]
+    name: &'static str,
+}
+
+impl<T> TrackedRwLock<T> {
+    /// Wraps `value` with hierarchy rank `rank` (see [`rank`]).
+    pub fn new(rank: u8, name: &'static str, value: T) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = (rank, name);
+        TrackedRwLock {
+            inner: RwLock::new(value),
+            #[cfg(debug_assertions)]
+            rank,
+            #[cfg(debug_assertions)]
+            name,
+        }
+    }
+
+    /// Shared lock, hierarchy-checked, poison-recovering.
+    pub fn read(&self) -> TrackedReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        tracking::acquire(self.rank, self.name);
+        TrackedReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            rank: self.rank,
+        }
+    }
+
+    /// Exclusive lock, hierarchy-checked, poison-recovering.
+    pub fn write(&self) -> TrackedWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        tracking::acquire(self.rank, self.name);
+        TrackedWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            rank: self.rank,
+        }
+    }
+}
+
+/// RAII shared guard of a [`TrackedRwLock`].
+#[derive(Debug)]
+pub struct TrackedReadGuard<'a, T> {
+    inner: RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    rank: u8,
+}
+
+impl<T> Deref for TrackedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Drop for TrackedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        tracking::release(self.rank);
+    }
+}
+
+/// RAII exclusive guard of a [`TrackedRwLock`].
+#[derive(Debug)]
+pub struct TrackedWriteGuard<'a, T> {
+    inner: RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    rank: u8,
+}
+
+impl<T> Deref for TrackedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for TrackedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for TrackedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        tracking::release(self.rank);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_acquisition_is_fine() {
+        let a = TrackedMutex::new(1, "a", 0u32);
+        let b = TrackedMutex::new(2, "b", 0u32);
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(gb);
+        drop(ga);
+        // Sequential (non-nested) reacquisition at any rank is fine too.
+        drop(b.lock());
+        drop(a.lock());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock hierarchy inversion")]
+    fn inverted_acquisition_panics_in_debug() {
+        let a = TrackedMutex::new(1, "a", 0u32);
+        let b = TrackedMutex::new(2, "b", 0u32);
+        let _gb = b.lock();
+        let _ga = a.lock(); // rank 1 acquired while rank 2 is held
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock hierarchy inversion")]
+    fn recursive_acquisition_panics_instead_of_deadlocking() {
+        let a = TrackedMutex::new(1, "a", 0u32);
+        let _g1 = a.lock();
+        let _g2 = a.lock(); // would deadlock; the checker fires first
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock hierarchy inversion")]
+    fn rwlock_participates_in_the_hierarchy() {
+        let cache = TrackedRwLock::new(2, "cache", 0u32);
+        let queue = TrackedMutex::new(1, "queue", 0u32);
+        let _gc = cache.read();
+        let _gq = queue.lock(); // queue (rank 1) under cache (rank 2)
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers_with_data_intact() {
+        let m = std::sync::Arc::new(TrackedMutex::new(1, "m", vec![1, 2, 3]));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), vec![1, 2, 3], "data survives the poison");
+    }
+
+    #[test]
+    fn poisoned_rwlock_recovers() {
+        let l = std::sync::Arc::new(TrackedRwLock::new(2, "l", 7u32));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*l.read(), 7);
+        *l.write() = 8;
+        assert_eq!(*l.read(), 8);
+    }
+
+    #[test]
+    fn condvar_wait_roundtrips_the_guard() {
+        use std::sync::Arc;
+        let pair = Arc::new((TrackedMutex::new(1, "cv", false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready.wait(cv);
+            }
+            *ready
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+}

@@ -69,7 +69,8 @@ fn full_session_on_ephemeral_port() {
 
     let handle = kdc_service::Server::bind("127.0.0.1:0", 2)
         .expect("bind ephemeral port")
-        .spawn();
+        .spawn()
+        .expect("spawn accept loop");
     let addr = handle.addr().to_string();
 
     // ---- LOAD both graphs over a control connection --------------------
@@ -202,7 +203,8 @@ fn verbose_solve_streams_events_end_to_end() {
     let path = write_graph("fig2_verbose.clq", &g);
     let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
         .expect("bind ephemeral port")
-        .spawn();
+        .spawn()
+        .expect("spawn accept loop");
     let addr = handle.addr().to_string();
 
     let mut client = Client::connect(&addr);
@@ -260,5 +262,54 @@ fn verbose_solve_streams_events_end_to_end() {
     assert_eq!(resp.lines().count(), 1, "{resp}");
 
     client.send("SHUTDOWN");
+    handle.join().expect("clean server exit");
+}
+
+/// A job that panics mid-solve must come back as an `ERR` reply — not a
+/// hung waiter, not a dead worker. Debug builds only: the fault-injection
+/// preset does not exist in release builds.
+#[cfg(debug_assertions)]
+#[test]
+fn panicking_job_leaves_daemon_serving() {
+    let g = named::figure2();
+    let p = write_graph("panic_fig2.clq", &g);
+    // One worker on purpose: if the panic killed it, the follow-up solve
+    // below would hang instead of answering.
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn accept loop");
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr);
+    let resp = client.send(&format!("LOAD {} AS fig2", p.display()));
+    assert_eq!(field(&resp, "loaded"), "fig2", "{resp}");
+
+    let resp = client.send(&format!(
+        "SOLVE fig2 k=2 preset={}",
+        kdc_api::query::PANIC_PRESET
+    ));
+    assert!(
+        resp.starts_with("ERR "),
+        "panic must surface as ERR: {resp}"
+    );
+    assert!(resp.contains("panicked"), "{resp}");
+
+    // Same connection still answers, and the answer is still right.
+    let direct = Solver::new(&g, 2, SolverConfig::kdc()).solve();
+    let resp = client.send("SOLVE fig2 k=2");
+    assert_eq!(field(&resp, "status"), "optimal", "{resp}");
+    assert_eq!(field(&resp, "size"), direct.size().to_string(), "{resp}");
+
+    // Fresh connections are accepted too, and JOBS records the failure.
+    let mut fresh = Client::connect(&addr);
+    let jobs = fresh.send("JOBS");
+    assert!(
+        jobs.contains(":failed:"),
+        "failed job visible in JOBS: {jobs}"
+    );
+
+    let resp = fresh.send("SHUTDOWN");
+    assert_eq!(resp, "OK shutdown=ok");
     handle.join().expect("clean server exit");
 }

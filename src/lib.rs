@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # kdc-suite
 //!
 //! Facade crate for the kDC reproduction workspace. Re-exports the member
