@@ -2,7 +2,7 @@
 //! query surface.
 
 use crate::query::{Budget, CacheInfo, Event, Observer, Options, Outcome, Query};
-use kdc::{counting, decompose, topr, EventHook, Solution, Solver};
+use kdc::{bound, counting, decompose, topr, EventHook, Solution, Solver};
 use kdc_graph::ctcp::Ctcp;
 use kdc_graph::degeneracy::{self, Peeling};
 use kdc_graph::{Graph, VertexId};
@@ -19,6 +19,71 @@ use std::time::Instant;
 /// state beats poisoning every later query on the session.
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Process-global registry twins of the [`SessionCounters`] plus the solve
+/// telemetry series. Handles are registered once and shared by every
+/// session in the process: the per-session atomics stay the source of truth
+/// for warm-vs-cold assertions, while these aggregate across sessions for
+/// the `METRICS` exposition.
+struct SessionObs {
+    peel_builds: kdc_obs::Counter,
+    solves: kdc_obs::Counter,
+    result_hits: kdc_obs::Counter,
+    ctcp_builds: kdc_obs::Counter,
+    ctcp_resumes: kdc_obs::Counter,
+    ctcp_evictions: kdc_obs::Counter,
+    solve_ns: kdc_obs::Histogram,
+    bound_invocations: [kdc_obs::Counter; bound::COUNT],
+    bound_prunes: [kdc_obs::Counter; bound::COUNT],
+    bound_ns: [kdc_obs::Counter; bound::COUNT],
+}
+
+fn session_obs() -> &'static SessionObs {
+    static OBS: OnceLock<SessionObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = kdc_obs::registry();
+        SessionObs {
+            peel_builds: r.register_counter("kdc_session_peel_builds_total"),
+            solves: r.register_counter("kdc_session_solves_total"),
+            result_hits: r.register_counter("kdc_session_result_hits_total"),
+            ctcp_builds: r.register_counter("kdc_session_ctcp_builds_total"),
+            ctcp_resumes: r.register_counter("kdc_session_ctcp_resumes_total"),
+            ctcp_evictions: r.register_counter("kdc_session_ctcp_evictions_total"),
+            solve_ns: r.register_histogram("kdc_session_solve_duration_ns"),
+            bound_invocations: std::array::from_fn(|i| {
+                r.register_counter_labeled(
+                    "kdc_core_bound_invocations_total",
+                    "bound",
+                    bound::NAMES[i],
+                )
+            }),
+            bound_prunes: std::array::from_fn(|i| {
+                r.register_counter_labeled("kdc_core_bound_prunes_total", "bound", bound::NAMES[i])
+            }),
+            bound_ns: std::array::from_fn(|i| {
+                r.register_counter_labeled("kdc_core_bound_ns_total", "bound", bound::NAMES[i])
+            }),
+        }
+    })
+}
+
+/// Publishes one finished solve's telemetry to the global registry: the
+/// latency sample, per-preset node count and per-bound cost columns.
+fn flush_solve_metrics(preset: &str, stats: &kdc::SearchStats, elapsed_ns: u64) {
+    if !kdc_obs::enabled() {
+        return;
+    }
+    let obs = session_obs();
+    obs.solve_ns.observe(elapsed_ns);
+    kdc_obs::registry()
+        .register_counter_labeled("kdc_session_nodes_total", "preset", preset)
+        .add(stats.nodes);
+    for (i, bc) in stats.bound_costs.iter().enumerate() {
+        obs.bound_invocations[i].add(bc.invocations);
+        obs.bound_prunes[i].add(bc.prunes);
+        obs.bound_ns[i].add(bc.ns);
+    }
 }
 
 /// Workers may not spawn unbounded decomposition threads on a caller's
@@ -183,6 +248,7 @@ impl Session {
         self.peeling
             .get_or_init(|| {
                 self.peel_builds.fetch_add(1, Ordering::Relaxed);
+                session_obs().peel_builds.inc();
                 Arc::new(degeneracy::peel(&self.graph))
             })
             .clone()
@@ -227,6 +293,7 @@ impl Session {
         let found = lock_unpoisoned(&self.results).get(key).cloned();
         if found.is_some() {
             self.result_hits.fetch_add(1, Ordering::Relaxed);
+            session_obs().result_hits.inc();
         }
         found
     }
@@ -241,9 +308,11 @@ impl Session {
         if let Some(slot) = cache.slots.iter_mut().find(|s| s.key == key) {
             slot.last_used = tick;
             self.ctcp_resumes.fetch_add(1, Ordering::Relaxed);
+            session_obs().ctcp_resumes.inc();
             return (slot.reducer.clone(), true);
         }
         self.ctcp_builds.fetch_add(1, Ordering::Relaxed);
+        session_obs().ctcp_builds.inc();
         let fresh = Arc::new(Mutex::new(Ctcp::with_rules(
             &self.graph,
             key.k,
@@ -262,6 +331,7 @@ impl Session {
             }
             cache.slots.swap_remove(lru);
             self.ctcp_evictions.fetch_add(1, Ordering::Relaxed);
+            session_obs().ctcp_evictions.inc();
         }
         cache.slots.push(CtcpSlot {
             key,
@@ -312,8 +382,31 @@ impl Session {
         options: &Options,
         observer: Option<Arc<dyn Observer>>,
     ) -> Result<Outcome, String> {
+        self.run_observed(query, budget, options, observer, None)
+    }
+
+    /// Runs one query with the full observability surface: optional
+    /// [`Event`] streaming plus an optional [`kdc_obs::Tracer`] whose ring
+    /// collects the solve's phase spans (peel / tighten / branch / ego) for
+    /// `--profile` tables, the daemon's `TRACE` verb and slow-query logs.
+    /// Solve telemetry (latency, per-preset nodes, per-bound costs) is
+    /// published to the global [`kdc_obs::registry`] regardless of `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Session::run`]: invalid options or query
+    /// parameters fail fast, exhausted budgets come back as a non-optimal
+    /// [`Outcome::status`].
+    pub fn run_observed(
+        &self,
+        query: &Query,
+        budget: &Budget,
+        options: &Options,
+        observer: Option<Arc<dyn Observer>>,
+        trace: Option<kdc_obs::Tracer>,
+    ) -> Result<Outcome, String> {
         let outcome = match *query {
-            Query::Solve { k } => self.run_solve(k, budget, options, observer.clone()),
+            Query::Solve { k } => self.run_solve(k, budget, options, observer.clone(), trace),
             Query::Enumerate { k } => self.run_top_r(k, usize::MAX, false, budget, options),
             Query::TopR { k, r, diversify } => self.run_top_r(k, r, diversify, budget, options),
             Query::Count { k, min_size } => self.run_count(k, min_size, budget),
@@ -332,6 +425,7 @@ impl Session {
         budget: &Budget,
         options: &Options,
         observer: Option<Arc<dyn Observer>>,
+        trace: Option<kdc_obs::Tracer>,
     ) -> Result<Outcome, String> {
         let t0 = Instant::now();
         let memo_key = options.memo_preset().map(|preset| SolveKey {
@@ -356,6 +450,7 @@ impl Session {
         }
         let mut config = options.resolve()?;
         apply_budget(&mut config, budget);
+        config.trace = trace;
         // Warm artifact reuse: the heuristic/decomposition phase runs on the
         // cached peeling, preprocessing resumes the resident CTCP reducer
         // for this (k, rules) pair, and the best known witness seeds the
@@ -376,6 +471,7 @@ impl Session {
             }));
         }
         self.solves.fetch_add(1, Ordering::Relaxed);
+        session_obs().solves.inc();
         let solution = if budget.threads == 1 {
             Solver::new(&self.graph, k, config).solve()
         } else {
@@ -383,6 +479,11 @@ impl Session {
             decompose::solve_decomposed(&self.graph, k, config, threads)
         };
         self.record_best_known(k, &solution.vertices);
+        flush_solve_metrics(
+            options.preset_name(),
+            &solution.stats,
+            t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        );
         if solution.is_optimal() {
             if let Some(key) = memo_key {
                 lock_unpoisoned(&self.results).insert(key, solution.clone());
@@ -843,6 +944,54 @@ mod tests {
         assert_eq!(*lock_unpoisoned(&m), 7, "value survives the poison");
         *lock_unpoisoned(&m) = 8;
         assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+
+    #[test]
+    fn observed_run_records_spans_and_registry_twins() {
+        let session = Session::new(named::figure2());
+        let trace = kdc_obs::Tracer::new();
+        let outcome = session
+            .run_observed(
+                &Query::Solve { k: 2 },
+                &Budget::default(),
+                &Options::default(),
+                None,
+                Some(trace.clone()),
+            )
+            .unwrap();
+        assert!(outcome.is_optimal());
+        let phases: Vec<&str> = trace.summary().iter().map(|p| p.name).collect();
+        assert!(phases.contains(&"peel"), "phases recorded: {phases:?}");
+        // The registry is process-global and shared with concurrently
+        // running tests, so only presence (not exact values) is asserted.
+        let text = kdc_obs::registry().render_prometheus();
+        assert!(text.contains("kdc_session_solves_total"), "{text}");
+        assert!(
+            text.contains("kdc_session_nodes_total{preset=\"kdc\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("kdc_core_bound_invocations_total{bound=\"ub2\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("kdc_session_solve_duration_ns_count"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn run_with_still_solves_without_a_tracer() {
+        let session = Session::new(named::figure2());
+        let outcome = session
+            .run_with(
+                &Query::Solve { k: 2 },
+                &Budget::default(),
+                &Options::default(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(outcome.size(), 6);
     }
 
     #[cfg(debug_assertions)]

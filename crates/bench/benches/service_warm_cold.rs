@@ -48,6 +48,7 @@ fn solve_spec(cache: &GraphCache, name: &str) -> JobSpec {
         nodes: None,
         threads: 1,
         observer: None,
+        trace: None,
     }
 }
 

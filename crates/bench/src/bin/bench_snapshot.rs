@@ -1,39 +1,49 @@
 //! `bench-snapshot`: the machine-readable perf baseline of the suite.
 //!
-//! Runs the planted solve and CTCP cases and writes `BENCH_5.json` — one
+//! Runs the planted solve and CTCP cases and writes `BENCH_6.json` — one
 //! line per case with the median wall-clock nanoseconds, explored
-//! branch-and-bound nodes and the bound-prune counters — so the perf
-//! trajectory across PRs is diffable by tools, not just by eyeballing
-//! criterion output. Node counts are deterministic for a given algorithm,
-//! so CI gates on them (`--check` fails when any case regresses nodes by
-//! more than 5% against the committed baseline); wall-clock is recorded for
-//! trend reading but never gated, because CI hardware varies.
+//! branch-and-bound nodes, the bound-prune counters and the per-bound
+//! cost attribution (invocations / prunes / prune-rate / nanoseconds for
+//! each of UB2, UB3, UB1, KD-Club, UB4) — so the perf trajectory across
+//! PRs is diffable by tools, not just by eyeballing criterion output.
+//! Node counts are deterministic for a given algorithm, so CI gates on
+//! them (`--check` fails when any case regresses nodes by more than 5%
+//! against the committed baseline); wall-clock is recorded for trend
+//! reading but never gated, because CI hardware varies.
 //!
 //! Every solve case runs in three variants: the flagship `kdc` preset on
 //! the word-parallel kernel, the same preset forced onto the scalar kernel
 //! (`kdc-scalar`, the speedup baseline), and `kdclub` (the KD-Club-style
 //! re-colouring bound, the node-reduction headline).
 //!
+//! Snapshot mode additionally measures the observability layer's cost on
+//! the planted-200 case — the same solve with `kdc_obs` enabled vs
+//! disabled — and reports the overhead (target ≤ 2%; reported, never
+//! gated, like all wall-clock numbers here).
+//!
 //! Usage: `bench-snapshot [--out PATH] [--check [PATH]] [--reps N]`.
 
-use kdc::{Solver, SolverConfig};
+use kdc::{bound, Solver, SolverConfig};
 use kdc_graph::ctcp::Ctcp;
 use kdc_graph::{gen, Graph};
 use std::time::Instant;
 
 /// Default snapshot path, relative to the invocation directory (the
 /// workspace root under `cargo run`).
-const DEFAULT_PATH: &str = "BENCH_5.json";
+const DEFAULT_PATH: &str = "BENCH_6.json";
 
 /// Allowed relative node-count growth before `--check` fails.
 const NODE_TOLERANCE: f64 = 0.05;
 
-/// One measured case: a name plus ordered numeric metrics.
+/// One measured case: a name plus ordered numeric metrics. `rates` holds
+/// derived ratio columns (rendered with four decimals) that the `--check`
+/// gate never reads.
 struct CaseResult {
     name: String,
     median_ns: u128,
     runs: usize,
-    metrics: Vec<(&'static str, u64)>,
+    metrics: Vec<(String, u64)>,
+    rates: Vec<(String, f64)>,
 }
 
 /// The planted solve workloads: the shared search-heavy cases (one source
@@ -85,17 +95,35 @@ fn run_solve_case(
         );
     });
     let s = &reference.stats;
+    let mut metrics: Vec<(String, u64)> = vec![
+        ("nodes".to_string(), s.nodes),
+        ("bound_prunes".to_string(), s.bound_prunes),
+        ("ub1_prunes".to_string(), s.ub1_prunes),
+        ("kdclub_prunes".to_string(), s.kdclub_prunes),
+        ("size".to_string(), reference.size() as u64),
+    ];
+    // Per-bound cost attribution, in the engine's evaluation order. The
+    // prune-rate (prunes / invocations) is what tells whether a bound
+    // earns its nanoseconds.
+    let mut rates = Vec::new();
+    for (i, cost) in s.bound_costs.iter().enumerate() {
+        let b = bound::NAMES[i];
+        metrics.push((format!("{b}_invocations"), cost.invocations));
+        metrics.push((format!("{b}_prunes"), cost.prunes));
+        metrics.push((format!("{b}_ns"), cost.ns));
+        let rate = if cost.invocations > 0 {
+            cost.prunes as f64 / cost.invocations as f64
+        } else {
+            0.0
+        };
+        rates.push((format!("{b}_prune_rate"), rate));
+    }
     CaseResult {
         name,
         median_ns: median,
         runs: reps,
-        metrics: vec![
-            ("nodes", s.nodes),
-            ("bound_prunes", s.bound_prunes),
-            ("ub1_prunes", s.ub1_prunes),
-            ("kdclub_prunes", s.kdclub_prunes),
-            ("size", reference.size() as u64),
-        ],
+        metrics,
+        rates,
     }
 }
 
@@ -123,10 +151,42 @@ fn run_ctcp_case(reps: usize) -> CaseResult {
         median_ns: median,
         runs: reps,
         metrics: vec![
-            ("vertex_removals", vertex_removals),
-            ("edge_removals", edge_removals),
+            ("vertex_removals".to_string(), vertex_removals),
+            ("edge_removals".to_string(), edge_removals),
         ],
+        rates: Vec::new(),
     }
+}
+
+/// Measures the observability layer's wall-clock cost: the planted-200
+/// solve with `kdc_obs` enabled (bound timing on, the default) vs
+/// disabled. Returns `(enabled_ns, disabled_ns)` medians; the global
+/// switch is restored to enabled afterwards.
+fn measure_obs_overhead(reps: usize) -> (u128, u128) {
+    let (g, _) = gen::planted_defective_clique(200, 14, 3, 0.30, &mut gen::seeded_rng(13));
+    let cfg = SolverConfig::kdc();
+    let run = || {
+        let sol = Solver::new(&g, 3, cfg.clone()).solve();
+        assert!(sol.is_optimal(), "planted-200 must solve to optimality");
+    };
+    // Interleave the two variants rep by rep so slow machine-level drift
+    // (thermal throttling, background load) hits both sides equally
+    // instead of biasing whichever block ran second.
+    let mut enabled_samples = Vec::with_capacity(reps);
+    let mut disabled_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        kdc_obs::set_enabled(true);
+        enabled_samples.push(median_ns(1, run));
+        kdc_obs::set_enabled(false);
+        disabled_samples.push(median_ns(1, run));
+    }
+    kdc_obs::set_enabled(true);
+    enabled_samples.sort_unstable();
+    disabled_samples.sort_unstable();
+    (
+        enabled_samples[enabled_samples.len() / 2],
+        disabled_samples[disabled_samples.len() / 2],
+    )
 }
 
 fn collect(reps: usize) -> Vec<CaseResult> {
@@ -161,9 +221,18 @@ fn collect(reps: usize) -> Vec<CaseResult> {
     out
 }
 
-fn render(cases: &[CaseResult]) -> String {
+fn render(cases: &[CaseResult], overhead: Option<(u128, u128)>) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"bench\": \"BENCH_5\",\n  \"schema\": 1,\n  \"cases\": [\n");
+    s.push_str("{\n  \"bench\": \"BENCH_6\",\n  \"schema\": 2,\n");
+    if let Some((enabled, disabled)) = overhead {
+        s.push_str(&format!(
+            "  \"obs_overhead\": {{\"case\": \"planted-200-k3/kdc\", \
+             \"enabled_median_ns\": {enabled}, \"disabled_median_ns\": {disabled}, \
+             \"overhead_pct\": {:.2}}},\n",
+            overhead_pct(enabled, disabled)
+        ));
+    }
+    s.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"median_ns\": {}, \"runs\": {}",
@@ -172,10 +241,22 @@ fn render(cases: &[CaseResult]) -> String {
         for (k, v) in &c.metrics {
             s.push_str(&format!(", \"{k}\": {v}"));
         }
+        for (k, v) in &c.rates {
+            s.push_str(&format!(", \"{k}\": {v:.4}"));
+        }
         s.push_str(if i + 1 == cases.len() { "}\n" } else { "},\n" });
     }
     s.push_str("  ]\n}\n");
     s
+}
+
+/// Relative cost of the enabled observability layer, in percent (can be
+/// negative under timer noise).
+fn overhead_pct(enabled: u128, disabled: u128) -> f64 {
+    if disabled == 0 {
+        return 0.0;
+    }
+    (enabled as f64 / disabled as f64 - 1.0) * 100.0
 }
 
 /// Extracts a `"key": value` numeric field from a one-case JSON line.
@@ -312,9 +393,15 @@ fn main() {
             std::process::exit(1);
         }
     } else {
-        let text = render(&cases);
+        let (enabled, disabled) = measure_obs_overhead(reps);
+        let pct = overhead_pct(enabled, disabled);
+        let text = render(&cases, Some((enabled, disabled)));
         std::fs::write(&out, &text).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
         print!("{text}");
+        println!(
+            "observability overhead on planted-200-k3: {pct:+.2}% \
+             (enabled {enabled} ns vs disabled {disabled} ns, target <= 2%)"
+        );
         println!("wrote {out} ({} cases)", cases.len());
     }
 }

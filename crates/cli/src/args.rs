@@ -20,6 +20,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "stats",
     "watch",
     "diversify",
+    "profile",
 ];
 
 /// Parses `args` into positionals and flags.

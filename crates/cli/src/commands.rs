@@ -25,10 +25,13 @@ pub(crate) struct SolveArgs {
     watch: bool,
     stats: bool,
     cert: Option<String>,
+    /// `--profile`: a tracer created before the graph was parsed (it
+    /// already holds the `parse` span) and threaded through the solve.
+    trace: Option<kdc_obs::Tracer>,
 }
 
 impl SolveArgs {
-    fn from_parsed(p: &Parsed) -> Result<SolveArgs, String> {
+    fn from_parsed(p: &Parsed, trace: Option<kdc_obs::Tracer>) -> Result<SolveArgs, String> {
         Ok(SolveArgs {
             k: p.required("k")?,
             preset: p.string_or("preset", "kdc").to_string(),
@@ -54,6 +57,7 @@ impl SolveArgs {
             watch: p.has("watch"),
             stats: p.has("stats"),
             cert: p.optional("cert")?,
+            trace,
         })
     }
 }
@@ -74,7 +78,14 @@ pub fn solve(args: &[String]) -> Result<ExitCode, String> {
     let p = parse(args)?;
     let path = p.positional(0, "graph-file")?;
     let preset_name = p.string_or("preset", "kdc");
-    let g = load_graph(path)?;
+    // --profile: the tracer exists before parsing so the `parse` span
+    // covers graph I/O, then rides into the solver's peel/tighten/branch
+    // phases via the session's observed entry point.
+    let trace = p.has("profile").then(kdc_obs::Tracer::new);
+    let g = {
+        let _parse = trace.as_ref().map(|t| t.span("parse"));
+        load_graph(path)?
+    };
 
     if preset_name == "rds" {
         let k: usize = p.required("k")?;
@@ -84,7 +95,7 @@ pub fn solve(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    let solve_args = SolveArgs::from_parsed(&p)?;
+    let solve_args = SolveArgs::from_parsed(&p, trace)?;
     let session = Session::new(g);
     solve_on_session(&session, &solve_args)
 }
@@ -110,7 +121,13 @@ pub(crate) fn solve_on_session(session: &Session, a: &SolveArgs) -> Result<ExitC
             Event::Done { .. } => {}
         }) as Arc<dyn Observer>
     });
-    let outcome = session.run_with(&Query::Solve { k: a.k }, &budget, &options, observer)?;
+    let outcome = session.run_observed(
+        &Query::Solve { k: a.k },
+        &budget,
+        &options,
+        observer,
+        a.trace.clone(),
+    )?;
 
     let witness = outcome.best().unwrap_or_default().to_vec();
     if let Some(out) = &a.cert {
@@ -153,9 +170,25 @@ pub(crate) fn solve_on_session(session: &Session, a: &SolveArgs) -> Result<ExitC
             "ctcp: vertex-removals {} edge-removals {}",
             s.ctcp_vertex_removals, s.ctcp_edge_removals
         );
+        // Per-bound cumulative time comes from the process-wide metrics
+        // registry (register_* is get-or-create, so this reads the same
+        // handles the solver flushed into).
+        let reg = kdc_obs::registry();
+        let bound_times: Vec<String> = kdc::bound::NAMES
+            .iter()
+            .map(|name| {
+                let ns = reg
+                    .register_counter_labeled("kdc_core_bound_ns_total", "bound", name)
+                    .get();
+                format!("{name}={:.2}", ns as f64 / 1e6)
+            })
+            .collect();
         println!(
-            "bounds: prunes {} (ub1 {} kdclub {})",
-            s.bound_prunes, s.ub1_prunes, s.kdclub_prunes
+            "bounds: prunes {} (ub1 {} kdclub {}) time-ms {}",
+            s.bound_prunes,
+            s.ub1_prunes,
+            s.kdclub_prunes,
+            bound_times.join(" ")
         );
         println!(
             "arena: reuses {} universe-rebuilds {} ego-subproblems {}",
@@ -172,6 +205,32 @@ pub(crate) fn solve_on_session(session: &Session, a: &SolveArgs) -> Result<ExitC
             c.ctcp_evictions
         );
     }
+    if let Some(trace) = &a.trace {
+        // Phase breakdown from the span ring, then the per-bound costs of
+        // *this* solve (invocations / prunes / time) from its SearchStats.
+        println!("profile: phase breakdown ({} spans)", trace.len());
+        for phase in trace.summary() {
+            println!(
+                "  {:<10} count {:<6} total {:.3}ms",
+                phase.name,
+                phase.count,
+                phase.total_ns as f64 / 1e6
+            );
+        }
+        if trace.dropped() > 0 {
+            println!("  (ring full: {} spans dropped)", trace.dropped());
+        }
+        println!("profile: bound costs");
+        for (i, cost) in outcome.stats.bound_costs.iter().enumerate() {
+            println!(
+                "  {:<10} invocations {:<8} prunes {:<8} total {:.3}ms",
+                kdc::bound::NAMES[i],
+                cost.invocations,
+                cost.prunes,
+                cost.ns as f64 / 1e6
+            );
+        }
+    }
     Ok(if outcome.is_optimal() {
         ExitCode::SUCCESS
     } else {
@@ -179,8 +238,64 @@ pub(crate) fn solve_on_session(session: &Session, a: &SolveArgs) -> Result<ExitC
     })
 }
 
-/// `kdc serve [--addr A] [--workers N]` — run the solver daemon until a
-/// client sends `SHUTDOWN`.
+/// `kdc metrics <addr>` — scrape a running daemon's Prometheus exposition
+/// (the `METRICS` verb) and print it. The exposition is validated line by
+/// line — unknown shapes, non-numeric samples, a series count that does
+/// not match the final `OK series=N` verdict, or an empty registry all
+/// exit nonzero — so the command doubles as a health check in CI.
+pub fn metrics(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let addr = p.positional(0, "addr")?;
+    let response =
+        kdc_service::request(addr, "METRICS").map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let verdict = response.lines().last().unwrap_or("");
+    if !verdict.starts_with("OK ") {
+        return Err(format!("scrape failed: {verdict}"));
+    }
+    let declared: usize = verdict
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("series="))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("malformed verdict: {verdict}"))?;
+    let mut samples = 0usize;
+    for line in response.lines() {
+        let Some(exposition) = line.strip_prefix("METRIC ") else {
+            continue;
+        };
+        if let Some(comment) = exposition.strip_prefix("# TYPE ") {
+            let kind = comment.split_whitespace().nth(1).unwrap_or("");
+            if !["counter", "gauge", "histogram"].contains(&kind) {
+                return Err(format!("unknown series type in {exposition:?}"));
+            }
+        } else {
+            let (name, value) = exposition
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("malformed sample {exposition:?}"))?;
+            if !name.starts_with("kdc_") {
+                return Err(format!("series outside the kdc_ namespace: {name:?}"));
+            }
+            value
+                .parse::<f64>()
+                .map_err(|_| format!("non-numeric sample value in {exposition:?}"))?;
+            samples += 1;
+        }
+        println!("{exposition}");
+    }
+    if samples != declared {
+        return Err(format!(
+            "scrape declared {declared} series but exposed {samples}"
+        ));
+    }
+    if samples == 0 {
+        return Err("empty registry: no series exposed".to_string());
+    }
+    Ok(())
+}
+
+/// `kdc serve [--addr A] [--workers N] [--slow-ms T]` — run the solver
+/// daemon until a client sends `SHUTDOWN`. `--slow-ms` sets the slow-query
+/// log threshold (default 1000; `0` logs every solve with its phase
+/// breakdown).
 pub fn serve(args: &[String]) -> Result<(), String> {
     let p = parse(args)?;
     let addr = p.string_or("addr", "127.0.0.1:4817");
@@ -190,8 +305,11 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             .unwrap_or(4),
         Some(n) => n,
     };
-    let server =
+    let mut server =
         kdc_service::Server::bind(addr, workers).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    if let Some(ms) = p.optional::<u64>("slow-ms")? {
+        server = server.with_slow_threshold(std::time::Duration::from_millis(ms));
+    }
     println!("listening on {} ({workers} workers)", server.local_addr());
     server.run().map_err(|e| format!("server error: {e}"))
 }
@@ -434,6 +552,34 @@ mod tests {
     }
 
     #[test]
+    fn solve_profile_flag_runs() {
+        let path = write_sample();
+        solve(&argv(&[&path, "--k", "2", "--profile"])).unwrap();
+        // --profile combines with the other reporting flags.
+        solve(&argv(&[&path, "--k", "2", "--profile", "--stats"])).unwrap();
+    }
+
+    #[test]
+    fn metrics_command_scrapes_a_live_server() {
+        let path = write_sample();
+        let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let addr = handle.addr().to_string();
+        client(&argv(&[&addr, "LOAD", &path, "AS", "fig2"])).unwrap();
+        client(&argv(&[&addr, "SOLVE", "fig2", "k=2"])).unwrap();
+        metrics(&argv(&[&addr])).unwrap();
+        assert!(metrics(&argv(&[])).is_err(), "metrics needs an address");
+        assert!(
+            metrics(&argv(&["127.0.0.1:1"])).is_err(),
+            "unreachable daemon is an error, not a panic"
+        );
+        client(&argv(&[&addr, "SHUTDOWN"])).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn client_drives_a_live_server() {
         let path = write_sample();
         let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
@@ -529,6 +675,7 @@ mod tests {
             watch: false,
             stats: true,
             cert: None,
+            trace: None,
         };
         let first = solve_on_session(&session, &base("kdc")).unwrap();
         assert_eq!(first, std::process::ExitCode::SUCCESS);

@@ -3,13 +3,15 @@
 //! ```text
 //! kdc solve <graph-file> --k <K> [--preset kdc|kdc_t|kdbb|madec] [--limit S]
 //!           [--nodes N] [--parallel] [--threads N] [--stats] [--watch]
+//!           [--profile]
 //! kdc enumerate <graph-file> --k <K> [--top R] [--diversify]
 //! kdc count <graph-file> --k <K> [--min-size S]
 //! kdc stats <graph-file>
 //! kdc convert <input> <output>      # by extension: .clq/.graph/.txt
 //! kdc gamma [max_k]
-//! kdc serve [--addr A] [--workers N]
+//! kdc serve [--addr A] [--workers N] [--slow-ms T]
 //! kdc client <addr> <command...>
+//! kdc metrics <addr>
 //! ```
 //!
 //! Graph formats are selected by extension: DIMACS `.clq`/`.col`, METIS
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
         "gamma" => commands::gamma(rest).map(|()| ExitCode::SUCCESS),
         "serve" => commands::serve(rest).map(|()| ExitCode::SUCCESS),
         "client" => commands::client(rest),
+        "metrics" => commands::metrics(rest).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -66,15 +69,16 @@ fn usage() -> &'static str {
 USAGE:
   kdc solve <graph-file> --k <K> [--preset kdc|kdc_t|kdbb|madec|rds]
             [--limit <seconds>] [--nodes <N>] [--parallel] [--threads <N>]
-            [--stats] [--watch] [--cert <out-file>]
+            [--stats] [--watch] [--cert <out-file>] [--profile]
   kdc enumerate <graph-file> --k <K> [--top <R>] [--diversify]
   kdc count <graph-file> --k <K> [--min-size <S>]
   kdc verify <graph-file> <certificate-file>
   kdc stats <graph-file>
   kdc convert <input-file> <output-file>
   kdc gamma [max_k]
-  kdc serve [--addr <host:port>] [--workers <N>]
+  kdc serve [--addr <host:port>] [--workers <N>] [--slow-ms <T>]
   kdc client <host:port> <command...>
+  kdc metrics <host:port>
 
 Formats by extension: .clq/.col/.dimacs (DIMACS), .graph/.metis (METIS),
 anything else is read as a 0-based whitespace edge list.
@@ -88,7 +92,8 @@ streams EVENT lines before the final OK):
         [verbose=0|1]
   ENUMERATE <name> k=<K> top=<R>
   COUNT <name> k=<K> [min=<S>]
-  STATS [<name>] | UNLOAD <name> | JOBS | CANCEL <id> | SHUTDOWN"
+  STATS [<name>] | UNLOAD <name> | JOBS | CANCEL <id> | SHUTDOWN
+  METRICS | TRACE <id>                # Prometheus scrape / per-job trace"
 }
 
 /// Loads a graph file with a friendly error.

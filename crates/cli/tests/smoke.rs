@@ -85,6 +85,9 @@ fn solve_stats_prints_reduction_counters() {
     let text = stdout(&out);
     assert!(text.contains("ctcp: vertex-removals"), "output: {text}");
     assert!(text.contains("bounds: prunes"), "output: {text}");
+    // The registry twin of the per-bound cost counters feeds a cumulative
+    // time section onto the bounds line.
+    assert!(text.contains("time-ms ub2="), "output: {text}");
     assert!(text.contains("kdclub"), "output: {text}");
     assert!(text.contains("arena: reuses"), "output: {text}");
     assert!(text.contains("universe-rebuilds"), "output: {text}");
@@ -143,6 +146,29 @@ fn hard_graph() -> PathBuf {
         path
     })
     .clone()
+}
+
+#[test]
+fn solve_profile_prints_phase_and_bound_tables() {
+    let path = sample_graph();
+    let out = run(&["solve", path.to_str().unwrap(), "--k", "2", "--profile"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("profile: phase breakdown"), "output: {text}");
+    // The parse span wraps graph I/O; peel comes from inside the solver.
+    assert!(text.contains("parse"), "output: {text}");
+    assert!(text.contains("peel"), "output: {text}");
+    assert!(text.contains("profile: bound costs"), "output: {text}");
+    assert!(text.contains("invocations"), "output: {text}");
+
+    // Without the flag the profile tables stay off.
+    let out = run(&["solve", path.to_str().unwrap(), "--k", "2"]);
+    let text = stdout(&out);
+    assert!(!text.contains("profile:"), "output: {text}");
 }
 
 #[test]
@@ -314,6 +340,19 @@ fn serve_and_client_roundtrip() {
     let out = client(&["SOLVE", "ghost", "k=2"]);
     assert!(!out.status.success());
     assert!(stdout(&out).starts_with("ERR "), "{}", stdout(&out));
+
+    // `kdc metrics` scrapes and validates the Prometheus exposition the
+    // solves above populated.
+    let out = run(&["metrics", addr.as_str()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("kdc_service_jobs_total"), "{text}");
+    assert!(text.contains("kdc_session_solves_total"), "{text}");
+    assert!(text.contains("kdc_core_bound_invocations_total"), "{text}");
 
     let out = client(&["SHUTDOWN"]);
     assert!(out.status.success());

@@ -267,6 +267,11 @@ pub struct SolverConfig {
     /// search restarts (see [`SolveEvent`]). `None` disables event emission
     /// entirely.
     pub on_event: Option<EventHook>,
+    /// Phase tracer: when installed, the solver records spans for its
+    /// coarse phases (`peel`, `tighten`, `branch`) and the decomposition
+    /// records one `ego` span per re-solved subproblem. `None` (the
+    /// default in every preset) records nothing.
+    pub trace: Option<kdc_obs::Tracer>,
 }
 
 impl SolverConfig {
@@ -296,6 +301,7 @@ impl SolverConfig {
             shared_ctcp: None,
             seed_solution: None,
             on_event: None,
+            trace: None,
         }
     }
 
@@ -326,6 +332,7 @@ impl SolverConfig {
             shared_ctcp: None,
             seed_solution: None,
             on_event: None,
+            trace: None,
         }
     }
 
@@ -405,6 +412,7 @@ impl SolverConfig {
             shared_ctcp: None,
             seed_solution: None,
             on_event: None,
+            trace: None,
         }
     }
 
@@ -434,6 +442,7 @@ impl SolverConfig {
             shared_ctcp: None,
             seed_solution: None,
             on_event: None,
+            trace: None,
         }
     }
 

@@ -39,7 +39,7 @@
 use crate::config::{InitialHeuristic, SolveEvent, SolverConfig};
 use crate::engine::Engine;
 use crate::heuristic;
-use crate::stats::{SearchStats, Solution, Status};
+use crate::stats::{bound, BoundCost, SearchStats, Solution, Status};
 use kdc_graph::graph::{Graph, VertexId};
 use kdc_graph::scratch::Marker;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -296,6 +296,9 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
     let total_nodes = AtomicU64::new(0);
     let total_reuses = AtomicU64::new(0);
     let total_instances = AtomicU64::new(0);
+    // Per-bound telemetry, merged once per worker at exit (never contended
+    // inside the ego loop).
+    let bound_totals: Mutex<[BoundCost; bound::COUNT]> = Mutex::new(Default::default());
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -306,6 +309,7 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                 let mut worker_config = config.clone();
                 worker_config.time_limit = None;
                 let mut arena = SubproblemArena::new(n_red, k, worker_config);
+                let mut local_bounds = [BoundCost::default(); bound::COUNT];
                 loop {
                     let i = next_task.fetch_add(1, Ordering::Relaxed);
                     if i >= n_red {
@@ -351,8 +355,15 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                         continue;
                     }
 
+                    let ego_span = config.trace.as_ref().map(|t| t.span("ego"));
                     let finished = arena.solve_instance(&red_adj, v, lb, deadline);
+                    drop(ego_span);
                     total_nodes.fetch_add(arena.engine.stats.nodes, Ordering::Relaxed);
+                    for (acc, bc) in local_bounds.iter_mut().zip(&arena.engine.stats.bound_costs) {
+                        acc.invocations += bc.invocations;
+                        acc.prunes += bc.prunes;
+                        acc.ns += bc.ns;
+                    }
                     if !finished {
                         let code = if arena.engine.abort_status() == Status::Cancelled {
                             2
@@ -380,6 +391,12 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
                 }
                 total_reuses.fetch_add(arena.reuses, Ordering::Relaxed);
                 total_instances.fetch_add(arena.instances, Ordering::Relaxed);
+                let mut totals = bound_totals.lock().expect("poisoned");
+                for (t, l) in totals.iter_mut().zip(&local_bounds) {
+                    t.invocations += l.invocations;
+                    t.prunes += l.prunes;
+                    t.ns += l.ns;
+                }
             });
         }
     });
@@ -404,6 +421,7 @@ pub fn solve_decomposed(g: &Graph, k: usize, config: SolverConfig, threads: usiz
             arena_reuses: total_reuses.load(Ordering::Relaxed),
             universe_rebuilds: 1,
             ego_subproblems: total_instances.load(Ordering::Relaxed),
+            bound_costs: bound_totals.into_inner().expect("poisoned"),
             search_time: t0.elapsed(),
             ..Default::default()
         },

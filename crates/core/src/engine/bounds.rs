@@ -24,6 +24,24 @@
 //!   but never loosen it.
 
 use super::Engine;
+use crate::stats::bound;
+
+/// Nanoseconds since `*t` (updating it to now), or 0 when timing is off.
+/// The per-bound cost attribution in [`Engine::upper_bound`] threads one
+/// running timestamp through the stages so each executed stage costs at
+/// most one extra clock read.
+#[inline]
+fn lap_ns(t: &mut Option<std::time::Instant>) -> u64 {
+    match t {
+        Some(prev) => {
+            let now = std::time::Instant::now();
+            let ns = now.duration_since(*prev).as_nanos() as u64;
+            *prev = now;
+            ns
+        }
+        None => 0,
+    }
+}
 
 impl Engine {
     /// Computes an upper bound for the current instance, evaluating the
@@ -40,6 +58,11 @@ impl Engine {
         let budget = self.k - self.missing_in_s;
 
         let mut best = usize::MAX;
+        let mut t = if self.obs_timing {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
 
         if self.config.enable_ub2 && s > 0 {
             let min_deg = self.vs[..s]
@@ -48,7 +71,11 @@ impl Engine {
                 .min()
                 .expect("S nonempty");
             best = best.min(min_deg + 1 + self.k);
+            let bc = &mut self.stats.bound_costs[bound::UB2];
+            bc.invocations += 1;
+            bc.ns += lap_ns(&mut t);
             if best <= lb {
+                bc.prunes += 1;
                 return (best, false, false);
             }
         }
@@ -66,7 +93,11 @@ impl Engine {
                 cnt += 1;
             }
             best = best.min(s + cnt);
+            let bc = &mut self.stats.bound_costs[bound::UB3];
+            bc.invocations += 1;
+            bc.ns += lap_ns(&mut t);
             if best <= lb {
+                bc.prunes += 1;
                 return (best, false, false);
             }
         }
@@ -83,7 +114,13 @@ impl Engine {
                 }
                 best = best.min(ub1);
             }
+            // Cost attribution lumps UB1 and the Eq. (2) replacement
+            // together: exactly one colouring family is active per preset.
+            let bc = &mut self.stats.bound_costs[bound::UB1];
+            bc.invocations += 1;
+            bc.ns += lap_ns(&mut t);
             if best <= lb {
+                bc.prunes += 1;
                 return (best, ub1_flag, false);
             }
         }
@@ -98,7 +135,11 @@ impl Engine {
                 ub1_flag = false;
                 best = ubk;
             }
+            let bc = &mut self.stats.bound_costs[bound::KDCLUB];
+            bc.invocations += 1;
+            bc.ns += lap_ns(&mut t);
             if best <= lb {
+                bc.prunes += 1;
                 return (best, ub1_flag, kdclub_flag);
             }
         }
@@ -114,6 +155,14 @@ impl Engine {
                 ub1_flag = false;
                 kdclub_flag = false;
                 best = ub4;
+            }
+            let bc = &mut self.stats.bound_costs[bound::UB4];
+            bc.invocations += 1;
+            bc.ns += lap_ns(&mut t);
+            // Every earlier stage returns on a prune, so reaching this
+            // point with `best <= lb` means UB4 closed the instance.
+            if best <= lb {
+                bc.prunes += 1;
             }
         }
 

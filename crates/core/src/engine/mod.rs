@@ -139,6 +139,10 @@ pub(crate) struct Engine {
 
     pub(crate) config: SolverConfig,
     pub(crate) stats: SearchStats,
+    /// Whether per-bound wall-clock attribution is on, sampled from
+    /// [`kdc_obs::enabled`] at construction so the per-node decision is a
+    /// plain field load rather than an atomic.
+    pub(crate) obs_timing: bool,
 
     /// Rank of each vertex in a degeneracy ordering of the universe graph
     /// (colouring order for UB1: descending rank = reverse degeneracy order).
@@ -230,6 +234,7 @@ impl Engine {
             pool_r: 0,
             pool: Vec::new(),
             stats: SearchStats::default(),
+            obs_timing: kdc_obs::enabled(),
             root_rank: Vec::new(),
             order_by_rank: Vec::new(),
             scratch_classes: Vec::new(),

@@ -58,4 +58,4 @@ mod engine;
 pub use config::{BranchPolicy, CancelFlag, EventHook, InitialHeuristic, SolveEvent, SolverConfig};
 pub use gamma::{gamma_k, sigma_k};
 pub use solver::{max_defective_clique, Solver};
-pub use stats::{SearchStats, Solution, Status};
+pub use stats::{bound, BoundCost, SearchStats, Solution, Status};

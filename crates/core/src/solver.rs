@@ -55,7 +55,10 @@ impl<'g> Solver<'g> {
 
         // Line 1 of Algorithm 2: initial solution, possibly beaten by an
         // installed known-solution seed (warm service solves).
+        let trace = config.trace.clone();
+        let peel_span = trace.as_ref().map(|t| t.span("peel"));
         let mut best = initial_solution(graph, k, &config);
+        drop(peel_span);
         debug_assert!(graph.is_k_defective_clique(&best, k));
         if let Some(seed) = &config.seed_solution {
             if seed.len() > best.len() && valid_seed(graph, seed, k) {
@@ -77,6 +80,7 @@ impl<'g> Solver<'g> {
         let mut ctcp = resident_ctcp(graph, k, &config, lb0);
         let removed = Arc::new((AtomicU64::new(0), AtomicU64::new(0)));
         {
+            let _tighten_span = trace.as_ref().map(|t| t.span("tighten"));
             let mut c = ctcp.lock().expect("poisoned");
             let rem = c.tighten(lb0);
             if !rem.is_empty() {
@@ -139,10 +143,12 @@ impl<'g> Solver<'g> {
             let hook_ctcp = Arc::clone(&ctcp);
             let hook_removed = Arc::clone(&removed);
             let hook_events = config.on_event.clone();
+            let hook_trace = trace.clone();
             engine.set_improve_hook(Box::new(move |new_lb| {
                 if let Some(events) = &hook_events {
                     events.emit(SolveEvent::Incumbent { size: new_lb });
                 }
+                let _tighten_span = hook_trace.as_ref().map(|t| t.span("tighten"));
                 let rem = hook_ctcp.lock().expect("poisoned").tighten(new_lb);
                 hook_removed
                     .0
@@ -160,7 +166,9 @@ impl<'g> Solver<'g> {
                     false
                 }
             }));
+            let branch_span = trace.as_ref().map(|t| t.span("branch"));
             let completed = engine.run();
+            drop(branch_span);
             if engine.best().len() > best.len() {
                 best = engine.best().iter().map(|&v| keep[v as usize]).collect();
             }
@@ -458,6 +466,16 @@ mod tests {
         assert!(
             sol.stats.universe_rebuilds >= 1,
             "the root universe is always extracted once"
+        );
+        // Per-bound telemetry: some bound is evaluated during the search,
+        // and prune counts can never exceed invocation counts.
+        let costs = &sol.stats.bound_costs;
+        assert!(costs.iter().map(|bc| bc.invocations).sum::<u64>() > 0);
+        assert!(costs.iter().all(|bc| bc.prunes <= bc.invocations));
+        assert_eq!(
+            costs.iter().map(|bc| bc.prunes).sum::<u64>(),
+            sol.stats.bound_prunes,
+            "stage attribution must cover exactly the bound prunes"
         );
     }
 

@@ -40,6 +40,42 @@ impl Solution {
     }
 }
 
+/// Indices into [`SearchStats::bound_costs`], in evaluation order of
+/// the engine's candidate-set upper bounds.
+pub mod bound {
+    /// UB2 — minimum-S-degree bound (evaluated first, early exit).
+    pub const UB2: usize = 0;
+    /// UB3 — non-neighbour-prefix bound (second, early exit).
+    pub const UB3: usize = 1;
+    /// UB1 / Eq. (2) — colouring bound.
+    pub const UB1: usize = 2;
+    /// KD-Club-style per-node re-colouring bound.
+    pub const KDCLUB: usize = 3;
+    /// UB4 — second-order bound (experimental, off in every preset).
+    pub const UB4: usize = 4;
+    /// Number of tracked bounds.
+    pub const COUNT: usize = 5;
+    /// Metric-label names, indexed like [`SearchStats::bound_costs`].
+    ///
+    /// [`SearchStats::bound_costs`]: crate::SearchStats
+    pub const NAMES: [&str; COUNT] = ["ub2", "ub3", "ub1", "kdclub", "ub4"];
+}
+
+/// Per-bound telemetry: how often a bound ran, how often it was the bound
+/// that closed the instance, and what it cost. `ns` is only accumulated
+/// while `kdc_obs` observability is enabled (the clock reads are skipped
+/// otherwise); invocation and prune counts are always maintained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoundCost {
+    /// Times the bound was evaluated.
+    pub invocations: u64,
+    /// Times this bound was the one that pruned the instance.
+    pub prunes: u64,
+    /// Cumulative evaluation time in nanoseconds (0 when observability is
+    /// disabled).
+    pub ns: u64,
+}
+
 /// Counters describing a branch-and-bound run. All counters are best-effort
 /// and intended for experiments/ablations, not for control flow.
 #[derive(Clone, Debug, Default)]
@@ -70,6 +106,10 @@ pub struct SearchStats {
     pub kdclub_prunes: u64,
     /// Instances pruned while applying RR5 to a vertex of S.
     pub s_vertex_prunes: u64,
+    /// Per-bound invocation/prune/cost telemetry, indexed by the constants
+    /// in [`bound`]. Supersedes nothing: `bound_prunes`, `ub1_prunes` and
+    /// `kdclub_prunes` keep their historical meaning.
+    pub bound_costs: [BoundCost; bound::COUNT],
     /// Size of the initial heuristic solution (|C0|).
     pub initial_solution_size: usize,
     /// Vertices of the reduced graph after preprocessing (n0).
@@ -118,6 +158,11 @@ impl SearchStats {
         self.ub1_prunes += other.ub1_prunes;
         self.kdclub_prunes += other.kdclub_prunes;
         self.s_vertex_prunes += other.s_vertex_prunes;
+        for (mine, theirs) in self.bound_costs.iter_mut().zip(&other.bound_costs) {
+            mine.invocations += theirs.invocations;
+            mine.prunes += theirs.prunes;
+            mine.ns += theirs.ns;
+        }
         self.ctcp_vertex_removals += other.ctcp_vertex_removals;
         self.ctcp_edge_removals += other.ctcp_edge_removals;
         self.arena_reuses += other.arena_reuses;

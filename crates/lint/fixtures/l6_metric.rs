@@ -1,0 +1,45 @@
+//! Fixture for the `metric_names` rule: the violation shapes (missing
+//! `kdc_` prefix, too few segments, uppercase, empty segment) plus every
+//! escape (valid names, definitions, dynamic names, the allow comment,
+//! test regions).
+
+struct Registry;
+
+impl Registry {
+    // Definitions are not call sites: `&self` follows the paren.
+    fn register_counter(&self, name: &'static str) -> usize {
+        name.len()
+    }
+    fn register_gauge(&self, name: &'static str) -> usize {
+        name.len()
+    }
+}
+
+fn bad(reg: &Registry) -> usize {
+    reg.register_counter("session_hits_total") // no kdc_ prefix
+        + reg.register_counter("kdc_hits") // only two segments
+        + reg.register_gauge("kdc_queue_Depth") // uppercase
+        + reg.register_counter("kdc__hits_total") // empty segment
+}
+
+fn good(reg: &Registry) -> usize {
+    reg.register_counter("kdc_session_hits_total")
+        + reg.register_gauge("kdc_service_queue_depth")
+        + reg.register_counter("kdc_core_bound_ns_total")
+        // kdc-lint: allow(metric_names) — grandfathered external scrape name.
+        + reg.register_counter("legacy_scrape_name")
+}
+
+fn dynamic(reg: &Registry, name: &'static str) -> usize {
+    // Non-literal first argument: out of the rule's syntactic reach.
+    reg.register_counter(name)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_names_are_fine_in_tests() {
+        let reg = super::Registry;
+        assert_eq!(reg.register_counter("x"), 1);
+    }
+}

@@ -5,11 +5,12 @@
 //!
 //! A std-only linter purpose-built for this repository: a hand-rolled
 //! Rust [`lexer`], a per-file [`context`] (test-region scoping,
-//! `// kdc-lint: allow(<rule>)` escape hatches), and five [`rules`] that
+//! `// kdc-lint: allow(<rule>)` escape hatches), and six [`rules`] that
 //! encode the invariants the daemon and the hot paths depend on — no
 //! panics in request paths, no `unsafe`, a declared lock hierarchy, no
-//! allocation in annotated kernels, and documented failure modes on the
-//! public API. `cargo run -p kdc_lint -- check` gates CI; `--json`
+//! allocation in annotated kernels, documented failure modes on the
+//! public API, and one `kdc_<subsystem>_<name>` namespace for every
+//! registered metric. `cargo run -p kdc_lint -- check` gates CI; `--json`
 //! emits machine-readable findings for baseline diffing.
 //!
 //! The runtime half of the same invariants lives elsewhere:
@@ -142,6 +143,7 @@ pub fn check_source(rel_path: &str, src: &str, order: &LockOrder) -> Vec<Finding
     rules::lock_order(&ctx, order, &mut findings);
     rules::hot_path_alloc(&ctx, &mut findings);
     rules::doc_errors(&ctx, &mut findings);
+    rules::metric_names(&ctx, &mut findings);
     findings
 }
 

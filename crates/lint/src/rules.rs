@@ -1,4 +1,4 @@
-//! The rule catalog: five token-pattern rules over a [`FileContext`].
+//! The rule catalog: six token-pattern rules over a [`FileContext`].
 //!
 //! | rule             | scope                       | what it flags |
 //! |------------------|-----------------------------|---------------|
@@ -7,6 +7,7 @@
 //! | `lock_order`     | whole tree                  | acquiring a lower-ranked lock (per `LOCK_ORDER.md`) while a higher-ranked guard is live |
 //! | `hot_path_alloc` | `// kdc-lint: hot-path` fns | allocating calls (`Vec::new`, `with_capacity`, `to_vec`, `collect()`, `format!`, …) |
 //! | `doc_errors`     | `kdc_api`                   | `pub fn … -> Result` without an `# Errors` doc section |
+//! | `metric_names`   | whole tree                  | `register_*("…")` call sites whose series name is not `kdc_<subsystem>_<name>` snake-case |
 //!
 //! Every rule honours `// kdc-lint: allow(<rule>)` on the offending
 //! statement (see [`FileContext::allowed`]) and skips test regions where
@@ -476,6 +477,63 @@ pub fn doc_errors(ctx: &FileContext, out: &mut Vec<Finding>) {
             ));
         }
     }
+}
+
+/// L6 — metric naming. Every `register_*("…")` call site must register a
+/// series named `kdc_<subsystem>_<name>`: the `kdc_` prefix plus at least
+/// two more non-empty snake-case segments of lowercase letters and
+/// digits. One namespace across every surface means a Prometheus scrape
+/// is greppable (`kdc_session_*`, `kdc_service_*`, `kdc_core_*`) and two
+/// crates can never claim the same series with different spellings.
+///
+/// Purely syntactic: only call sites whose *first argument is a string
+/// literal* are checked. Definitions (`fn register_counter(&self, …)`)
+/// put `&self` after the paren, and dynamic names (`register_counter(n)`)
+/// are out of reach by design — every current registration site in the
+/// tree uses a literal.
+pub fn metric_names(ctx: &FileContext, out: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !t.text.starts_with("register_") {
+            continue;
+        }
+        let Some(lit) = toks
+            .get(i + 1)
+            .filter(|n| n.text == "(")
+            .and_then(|_| toks.get(i + 2))
+            .filter(|n| n.kind == TokKind::Literal && n.text.starts_with('"'))
+        else {
+            continue;
+        };
+        if ctx.in_test(t.line) || ctx.allowed("metric_names", t.line) {
+            continue;
+        }
+        let name = lit.text.trim_matches('"');
+        if !valid_metric_name(name) {
+            out.push(finding(
+                ctx,
+                "metric_names",
+                t.line,
+                format!(
+                    "metric name {name:?} is not `kdc_<subsystem>_<name>` snake-case \
+                     (kdc_ prefix, >= 3 segments of [a-z0-9])"
+                ),
+            ));
+        }
+    }
+}
+
+/// `kdc_<subsystem>_<name>`: at least three non-empty `_`-separated
+/// segments of ASCII lowercase/digits, the first being `kdc`.
+fn valid_metric_name(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('_').collect();
+    segments.len() >= 3
+        && segments[0] == "kdc"
+        && segments.iter().all(|s| {
+            !s.is_empty()
+                && s.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit())
+        })
 }
 
 /// The contiguous `///` doc-comment block above `line`, skipping

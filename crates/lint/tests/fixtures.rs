@@ -116,6 +116,36 @@ fn l5_doc_errors_fixture() {
 }
 
 #[test]
+fn l6_metric_names_fixture() {
+    let src = fixture("l6_metric.rs");
+    let findings = check_source("crates/obs/src/fixture.rs", &src, &LockOrder::default());
+    let lines = lines_of(&findings, "metric_names");
+    assert_eq!(lines.len(), 4, "exactly the four violations: {findings:?}");
+    for what in [
+        "session_hits_total",
+        "kdc_hits",
+        "kdc_queue_Depth",
+        "kdc__hits_total",
+    ] {
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "metric_names" && f.message.contains(what)),
+            "missing {what}: {findings:?}"
+        );
+    }
+    // Valid names, definitions, dynamic names, the allow comment and the
+    // test region contribute nothing.
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.message.contains("kdc_session_hits_total")
+                || f.message.contains("legacy_scrape_name")),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn lexer_torture_is_clean_under_every_rule() {
     let src = fixture("lexer_torture.rs");
     // Daemon scope + crate root + lock manifest: the harshest combination.
@@ -171,8 +201,8 @@ fn whole_tree_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let ws = Workspace::open(&root).expect("workspace");
     assert!(
-        ws.lock_order().len() >= 7,
-        "LOCK_ORDER.md must declare the hierarchy"
+        ws.lock_order().len() >= 8,
+        "LOCK_ORDER.md must declare the hierarchy (incl. the obs registry)"
     );
     let findings = ws.check_all().expect("lint run");
     assert!(

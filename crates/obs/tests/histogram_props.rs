@@ -1,0 +1,66 @@
+//! Property tests for the log-linear histogram math (ISSUE 7 satellite):
+//! bucket monotonicity, merge associativity/commutativity, and the quantile
+//! bracket guarantee, at 256 cases each.
+
+use kdc_obs::metrics::{bucket_hi, bucket_index, bucket_lo, bucket_width, NUM_BUCKETS};
+use kdc_obs::HistogramSnapshot;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// bucket_index is monotone non-decreasing and consistent with the
+    /// bucket boundary functions.
+    #[test]
+    fn bucket_monotonicity(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        let i = bucket_index(lo);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lo(i) <= lo && lo <= bucket_hi(i));
+        prop_assert_eq!(bucket_hi(i).saturating_sub(bucket_lo(i)) + 1, bucket_width(i));
+    }
+
+    /// Merging is commutative and associative bucketwise.
+    #[test]
+    fn merge_laws(
+        xs in vec(0u64..1_000_000_000, 0..64),
+        ys in vec(0u64..1_000_000_000, 0..64),
+        zs in vec(0u64..1_000_000_000, 0..64),
+    ) {
+        let (a, b, c) = (
+            HistogramSnapshot::from_samples(&xs),
+            HistogramSnapshot::from_samples(&ys),
+            HistogramSnapshot::from_samples(&zs),
+        );
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        // Merging equals histogramming the concatenation.
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        prop_assert_eq!(a.merge(&b), HistogramSnapshot::from_samples(&all));
+    }
+
+    /// The reported p99 (and p50) bracket the true quantile from above
+    /// within one bucket width.
+    #[test]
+    fn quantile_brackets_truth(
+        mut samples in vec(0u64..10_000_000_000, 1..256),
+        q in 0.01f64..1.0,
+    ) {
+        let snap = HistogramSnapshot::from_samples(&samples);
+        samples.sort_unstable();
+        for q in [q, 0.5, 0.99] {
+            let rank = ((q * samples.len() as f64).ceil() as usize)
+                .clamp(1, samples.len());
+            let truth = samples[rank - 1];
+            let est = snap.quantile(q);
+            prop_assert!(est >= truth, "q={q}: est {est} < truth {truth}");
+            prop_assert!(
+                est - truth <= bucket_width(bucket_index(truth)),
+                "q={q}: est {est} overshoots truth {truth} by more than one bucket"
+            );
+        }
+    }
+}

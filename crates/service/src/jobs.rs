@@ -19,7 +19,7 @@ use kdc::{CancelFlag, Status};
 use kdc_api::{Budget, Observer, Options, Outcome, Query};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A Debug-opaque observer handle, so [`JobSpec`] stays derive-Debuggable
 /// while a verbose job streams [`kdc_api::Event`]s back to its connection.
@@ -52,6 +52,9 @@ pub enum JobSpec {
         threads: usize,
         /// Event stream for `SOLVE verbose=1` connections.
         observer: Option<JobObserver>,
+        /// Phase-span recorder for the `TRACE <id>` verb and the slow-query
+        /// log; the queue keeps a clone on the job record.
+        trace: Option<kdc_obs::Tracer>,
     },
     /// Top-r maximal k-defective clique enumeration.
     Enumerate {
@@ -74,6 +77,14 @@ pub enum JobSpec {
 }
 
 impl JobSpec {
+    /// The job's tracer, if one was attached (`Solve` only).
+    fn trace(&self) -> Option<kdc_obs::Tracer> {
+        match self {
+            JobSpec::Solve { trace, .. } => trace.clone(),
+            _ => None,
+        }
+    }
+
     /// Compact single-token description for `JOBS` listings.
     fn describe(&self) -> String {
         match self {
@@ -138,6 +149,11 @@ pub struct JobInfo {
     pub state: JobState,
     /// Compact description, e.g. `solve(g1,k=2,preset=kdc)`.
     pub description: String,
+    /// Nanoseconds spent waiting in the queue (still growing while queued).
+    pub queued_ns: u64,
+    /// Nanoseconds spent executing (0 if never started; still growing
+    /// while running).
+    pub running_ns: u64,
 }
 
 struct JobRecord {
@@ -145,6 +161,36 @@ struct JobRecord {
     description: String,
     cancel: CancelFlag,
     outcome: Option<JobOutcome>,
+    submitted: Instant,
+    started: Option<Instant>,
+    finished: Option<Instant>,
+    trace: Option<kdc_obs::Tracer>,
+}
+
+impl JobRecord {
+    /// Queue-wait so far: submission to pickup (or finalization, for jobs
+    /// cancelled while queued; `now` while still waiting).
+    fn queued_ns(&self, now: Instant) -> u64 {
+        let end = self.started.or(self.finished).unwrap_or(now);
+        duration_ns(end.saturating_duration_since(self.submitted))
+    }
+
+    /// Execution time so far: pickup to completion (`now` while running,
+    /// 0 if never picked up).
+    fn running_ns(&self, now: Instant) -> u64 {
+        match self.started {
+            None => 0,
+            Some(started) => {
+                let end = self.finished.unwrap_or(now);
+                duration_ns(end.saturating_duration_since(started))
+            }
+        }
+    }
+}
+
+/// Saturating nanosecond count of a duration.
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 #[derive(Default)]
@@ -165,6 +211,12 @@ pub struct JobQueue {
     state: TrackedMutex<QueueState>,
     work_ready: Condvar,
     job_done: Condvar,
+    /// Registry twins: current queue depth, lifetime submissions, and the
+    /// queue-wait / execution latency distributions.
+    depth: kdc_obs::Gauge,
+    jobs_total: kdc_obs::Counter,
+    queue_wait_ns: kdc_obs::Histogram,
+    job_duration_ns: kdc_obs::Histogram,
 }
 
 impl Default for JobQueue {
@@ -176,10 +228,15 @@ impl Default for JobQueue {
 impl JobQueue {
     /// An empty queue.
     pub fn new() -> Self {
+        let r = kdc_obs::registry();
         JobQueue {
             state: TrackedMutex::new(rank::JOB_QUEUE, "JobQueue::state", QueueState::default()),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
+            depth: r.register_gauge("kdc_service_queue_depth"),
+            jobs_total: r.register_counter("kdc_service_jobs_total"),
+            queue_wait_ns: r.register_histogram("kdc_service_queue_wait_ns"),
+            job_duration_ns: r.register_histogram("kdc_service_job_duration_ns"),
         }
     }
 
@@ -187,6 +244,7 @@ impl JobQueue {
     /// [`JobQueue::shutdown`] the job is finalized as cancelled on the spot
     /// (no worker will ever pop it), so waiters never block forever.
     pub fn submit(&self, spec: JobSpec) -> u64 {
+        let now = Instant::now();
         let mut state = self.state.lock();
         state.next_id += 1;
         let id = state.next_id;
@@ -203,12 +261,18 @@ impl JobQueue {
                 cancel: CancelFlag::new(),
                 outcome: shutting_down
                     .then(|| JobOutcome::Error("server shutting down".to_string())),
+                submitted: now,
+                started: None,
+                finished: shutting_down.then_some(now),
+                trace: spec.trace(),
             },
         );
         state.history.push(id);
         if !shutting_down {
             state.queue.push_back((id, spec));
         }
+        self.jobs_total.inc();
+        self.depth.set(state.queue.len() as i64);
         drop(state);
         self.work_ready.notify_one();
         id
@@ -249,7 +313,9 @@ impl JobQueue {
             record.outcome = Some(JobOutcome::Error(format!(
                 "job {id} cancelled while queued"
             )));
+            record.finished = Some(Instant::now());
             state.queue.retain(|(queued_id, _)| *queued_id != id);
+            self.depth.set(state.queue.len() as i64);
             drop(state);
             self.job_done.notify_all();
         }
@@ -258,6 +324,7 @@ impl JobQueue {
 
     /// Every job ever submitted, in submission order.
     pub fn list(&self) -> Vec<JobInfo> {
+        let now = Instant::now();
         let state = self.state.lock();
         state
             .history
@@ -268,9 +335,24 @@ impl JobQueue {
                     id: *id,
                     state: record.state,
                     description: record.description.clone(),
+                    queued_ns: record.queued_ns(now),
+                    running_ns: record.running_ns(now),
                 })
             })
             .collect()
+    }
+
+    /// The tracer attached to job `id`, if the job carried one (solves
+    /// submitted over the daemon protocol do).
+    pub fn trace(&self, id: u64) -> Result<kdc_obs::Tracer, String> {
+        let state = self.state.lock();
+        match state.records.get(&id) {
+            None => Err(format!("unknown job {id}")),
+            Some(record) => record
+                .trace
+                .clone()
+                .ok_or_else(|| format!("job {id} has no trace (only solves are traced)")),
+        }
     }
 
     /// Stops the pool: cancels everything outstanding and wakes all workers
@@ -278,14 +360,17 @@ impl JobQueue {
     pub fn shutdown(&self) {
         let mut state = self.state.lock();
         state.shutdown = true;
+        let now = Instant::now();
         for record in state.records.values_mut() {
             record.cancel.cancel();
             if record.state == JobState::Queued {
                 record.state = JobState::Cancelled;
                 record.outcome = Some(JobOutcome::Error("server shutting down".to_string()));
+                record.finished = Some(now);
             }
         }
         state.queue.clear();
+        self.depth.set(0);
         drop(state);
         self.work_ready.notify_all();
         self.job_done.notify_all();
@@ -309,7 +394,12 @@ impl JobQueue {
                     continue;
                 }
                 record.state = JobState::Running;
+                let now = Instant::now();
+                record.started = Some(now);
+                let wait_ns = record.queued_ns(now);
                 let flag = record.cancel.clone();
+                self.depth.set(state.queue.len() as i64);
+                self.queue_wait_ns.observe(wait_ns);
                 return Some((id, spec, flag));
             }
             state.wait(&self.work_ready);
@@ -318,10 +408,13 @@ impl JobQueue {
 
     /// Worker side: publishes the outcome and wakes waiters.
     fn finish(&self, id: u64, state_after: JobState, outcome: JobOutcome) {
+        let now = Instant::now();
         let mut state = self.state.lock();
         if let Some(record) = state.records.get_mut(&id) {
             record.state = state_after;
             record.outcome = Some(outcome);
+            record.finished = Some(now);
+            self.job_duration_ns.observe(record.running_ns(now));
         }
         drop(state);
         self.job_done.notify_all();
@@ -331,6 +424,7 @@ impl JobQueue {
 /// Executes one job spec with the given cancel flag; a pure dispatch onto
 /// the entry's [`kdc_api::Session`], so it is unit-testable without a pool.
 pub fn run_job(spec: &JobSpec, cancel: CancelFlag) -> JobOutcome {
+    let trace = spec.trace();
     let (entry, query, budget, options, observer) = match spec {
         JobSpec::Solve {
             entry,
@@ -340,6 +434,7 @@ pub fn run_job(spec: &JobSpec, cancel: CancelFlag) -> JobOutcome {
             nodes,
             threads,
             observer,
+            ..
         } => {
             let options = match Options::preset(preset) {
                 Ok(options) => options,
@@ -380,7 +475,7 @@ pub fn run_job(spec: &JobSpec, cancel: CancelFlag) -> JobOutcome {
     };
     match entry
         .session()
-        .run_with(&query, &budget, &options, observer)
+        .run_observed(&query, &budget, &options, observer, trace)
     {
         Ok(outcome) => JobOutcome::Done(Box::new(outcome)),
         Err(e) => JobOutcome::Error(e),
@@ -475,6 +570,7 @@ mod tests {
             nodes: None,
             threads: 1,
             observer: None,
+            trace: None,
         }
     }
 
@@ -591,6 +687,7 @@ mod tests {
             nodes: None,
             threads: 1,
             observer: Some(JobObserver(observer)),
+            trace: None,
         });
         queue.cancel(id).unwrap();
         assert!(
@@ -649,6 +746,7 @@ mod tests {
             nodes: Some(1),
             threads: 1,
             observer: None,
+            trace: None,
         };
         let JobOutcome::Done(outcome) = run_job(&spec, CancelFlag::new()) else {
             panic!("expected solve outcome");

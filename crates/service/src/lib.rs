@@ -73,4 +73,4 @@ pub mod sync;
 pub use cache::{GraphCache, GraphEntry};
 pub use jobs::{JobInfo, JobObserver, JobOutcome, JobQueue, JobSpec, JobState, WorkerPool};
 pub use protocol::{parse_command, Command};
-pub use server::{request, Server, ServerHandle};
+pub use server::{request, Server, ServerHandle, DEFAULT_SLOW_THRESHOLD};

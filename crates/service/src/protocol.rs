@@ -14,6 +14,8 @@
 //! UNLOAD <name>
 //! JOBS
 //! CANCEL <id>
+//! METRICS
+//! TRACE <id>
 //! SHUTDOWN
 //! ```
 //!
@@ -21,6 +23,12 @@
 //! key=value ...` lines streamed while the search runs (incumbent
 //! improvements, reducer retightens, restarts); the final line is the usual
 //! `OK`/`ERR`. Clients must read until a non-`EVENT` line.
+//!
+//! `METRICS` similarly streams the process-global registry in Prometheus
+//! text exposition format, one `METRIC <sample-or-header>` line per
+//! exposition line, terminated by `OK series=<N>`; clients must read until
+//! a non-`METRIC` line. `TRACE <id>` returns a solve job's recorded phase
+//! spans as a single-line chrome://tracing JSON array.
 //!
 //! Verbs are case-insensitive; `<path>` and `<name>` must be free of
 //! whitespace (and, because `key=value` tokens are options, free of `=`).
@@ -98,6 +106,13 @@ pub enum Command {
     Jobs,
     /// `CANCEL <id>` — cooperatively cancel a queued or running job.
     Cancel {
+        /// Job id as reported by `JOBS`.
+        id: u64,
+    },
+    /// `METRICS` — stream the global registry in Prometheus text format.
+    Metrics,
+    /// `TRACE <id>` — a solve job's phase spans as chrome://tracing JSON.
+    Trace {
         /// Job id as reported by `JOBS`.
         id: u64,
     },
@@ -259,6 +274,19 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 .parse()
                 .map_err(|_| format!("invalid job id {:?}", positional[0]))?;
             Ok(Command::Cancel { id })
+        }
+        "METRICS" => {
+            known_options(&[])?;
+            positional_count(0, "METRICS")?;
+            Ok(Command::Metrics)
+        }
+        "TRACE" => {
+            known_options(&[])?;
+            positional_count(1, "TRACE <id>")?;
+            let id = positional[0]
+                .parse()
+                .map_err(|_| format!("invalid job id {:?}", positional[0]))?;
+            Ok(Command::Trace { id })
         }
         "SHUTDOWN" => {
             known_options(&[])?;
@@ -480,6 +508,17 @@ mod tests {
         assert_eq!(parse_command("shutdown").unwrap(), Command::Shutdown);
         assert!(parse_command("").is_err());
         assert!(parse_command("FROBNICATE").is_err());
+    }
+
+    #[test]
+    fn parses_observability_commands() {
+        assert_eq!(parse_command("METRICS").unwrap(), Command::Metrics);
+        assert_eq!(parse_command("metrics").unwrap(), Command::Metrics);
+        assert!(parse_command("METRICS all").is_err());
+        assert_eq!(parse_command("TRACE 3").unwrap(), Command::Trace { id: 3 });
+        assert!(parse_command("TRACE").is_err(), "id required");
+        assert!(parse_command("TRACE three").is_err());
+        assert!(parse_command("TRACE 3 verbose=1").is_err());
     }
 
     #[test]

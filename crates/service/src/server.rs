@@ -14,7 +14,7 @@ use kdc::Status;
 use kdc_api::{Event, Observer, Options};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -25,6 +25,11 @@ struct Daemon {
     queue: Arc<JobQueue>,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// Slow-query threshold in nanoseconds; solves at or above it are
+    /// logged to stderr with their phase breakdown. `u64::MAX` disables.
+    slow_threshold_ns: AtomicU64,
+    /// Registry twin counting slow-query log entries.
+    slow_queries: kdc_obs::Counter,
 }
 
 impl Daemon {
@@ -90,9 +95,21 @@ impl Server {
                 queue: Arc::new(JobQueue::new()),
                 shutdown: AtomicBool::new(false),
                 addr,
+                slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD.as_nanos() as u64),
+                slow_queries: kdc_obs::registry()
+                    .register_counter("kdc_service_slow_queries_total"),
             }),
             workers,
         })
+    }
+
+    /// Sets the slow-query threshold (default [`DEFAULT_SLOW_THRESHOLD`]):
+    /// solves whose wall-clock reaches it are logged to stderr with their
+    /// per-phase time breakdown. `Duration::ZERO` logs every solve.
+    pub fn with_slow_threshold(self, threshold: Duration) -> Self {
+        let ns = threshold.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.daemon.slow_threshold_ns.store(ns, Ordering::Relaxed);
+        self
     }
 
     /// The bound address.
@@ -141,6 +158,9 @@ impl Server {
 /// a few options) is far below this; past it the sender is broken or
 /// hostile and an unbounded `read_line` would buffer its bytes forever.
 const MAX_LINE_BYTES: u64 = 64 * 1024;
+
+/// Default slow-query threshold (see [`Server::with_slow_threshold`]).
+pub const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_secs(1);
 
 fn handle_connection(stream: TcpStream, daemon: &Daemon) {
     let Ok(read_half) = stream.try_clone() else {
@@ -240,7 +260,16 @@ fn execute(command: Command, daemon: &Daemon, writer: &mut TcpStream) -> (String
             let jobs = daemon.queue.list();
             let rendered: Vec<String> = jobs
                 .iter()
-                .map(|j| format!("{}:{}:{}", j.id, j.state.as_str(), j.description))
+                .map(|j| {
+                    format!(
+                        "{}:{}:{}:queued_ns={}:running_ns={}",
+                        j.id,
+                        j.state.as_str(),
+                        j.description,
+                        j.queued_ns,
+                        j.running_ns
+                    )
+                })
                 .collect();
             Ok(OkLine::new()
                 .field("count", jobs.len())
@@ -253,6 +282,15 @@ fn execute(command: Command, daemon: &Daemon, writer: &mut TcpStream) -> (String
                 .field("was", was.as_str())
                 .render()
         }),
+        Command::Metrics => metrics(writer),
+        Command::Trace { id } => daemon.queue.trace(id).map(|trace| {
+            OkLine::new()
+                .field("job", id)
+                .field("spans", trace.len())
+                .field("dropped", trace.dropped())
+                .field("trace", trace.export_chrome_json())
+                .render()
+        }),
         Command::Shutdown => {
             return (OkLine::new().field("shutdown", "ok").render(), true);
         }
@@ -261,6 +299,24 @@ fn execute(command: Command, daemon: &Daemon, writer: &mut TcpStream) -> (String
         Ok(line) => (line, false),
         Err(e) => (err_line(&e), false),
     }
+}
+
+/// Streams the global registry as `METRIC <line>` lines onto the
+/// connection; the returned final line reports the number of sample lines
+/// (exposition lines that are not `# TYPE` headers). A dead client cannot
+/// be told about write failures; the final line's delivery is attempted by
+/// the caller like any other response.
+fn metrics(writer: &mut TcpStream) -> Result<String, String> {
+    let text = kdc_obs::registry().render_prometheus();
+    let mut series = 0usize;
+    for line in text.lines() {
+        if !line.starts_with('#') {
+            series += 1;
+        }
+        let _ = writer.write_all(format!("METRIC {line}\n").as_bytes());
+    }
+    let _ = writer.flush();
+    Ok(OkLine::new().field("series", series).render())
 }
 
 /// Parameters of one `SOLVE` request (bundled to keep the call sites flat).
@@ -317,14 +373,18 @@ fn solve(
     } else {
         (None, None)
     };
+    // Every daemon solve carries a tracer, so `TRACE <id>` works after the
+    // fact and the slow-query log can print a phase breakdown.
+    let trace = kdc_obs::Tracer::new();
     let id = daemon.queue.submit(JobSpec::Solve {
         entry,
         k: params.k,
-        preset,
+        preset: preset.clone(),
         limit: params.limit,
         nodes: params.nodes,
         threads: params.threads,
         observer,
+        trace: Some(trace.clone()),
     });
     if let Some(rx) = events {
         while let Ok(event) = rx.recv() {
@@ -336,24 +396,42 @@ fn solve(
         }
     }
     match daemon.queue.wait(id) {
-        JobOutcome::Done(outcome) => Ok(OkLine::new()
-            .field("job", id)
-            .field("graph", graph)
-            .field("status", status_token(outcome.status))
-            .field("size", outcome.size())
-            .field(
-                "vertices",
-                render_vertices(outcome.best().unwrap_or_default()),
-            )
-            .field("cached", outcome.cache.result_memo_hit)
-            .field("ctcp_resumed", outcome.cache.ctcp_resumed)
-            .field("elapsed_ms", outcome.elapsed.as_millis())
-            .field("nodes", outcome.stats.nodes)
-            .field("ctcp_removed_v", outcome.stats.ctcp_vertex_removals)
-            .field("ctcp_removed_e", outcome.stats.ctcp_edge_removals)
-            .field("arena_reuses", outcome.stats.arena_reuses)
-            .field("universe_rebuilds", outcome.stats.universe_rebuilds)
-            .render()),
+        JobOutcome::Done(outcome) => {
+            let elapsed_ns = outcome.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+            if elapsed_ns >= daemon.slow_threshold_ns.load(Ordering::Relaxed) {
+                daemon.slow_queries.inc();
+                let phases: Vec<String> = trace
+                    .summary()
+                    .iter()
+                    .map(|p| format!("{}={}ns/{}", p.name, p.total_ns, p.count))
+                    .collect();
+                eprintln!(
+                    "kdc_service slow query: job={id} graph={graph} preset={preset} \
+                     k={} elapsed_ms={} phases=[{}]",
+                    params.k,
+                    outcome.elapsed.as_millis(),
+                    phases.join(" ")
+                );
+            }
+            Ok(OkLine::new()
+                .field("job", id)
+                .field("graph", graph)
+                .field("status", status_token(outcome.status))
+                .field("size", outcome.size())
+                .field(
+                    "vertices",
+                    render_vertices(outcome.best().unwrap_or_default()),
+                )
+                .field("cached", outcome.cache.result_memo_hit)
+                .field("ctcp_resumed", outcome.cache.ctcp_resumed)
+                .field("elapsed_ms", outcome.elapsed.as_millis())
+                .field("nodes", outcome.stats.nodes)
+                .field("ctcp_removed_v", outcome.stats.ctcp_vertex_removals)
+                .field("ctcp_removed_e", outcome.stats.ctcp_edge_removals)
+                .field("arena_reuses", outcome.stats.arena_reuses)
+                .field("universe_rebuilds", outcome.stats.universe_rebuilds)
+                .render())
+        }
         JobOutcome::Error(e) => Err(e),
     }
 }
@@ -458,9 +536,10 @@ fn stats(daemon: &Daemon, graph: Option<&str>) -> Result<String, String> {
 }
 
 /// One-shot client helper: connect, send one command line, read the
-/// response. Any `EVENT` lines streamed by a `verbose=1` solve are included
-/// (newline-separated) before the final `OK`/`ERR` line, which is always
-/// the last line of the returned string. Used by `kdc client` and the tests.
+/// response. Any `EVENT` lines streamed by a `verbose=1` solve, and any
+/// `METRIC` lines streamed by `METRICS`, are included (newline-separated)
+/// before the final `OK`/`ERR` line, which is always the last line of the
+/// returned string. Used by `kdc client` and the tests.
 pub fn request(addr: &str, command: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     stream.write_all(format!("{command}\n").as_bytes())?;
@@ -473,9 +552,9 @@ pub fn request(addr: &str, command: &str) -> std::io::Result<String> {
             break; // server hung up mid-stream; return what arrived
         }
         let trimmed = line.trim_end().to_string();
-        let is_event = trimmed.starts_with("EVENT ");
+        let streamed = trimmed.starts_with("EVENT ") || trimmed.starts_with("METRIC ");
         lines.push(trimmed);
-        if !is_event {
+        if !streamed {
             break;
         }
     }

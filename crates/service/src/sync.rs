@@ -32,6 +32,12 @@ pub mod rank {
     pub const JOB_QUEUE: u8 = 1;
     /// `GraphCache::entries` — the name-keyed graph cache map.
     pub const GRAPH_CACHE: u8 = 2;
+    /// `Registry::series` — the `kdc_obs` metrics registry map. A leaf
+    /// lock (rank 8, after the solver-side ranks 3–7): `register_*` and
+    /// exposition rendering never call out while holding it. The obs crate
+    /// is std-only and cannot depend on [`super::TrackedMutex`], so this
+    /// rank is enforced statically by the `lock_order` lint only.
+    pub const OBS_REGISTRY: u8 = 8;
 }
 
 #[cfg(debug_assertions)]

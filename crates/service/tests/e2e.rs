@@ -135,6 +135,25 @@ fn full_session_on_ephemeral_port() {
         jobs.contains(&format!("{canceller}:cancelled:")),
         "JOBS must show the cancelled job: {jobs}"
     );
+    // Every JOBS row reports its queue-wait and execution time; the
+    // cancelled job ran long enough that its running_ns cannot be zero.
+    for entry in field(&jobs, "jobs").split(';') {
+        assert!(
+            entry.contains(":queued_ns=") && entry.contains(":running_ns="),
+            "JOBS row missing timing fields: {entry}"
+        );
+    }
+    let cancelled_row = field(&jobs, "jobs")
+        .split(';')
+        .find(|e| e.starts_with(&format!("{canceller}:")))
+        .expect("cancelled job listed");
+    let running_ns: u64 = cancelled_row
+        .split(":running_ns=")
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(running_ns > 0, "cancelled job did run: {cancelled_row}");
 
     // ---- warm path: repeat solve skips re-parsing and re-searching -----
     let resp = control.send("SOLVE g1 k=2");
@@ -260,6 +279,112 @@ fn verbose_solve_streams_events_end_to_end() {
     // verbose=0 (and omitted) keeps the single-line response contract.
     let resp = kdc_service::request(&addr, "SOLVE fig2 k=2 verbose=0").unwrap();
     assert_eq!(resp.lines().count(), 1, "{resp}");
+
+    client.send("SHUTDOWN");
+    handle.join().expect("clean server exit");
+}
+
+#[test]
+fn metrics_trace_and_slow_query_log_end_to_end() {
+    let g = named::figure2();
+    let path = write_graph("fig2_metrics.clq", &g);
+    // Threshold zero: every solve is a "slow query", so the counter and
+    // the stderr log path are exercised deterministically.
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+        .expect("bind ephemeral port")
+        .with_slow_threshold(std::time::Duration::ZERO)
+        .spawn()
+        .expect("spawn accept loop");
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr);
+    let resp = client.send(&format!("LOAD {} AS fig2", path.display()));
+    assert_eq!(field(&resp, "loaded"), "fig2", "{resp}");
+    let resp = client.send("SOLVE fig2 k=2");
+    assert_eq!(field(&resp, "status"), "optimal", "{resp}");
+    let job_id = field(&resp, "job").to_string();
+
+    // ---- METRICS: Prometheus exposition streamed as METRIC lines -------
+    client.writer.write_all(b"METRICS\n").unwrap();
+    client.writer.flush().unwrap();
+    let mut metric_lines: Vec<String> = Vec::new();
+    let final_line = loop {
+        let mut line = String::new();
+        client.reader.read_line(&mut line).unwrap();
+        let line = line.trim_end().to_string();
+        if let Some(sample) = line.strip_prefix("METRIC ") {
+            metric_lines.push(sample.to_string());
+        } else {
+            break line;
+        }
+    };
+    assert!(final_line.starts_with("OK "), "{final_line}");
+    let series: usize = field(&final_line, "series").parse().unwrap();
+    assert!(series > 0, "registry must not be empty: {final_line}");
+    // Parse every exposition line: `# TYPE <name> <kind>` comments or
+    // `name{labels} value` samples with numeric values.
+    let mut samples = 0usize;
+    for line in &metric_lines {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("type line has a name");
+            let kind = parts.next().expect("type line has a kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown kind in {line:?}"
+            );
+            assert!(name.starts_with("kdc_"), "bad series name in {line:?}");
+        } else {
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("unparseable sample value in {line:?}"));
+            samples += 1;
+        }
+    }
+    assert_eq!(samples, series, "series count matches sample lines");
+    for required in [
+        "kdc_service_jobs_total",
+        "kdc_service_queue_depth",
+        "kdc_service_queue_wait_ns",
+        "kdc_service_job_duration_ns",
+        "kdc_session_solves_total",
+        "kdc_session_nodes_total",
+        "kdc_core_bound_invocations_total",
+    ] {
+        assert!(
+            metric_lines
+                .iter()
+                .any(|l| l.starts_with(required) || l.starts_with(&format!("# TYPE {required}"))),
+            "required series {required} missing from METRICS output"
+        );
+    }
+    // The zero threshold forced the solve into the slow-query log.
+    let slow = metric_lines
+        .iter()
+        .find(|l| l.starts_with("kdc_service_slow_queries_total "))
+        .expect("slow query counter exported");
+    let slow_count: u64 = slow.rsplit_once(' ').unwrap().1.parse().unwrap();
+    assert!(slow_count >= 1, "threshold 0 logs every solve: {slow}");
+
+    // ---- TRACE: per-job chrome://tracing JSON --------------------------
+    let resp = client.send(&format!("TRACE {job_id}"));
+    assert!(resp.starts_with("OK "), "{resp}");
+    assert_eq!(field(&resp, "job"), job_id, "{resp}");
+    let spans: usize = field(&resp, "spans").parse().unwrap();
+    assert!(spans > 0, "solve must record phase spans: {resp}");
+    let json = field(&resp, "trace");
+    assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "{json}");
+    assert!(json.contains("\"name\":\"peel\""), "{json}");
+    // Jobs without a tracer (counts) and unknown ids are clean errors.
+    let resp = client.send("COUNT fig2 k=1 min=5");
+    assert!(resp.starts_with("OK "), "{resp}");
+    let count_job = field(&resp, "job").to_string();
+    assert!(client
+        .send(&format!("TRACE {count_job}"))
+        .starts_with("ERR "));
+    assert!(client.send("TRACE 9999").starts_with("ERR "));
 
     client.send("SHUTDOWN");
     handle.join().expect("clean server exit");
