@@ -292,10 +292,14 @@ pub fn metrics(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `kdc serve [--addr A] [--workers N] [--slow-ms T]` — run the solver
-/// daemon until a client sends `SHUTDOWN`. `--slow-ms` sets the slow-query
-/// log threshold (default 1000; `0` logs every solve with its phase
-/// breakdown).
+/// `kdc serve [--addr A] [--workers N] [--slow-ms T] [--idle-secs S]
+/// [--watchdog-secs S] [--max-conns N] [--max-queue N] [--cache-cap N]` —
+/// run the solver daemon until a client sends `SHUTDOWN`. `--slow-ms` sets
+/// the slow-query log threshold (default 1000; `0` logs every solve with
+/// its phase breakdown); the remaining flags are the hardening knobs
+/// (admission control, idle reaping, the watchdog, the graph-cache LRU
+/// bound) — each defaults to off/unlimited. A `KDC_FAULTS` environment
+/// variable arms the fault-injection plan at startup (any build).
 pub fn serve(args: &[String]) -> Result<(), String> {
     let p = parse(args)?;
     let addr = p.string_or("addr", "127.0.0.1:4817");
@@ -310,23 +314,69 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     if let Some(ms) = p.optional::<u64>("slow-ms")? {
         server = server.with_slow_threshold(std::time::Duration::from_millis(ms));
     }
+    let max_conns: usize = p.optional("max-conns")?.unwrap_or(0);
+    let max_queue: usize = p.optional("max-queue")?.unwrap_or(0);
+    if max_conns > 0 || max_queue > 0 {
+        server = server.with_limits(max_conns, max_queue);
+    }
+    if let Some(secs) = p.optional::<u64>("idle-secs")? {
+        server = server.with_idle_timeout(std::time::Duration::from_secs(secs));
+    }
+    if let Some(secs) = p.optional::<u64>("watchdog-secs")? {
+        server = server.with_watchdog(std::time::Duration::from_secs(secs));
+    }
+    if let Some(cap) = p.optional::<usize>("cache-cap")? {
+        server = server.with_cache_capacity(cap);
+    }
+    let armed = kdc_faults::install_from_env().map_err(|e| format!("KDC_FAULTS: {e}"))?;
+    if armed > 0 {
+        eprintln!("kdc serve: {armed} fault rule(s) armed from KDC_FAULTS");
+    }
     println!("listening on {} ({workers} workers)", server.local_addr());
     server.run().map_err(|e| format!("server error: {e}"))
 }
 
-/// `kdc client <addr> <command...>` — send one protocol line to a running
-/// daemon and print its response. Exits `0` on `OK`, `1` on `ERR`.
+/// `kdc client [--retries N] [--backoff-ms M] <addr> <command...>` — send
+/// one protocol line to a running daemon and print its response. Exits `0`
+/// on `OK`, `1` on `ERR`. With `--retries`, connect failures and `ERR busy`
+/// replies are retried with decorrelated-jitter backoff (base
+/// `--backoff-ms`, default 50); other errors are never retried.
 pub fn client(args: &[String]) -> Result<ExitCode, String> {
-    // Protocol tokens are `key=value`, not `--flags`, so take the raw args.
-    let (addr, command) = args
-        .split_first()
-        .ok_or("usage: kdc client <addr> <command...>")?;
-    if command.is_empty() {
-        return Err("usage: kdc client <addr> <command...>".to_string());
+    // Protocol tokens are `key=value`, not `--flags`, so the retry flags
+    // are stripped by hand off the front and the rest stays raw.
+    const USAGE: &str = "usage: kdc client [--retries N] [--backoff-ms M] <addr> <command...>";
+    let mut retries: u32 = 0;
+    let mut backoff_ms: u64 = 50;
+    let mut rest = args;
+    loop {
+        match rest {
+            [flag, value, tail @ ..] if flag == "--retries" => {
+                retries = value
+                    .parse()
+                    .map_err(|_| format!("invalid --retries {value:?}"))?;
+                rest = tail;
+            }
+            [flag, value, tail @ ..] if flag == "--backoff-ms" => {
+                backoff_ms = value
+                    .parse()
+                    .map_err(|_| format!("invalid --backoff-ms {value:?}"))?;
+                rest = tail;
+            }
+            _ => break,
+        }
+    }
+    let (addr, command) = rest.split_first().ok_or(USAGE)?;
+    if command.is_empty() || addr.starts_with("--") {
+        return Err(USAGE.to_string());
     }
     let line = command.join(" ");
-    let response =
-        kdc_service::request(addr, &line).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let response = kdc_service::request_with_retry(
+        addr,
+        &line,
+        retries,
+        std::time::Duration::from_millis(backoff_ms),
+    )
+    .map_err(|e| format!("cannot reach {addr}: {e}"))?;
     println!("{response}");
     // A verbose solve streams EVENT lines first; the verdict is the final
     // line.

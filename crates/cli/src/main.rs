@@ -9,8 +9,10 @@
 //! kdc stats <graph-file>
 //! kdc convert <input> <output>      # by extension: .clq/.graph/.txt
 //! kdc gamma [max_k]
-//! kdc serve [--addr A] [--workers N] [--slow-ms T]
-//! kdc client <addr> <command...>
+//! kdc serve [--addr A] [--workers N] [--slow-ms T] [--idle-secs S]
+//!           [--watchdog-secs S] [--max-conns N] [--max-queue N]
+//!           [--cache-cap N]
+//! kdc client [--retries N] [--backoff-ms M] <addr> <command...>
 //! kdc metrics <addr>
 //! ```
 //!
@@ -77,7 +79,9 @@ USAGE:
   kdc convert <input-file> <output-file>
   kdc gamma [max_k]
   kdc serve [--addr <host:port>] [--workers <N>] [--slow-ms <T>]
-  kdc client <host:port> <command...>
+            [--idle-secs <S>] [--watchdog-secs <S>] [--max-conns <N>]
+            [--max-queue <N>] [--cache-cap <N>]
+  kdc client [--retries <N>] [--backoff-ms <M>] <host:port> <command...>
   kdc metrics <host:port>
 
 Formats by extension: .clq/.col/.dimacs (DIMACS), .graph/.metis (METIS),
@@ -92,8 +96,14 @@ streams EVENT lines before the final OK):
         [verbose=0|1]
   ENUMERATE <name> k=<K> top=<R>
   COUNT <name> k=<K> [min=<S>]
-  STATS [<name>] | UNLOAD <name> | JOBS | CANCEL <id> | SHUTDOWN
-  METRICS | TRACE <id>                # Prometheus scrape / per-job trace"
+  STATS [<name>] | UNLOAD <name> | JOBS | CANCEL <id>
+  SHUTDOWN [mode=drain|abort]         # drain finishes queued jobs first
+  METRICS | TRACE <id>                # Prometheus scrape / per-job trace
+  FAULTS [<plan>|off]                 # debug builds; KDC_FAULTS env anywhere
+
+Overloaded daemons (started with --max-conns/--max-queue) answer
+`ERR busy ... retry_after_ms=<M>`; `kdc client --retries` retries exactly
+connect failures and busy replies, nothing else."
 }
 
 /// Loads a graph file with a friendly error.

@@ -354,10 +354,66 @@ fn serve_and_client_roundtrip() {
     assert!(text.contains("kdc_session_solves_total"), "{text}");
     assert!(text.contains("kdc_core_bound_invocations_total"), "{text}");
 
+    // Retry flags are stripped before the protocol line and work against a
+    // live daemon (no busy reply here, so one attempt suffices).
+    let out = run(&[
+        "client",
+        "--retries",
+        "2",
+        "--backoff-ms",
+        "10",
+        addr.as_str(),
+        "JOBS",
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+
     let out = client(&["SHUTDOWN"]);
     assert!(out.status.success());
+    assert!(
+        stdout(&out).contains("mode=abort"),
+        "SHUTDOWN reply must echo its mode: {}",
+        stdout(&out)
+    );
     let status = server.wait().expect("server did not exit");
     assert!(status.success(), "serve exited with {status:?}");
+}
+
+#[test]
+fn client_retries_exhaust_against_dead_port() {
+    // Bind-then-drop yields an address that (almost certainly) refuses
+    // connections; the client must sleep between attempts and still fail.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let start = std::time::Instant::now();
+    let out = run(&[
+        "client",
+        "--retries",
+        "2",
+        "--backoff-ms",
+        "5",
+        addr.as_str(),
+        "JOBS",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        start.elapsed() >= std::time::Duration::from_millis(5),
+        "retries must back off between attempts"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot reach"), "stderr: {err}");
+}
+
+#[test]
+fn client_rejects_malformed_retry_flags() {
+    // A flag in address position means the operands went missing.
+    let out = run(&["client", "--retries", "3"]);
+    assert!(!out.status.success());
+    let out = run(&["client", "--retries", "many", "127.0.0.1:1", "JOBS"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--retries"), "stderr: {err}");
 }
 
 #[test]

@@ -1,0 +1,574 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # kdc_faults — a process-wide fault-injection plan
+//!
+//! The daemon's failure handling (admission control, idle timeouts, drain,
+//! the watchdog) is only trustworthy if its failure modes are *reachable on
+//! demand*. This crate provides the substrate: a fixed set of named
+//! injection [`Point`]s threaded through `kdc_service`, each of which can be
+//! armed with one [`Action`] (typed error, delay, panic, connection drop)
+//! and a firing [`Trigger`] (per-hit probability, or exactly the Nth hit).
+//!
+//! The design contract mirrors `kdc_obs::enabled()`: **when no point is
+//! armed, every [`check`] call is one relaxed atomic load and a branch** —
+//! no locks, no allocation, no RNG. All state is a fixed array of atomics,
+//! so arming and checking are lock-free from any thread.
+//!
+//! Plans are configured three ways, all sharing one grammar:
+//!
+//! * programmatically — [`arm`] / [`disarm_all`] (tests, the chaos soak);
+//! * from the environment — [`install_from_env`] reads `KDC_FAULTS`
+//!   (`kdc serve` calls this at startup);
+//! * over the wire — the daemon's debug-only `FAULTS` verb forwards to
+//!   [`install_plan`] / [`status`].
+//!
+//! ## Plan grammar
+//!
+//! ```text
+//! KDC_FAULTS=<rule>[,<rule>...]
+//! rule    := <point>:<action>[:<trigger>]
+//! point   := accept | conn_read | conn_write | job_start | solve_node
+//!          | cache_insert
+//! action  := error | delay=<ms> | panic | drop
+//! trigger := p=<0..1> | n=<N>          (default p=1, i.e. every hit)
+//! ```
+//!
+//! Examples: `conn_read:error:p=0.01` fails 1% of request-line reads;
+//! `job_start:delay=50:p=0.2` stalls a fifth of job pickups by 50 ms;
+//! `cache_insert:panic:n=3` panics exactly on the third insertion.
+//!
+//! The crate decides *whether* and *what* to inject; the call site decides
+//! *how* (a connection handler maps [`Action::DropConnection`] to a socket
+//! close, the worker pool maps it to a failed job). The one shared effect
+//! lives here: [`panic_now`] is the single deliberate panic, so daemon code
+//! never carries a `panic!` of its own.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::Duration;
+
+/// Named injection points threaded through the daemon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Point {
+    /// Connection admission: top of each connection-handler thread.
+    Accept,
+    /// After each request line is read off a connection.
+    ConnRead,
+    /// Before each response line is written to a connection.
+    ConnWrite,
+    /// Worker pickup: before a dequeued job spec is dispatched.
+    JobStart,
+    /// Solver progress: each search event emitted while a job runs.
+    SolveNode,
+    /// Graph-cache insertion (`LOAD` and direct inserts).
+    CacheInsert,
+}
+
+impl Point {
+    /// Every point, in declaration order.
+    pub const ALL: [Point; 6] = [
+        Point::Accept,
+        Point::ConnRead,
+        Point::ConnWrite,
+        Point::JobStart,
+        Point::SolveNode,
+        Point::CacheInsert,
+    ];
+
+    /// The wire name used by plans and `FAULTS` output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Point::Accept => "accept",
+            Point::ConnRead => "conn_read",
+            Point::ConnWrite => "conn_write",
+            Point::JobStart => "job_start",
+            Point::SolveNode => "solve_node",
+            Point::CacheInsert => "cache_insert",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    /// Returns the list of valid names when `s` is not one of them.
+    pub fn parse(s: &str) -> Result<Point, String> {
+        Point::ALL
+            .into_iter()
+            .find(|p| p.as_str() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Point::ALL.iter().map(|p| p.as_str()).collect();
+                format!("unknown fault point {s:?} (one of: {})", names.join(", "))
+            })
+    }
+}
+
+/// What an armed point does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Fail the operation with a typed error the caller reports.
+    Error,
+    /// Sleep for the given duration before proceeding normally.
+    Delay(Duration),
+    /// Panic on the executing thread (via [`panic_now`]).
+    Panic,
+    /// Sever the connection; non-connection points treat this as [`Action::Error`].
+    DropConnection,
+}
+
+/// How an armed point decides whether a given hit fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// Fire each hit independently with this probability (clamped to 0..=1).
+    Probability(f64),
+    /// Fire exactly once, on the Nth hit (1-based) since arming.
+    Nth(u64),
+}
+
+const ACTION_NONE: u8 = 0;
+const ACTION_ERROR: u8 = 1;
+const ACTION_DELAY: u8 = 2;
+const ACTION_PANIC: u8 = 3;
+const ACTION_DROP: u8 = 4;
+
+/// Per-point armed state. Everything is a relaxed atomic: arming and
+/// checking never take a lock, and a disarmed point costs one `u8` load
+/// past the global kill switch.
+struct PointState {
+    /// `ACTION_*` discriminant; `ACTION_NONE` = disarmed.
+    action: AtomicU8,
+    /// Firing probability in parts-per-million (probability mode).
+    prob_ppm: AtomicU32,
+    /// Fire exactly on this hit count (hit-count mode; 0 = probability mode).
+    nth: AtomicU64,
+    /// Delay length for `ACTION_DELAY`.
+    delay_ms: AtomicU64,
+    /// Times the point was traversed while armed.
+    hits: AtomicU64,
+    /// Times the point actually fired.
+    fired: AtomicU64,
+}
+
+impl PointState {
+    const fn idle() -> PointState {
+        PointState {
+            action: AtomicU8::new(ACTION_NONE),
+            prob_ppm: AtomicU32::new(0),
+            nth: AtomicU64::new(0),
+            delay_ms: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        }
+    }
+}
+
+static POINTS: [PointState; 6] = [
+    PointState::idle(),
+    PointState::idle(),
+    PointState::idle(),
+    PointState::idle(),
+    PointState::idle(),
+    PointState::idle(),
+];
+
+/// Global kill switch: false (the default) compiles every [`check`] down to
+/// one relaxed load and a never-taken branch.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Deterministic per-process RNG state for probability triggers.
+static RNG: AtomicU64 = AtomicU64::new(0x243f_6a88_85a3_08d3);
+
+/// Whether any fault point is currently armed. One relaxed atomic load —
+/// the same kill-switch idiom as `kdc_obs::enabled()`.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Seeds the probability-trigger RNG (splitmix64 over a shared counter).
+/// Chaos tests call this so a failing soak replays with the same seed.
+pub fn set_seed(seed: u64) {
+    RNG.store(seed, Ordering::Relaxed);
+}
+
+fn next_rand() -> u64 {
+    // splitmix64 over an atomic counter: statistically fine for firing
+    // decisions and deterministic for a given seed and hit order.
+    let mut z = RNG
+        .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Tests `point` against the installed plan. `None` when disabled, the
+/// point is disarmed, or the trigger decides not to fire; `Some(action)`
+/// when the call site must inject. The disabled path is branch-only.
+#[inline]
+pub fn check(point: Point) -> Option<Action> {
+    if !enabled() {
+        return None;
+    }
+    check_armed(point)
+}
+
+fn check_armed(point: Point) -> Option<Action> {
+    let s = &POINTS[point as usize];
+    let action = s.action.load(Ordering::Relaxed);
+    if action == ACTION_NONE {
+        return None;
+    }
+    let hit = s.hits.fetch_add(1, Ordering::Relaxed) + 1;
+    let nth = s.nth.load(Ordering::Relaxed);
+    let fire = if nth > 0 {
+        hit == nth
+    } else {
+        let ppm = u64::from(s.prob_ppm.load(Ordering::Relaxed));
+        ppm > 0 && next_rand() % 1_000_000 < ppm
+    };
+    if !fire {
+        return None;
+    }
+    s.fired.fetch_add(1, Ordering::Relaxed);
+    Some(match action {
+        ACTION_ERROR => Action::Error,
+        ACTION_DELAY => Action::Delay(Duration::from_millis(s.delay_ms.load(Ordering::Relaxed))),
+        ACTION_PANIC => Action::Panic,
+        _ => Action::DropConnection,
+    })
+}
+
+/// The single deliberate panic of the fault layer, so daemon code carries
+/// no `panic!` of its own. Never returns.
+pub fn panic_now(point: Point) -> ! {
+    // kdc-lint: allow(no_panic) — panicking is this function's entire
+    // purpose; every Action::Panic injection funnels through here.
+    panic!("kdc_faults: injected panic at {}", point.as_str())
+}
+
+/// Arms `point` with `action` fired per `trigger`, resetting the point's
+/// hit/fired counters and flipping the global switch on.
+pub fn arm(point: Point, action: Action, trigger: Trigger) {
+    let s = &POINTS[point as usize];
+    let (code, delay_ms) = match action {
+        Action::Error => (ACTION_ERROR, 0),
+        Action::Delay(d) => (ACTION_DELAY, d.as_millis().min(u128::from(u64::MAX)) as u64),
+        Action::Panic => (ACTION_PANIC, 0),
+        Action::DropConnection => (ACTION_DROP, 0),
+    };
+    match trigger {
+        Trigger::Probability(p) => {
+            let ppm = (p.clamp(0.0, 1.0) * 1_000_000.0).round() as u32;
+            s.prob_ppm.store(ppm, Ordering::Relaxed);
+            s.nth.store(0, Ordering::Relaxed);
+        }
+        Trigger::Nth(n) => {
+            s.prob_ppm.store(0, Ordering::Relaxed);
+            s.nth.store(n.max(1), Ordering::Relaxed);
+        }
+    }
+    s.delay_ms.store(delay_ms, Ordering::Relaxed);
+    s.hits.store(0, Ordering::Relaxed);
+    s.fired.store(0, Ordering::Relaxed);
+    // Publish the action last: a concurrent check sees either the old plan
+    // or the fully-written new one.
+    s.action.store(code, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms every point and turns the global switch off. Hit/fired counters
+/// are left readable until the next [`arm`] of the same point.
+pub fn disarm_all() {
+    ENABLED.store(false, Ordering::Relaxed);
+    for s in &POINTS {
+        s.action.store(ACTION_NONE, Ordering::Relaxed);
+    }
+}
+
+/// Total injections fired across every point since their last arming.
+pub fn injected_total() -> u64 {
+    POINTS.iter().map(|s| s.fired.load(Ordering::Relaxed)).sum()
+}
+
+/// One rule of a parsed plan.
+type Rule = (Point, Action, Trigger);
+
+fn parse_rule(rule: &str) -> Result<Rule, String> {
+    let mut parts = rule.splitn(3, ':');
+    let point = Point::parse(parts.next().unwrap_or_default().trim())?;
+    let action_raw = parts
+        .next()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| format!("rule {rule:?} is missing an action (point:action[:trigger])"))?;
+    let action = match action_raw.split_once('=') {
+        None => match action_raw {
+            "error" => Action::Error,
+            "panic" => Action::Panic,
+            "drop" => Action::DropConnection,
+            other => {
+                return Err(format!(
+                    "unknown fault action {other:?} (error | delay=<ms> | panic | drop)"
+                ))
+            }
+        },
+        Some(("delay", ms)) => {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("invalid delay {ms:?} in rule {rule:?} (whole ms)"))?;
+            Action::Delay(Duration::from_millis(ms))
+        }
+        Some((other, _)) => {
+            return Err(format!(
+                "unknown fault action {other:?} (error | delay=<ms> | panic | drop)"
+            ))
+        }
+    };
+    let trigger = match parts.next().map(str::trim) {
+        None | Some("") => Trigger::Probability(1.0),
+        Some(t) => match t.split_once('=') {
+            Some(("p", p)) => {
+                let p: f64 = p
+                    .parse()
+                    .map_err(|_| format!("invalid probability {p:?} in rule {rule:?}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability {p} out of [0,1] in rule {rule:?}"));
+                }
+                Trigger::Probability(p)
+            }
+            Some(("n", n)) => {
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("invalid hit count {n:?} in rule {rule:?}"))?;
+                if n == 0 {
+                    return Err(format!("hit count must be >= 1 in rule {rule:?}"));
+                }
+                Trigger::Nth(n)
+            }
+            _ => {
+                return Err(format!(
+                    "unknown trigger {t:?} in rule {rule:?} (p=<0..1> | n=<N>)"
+                ))
+            }
+        },
+    };
+    Ok((point, action, trigger))
+}
+
+/// Parses and installs a full plan (see the crate docs for the grammar),
+/// replacing whatever was armed before. Returns the number of rules armed;
+/// an empty plan disarms everything.
+///
+/// # Errors
+/// Returns a description of the first malformed rule; on error the
+/// previous plan is left untouched.
+pub fn install_plan(plan: &str) -> Result<usize, String> {
+    let mut rules: Vec<Rule> = Vec::new();
+    for rule in plan.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+        rules.push(parse_rule(rule)?);
+    }
+    disarm_all();
+    for &(point, action, trigger) in &rules {
+        arm(point, action, trigger);
+    }
+    Ok(rules.len())
+}
+
+/// Installs the plan from the `KDC_FAULTS` environment variable; unset or
+/// empty means no faults. Returns the number of rules armed.
+///
+/// # Errors
+/// Propagates [`install_plan`] errors for a malformed variable.
+pub fn install_from_env() -> Result<usize, String> {
+    match std::env::var("KDC_FAULTS") {
+        Ok(plan) if !plan.trim().is_empty() => install_plan(&plan),
+        _ => Ok(0),
+    }
+}
+
+/// Renders the armed state of every point as a single whitespace-free
+/// token (for the daemon's `FAULTS` verb): `point=action/trigger/hits/fired`
+/// entries joined by `;`, or `off` when nothing is armed.
+pub fn status() -> String {
+    if !enabled() {
+        return "off".to_string();
+    }
+    let mut parts: Vec<String> = Vec::new();
+    for point in Point::ALL {
+        let s = &POINTS[point as usize];
+        let action = s.action.load(Ordering::Relaxed);
+        if action == ACTION_NONE {
+            continue;
+        }
+        let action_str = match action {
+            ACTION_ERROR => "error".to_string(),
+            ACTION_DELAY => format!("delay={}", s.delay_ms.load(Ordering::Relaxed)),
+            ACTION_PANIC => "panic".to_string(),
+            _ => "drop".to_string(),
+        };
+        let nth = s.nth.load(Ordering::Relaxed);
+        let trigger = if nth > 0 {
+            format!("n={nth}")
+        } else {
+            format!(
+                "p={}",
+                f64::from(s.prob_ppm.load(Ordering::Relaxed)) / 1_000_000.0
+            )
+        };
+        parts.push(format!(
+            "{}={action_str}/{trigger}/hits={}/fired={}",
+            point.as_str(),
+            s.hits.load(Ordering::Relaxed),
+            s.fired.load(Ordering::Relaxed)
+        ));
+    }
+    if parts.is_empty() {
+        "off".to_string()
+    } else {
+        parts.join(";")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The plan is process-global; tests that arm it must not interleave.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        GUARD
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_is_none_for_every_point() {
+        let _g = locked();
+        disarm_all();
+        assert!(!enabled());
+        for p in Point::ALL {
+            assert_eq!(check(p), None);
+        }
+    }
+
+    #[test]
+    fn always_on_rule_fires_every_hit() {
+        let _g = locked();
+        arm(Point::ConnRead, Action::Error, Trigger::Probability(1.0));
+        assert!(enabled());
+        for _ in 0..5 {
+            assert_eq!(check(Point::ConnRead), Some(Action::Error));
+        }
+        assert_eq!(check(Point::ConnWrite), None, "other points stay idle");
+        disarm_all();
+        assert_eq!(check(Point::ConnRead), None);
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let _g = locked();
+        arm(
+            Point::CacheInsert,
+            Action::Delay(Duration::from_millis(7)),
+            Trigger::Nth(3),
+        );
+        assert_eq!(check(Point::CacheInsert), None);
+        assert_eq!(check(Point::CacheInsert), None);
+        assert_eq!(
+            check(Point::CacheInsert),
+            Some(Action::Delay(Duration::from_millis(7)))
+        );
+        assert_eq!(
+            check(Point::CacheInsert),
+            None,
+            "n= fires once, not from N on"
+        );
+        disarm_all();
+    }
+
+    #[test]
+    fn probability_trigger_is_seed_deterministic_and_in_range() {
+        let _g = locked();
+        set_seed(42);
+        arm(Point::JobStart, Action::Panic, Trigger::Probability(0.25));
+        let fires: Vec<bool> = (0..1000)
+            .map(|_| check(Point::JobStart).is_some())
+            .collect();
+        let count = fires.iter().filter(|&&f| f).count();
+        assert!(
+            (150..350).contains(&count),
+            "p=0.25 over 1000 hits fired {count} times"
+        );
+        // Same seed, same hit order → same decisions.
+        set_seed(42);
+        arm(Point::JobStart, Action::Panic, Trigger::Probability(0.25));
+        let replay: Vec<bool> = (0..1000)
+            .map(|_| check(Point::JobStart).is_some())
+            .collect();
+        assert_eq!(fires, replay);
+        disarm_all();
+    }
+
+    #[test]
+    fn plan_grammar_roundtrips() {
+        let _g = locked();
+        let n = install_plan(
+            "accept:delay=5:p=0.5, conn_read:error, job_start:panic:n=2, cache_insert:drop:p=0.01",
+        )
+        .unwrap();
+        assert_eq!(n, 4);
+        assert!(enabled());
+        let s = status();
+        assert!(s.contains("accept=delay=5/p=0.5"), "{s}");
+        assert!(s.contains("conn_read=error/p=1"), "{s}");
+        assert!(s.contains("job_start=panic/n=2"), "{s}");
+        assert!(s.contains("cache_insert=drop/p=0.01"), "{s}");
+        assert!(!s.contains(' '), "status must be a single token: {s}");
+        assert_eq!(install_plan("").unwrap(), 0);
+        assert!(!enabled());
+        assert_eq!(status(), "off");
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected_and_leave_state_armed() {
+        let _g = locked();
+        install_plan("conn_read:error").unwrap();
+        for bad in [
+            "nowhere:error",
+            "conn_read",
+            "conn_read:frobnicate",
+            "conn_read:delay=fast",
+            "conn_read:error:p=2",
+            "conn_read:error:p=-0.1",
+            "conn_read:error:n=0",
+            "conn_read:error:often",
+        ] {
+            assert!(install_plan(bad).is_err(), "{bad:?} must be rejected");
+        }
+        assert!(enabled(), "a rejected plan must not clobber the armed one");
+        disarm_all();
+    }
+
+    #[test]
+    fn injected_total_counts_fires() {
+        let _g = locked();
+        install_plan("conn_write:error:n=1").unwrap();
+        // Other points may hold stale `fired` counts from earlier tests
+        // (counters survive disarm until the next arm), so assert the delta.
+        let before = injected_total();
+        assert_eq!(check(Point::ConnWrite), Some(Action::Error));
+        assert_eq!(check(Point::ConnWrite), None);
+        assert_eq!(injected_total(), before + 1);
+        disarm_all();
+    }
+
+    #[test]
+    fn point_names_roundtrip() {
+        for p in Point::ALL {
+            assert_eq!(Point::parse(p.as_str()).unwrap(), p);
+        }
+        assert!(Point::parse("bogus").is_err());
+    }
+}

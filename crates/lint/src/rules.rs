@@ -2,7 +2,7 @@
 //!
 //! | rule             | scope                       | what it flags |
 //! |------------------|-----------------------------|---------------|
-//! | `no_panic`       | `kdc_service`, `kdc_api`    | `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` outside tests |
+//! | `no_panic`       | `kdc_service`, `kdc_api`, `kdc_faults` | `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` outside tests |
 //! | `no_unsafe`      | whole tree                  | any `unsafe` token; missing `#![forbid(unsafe_code)]` in a library crate root |
 //! | `lock_order`     | whole tree                  | acquiring a lower-ranked lock (per `LOCK_ORDER.md`) while a higher-ranked guard is live |
 //! | `hot_path_alloc` | `// kdc-lint: hot-path` fns | allocating calls (`Vec::new`, `with_capacity`, `to_vec`, `collect()`, `format!`, …) |
@@ -46,7 +46,9 @@ fn finding(ctx: &FileContext, rule: &'static str, line: u32, message: String) ->
 
 /// True when `ctx` belongs to a daemon-path crate (L1 scope).
 fn in_daemon_scope(path: &str) -> bool {
-    path.starts_with("crates/service/src/") || path.starts_with("crates/api/src/")
+    path.starts_with("crates/service/src/")
+        || path.starts_with("crates/api/src/")
+        || path.starts_with("crates/faults/src/")
 }
 
 /// L1 — no panics in daemon request/job paths. A worker that panics on a

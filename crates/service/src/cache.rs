@@ -15,7 +15,7 @@ use kdc_api::Session;
 use kdc_graph::Graph;
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -28,6 +28,8 @@ pub struct GraphEntry {
     pub parse_time: Duration,
     session: Session,
     hits: AtomicU64,
+    /// Logical-clock stamp of the last lookup or insert, for LRU eviction.
+    last_used: AtomicU64,
 }
 
 impl GraphEntry {
@@ -37,6 +39,7 @@ impl GraphEntry {
             parse_time,
             session: Session::new(graph),
             hits: AtomicU64::new(0),
+            last_used: AtomicU64::new(0),
         }
     }
 
@@ -66,6 +69,13 @@ impl GraphEntry {
 pub struct GraphCache {
     entries: TrackedRwLock<HashMap<String, Arc<GraphEntry>>>,
     parses: AtomicU64,
+    /// Maximum resident entries; 0 = unlimited (the default).
+    capacity: AtomicUsize,
+    /// Monotonic logical clock stamping every lookup/insert for LRU order.
+    clock: AtomicU64,
+    evictions: AtomicU64,
+    evictions_total: kdc_obs::Counter,
+    faults_injected: kdc_obs::Counter,
 }
 
 impl Default for GraphCache {
@@ -75,23 +85,96 @@ impl Default for GraphCache {
 }
 
 impl GraphCache {
-    /// An empty cache.
+    /// An empty cache with unlimited capacity.
     pub fn new() -> Self {
+        let r = kdc_obs::registry();
         GraphCache {
             entries: TrackedRwLock::new(rank::GRAPH_CACHE, "GraphCache::entries", HashMap::new()),
             parses: AtomicU64::new(0),
+            capacity: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evictions_total: r.register_counter("kdc_service_cache_evictions_total"),
+            faults_injected: r.register_counter("kdc_service_faults_injected_total"),
+        }
+    }
+
+    /// Caps the cache at `capacity` resident graphs (0 = unlimited).
+    /// Shrinking below the current population evicts on the next insert,
+    /// not immediately.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    /// Entries evicted to enforce the capacity bound since startup.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn touch(&self, entry: &GraphEntry) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(now, Ordering::Relaxed);
+    }
+
+    /// Checks the `cache_insert` fault point. `Error` and `DropConnection`
+    /// both surface as an `Err` (the caller owns the connection and decides
+    /// whether to answer or hang up); `Delay` sleeps inline.
+    fn insert_fault(&self) -> Result<(), String> {
+        let Some(action) = kdc_faults::check(kdc_faults::Point::CacheInsert) else {
+            return Ok(());
+        };
+        self.faults_injected.inc();
+        match action {
+            kdc_faults::Action::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            kdc_faults::Action::Error | kdc_faults::Action::DropConnection => {
+                Err("fault injected at cache_insert".to_string())
+            }
+            kdc_faults::Action::Panic => kdc_faults::panic_now(kdc_faults::Point::CacheInsert),
+        }
+    }
+
+    /// Stores `entry` under its name, then enforces the LRU capacity bound
+    /// (never evicting the entry just inserted).
+    fn store(&self, entry: Arc<GraphEntry>) {
+        self.touch(&entry);
+        let mut map = self.entries.write();
+        map.insert(entry.name.clone(), entry.clone());
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap == 0 {
+            return;
+        }
+        while map.len() > cap {
+            let victim = map
+                .iter()
+                .filter(|(name, _)| *name != &entry.name)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    map.remove(&name);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evictions_total.inc();
+                }
+                // Only the just-inserted entry remains: a capacity of zero
+                // is "unlimited", so cap >= 1 always keeps it.
+                None => break,
+            }
         }
     }
 
     /// Parses `path` and stores it under `name`, replacing any previous
     /// entry of that name. Returns the new entry.
     pub fn load(&self, path: &str, name: &str) -> Result<Arc<GraphEntry>, String> {
+        self.insert_fault()?;
         let t0 = Instant::now();
         let graph = kdc_graph::io::read_graph(Path::new(path))
             .map_err(|e| format!("cannot read {path}: {e}"))?;
         self.parses.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(GraphEntry::new(name.to_string(), graph, t0.elapsed()));
-        self.entries.write().insert(name.to_string(), entry.clone());
+        self.store(entry.clone());
         Ok(entry)
     }
 
@@ -104,15 +187,17 @@ impl GraphCache {
             graph,
             Duration::default(),
         ));
-        self.entries.write().insert(name.to_string(), entry.clone());
+        self.store(entry.clone());
         entry
     }
 
-    /// Looks up `name`, counting a cache hit on success.
+    /// Looks up `name`, counting a cache hit (and refreshing LRU recency)
+    /// on success.
     pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
         let entry = self.entries.read().get(name).cloned();
         if let Some(e) = &entry {
             e.hits.fetch_add(1, Ordering::Relaxed);
+            self.touch(e);
         }
         entry
     }
@@ -190,5 +275,42 @@ mod tests {
         cache.insert("zeta", named::figure2());
         cache.insert("alpha", named::figure2());
         assert_eq!(cache.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = GraphCache::new();
+        cache.set_capacity(2);
+        cache.insert("a", named::figure2());
+        cache.insert("b", named::figure2());
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.get("a").is_some());
+        cache.insert("c", named::figure2());
+        assert_eq!(cache.names(), vec!["a".to_string(), "c".to_string()]);
+        assert_eq!(cache.evictions(), 1);
+        // Re-inserting an existing name replaces in place, no eviction.
+        cache.insert("a", named::figure2());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.names().len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_means_unlimited() {
+        let cache = GraphCache::new();
+        for name in ["a", "b", "c", "d"] {
+            cache.insert(name, named::figure2());
+        }
+        assert_eq!(cache.names().len(), 4);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn capacity_one_keeps_newest_insert() {
+        let cache = GraphCache::new();
+        cache.set_capacity(1);
+        cache.insert("a", named::figure2());
+        cache.insert("b", named::figure2());
+        assert_eq!(cache.names(), vec!["b".to_string()]);
+        assert_eq!(cache.evictions(), 1);
     }
 }

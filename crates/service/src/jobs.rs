@@ -85,6 +85,15 @@ impl JobSpec {
         }
     }
 
+    /// Whether the job carries its own deadline or node budget. Jobs that
+    /// don't are the watchdog's prey: nothing else bounds them.
+    fn has_deadline(&self) -> bool {
+        match self {
+            JobSpec::Solve { limit, nodes, .. } => limit.is_some() || nodes.is_some(),
+            JobSpec::Enumerate { .. } | JobSpec::Count { .. } => false,
+        }
+    }
+
     /// Compact single-token description for `JOBS` listings.
     fn describe(&self) -> String {
         match self {
@@ -154,6 +163,9 @@ pub struct JobInfo {
     /// Nanoseconds spent executing (0 if never started; still growing
     /// while running).
     pub running_ns: u64,
+    /// Why the job reached its terminal state, when the cause is the
+    /// daemon rather than the query (today: `Some("watchdog")`).
+    pub reason: Option<&'static str>,
 }
 
 struct JobRecord {
@@ -165,6 +177,11 @@ struct JobRecord {
     started: Option<Instant>,
     finished: Option<Instant>,
     trace: Option<kdc_obs::Tracer>,
+    /// The spec carried its own limit/node budget, exempting it from the
+    /// watchdog's default deadline.
+    has_deadline: bool,
+    /// The watchdog cancelled this job; `finish` reports it as failed.
+    watchdog_fired: bool,
 }
 
 impl JobRecord {
@@ -201,6 +218,11 @@ struct QueueState {
     /// Ids in submission order, for stable `JOBS` listings.
     history: Vec<u64>,
     shutdown: bool,
+    /// Draining: no new submissions, but workers keep popping until the
+    /// queue and the running set are both empty.
+    draining: bool,
+    /// Jobs currently executing on workers (picked up, not yet finished).
+    running: usize,
 }
 
 /// The shared queue: submit/wait/cancel/list on one mutex, two condvars.
@@ -217,6 +239,21 @@ pub struct JobQueue {
     jobs_total: kdc_obs::Counter,
     queue_wait_ns: kdc_obs::Histogram,
     job_duration_ns: kdc_obs::Histogram,
+    watchdog_kills: kdc_obs::Counter,
+    faults_injected: kdc_obs::Counter,
+}
+
+/// Why [`JobQueue::try_submit`] refused a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at its admission-control depth bound; try again after
+    /// a backoff (the daemon turns this into a typed `ERR busy` reply).
+    Busy {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+    },
+    /// The daemon is draining or shut down; no new work is admitted.
+    ShuttingDown,
 }
 
 impl Default for JobQueue {
@@ -237,18 +274,21 @@ impl JobQueue {
             jobs_total: r.register_counter("kdc_service_jobs_total"),
             queue_wait_ns: r.register_histogram("kdc_service_queue_wait_ns"),
             job_duration_ns: r.register_histogram("kdc_service_job_duration_ns"),
+            watchdog_kills: r.register_counter("kdc_service_watchdog_kills_total"),
+            faults_injected: r.register_counter("kdc_service_faults_injected_total"),
         }
     }
 
     /// Enqueues `spec`; returns the job id immediately. After
-    /// [`JobQueue::shutdown`] the job is finalized as cancelled on the spot
-    /// (no worker will ever pop it), so waiters never block forever.
+    /// [`JobQueue::shutdown`] (or during a drain) the job is finalized as
+    /// cancelled on the spot (no worker will ever pop it), so waiters never
+    /// block forever.
     pub fn submit(&self, spec: JobSpec) -> u64 {
         let now = Instant::now();
         let mut state = self.state.lock();
         state.next_id += 1;
         let id = state.next_id;
-        let shutting_down = state.shutdown;
+        let shutting_down = state.shutdown || state.draining;
         state.records.insert(
             id,
             JobRecord {
@@ -265,6 +305,8 @@ impl JobQueue {
                 started: None,
                 finished: shutting_down.then_some(now),
                 trace: spec.trace(),
+                has_deadline: spec.has_deadline(),
+                watchdog_fired: false,
             },
         );
         state.history.push(id);
@@ -276,6 +318,28 @@ impl JobQueue {
         drop(state);
         self.work_ready.notify_one();
         id
+    }
+
+    /// Admission-controlled submit: refuses instead of queueing when the
+    /// queue already holds `max_depth` jobs (`max_depth` 0 = unlimited) or
+    /// the daemon is draining/shut down. On refusal nothing is recorded —
+    /// a rejected request leaves no `JOBS` row to leak.
+    pub fn try_submit(&self, spec: JobSpec, max_depth: usize) -> Result<u64, SubmitError> {
+        {
+            let state = self.state.lock();
+            if state.shutdown || state.draining {
+                return Err(SubmitError::ShuttingDown);
+            }
+            let depth = state.queue.len();
+            if max_depth > 0 && depth >= max_depth {
+                return Err(SubmitError::Busy { depth });
+            }
+            // The lock is released and re-taken by `submit`; a racing
+            // submit can overshoot `max_depth` by at most the number of
+            // concurrently admitted connections, which is what the bound
+            // is for — a load shedder, not an exact invariant.
+        }
+        Ok(self.submit(spec))
     }
 
     /// Blocks until job `id` reaches a terminal state; returns its outcome.
@@ -337,6 +401,7 @@ impl JobQueue {
                     description: record.description.clone(),
                     queued_ns: record.queued_ns(now),
                     running_ns: record.running_ns(now),
+                    reason: record.watchdog_fired.then_some("watchdog"),
                 })
             })
             .collect()
@@ -376,6 +441,51 @@ impl JobQueue {
         self.job_done.notify_all();
     }
 
+    /// Graceful drain: stops admitting new jobs, then blocks until every
+    /// queued and running job has finished *with its real outcome* (no
+    /// cancellation), and finally shuts the pool down. Waiters and verbose
+    /// event streams of in-flight jobs complete normally. Idempotent with
+    /// [`JobQueue::shutdown`]: if a shutdown races in, the wait ends too.
+    pub fn drain(&self) {
+        let mut state = self.state.lock();
+        state.draining = true;
+        while !state.shutdown && (!state.queue.is_empty() || state.running > 0) {
+            state.wait(&self.job_done);
+        }
+        state.shutdown = true;
+        drop(state);
+        self.work_ready.notify_all();
+        self.job_done.notify_all();
+    }
+
+    /// Watchdog sweep: cancels every running job that neither carries its
+    /// own deadline/node budget nor was already swept, once it has been
+    /// executing longer than `default_deadline`. The cancellation is the
+    /// usual cooperative flag; the finish bookkeeping turns the eventual
+    /// outcome into `failed reason=watchdog`. Returns the number of jobs
+    /// swept this call.
+    pub fn watchdog_sweep(&self, default_deadline: Duration) -> usize {
+        let now = Instant::now();
+        let mut swept = 0;
+        let mut state = self.state.lock();
+        for record in state.records.values_mut() {
+            if record.state != JobState::Running || record.has_deadline || record.watchdog_fired {
+                continue;
+            }
+            let running = record
+                .started
+                .map(|s| now.saturating_duration_since(s))
+                .unwrap_or_default();
+            if running > default_deadline {
+                record.watchdog_fired = true;
+                record.cancel.cancel();
+                self.watchdog_kills.inc();
+                swept += 1;
+            }
+        }
+        swept
+    }
+
     /// Worker side: blocks for the next job, or `None` on shutdown.
     fn next_job(&self) -> Option<(u64, JobSpec, CancelFlag)> {
         let mut state = self.state.lock();
@@ -398,6 +508,7 @@ impl JobQueue {
                 record.started = Some(now);
                 let wait_ns = record.queued_ns(now);
                 let flag = record.cancel.clone();
+                state.running += 1;
                 self.depth.set(state.queue.len() as i64);
                 self.queue_wait_ns.observe(wait_ns);
                 return Some((id, spec, flag));
@@ -406,13 +517,25 @@ impl JobQueue {
         }
     }
 
-    /// Worker side: publishes the outcome and wakes waiters.
+    /// Worker side: publishes the outcome and wakes waiters (including a
+    /// drain blocked on the running set).
     fn finish(&self, id: u64, state_after: JobState, outcome: JobOutcome) {
         let now = Instant::now();
         let mut state = self.state.lock();
+        state.running = state.running.saturating_sub(1);
         if let Some(record) = state.records.get_mut(&id) {
-            record.state = state_after;
-            record.outcome = Some(outcome);
+            if record.watchdog_fired {
+                // The watchdog, not the client, stopped this job: whatever
+                // the engine reported, the operator-visible truth is a
+                // deadline kill.
+                record.state = JobState::Failed;
+                record.outcome = Some(JobOutcome::Error(format!(
+                    "job {id} killed by watchdog (exceeded the default deadline)"
+                )));
+            } else {
+                record.state = state_after;
+                record.outcome = Some(outcome);
+            }
             record.finished = Some(now);
             self.job_duration_ns.observe(record.running_ns(now));
         }
@@ -421,10 +544,39 @@ impl JobQueue {
     }
 }
 
+/// When faults are armed, wraps a job's observer (installing one if the job
+/// had none) so the `solve_node` point is checked on every search event.
+/// `Error`/`DropConnection` raise the job's cooperative cancel flag — the
+/// engine aborts at its next node, exactly like `CANCEL <id>`. Disabled
+/// faults leave the observer untouched: zero overhead on the search path.
+fn with_solve_node_faults(
+    observer: Option<Arc<dyn Observer>>,
+    cancel: CancelFlag,
+) -> Option<Arc<dyn Observer>> {
+    if !kdc_faults::enabled() {
+        return observer;
+    }
+    let counter = kdc_obs::registry().register_counter("kdc_service_faults_injected_total");
+    Some(Arc::new(move |event: &kdc_api::Event| {
+        if let Some(action) = kdc_faults::check(kdc_faults::Point::SolveNode) {
+            counter.inc();
+            match action {
+                kdc_faults::Action::Delay(d) => std::thread::sleep(d),
+                kdc_faults::Action::Error | kdc_faults::Action::DropConnection => cancel.cancel(),
+                kdc_faults::Action::Panic => kdc_faults::panic_now(kdc_faults::Point::SolveNode),
+            }
+        }
+        if let Some(inner) = &observer {
+            inner.event(event);
+        }
+    }) as Arc<dyn Observer>)
+}
+
 /// Executes one job spec with the given cancel flag; a pure dispatch onto
 /// the entry's [`kdc_api::Session`], so it is unit-testable without a pool.
 pub fn run_job(spec: &JobSpec, cancel: CancelFlag) -> JobOutcome {
     let trace = spec.trace();
+    let fault_cancel = cancel.clone();
     let (entry, query, budget, options, observer) = match spec {
         JobSpec::Solve {
             entry,
@@ -473,6 +625,7 @@ pub fn run_job(spec: &JobSpec, cancel: CancelFlag) -> JobOutcome {
             None,
         ),
     };
+    let observer = with_solve_node_faults(observer, fault_cancel);
     match entry
         .session()
         .run_observed(&query, &budget, &options, observer, trace)
@@ -531,16 +684,30 @@ fn worker_loop(queue: &JobQueue) {
         }
         // Panic isolation: a job that panics must still publish an outcome
         // (or its waiter blocks forever) and must not kill the pool worker.
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&spec, cancel)))
-                .unwrap_or_else(|panic| {
-                    let msg = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "unknown panic".to_string());
-                    JobOutcome::Error(format!("job {id} panicked: {msg}"))
-                });
+        // The job_start fault point runs *inside* the isolation boundary so
+        // an injected panic exercises the same recovery path a real one
+        // would.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(action) = kdc_faults::check(kdc_faults::Point::JobStart) {
+                queue.faults_injected.inc();
+                match action {
+                    kdc_faults::Action::Delay(d) => std::thread::sleep(d),
+                    kdc_faults::Action::Error | kdc_faults::Action::DropConnection => {
+                        return JobOutcome::Error(format!("job {id}: fault injected at job_start"));
+                    }
+                    kdc_faults::Action::Panic => kdc_faults::panic_now(kdc_faults::Point::JobStart),
+                }
+            }
+            run_job(&spec, cancel)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            JobOutcome::Error(format!("job {id} panicked: {msg}"))
+        });
         let state_after = match &outcome {
             JobOutcome::Done(outcome) if outcome.status == Status::Cancelled => JobState::Cancelled,
             JobOutcome::Error(_) => JobState::Failed,
@@ -835,6 +1002,133 @@ mod tests {
         );
         assert_eq!(queue.list()[0].state, JobState::Cancelled);
         pool.join();
+    }
+
+    #[test]
+    fn try_submit_enforces_queue_depth() {
+        let entry = figure2_entry();
+        let queue = Arc::new(JobQueue::new()); // no workers: jobs stay queued
+        let first = queue
+            .try_submit(solve_spec(entry.clone(), 1, "kdc"), 1)
+            .expect("first job admitted");
+        match queue.try_submit(solve_spec(entry.clone(), 1, "kdc"), 1) {
+            Err(SubmitError::Busy { depth }) => assert_eq!(depth, 1),
+            other => panic!("expected busy, got {other:?}"),
+        }
+        // A rejected submit leaves no JOBS row behind.
+        assert_eq!(queue.list().len(), 1);
+        // Unlimited depth (0) always admits.
+        queue
+            .try_submit(solve_spec(entry.clone(), 1, "kdc"), 0)
+            .expect("unlimited depth admits");
+        queue.cancel(first).unwrap();
+        // Cancelling freed the slot.
+        queue
+            .try_submit(solve_spec(entry, 1, "kdc"), 2)
+            .expect("slot freed after cancel");
+        queue.shutdown();
+    }
+
+    #[test]
+    fn try_submit_refuses_during_drain_and_shutdown() {
+        let entry = figure2_entry();
+        let queue = Arc::new(JobQueue::new());
+        let pool = WorkerPool::new(queue.clone(), 1).expect("spawn pool");
+        queue.drain();
+        assert_eq!(
+            queue.try_submit(solve_spec(entry.clone(), 1, "kdc"), 0),
+            Err(SubmitError::ShuttingDown)
+        );
+        pool.join();
+        assert_eq!(
+            queue.try_submit(solve_spec(entry, 1, "kdc"), 0),
+            Err(SubmitError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn drain_finishes_queued_jobs_with_real_outcomes() {
+        let entry = figure2_entry();
+        let queue = Arc::new(JobQueue::new());
+        let pool = WorkerPool::new(queue.clone(), 1).expect("spawn pool");
+        let ids: Vec<u64> = (0..4)
+            .map(|_| queue.submit(solve_spec(entry.clone(), 2, "kdc")))
+            .collect();
+        queue.drain();
+        for id in ids {
+            let JobOutcome::Done(outcome) = queue.wait(id) else {
+                panic!("drained job {id} must carry its real outcome");
+            };
+            assert_eq!(outcome.size(), 6);
+        }
+        assert!(
+            queue.list().iter().all(|j| j.state == JobState::Done),
+            "drain must not cancel queued work"
+        );
+        pool.join();
+    }
+
+    #[test]
+    fn watchdog_kills_limit_less_running_job() {
+        let mut rng = gen::seeded_rng(42);
+        let cache = GraphCache::new();
+        let entry = cache.insert("hard", gen::gnp(220, 0.5, &mut rng));
+        let queue = Arc::new(JobQueue::new());
+        let pool = WorkerPool::new(queue.clone(), 1).expect("spawn pool");
+        let id = queue.submit(solve_spec(entry.clone(), 12, "kdc"));
+        loop {
+            if queue.list()[0].state != JobState::Queued {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // A sweep with a generous deadline leaves the young job alone.
+        assert_eq!(queue.watchdog_sweep(Duration::from_secs(3600)), 0);
+        // A zero deadline kills it: failed, reason=watchdog, typed error.
+        loop {
+            if queue.watchdog_sweep(Duration::ZERO) > 0 {
+                break;
+            }
+            // The job may have finished already on a fast machine.
+            if queue.list()[0].state != JobState::Running {
+                pool.join();
+                return;
+            }
+            std::thread::yield_now();
+        }
+        let JobOutcome::Error(msg) = queue.wait(id) else {
+            panic!("watchdogged job must fail");
+        };
+        assert!(msg.contains("watchdog"), "{msg}");
+        let info = &queue.list()[0];
+        assert_eq!(info.state, JobState::Failed);
+        assert_eq!(info.reason, Some("watchdog"));
+        // Sweeps are one-shot per job: no double kill.
+        assert_eq!(queue.watchdog_sweep(Duration::ZERO), 0);
+        pool.join();
+    }
+
+    #[test]
+    fn watchdog_exempts_jobs_with_their_own_budget() {
+        let entry = figure2_entry();
+        let queue = Arc::new(JobQueue::new());
+        let spec = JobSpec::Solve {
+            entry,
+            k: 2,
+            preset: "kdc".into(),
+            limit: Some(Duration::from_secs(60)),
+            nodes: None,
+            threads: 1,
+            observer: None,
+            trace: None,
+        };
+        assert!(spec.has_deadline());
+        // No workers: force the record into Running by hand is not possible
+        // from outside, so assert via the spec classification plus a queued
+        // sweep (queued jobs are never swept regardless).
+        queue.submit(spec);
+        assert_eq!(queue.watchdog_sweep(Duration::ZERO), 0);
+        queue.shutdown();
     }
 
     #[test]

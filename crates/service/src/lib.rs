@@ -56,13 +56,45 @@
 //!   the engine notices at its next branch-and-bound node and returns the
 //!   best solution found so far.
 //! * **Shutdown** raises a latch, pokes the accept loop with a loopback
-//!   connection, cancels every outstanding job and joins the workers.
-//!   Handler threads are detached and die with their connections.
+//!   connection, and tears down per the requested mode: `mode=abort` (the
+//!   default) cancels every outstanding job cooperatively; `mode=drain`
+//!   first blocks in [`jobs::JobQueue::drain`] until queued and running
+//!   jobs have answered their waiters (verbose `EVENT` streams included),
+//!   then joins the workers. Handler threads are detached and die with
+//!   their connections.
 //!
 //! Shared-state discipline: the cache and queue are each a single coarse
 //! `Mutex` (lookups and bookkeeping are microseconds; solves run outside
 //! any lock), per-graph counters are relaxed atomics, and graphs are
 //! immutable behind `Arc` — workers never copy a cached graph.
+//!
+//! ## Hardened lifecycle
+//!
+//! The daemon degrades loudly, not mysteriously, under overload and
+//! misbehaving clients:
+//!
+//! * **Admission control** ([`server::Server::with_limits`]) — beyond the
+//!   connection cap or job-queue depth bound, requests get a typed
+//!   `ERR busy .. retry_after_ms=..` line instead of unbounded queueing
+//!   (`kdc_service_busy_rejections_total`).
+//! * **Idle timeouts** ([`server::Server::with_idle_timeout`]) — half-open
+//!   or stalled connections are reaped so handler threads cannot leak
+//!   (`kdc_service_conn_timeouts_total`); real transport errors are
+//!   distinguished from clean EOF and counted
+//!   (`kdc_service_conn_errors_total`).
+//! * **Watchdog** ([`server::Server::with_watchdog`]) — jobs submitted
+//!   without their own `limit=`/`nodes=` budget are cancelled after a
+//!   default deadline and surfaced as `failed reason=watchdog`
+//!   (`kdc_service_watchdog_kills_total`).
+//! * **Client retry** ([`server::request_with_retry`], `kdc client
+//!   --retries`) — retries *only* connect failures and busy replies, with
+//!   decorrelated-jitter backoff.
+//! * **Fault injection** (the `kdc_faults` crate) — named injection points
+//!   (`accept`, `conn_read`, `conn_write`, `job_start`, `solve_node`,
+//!   `cache_insert`) armed via `KDC_FAULTS` or the debug-only `FAULTS`
+//!   verb drive all of the above in the chaos soak test
+//!   (`kdc_service_faults_injected_total`); disarmed, each point is one
+//!   relaxed atomic load.
 
 pub mod cache;
 pub mod jobs;
@@ -71,6 +103,8 @@ pub mod server;
 pub mod sync;
 
 pub use cache::{GraphCache, GraphEntry};
-pub use jobs::{JobInfo, JobObserver, JobOutcome, JobQueue, JobSpec, JobState, WorkerPool};
-pub use protocol::{parse_command, Command};
-pub use server::{request, Server, ServerHandle, DEFAULT_SLOW_THRESHOLD};
+pub use jobs::{
+    JobInfo, JobObserver, JobOutcome, JobQueue, JobSpec, JobState, SubmitError, WorkerPool,
+};
+pub use protocol::{parse_command, Command, ShutdownMode};
+pub use server::{request, request_with_retry, Server, ServerHandle, DEFAULT_SLOW_THRESHOLD};

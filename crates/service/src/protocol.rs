@@ -16,7 +16,8 @@
 //! CANCEL <id>
 //! METRICS
 //! TRACE <id>
-//! SHUTDOWN
+//! FAULTS [<plan>|off]
+//! SHUTDOWN [mode=<drain|abort>]
 //! ```
 //!
 //! With `verbose=1`, a `SOLVE` response is preceded by zero or more `EVENT
@@ -35,6 +36,38 @@
 //! Options may appear in any order after the positional arguments;
 //! unrecognized option keys are rejected, not ignored, so a typo like
 //! `limt=5` fails fast instead of silently running without a deadline.
+//!
+//! ## Overload (`BUSY`) replies
+//!
+//! A daemon running with admission limits answers overload with a **typed
+//! busy error** instead of queueing unboundedly:
+//!
+//! ```text
+//! ERR busy queue_depth=<N> retry_after_ms=<M>     (job queue at capacity)
+//! ERR busy active_conns=<N> retry_after_ms=<M>    (connection cap reached)
+//! ```
+//!
+//! Referred to as `BUSY` in operational docs, it is still an `ERR` line on
+//! the wire so old clients fail closed. `retry_after_ms` is a backoff hint;
+//! `kdc client --retries` and [`crate::server::request_with_retry`] retry
+//! *only* on connect failure and `BUSY` (never on other errors, which are
+//! deterministic).
+//!
+//! ## Shutdown modes
+//!
+//! `SHUTDOWN mode=drain` stops accepting connections, lets queued and
+//! running jobs finish (their waiters get real results and in-flight
+//! `EVENT` streams complete), then exits. `SHUTDOWN mode=abort` (the
+//! default, and the pre-`mode=` behavior) cancels every outstanding job
+//! cooperatively and exits as soon as the workers notice.
+//!
+//! ## Fault injection (`FAULTS`, debug builds only)
+//!
+//! `FAULTS` reports the armed fault plan, `FAULTS <plan>` installs one
+//! (grammar: `point:action[:trigger]` rules joined by commas — see the
+//! `kdc_faults` crate docs), `FAULTS off` disarms everything. Release
+//! builds answer `ERR` so production daemons cannot be fault-armed over
+//! the wire; the `KDC_FAULTS` environment variable works in any build.
 
 use std::collections::HashMap;
 use std::fmt::Display;
@@ -116,8 +149,39 @@ pub enum Command {
         /// Job id as reported by `JOBS`.
         id: u64,
     },
-    /// `SHUTDOWN` — stop accepting connections, drain workers, exit.
-    Shutdown,
+    /// `FAULTS [<plan>|off]` — inspect or install the fault-injection plan
+    /// (debug builds only; release daemons answer `ERR`).
+    Faults {
+        /// `None` = report status; `Some("off")` = disarm; any other value
+        /// is a plan in the `kdc_faults` grammar.
+        plan: Option<String>,
+    },
+    /// `SHUTDOWN [mode=drain|abort]` — stop accepting connections and exit,
+    /// either finishing outstanding jobs (`drain`) or cancelling them
+    /// (`abort`, the default).
+    Shutdown {
+        /// Selected shutdown mode.
+        mode: ShutdownMode,
+    },
+}
+
+/// How `SHUTDOWN` treats outstanding jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Finish queued and running jobs (and their event streams) first.
+    Drain,
+    /// Cancel everything via the cooperative flags and exit promptly.
+    Abort,
+}
+
+impl ShutdownMode {
+    /// Lower-case protocol token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShutdownMode::Drain => "drain",
+            ShutdownMode::Abort => "abort",
+        }
+    }
 }
 
 /// Splits `tokens` into positionals and `key=value` options.
@@ -155,6 +219,18 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         return Err("empty command".to_string());
     };
     let verb = verb.to_ascii_uppercase();
+    // FAULTS is handled before option splitting: a fault plan like
+    // `conn_read:delay=5:p=0.1` is full of `=` signs that are part of the
+    // plan grammar, not protocol options.
+    if verb == "FAULTS" {
+        return match rest {
+            [] => Ok(Command::Faults { plan: None }),
+            [plan] => Ok(Command::Faults {
+                plan: Some(plan.to_string()),
+            }),
+            _ => Err("usage: FAULTS [<plan>|off]".to_string()),
+        };
+    }
     let (positional, options) = split_options(rest);
     let positional_count = |want: usize, usage: &str| -> Result<(), String> {
         if positional.len() == want {
@@ -289,9 +365,16 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             Ok(Command::Trace { id })
         }
         "SHUTDOWN" => {
-            known_options(&[])?;
-            positional_count(0, "SHUTDOWN")?;
-            Ok(Command::Shutdown)
+            known_options(&["mode"])?;
+            positional_count(0, "SHUTDOWN [mode=drain|abort]")?;
+            let mode = match options.get("mode").map(String::as_str) {
+                None | Some("abort") => ShutdownMode::Abort,
+                Some("drain") => ShutdownMode::Drain,
+                Some(other) => {
+                    return Err(format!("mode= must be drain or abort (got {other})"));
+                }
+            };
+            Ok(Command::Shutdown { mode })
         }
         other => Err(format!("unknown command {other:?}")),
     }
@@ -505,9 +588,55 @@ mod tests {
             Command::Cancel { id: 7 }
         );
         assert!(parse_command("CANCEL seven").is_err());
-        assert_eq!(parse_command("shutdown").unwrap(), Command::Shutdown);
+        assert_eq!(
+            parse_command("shutdown").unwrap(),
+            Command::Shutdown {
+                mode: ShutdownMode::Abort
+            }
+        );
         assert!(parse_command("").is_err());
         assert!(parse_command("FROBNICATE").is_err());
+    }
+
+    #[test]
+    fn parses_shutdown_modes() {
+        assert_eq!(
+            parse_command("SHUTDOWN mode=drain").unwrap(),
+            Command::Shutdown {
+                mode: ShutdownMode::Drain
+            }
+        );
+        assert_eq!(
+            parse_command("SHUTDOWN mode=abort").unwrap(),
+            Command::Shutdown {
+                mode: ShutdownMode::Abort
+            }
+        );
+        assert!(parse_command("SHUTDOWN mode=later").is_err());
+        assert!(parse_command("SHUTDOWN drain").is_err(), "mode= required");
+    }
+
+    #[test]
+    fn parses_faults_without_option_splitting() {
+        assert_eq!(
+            parse_command("FAULTS").unwrap(),
+            Command::Faults { plan: None }
+        );
+        assert_eq!(
+            parse_command("faults off").unwrap(),
+            Command::Faults {
+                plan: Some("off".into())
+            }
+        );
+        // `=` inside the plan must survive verbatim (it is plan grammar,
+        // not a protocol option).
+        assert_eq!(
+            parse_command("FAULTS conn_read:delay=5:p=0.1,accept:error").unwrap(),
+            Command::Faults {
+                plan: Some("conn_read:delay=5:p=0.1,accept:error".into())
+            }
+        );
+        assert!(parse_command("FAULTS a b").is_err(), "one plan token max");
     }
 
     #[test]

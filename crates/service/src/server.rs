@@ -8,28 +8,57 @@
 //! returns without platform-specific non-blocking machinery.
 
 use crate::cache::GraphCache;
-use crate::jobs::{JobObserver, JobOutcome, JobQueue, JobSpec, WorkerPool};
-use crate::protocol::{err_line, parse_command, render_vertices, Command, OkLine};
+use crate::jobs::{JobObserver, JobOutcome, JobQueue, JobSpec, SubmitError, WorkerPool};
+use crate::protocol::{err_line, parse_command, render_vertices, Command, OkLine, ShutdownMode};
 use kdc::Status;
 use kdc_api::{Event, Observer, Options};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// Shared daemon state: the graph cache, the job queue, the shutdown latch.
+/// The `retry_after_ms` hint attached to `ERR busy` replies. A constant,
+/// not a measurement: clients jitter around it anyway (see
+/// [`request_with_retry`]), so a cheap fixed hint beats a queue estimate.
+const RETRY_AFTER_MS: u64 = 50;
+
+/// Shared daemon state: the graph cache, the job queue, the shutdown latch,
+/// and the admission/lifecycle configuration (all atomics so builders and
+/// handler threads never contend on a lock).
 struct Daemon {
     cache: GraphCache,
     queue: Arc<JobQueue>,
     shutdown: AtomicBool,
+    /// `SHUTDOWN mode=drain` was requested: finish outstanding jobs before
+    /// the pool goes down (checked by `run` after the accept loop exits).
+    drain: AtomicBool,
     addr: SocketAddr,
     /// Slow-query threshold in nanoseconds; solves at or above it are
     /// logged to stderr with their phase breakdown. `u64::MAX` disables.
     slow_threshold_ns: AtomicU64,
+    /// Max concurrent connections (0 = unlimited).
+    max_conns: AtomicUsize,
+    /// Max queued jobs before `SOLVE`/`ENUMERATE`/`COUNT` answer busy
+    /// (0 = unlimited).
+    max_queue: AtomicUsize,
+    /// Per-connection idle read/write timeout in ms (0 = none).
+    idle_timeout_ms: AtomicU64,
+    /// Watchdog default deadline in ms for limit-less jobs (0 = no watchdog).
+    watchdog_ms: AtomicU64,
+    /// Connections currently being served (admission-control numerator).
+    active_conns: AtomicUsize,
     /// Registry twin counting slow-query log entries.
     slow_queries: kdc_obs::Counter,
+    /// Admissions refused (connection cap or queue depth).
+    busy_rejections: kdc_obs::Counter,
+    /// Connections closed by the idle read/write timeout.
+    conn_timeouts: kdc_obs::Counter,
+    /// Connections closed on a real I/O error (not clean EOF, not timeout).
+    conn_errors: kdc_obs::Counter,
+    /// Faults injected at the connection-level points (accept/read/write).
+    faults_injected: kdc_obs::Counter,
 }
 
 impl Daemon {
@@ -88,16 +117,26 @@ impl Server {
     pub fn bind(addr: &str, workers: usize) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let r = kdc_obs::registry();
         Ok(Server {
             listener,
             daemon: Arc::new(Daemon {
                 cache: GraphCache::new(),
                 queue: Arc::new(JobQueue::new()),
                 shutdown: AtomicBool::new(false),
+                drain: AtomicBool::new(false),
                 addr,
                 slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD.as_nanos() as u64),
-                slow_queries: kdc_obs::registry()
-                    .register_counter("kdc_service_slow_queries_total"),
+                max_conns: AtomicUsize::new(0),
+                max_queue: AtomicUsize::new(0),
+                idle_timeout_ms: AtomicU64::new(0),
+                watchdog_ms: AtomicU64::new(0),
+                active_conns: AtomicUsize::new(0),
+                slow_queries: r.register_counter("kdc_service_slow_queries_total"),
+                busy_rejections: r.register_counter("kdc_service_busy_rejections_total"),
+                conn_timeouts: r.register_counter("kdc_service_conn_timeouts_total"),
+                conn_errors: r.register_counter("kdc_service_conn_errors_total"),
+                faults_injected: r.register_counter("kdc_service_faults_injected_total"),
             }),
             workers,
         })
@@ -112,12 +151,55 @@ impl Server {
         self
     }
 
+    /// Admission control: at most `max_conns` concurrent connections (extra
+    /// accepts get one `ERR busy active_conns=..` line and are closed) and
+    /// at most `max_queue` queued jobs (extra `SOLVE`/`ENUMERATE`/`COUNT`
+    /// requests get `ERR busy queue_depth=..`). 0 = unlimited (the default).
+    pub fn with_limits(self, max_conns: usize, max_queue: usize) -> Self {
+        self.daemon.max_conns.store(max_conns, Ordering::Relaxed);
+        self.daemon.max_queue.store(max_queue, Ordering::Relaxed);
+        self
+    }
+
+    /// Per-connection idle timeout: a connection whose socket stays silent
+    /// (no readable bytes, or an unwritable peer) for `timeout` is counted
+    /// in `kdc_service_conn_timeouts_total` and closed — the defense
+    /// against half-open clients holding handler threads forever.
+    /// `Duration::ZERO` disables (the default).
+    pub fn with_idle_timeout(self, timeout: Duration) -> Self {
+        let ms = timeout.as_millis().min(u128::from(u64::MAX)) as u64;
+        self.daemon.idle_timeout_ms.store(ms, Ordering::Relaxed);
+        self
+    }
+
+    /// Watchdog: jobs submitted *without* their own `limit=`/`nodes=`
+    /// budget are cooperatively cancelled once they have been running for
+    /// `deadline`, and reported as `failed reason=watchdog` in `JOBS`.
+    /// `Duration::ZERO` disables (the default).
+    pub fn with_watchdog(self, deadline: Duration) -> Self {
+        let ms = deadline.as_millis().min(u128::from(u64::MAX)) as u64;
+        self.daemon.watchdog_ms.store(ms, Ordering::Relaxed);
+        self
+    }
+
+    /// Caps the graph cache at `capacity` resident graphs, evicting the
+    /// least recently used on overflow (`kdc_service_cache_evictions_total`,
+    /// `cache_evictions=` in server-wide `STATS`). 0 = unlimited (the
+    /// default).
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        self.daemon.cache.set_capacity(capacity);
+        self
+    }
+
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.daemon.addr
     }
 
-    /// Runs the accept loop on the current thread until `SHUTDOWN`.
+    /// Runs the accept loop on the current thread until `SHUTDOWN`. With
+    /// `mode=drain`, queued and running jobs finish (and answer their
+    /// waiters) before the pool is torn down; the default `mode=abort`
+    /// cancels them cooperatively.
     pub fn run(self) -> std::io::Result<()> {
         let Server {
             listener,
@@ -125,21 +207,55 @@ impl Server {
             workers,
         } = self;
         let pool = WorkerPool::new(daemon.queue.clone(), workers)?;
+        let watchdog = spawn_watchdog(&daemon)?;
         for stream in listener.incoming() {
             if daemon.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let Ok(stream) = stream else { continue };
-            let daemon = daemon.clone();
+            let Ok(mut stream) = stream else { continue };
+            // Connection admission: over the cap, the client gets one typed
+            // busy line (best effort — it may only see the hangup) and the
+            // socket is closed without spawning a handler.
+            let cap = daemon.max_conns.load(Ordering::Relaxed);
+            let active = daemon.active_conns.load(Ordering::Relaxed);
+            if cap > 0 && active >= cap {
+                daemon.busy_rejections.inc();
+                let busy = err_line(&format!(
+                    "busy active_conns={active} retry_after_ms={RETRY_AFTER_MS}"
+                ));
+                let _ = stream.write_all(format!("{busy}\n").as_bytes());
+                continue;
+            }
+            daemon.active_conns.fetch_add(1, Ordering::Relaxed);
+            let conn_daemon = daemon.clone();
             // Handler threads are detached: they die with the connection
             // (client EOF) or with the process; joining them could block
             // shutdown on a client that never hangs up.
-            let _ = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("kdc-conn".to_string())
-                .spawn(move || handle_connection(stream, &daemon));
+                .spawn(move || {
+                    // The guard decrements the active-connection count on
+                    // every exit path, including an unwinding fault panic.
+                    let _guard = ConnGuard(&conn_daemon);
+                    handle_connection(stream, &conn_daemon);
+                });
+            if spawned.is_err() {
+                // Never spawned, so the guard never ran.
+                daemon.active_conns.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        if daemon.drain.load(Ordering::SeqCst) {
+            // Graceful drain: block until every queued and running job has
+            // published its real outcome (waiting connections and verbose
+            // event streams complete), then stop the pool.
+            daemon.queue.drain();
         }
         daemon.queue.shutdown();
         pool.join();
+        if let Some((stop, thread)) = watchdog {
+            stop.store(true, Ordering::Relaxed);
+            let _ = thread.join();
+        }
         Ok(())
     }
 
@@ -154,6 +270,44 @@ impl Server {
     }
 }
 
+/// Decrements the active-connection count when a handler thread exits, on
+/// every path — clean EOF, error return, or an unwinding injected panic.
+struct ConnGuard<'a>(&'a Daemon);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Spawns the watchdog thread when a deadline is configured. It polls at a
+/// quarter of the deadline (clamped to 10–250 ms) and cooperatively cancels
+/// limit-less jobs that overstay; the returned stop flag + handle are
+/// flipped/joined by `run` after the pool exits.
+#[allow(clippy::type_complexity)]
+fn spawn_watchdog(
+    daemon: &Arc<Daemon>,
+) -> std::io::Result<Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>> {
+    let ms = daemon.watchdog_ms.load(Ordering::Relaxed);
+    if ms == 0 {
+        return Ok(None);
+    }
+    let deadline = Duration::from_millis(ms);
+    let poll = Duration::from_millis((ms / 4).clamp(10, 250));
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = daemon.queue.clone();
+    let stop_flag = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("kdc-watchdog".to_string())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                queue.watchdog_sweep(deadline);
+                std::thread::sleep(poll);
+            }
+        })?;
+    Ok(Some((stop, thread)))
+}
+
 /// Longest accepted request line. Any real command (a filesystem path plus
 /// a few options) is far below this; past it the sender is broken or
 /// hostile and an unbounded `read_line` would buffer its bytes forever.
@@ -162,7 +316,39 @@ const MAX_LINE_BYTES: u64 = 64 * 1024;
 /// Default slow-query threshold (see [`Server::with_slow_threshold`]).
 pub const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_secs(1);
 
+/// True when an I/O error is the idle-timeout deadline firing (blocking
+/// sockets report `SO_RCVTIMEO`/`SO_SNDTIMEO` expiry as either kind,
+/// platform-dependent).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
 fn handle_connection(stream: TcpStream, daemon: &Daemon) {
+    // The accept fault point runs here, on the handler thread, so an
+    // injected panic kills exactly one connection and never the accept loop.
+    if let Some(action) = kdc_faults::check(kdc_faults::Point::Accept) {
+        daemon.faults_injected.inc();
+        match action {
+            kdc_faults::Action::Delay(d) => std::thread::sleep(d),
+            kdc_faults::Action::Error => {
+                let mut stream = stream;
+                let _ = stream
+                    .write_all(format!("{}\n", err_line("fault injected at accept")).as_bytes());
+                return;
+            }
+            kdc_faults::Action::DropConnection => return,
+            kdc_faults::Action::Panic => kdc_faults::panic_now(kdc_faults::Point::Accept),
+        }
+    }
+    let idle_ms = daemon.idle_timeout_ms.load(Ordering::Relaxed);
+    if idle_ms > 0 {
+        // Socket options live on the underlying fd, shared with the clone
+        // below. A failure to set them degrades to no timeout, which the
+        // pre-`--idle-secs` daemon always ran with.
+        let timeout = Some(Duration::from_millis(idle_ms));
+        let _ = stream.set_read_timeout(timeout);
+        let _ = stream.set_write_timeout(timeout);
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -172,7 +358,23 @@ fn handle_connection(stream: TcpStream, daemon: &Daemon) {
     loop {
         line.clear();
         match (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client hung up (or sent non-UTF-8)
+            Ok(0) => return, // clean EOF: the client is done, nothing to log
+            Err(e) if is_timeout(&e) => {
+                // Idle (possibly half-open) connection: reclaim the handler
+                // thread. The goodbye line is best effort — a half-open
+                // peer will never read it.
+                daemon.conn_timeouts.inc();
+                let _ =
+                    writer.write_all(format!("{}\n", err_line("idle timeout, closing")).as_bytes());
+                return;
+            }
+            Err(e) => {
+                // A real transport error (reset, non-UTF-8 bytes, ...) is
+                // not a hangup: count it and log it like a slow query.
+                daemon.conn_errors.inc();
+                eprintln!("kdc_service connection error: read failed: {e}");
+                return;
+            }
             Ok(_) => {}
         }
         if line.len() as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
@@ -184,15 +386,49 @@ fn handle_connection(stream: TcpStream, daemon: &Daemon) {
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = match parse_command(line.trim()) {
-            Err(e) => (err_line(&e), false),
-            Ok(command) => execute(command, daemon, &mut writer),
+        // conn_read fault point: after a request line arrives, before it is
+        // parsed. `Error` answers a typed line and keeps the connection.
+        let mut injected: Option<String> = None;
+        if let Some(action) = kdc_faults::check(kdc_faults::Point::ConnRead) {
+            daemon.faults_injected.inc();
+            match action {
+                kdc_faults::Action::Delay(d) => std::thread::sleep(d),
+                kdc_faults::Action::Error => {
+                    injected = Some(err_line("fault injected at conn_read"));
+                }
+                kdc_faults::Action::DropConnection => return,
+                kdc_faults::Action::Panic => kdc_faults::panic_now(kdc_faults::Point::ConnRead),
+            }
+        }
+        let (response, shutdown) = match injected {
+            Some(response) => (response, false),
+            None => match parse_command(line.trim()) {
+                Err(e) => (err_line(&e), false),
+                Ok(command) => execute(command, daemon, &mut writer),
+            },
         };
-        if writer
+        // conn_write fault point: before the final response line goes out.
+        // `Error` cannot be reported over the write it is failing, so both
+        // it and `DropConnection` sever the connection with the response
+        // unsent — exactly the torn-reply case clients must survive.
+        if let Some(action) = kdc_faults::check(kdc_faults::Point::ConnWrite) {
+            daemon.faults_injected.inc();
+            match action {
+                kdc_faults::Action::Delay(d) => std::thread::sleep(d),
+                kdc_faults::Action::Error | kdc_faults::Action::DropConnection => return,
+                kdc_faults::Action::Panic => kdc_faults::panic_now(kdc_faults::Point::ConnWrite),
+            }
+        }
+        if let Err(e) = writer
             .write_all(format!("{response}\n").as_bytes())
             .and_then(|()| writer.flush())
-            .is_err()
         {
+            if is_timeout(&e) {
+                daemon.conn_timeouts.inc();
+            } else {
+                daemon.conn_errors.inc();
+                eprintln!("kdc_service connection error: write failed: {e}");
+            }
             return;
         }
         if shutdown {
@@ -261,8 +497,12 @@ fn execute(command: Command, daemon: &Daemon, writer: &mut TcpStream) -> (String
             let rendered: Vec<String> = jobs
                 .iter()
                 .map(|j| {
+                    // `:reason=..` appears only when the daemon (today: the
+                    // watchdog) decided the job's fate, so rows of ordinary
+                    // jobs keep their historical shape.
+                    let reason = j.reason.map(|r| format!(":reason={r}")).unwrap_or_default();
                     format!(
-                        "{}:{}:{}:queued_ns={}:running_ns={}",
+                        "{}:{}:{}:queued_ns={}:running_ns={}{reason}",
                         j.id,
                         j.state.as_str(),
                         j.description,
@@ -291,14 +531,65 @@ fn execute(command: Command, daemon: &Daemon, writer: &mut TcpStream) -> (String
                 .field("trace", trace.export_chrome_json())
                 .render()
         }),
-        Command::Shutdown => {
-            return (OkLine::new().field("shutdown", "ok").render(), true);
+        Command::Faults { plan } => faults_verb(plan.as_deref()),
+        Command::Shutdown { mode } => {
+            if mode == ShutdownMode::Drain {
+                daemon.drain.store(true, Ordering::SeqCst);
+            }
+            return (
+                OkLine::new()
+                    .field("shutdown", "ok")
+                    .field("mode", mode.as_str())
+                    .render(),
+                true,
+            );
         }
     };
     match response {
         Ok(line) => (line, false),
         Err(e) => (err_line(&e), false),
     }
+}
+
+/// The debug-only `FAULTS` verb: status / install / disarm. Release builds
+/// refuse, so a production daemon cannot be fault-armed over the wire (the
+/// `KDC_FAULTS` environment variable at startup works in any build).
+#[cfg(debug_assertions)]
+fn faults_verb(plan: Option<&str>) -> Result<String, String> {
+    match plan {
+        None => Ok(OkLine::new().field("faults", kdc_faults::status()).render()),
+        Some("off") => {
+            kdc_faults::disarm_all();
+            Ok(OkLine::new().field("faults", "off").render())
+        }
+        Some(plan) => kdc_faults::install_plan(plan).map(|rules| {
+            OkLine::new()
+                .field("faults", "armed")
+                .field("rules", rules)
+                .render()
+        }),
+    }
+}
+
+#[cfg(not(debug_assertions))]
+fn faults_verb(_plan: Option<&str>) -> Result<String, String> {
+    Err("FAULTS requires a debug build (set KDC_FAULTS at startup instead)".to_string())
+}
+
+/// Submits through the admission bound, translating a refusal into the
+/// typed `busy` error line (`retry_after_ms` is the client backoff hint).
+fn submit_checked(daemon: &Daemon, spec: JobSpec) -> Result<u64, String> {
+    let max_queue = daemon.max_queue.load(Ordering::Relaxed);
+    daemon
+        .queue
+        .try_submit(spec, max_queue)
+        .map_err(|e| match e {
+            SubmitError::Busy { depth } => {
+                daemon.busy_rejections.inc();
+                format!("busy queue_depth={depth} retry_after_ms={RETRY_AFTER_MS}")
+            }
+            SubmitError::ShuttingDown => "server shutting down".to_string(),
+        })
 }
 
 /// Streams the global registry as `METRIC <line>` lines onto the
@@ -376,16 +667,21 @@ fn solve(
     // Every daemon solve carries a tracer, so `TRACE <id>` works after the
     // fact and the slow-query log can print a phase breakdown.
     let trace = kdc_obs::Tracer::new();
-    let id = daemon.queue.submit(JobSpec::Solve {
-        entry,
-        k: params.k,
-        preset: preset.clone(),
-        limit: params.limit,
-        nodes: params.nodes,
-        threads: params.threads,
-        observer,
-        trace: Some(trace.clone()),
-    });
+    // A busy refusal drops the spec (and with it the verbose sender), so
+    // the `?` below cannot leave a channel dangling.
+    let id = submit_checked(
+        daemon,
+        JobSpec::Solve {
+            entry,
+            k: params.k,
+            preset: preset.clone(),
+            limit: params.limit,
+            nodes: params.nodes,
+            threads: params.threads,
+            observer,
+            trace: Some(trace.clone()),
+        },
+    )?;
     if let Some(rx) = events {
         while let Ok(event) = rx.recv() {
             // A dead client cannot be told about it; keep draining so the
@@ -441,7 +737,7 @@ fn enumerate(daemon: &Daemon, graph: &str, k: usize, top: usize) -> Result<Strin
         .cache
         .get(graph)
         .ok_or_else(|| format!("no graph named {graph:?} (LOAD it first)"))?;
-    let id = daemon.queue.submit(JobSpec::Enumerate { entry, k, top });
+    let id = submit_checked(daemon, JobSpec::Enumerate { entry, k, top })?;
     match daemon.queue.wait(id) {
         JobOutcome::Done(outcome) => {
             let complete = outcome.status == Status::Optimal;
@@ -474,7 +770,7 @@ fn count(daemon: &Daemon, graph: &str, k: usize, min_size: usize) -> Result<Stri
         .cache
         .get(graph)
         .ok_or_else(|| format!("no graph named {graph:?} (LOAD it first)"))?;
-    let id = daemon.queue.submit(JobSpec::Count { entry, k, min_size });
+    let id = submit_checked(daemon, JobSpec::Count { entry, k, min_size })?;
     match daemon.queue.wait(id) {
         JobOutcome::Done(outcome) => {
             let Some(counts) = outcome.counts else {
@@ -531,6 +827,7 @@ fn stats(daemon: &Daemon, graph: Option<&str>) -> Result<String, String> {
             .field("graphs", daemon.cache.names().join(","))
             .field("parses", daemon.cache.parses())
             .field("jobs", daemon.queue.list().len())
+            .field("cache_evictions", daemon.cache.evictions())
             .render()),
     }
 }
@@ -541,7 +838,13 @@ fn stats(daemon: &Daemon, graph: Option<&str>) -> Result<String, String> {
 /// before the final `OK`/`ERR` line, which is always the last line of the
 /// returned string. Used by `kdc client` and the tests.
 pub fn request(addr: &str, command: &str) -> std::io::Result<String> {
-    let mut stream = TcpStream::connect(addr)?;
+    exchange(TcpStream::connect(addr)?, command)
+}
+
+/// The exchange half of [`request`], split out so [`request_with_retry`]
+/// can distinguish connect failures (retryable) from mid-exchange errors
+/// (not).
+fn exchange(mut stream: TcpStream, command: &str) -> std::io::Result<String> {
     stream.write_all(format!("{command}\n").as_bytes())?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
@@ -559,6 +862,64 @@ pub fn request(addr: &str, command: &str) -> std::io::Result<String> {
         }
     }
     Ok(lines.join("\n"))
+}
+
+/// Whether a reply is the daemon's typed overload refusal (its final line
+/// starts with `ERR busy`) — the only *reply* worth retrying: any other
+/// `ERR` is deterministic and will fail identically on every attempt.
+fn is_busy_reply(reply: &str) -> bool {
+    reply
+        .lines()
+        .last()
+        .is_some_and(|line| line.starts_with("ERR busy"))
+}
+
+/// [`request`] with client-side retry, the contract `kdc client --retries`
+/// exposes: up to `retries` extra attempts, retrying **only** on a connect
+/// failure (daemon restarting) or a busy reply (admission control) — never
+/// on other errors, which are deterministic, and never on a mid-exchange
+/// I/O error, which may have had side effects.
+///
+/// Backoff is decorrelated jitter: each sleep is drawn uniformly from
+/// `backoff..3 * previous_sleep` (capped at 64x `backoff`), so a thundering
+/// herd of rejected clients decorrelates instead of re-colliding.
+pub fn request_with_retry(
+    addr: &str,
+    command: &str,
+    retries: u32,
+    backoff: Duration,
+) -> std::io::Result<String> {
+    use rand::{rngs::SmallRng, RngExt, SeedableRng};
+    let base_ms = (backoff.as_millis().min(u128::from(u64::MAX)) as u64).max(1);
+    let cap_ms = base_ms.saturating_mul(64);
+    // Wall-clock + pid seed: retry jitter must differ *between* client
+    // processes; within one, reproducibility is worthless.
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed)
+        ^ (u64::from(std::process::id()) << 32);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sleep_ms = base_ms;
+    let mut attempts_left = retries;
+    loop {
+        let outcome = match TcpStream::connect(addr) {
+            Err(e) => Err(e),
+            Ok(stream) => match exchange(stream, command) {
+                Ok(reply) if is_busy_reply(&reply) => Ok(reply),
+                // Success or a deterministic/mid-exchange failure: final.
+                other => return other,
+            },
+        };
+        if attempts_left == 0 {
+            return outcome;
+        }
+        attempts_left -= 1;
+        std::thread::sleep(Duration::from_millis(sleep_ms));
+        sleep_ms = rng
+            .random_range(base_ms..sleep_ms.saturating_mul(3).max(base_ms + 1))
+            .min(cap_ms);
+    }
 }
 
 #[cfg(test)]
@@ -613,7 +974,7 @@ mod tests {
         assert!(resp.starts_with("ERR "), "{resp}");
 
         let resp = request(&addr, "SHUTDOWN").unwrap();
-        assert_eq!(resp, "OK shutdown=ok");
+        assert_eq!(resp, "OK shutdown=ok mode=abort");
         handle.join().unwrap();
     }
 
@@ -634,8 +995,79 @@ mod tests {
         assert!(send("SOLVE nowhere k=1").starts_with("ERR "));
         assert!(send("LOAD /nonexistent.clq AS g").starts_with("ERR "));
         assert!(send("STATS").starts_with("OK graphs= parses=0"));
-        assert_eq!(send("SHUTDOWN"), "OK shutdown=ok");
+        assert_eq!(send("SHUTDOWN"), "OK shutdown=ok mode=abort");
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn busy_reply_detection() {
+        assert!(is_busy_reply("ERR busy queue_depth=4 retry_after_ms=50"));
+        assert!(is_busy_reply(
+            "EVENT type=incumbent size=3\nERR busy queue_depth=1 retry_after_ms=50"
+        ));
+        assert!(!is_busy_reply("ERR no graph named \"g\""));
+        assert!(!is_busy_reply("OK busy=0"));
+        assert!(!is_busy_reply(""));
+    }
+
+    #[test]
+    fn retry_helper_retries_busy_then_succeeds() {
+        // A fake daemon: first connection gets a typed busy line, the
+        // second gets an OK. The retry helper must surface only the OK.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let replies = ["ERR busy queue_depth=9 retry_after_ms=1\n", "OK done=1\n"];
+            let mut served = 0;
+            for reply in replies {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut line = String::new();
+                BufReader::new(stream.try_clone().unwrap())
+                    .read_line(&mut line)
+                    .unwrap();
+                stream.write_all(reply.as_bytes()).unwrap();
+                served += 1;
+            }
+            served
+        });
+        let reply = request_with_retry(&addr, "SOLVE g k=1", 3, Duration::from_millis(1)).unwrap();
+        assert_eq!(reply, "OK done=1");
+        assert_eq!(server.join().unwrap(), 2, "exactly one retry");
+    }
+
+    #[test]
+    fn retry_helper_does_not_retry_deterministic_errors() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut line = String::new();
+            BufReader::new(stream.try_clone().unwrap())
+                .read_line(&mut line)
+                .unwrap();
+            stream.write_all(b"ERR no graph named \"ghost\"\n").unwrap();
+            // A second accept would hang the test; the listener drops here,
+            // so a (buggy) retry would surface as a connect error instead.
+        });
+        let reply = request_with_retry(&addr, "SOLVE ghost k=1", 3, Duration::from_millis(1));
+        assert_eq!(reply.unwrap(), "ERR no graph named \"ghost\"");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_helper_gives_up_after_connect_failures() {
+        // Bind-then-drop: the port had a listener moments ago, now refuses.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let t0 = std::time::Instant::now();
+        let result = request_with_retry(&addr, "JOBS", 2, Duration::from_millis(1));
+        assert!(result.is_err(), "no listener must surface the io error");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(2),
+            "two backoff sleeps must have happened"
+        );
     }
 
     #[test]

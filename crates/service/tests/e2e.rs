@@ -209,7 +209,7 @@ fn full_session_on_ephemeral_port() {
 
     // ---- SHUTDOWN ------------------------------------------------------
     let resp = control.send("SHUTDOWN");
-    assert_eq!(resp, "OK shutdown=ok");
+    assert_eq!(resp, "OK shutdown=ok mode=abort");
     handle.join().expect("clean server exit");
 }
 
@@ -390,6 +390,310 @@ fn metrics_trace_and_slow_query_log_end_to_end() {
     handle.join().expect("clean server exit");
 }
 
+/// `SHUTDOWN mode=drain` lets in-flight *and* queued jobs publish their
+/// real outcomes (verbose streams included) before the daemon exits.
+#[test]
+fn drain_shutdown_completes_queued_jobs() {
+    let mut rng = gen::seeded_rng(77);
+    let hard = gen::gnp(220, 0.5, &mut rng);
+    let ph = write_graph("drain_hard.clq", &hard);
+    // One worker: the second solve is necessarily still queued when the
+    // drain request lands.
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn accept loop");
+    let addr = handle.addr().to_string();
+
+    let mut control = Client::connect(&addr);
+    let resp = control.send(&format!("LOAD {} AS hard", ph.display()));
+    assert_eq!(field(&resp, "loaded"), "hard", "{resp}");
+
+    let (r1, r2) = std::thread::scope(|scope| {
+        let a1 = addr.clone();
+        let a2 = addr.clone();
+        let t1 = scope.spawn(move || {
+            kdc_service::request(&a1, "SOLVE hard k=12 nodes=50000 verbose=1").unwrap()
+        });
+        let t2 =
+            scope.spawn(move || kdc_service::request(&a2, "SOLVE hard k=12 nodes=20000").unwrap());
+        // Wait until one solve runs and the other queues, then drain.
+        loop {
+            let jobs = control.send("JOBS");
+            let entries = field(&jobs, "jobs");
+            let running = entries.matches(":running:").count();
+            let queued = entries.matches(":queued:").count();
+            if running == 1 && queued == 1 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let resp = control.send("SHUTDOWN mode=drain");
+        assert_eq!(resp, "OK shutdown=ok mode=drain");
+        (t1.join().unwrap(), t2.join().unwrap())
+    });
+    // Both jobs ran to their node budgets — nobody was cancelled or left
+    // hanging — and the verbose stream still delivered its events.
+    let verdict1 = r1.lines().last().unwrap();
+    assert_eq!(field(verdict1, "status"), "node-limit", "{r1}");
+    assert!(
+        r1.lines().any(|l| l.starts_with("EVENT ")),
+        "drain must let the event stream finish: {r1}"
+    );
+    assert_eq!(field(&r2, "status"), "node-limit", "{r2}");
+    handle.join().expect("clean server exit");
+}
+
+/// Plain `SHUTDOWN` (mode=abort) cancels outstanding jobs cooperatively:
+/// waiters get a typed best-effort answer, not a hang.
+#[test]
+fn abort_shutdown_cancels_running_job() {
+    let mut rng = gen::seeded_rng(78);
+    let hard = gen::gnp(220, 0.5, &mut rng);
+    let ph = write_graph("abort_hard.clq", &hard);
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn accept loop");
+    let addr = handle.addr().to_string();
+
+    let mut control = Client::connect(&addr);
+    let resp = control.send(&format!("LOAD {} AS hard", ph.display()));
+    assert_eq!(field(&resp, "loaded"), "hard", "{resp}");
+
+    let solve_resp = std::thread::scope(|scope| {
+        let a = addr.clone();
+        let t = scope.spawn(move || Client::connect(&a).send("SOLVE hard k=12"));
+        loop {
+            let jobs = control.send("JOBS");
+            if field(&jobs, "jobs").contains(":running:") {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let resp = control.send("SHUTDOWN");
+        assert_eq!(resp, "OK shutdown=ok mode=abort");
+        t.join().unwrap()
+    });
+    assert_eq!(field(&solve_resp, "status"), "cancelled", "{solve_resp}");
+    handle.join().expect("clean server exit");
+}
+
+/// A bounded job queue refuses the overflow request with a typed busy line
+/// carrying a retry hint — the client-visible half of admission control.
+#[test]
+fn bounded_queue_answers_typed_busy() {
+    let mut rng = gen::seeded_rng(79);
+    let hard = gen::gnp(220, 0.5, &mut rng);
+    let ph = write_graph("busy_hard.clq", &hard);
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+        .expect("bind ephemeral port")
+        .with_limits(0, 1)
+        .spawn()
+        .expect("spawn accept loop");
+    let addr = handle.addr().to_string();
+
+    let mut control = Client::connect(&addr);
+    let resp = control.send(&format!("LOAD {} AS hard", ph.display()));
+    assert_eq!(field(&resp, "loaded"), "hard", "{resp}");
+
+    std::thread::scope(|scope| {
+        let a1 = addr.clone();
+        let a2 = addr.clone();
+        let t1 = scope.spawn(move || Client::connect(&a1).send("SOLVE hard k=12"));
+        // Occupy the single worker...
+        loop {
+            let jobs = control.send("JOBS");
+            if field(&jobs, "jobs").contains(":running:") {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // ...then fill the depth-1 queue...
+        let t2 = scope.spawn(move || Client::connect(&a2).send("SOLVE hard k=12"));
+        loop {
+            let jobs = control.send("JOBS");
+            if field(&jobs, "jobs").contains(":queued:") {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // ...so the third solve is refused with the typed busy line.
+        let busy = control.send("SOLVE hard k=12");
+        assert!(busy.starts_with("ERR busy queue_depth=1"), "{busy}");
+        assert!(busy.contains("retry_after_ms="), "{busy}");
+        // Cheap commands are never load-shed by the queue bound.
+        assert!(control.send("JOBS").starts_with("OK "), "cheap verbs pass");
+
+        let resp = control.send("SHUTDOWN");
+        assert_eq!(resp, "OK shutdown=ok mode=abort");
+        // The running job is cancelled cooperatively (best-effort answer);
+        // the queued one never ran and is refused with a typed error.
+        assert_eq!(field(&t1.join().unwrap(), "status"), "cancelled");
+        let r2 = t2.join().unwrap();
+        assert!(
+            r2.starts_with("ERR ") && r2.contains("shutting down"),
+            "{r2}"
+        );
+    });
+    handle.join().expect("clean server exit");
+}
+
+/// Beyond the connection cap, a fresh connection gets one typed busy line
+/// and a hangup; once a slot frees, new connections are served again.
+#[test]
+fn connection_cap_answers_typed_busy() {
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+        .expect("bind ephemeral port")
+        .with_limits(1, 0)
+        .spawn()
+        .expect("spawn accept loop");
+    let addr = handle.addr().to_string();
+
+    let mut holder = Client::connect(&addr);
+    assert!(holder.send("JOBS").starts_with("OK "), "first conn serves");
+
+    let mut refused = Client::connect(&addr);
+    let mut line = String::new();
+    refused.reader.read_line(&mut line).expect("busy line");
+    let line = line.trim_end();
+    assert!(line.starts_with("ERR busy active_conns=1"), "{line}");
+    assert!(line.contains("retry_after_ms="), "{line}");
+    let mut rest = String::new();
+    refused.reader.read_line(&mut rest).expect("eof read");
+    assert!(rest.is_empty(), "refused conn must be closed, got {rest:?}");
+
+    // Free the slot; the guard decrement races with our reconnect, so poll.
+    drop(holder);
+    let mut served = loop {
+        let mut c = Client::connect(&addr);
+        let mut line = String::new();
+        c.writer.write_all(b"JOBS\n").expect("write");
+        c.reader.read_line(&mut line).expect("read");
+        if line.starts_with("OK ") {
+            break c;
+        }
+    };
+    let resp = served.send("SHUTDOWN");
+    assert_eq!(resp, "OK shutdown=ok mode=abort");
+    handle.join().expect("clean server exit");
+}
+
+/// A request line past `MAX_LINE_BYTES` cannot be resynced mid-stream: the
+/// daemon answers one typed error and hangs up instead of buffering
+/// hostile bytes forever.
+#[test]
+fn oversized_request_line_gets_error_then_hangup() {
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn accept loop");
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr);
+    let oversized = vec![b'A'; 66 * 1024];
+    client.writer.write_all(&oversized).expect("write blob");
+    client.writer.flush().expect("flush");
+    let mut line = String::new();
+    client.reader.read_line(&mut line).expect("error line");
+    assert_eq!(line.trim_end(), "ERR request line too long", "{line}");
+    // The hangup arrives as clean EOF or, because the daemon closes with
+    // unread bytes still pending, as a connection reset — never as more
+    // protocol lines.
+    let mut rest = String::new();
+    if let Ok(n) = client.reader.read_line(&mut rest) {
+        assert_eq!(n, 0, "connection must be closed, got {rest:?}");
+    }
+
+    // The daemon itself is unharmed.
+    let mut fresh = Client::connect(&addr);
+    assert!(fresh.send("JOBS").starts_with("OK "));
+    fresh.send("SHUTDOWN");
+    handle.join().expect("clean server exit");
+}
+
+/// A half-open (stalled mid-line) connection is reaped by the idle timeout
+/// instead of pinning a handler thread forever, and the reap is counted.
+#[test]
+fn idle_timeout_reaps_half_open_connection() {
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+        .expect("bind ephemeral port")
+        .with_idle_timeout(std::time::Duration::from_millis(150))
+        .spawn()
+        .expect("spawn accept loop");
+    let addr = handle.addr().to_string();
+
+    let mut stalled = Client::connect(&addr);
+    // A partial command with no newline: a well-behaved reader would wait
+    // for the rest of the line forever.
+    stalled.writer.write_all(b"SOLVE nope").expect("write");
+    stalled.writer.flush().expect("flush");
+    let start = std::time::Instant::now();
+    let mut line = String::new();
+    stalled.reader.read_line(&mut line).expect("goodbye line");
+    assert_eq!(line.trim_end(), "ERR idle timeout, closing", "{line}");
+    assert!(
+        start.elapsed() >= std::time::Duration::from_millis(100),
+        "the reap must come from the timeout, not an instant close"
+    );
+    let mut rest = String::new();
+    stalled.reader.read_line(&mut rest).expect("eof read");
+    assert!(rest.is_empty(), "connection must be closed, got {rest:?}");
+
+    // The reap is observable: scrape the counter over a fresh connection.
+    let resp = kdc_service::request(&addr, "METRICS").expect("metrics");
+    let count = resp
+        .lines()
+        .find_map(|l| l.strip_prefix("METRIC kdc_service_conn_timeouts_total "))
+        .expect("conn_timeouts series exported");
+    assert!(
+        count.trim().parse::<f64>().unwrap() >= 1.0,
+        "timeout counted: {count}"
+    );
+    kdc_service::request(&addr, "SHUTDOWN").expect("shutdown");
+    handle.join().expect("clean server exit");
+}
+
+/// Jobs submitted without their own `limit=`/`nodes=` budget are killed by
+/// the watchdog and surfaced as `failed reason=watchdog` in `JOBS`.
+#[test]
+fn watchdog_fails_limitless_job() {
+    let mut rng = gen::seeded_rng(80);
+    let hard = gen::gnp(220, 0.5, &mut rng);
+    let ph = write_graph("watchdog_hard.clq", &hard);
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 1)
+        .expect("bind ephemeral port")
+        .with_watchdog(std::time::Duration::from_millis(150))
+        .spawn()
+        .expect("spawn accept loop");
+    let addr = handle.addr().to_string();
+
+    let mut control = Client::connect(&addr);
+    let resp = control.send(&format!("LOAD {} AS hard", ph.display()));
+    assert_eq!(field(&resp, "loaded"), "hard", "{resp}");
+
+    // Limit-less solve on a graph that takes far longer than the deadline.
+    let resp = control.send("SOLVE hard k=12");
+    assert!(
+        resp.starts_with("ERR "),
+        "watchdog kill is an error: {resp}"
+    );
+    assert!(resp.contains("watchdog"), "{resp}");
+    let jobs = control.send("JOBS");
+    let row = field(&jobs, "jobs")
+        .split(';')
+        .find(|e| e.contains(":failed:"))
+        .unwrap_or_else(|| panic!("no failed row in {jobs}"));
+    assert!(row.contains(":reason=watchdog"), "{row}");
+
+    // A budgeted job on the same daemon is left alone by the watchdog.
+    let resp = control.send("SOLVE hard k=12 nodes=2000");
+    assert_eq!(field(&resp, "status"), "node-limit", "{resp}");
+
+    control.send("SHUTDOWN");
+    handle.join().expect("clean server exit");
+}
+
 /// A job that panics mid-solve must come back as an `ERR` reply — not a
 /// hung waiter, not a dead worker. Debug builds only: the fault-injection
 /// preset does not exist in release builds.
@@ -435,6 +739,6 @@ fn panicking_job_leaves_daemon_serving() {
     );
 
     let resp = fresh.send("SHUTDOWN");
-    assert_eq!(resp, "OK shutdown=ok");
+    assert_eq!(resp, "OK shutdown=ok mode=abort");
     handle.join().expect("clean server exit");
 }
