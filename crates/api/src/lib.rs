@@ -73,8 +73,10 @@
 //! [`session::DEFAULT_CTCP_CAPACITY`]) so a long-lived session cannot
 //! accumulate unbounded per-`(k, rules)` state.
 
+pub mod batch;
 pub mod query;
 pub mod session;
 
+pub use batch::{BatchExec, BatchOutcome, BatchPlan, SubQuery};
 pub use query::{Budget, CacheInfo, Event, Observer, Options, Outcome, Query};
 pub use session::{CtcpKey, Session, SessionCounters, SolveKey};

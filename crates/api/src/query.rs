@@ -9,7 +9,9 @@ use kdc_graph::VertexId;
 use std::time::Duration;
 
 /// What a [`crate::Session`] should compute.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Not `Copy`: the [`Query::Batch`] variant owns its sub-query list.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Query {
     /// The exact maximum k-defective clique.
     Solve {
@@ -42,16 +44,27 @@ pub enum Query {
         /// Smallest size to count.
         min_size: usize,
     },
+    /// A batch of sub-queries answered in one planned pass: the
+    /// [`crate::BatchPlan`] groups them by preset/rule set, sweeps each
+    /// group's k values ascending so every optimum witness seeds (and its
+    /// adjacent-k bound caps) the next solve, shares one merged
+    /// lower-bound schedule per reducer and fans duplicate sub-queries out
+    /// from a single execution. Per-sub-query answers stream through the
+    /// observer as [`Event::SubDone`]; run a batch via
+    /// [`crate::Session::run_batch`] to get the full
+    /// [`crate::BatchOutcome`] instead of the folded [`Outcome`].
+    Batch(Vec<crate::SubQuery>),
 }
 
 impl Query {
-    /// The `k` parameter common to every query kind.
+    /// The largest `k` the query touches (0 for an empty batch).
     pub fn k(&self) -> usize {
-        match *self {
+        match self {
             Query::Solve { k }
             | Query::Enumerate { k }
             | Query::TopR { k, .. }
-            | Query::Count { k, .. } => k,
+            | Query::Count { k, .. } => *k,
+            Query::Batch(subs) => subs.iter().map(|s| s.k).max().unwrap_or(0),
         }
     }
 }
@@ -231,6 +244,20 @@ pub enum Event {
     Restart {
         /// Vertex count of the universe being searched.
         universe: usize,
+    },
+    /// One sub-query of a [`Query::Batch`] finished (batch runs only).
+    /// Streamed in completion order — the planner's sweep order, not the
+    /// caller's input order — with every duplicate of a deduplicated
+    /// sub-query reported under its own `index`.
+    SubDone {
+        /// Position of the sub-query in the caller's input list.
+        index: usize,
+        /// The k of the finished sub-query.
+        k: usize,
+        /// Size of the sub-query's primary witness (0 when none).
+        size: usize,
+        /// Termination status of the sub-query.
+        status: Status,
     },
     /// The query finished; the final [`Outcome`] carries `status`.
     Done {

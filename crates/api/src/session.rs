@@ -26,20 +26,23 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// session in the process: the per-session atomics stay the source of truth
 /// for warm-vs-cold assertions, while these aggregate across sessions for
 /// the `METRICS` exposition.
-struct SessionObs {
+pub(crate) struct SessionObs {
     peel_builds: kdc_obs::Counter,
-    solves: kdc_obs::Counter,
+    pub(crate) solves: kdc_obs::Counter,
     result_hits: kdc_obs::Counter,
     ctcp_builds: kdc_obs::Counter,
     ctcp_resumes: kdc_obs::Counter,
     ctcp_evictions: kdc_obs::Counter,
+    pub(crate) batch_ctcp_shares: kdc_obs::Counter,
+    pub(crate) batch_witness_seeds: kdc_obs::Counter,
+    pub(crate) batch_memo_dedups: kdc_obs::Counter,
     solve_ns: kdc_obs::Histogram,
     bound_invocations: [kdc_obs::Counter; bound::COUNT],
     bound_prunes: [kdc_obs::Counter; bound::COUNT],
     bound_ns: [kdc_obs::Counter; bound::COUNT],
 }
 
-fn session_obs() -> &'static SessionObs {
+pub(crate) fn session_obs() -> &'static SessionObs {
     static OBS: OnceLock<SessionObs> = OnceLock::new();
     OBS.get_or_init(|| {
         let r = kdc_obs::registry();
@@ -50,6 +53,9 @@ fn session_obs() -> &'static SessionObs {
             ctcp_builds: r.register_counter("kdc_session_ctcp_builds_total"),
             ctcp_resumes: r.register_counter("kdc_session_ctcp_resumes_total"),
             ctcp_evictions: r.register_counter("kdc_session_ctcp_evictions_total"),
+            batch_ctcp_shares: r.register_counter("kdc_session_batch_ctcp_shares_total"),
+            batch_witness_seeds: r.register_counter("kdc_session_batch_witness_seeds_total"),
+            batch_memo_dedups: r.register_counter("kdc_session_batch_memo_dedups_total"),
             solve_ns: r.register_histogram("kdc_session_solve_duration_ns"),
             bound_invocations: std::array::from_fn(|i| {
                 r.register_counter_labeled(
@@ -70,7 +76,7 @@ fn session_obs() -> &'static SessionObs {
 
 /// Publishes one finished solve's telemetry to the global registry: the
 /// latency sample, per-preset node count and per-bound cost columns.
-fn flush_solve_metrics(preset: &str, stats: &kdc::SearchStats, elapsed_ns: u64) {
+pub(crate) fn flush_solve_metrics(preset: &str, stats: &kdc::SearchStats, elapsed_ns: u64) {
     if !kdc_obs::enabled() {
         return;
     }
@@ -134,6 +140,14 @@ pub struct SessionCounters {
     pub ctcp_resumes: u64,
     /// Reducers evicted from the bounded LRU cache.
     pub ctcp_evictions: u64,
+    /// Batch sub-solves whose reducer consumed a merged lower-bound
+    /// schedule carrying bounds from other sub-queries.
+    pub batch_ctcp_shares: u64,
+    /// Batch sub-solves seeded by a witness another sub-query produced.
+    pub batch_witness_seeds: u64,
+    /// Batch sub-queries answered without a search of their own (in-batch
+    /// duplicates fanned out plus proven-optimal memo hits).
+    pub batch_memo_dedups: u64,
 }
 
 /// One resident reducer slot of the bounded LRU cache.
@@ -175,6 +189,9 @@ pub struct Session {
     ctcp_builds: AtomicU64,
     ctcp_resumes: AtomicU64,
     ctcp_evictions: AtomicU64,
+    batch_ctcp_shares: AtomicU64,
+    batch_witness_seeds: AtomicU64,
+    batch_memo_dedups: AtomicU64,
 }
 
 impl std::fmt::Debug for Session {
@@ -212,6 +229,9 @@ impl Session {
             ctcp_builds: AtomicU64::new(0),
             ctcp_resumes: AtomicU64::new(0),
             ctcp_evictions: AtomicU64::new(0),
+            batch_ctcp_shares: AtomicU64::new(0),
+            batch_witness_seeds: AtomicU64::new(0),
+            batch_memo_dedups: AtomicU64::new(0),
         }
     }
 
@@ -268,6 +288,9 @@ impl Session {
             ctcp_builds: self.ctcp_builds.load(Ordering::Relaxed),
             ctcp_resumes: self.ctcp_resumes.load(Ordering::Relaxed),
             ctcp_evictions: self.ctcp_evictions.load(Ordering::Relaxed),
+            batch_ctcp_shares: self.batch_ctcp_shares.load(Ordering::Relaxed),
+            batch_witness_seeds: self.batch_witness_seeds.load(Ordering::Relaxed),
+            batch_memo_dedups: self.batch_memo_dedups.load(Ordering::Relaxed),
         }
     }
 
@@ -280,7 +303,7 @@ impl Session {
     /// the stored witness. Witnesses come straight out of the solver, so
     /// they are trusted here (and re-validated by the solver when seeded
     /// back in).
-    fn record_best_known(&self, k: usize, vertices: &[VertexId]) {
+    pub(crate) fn record_best_known(&self, k: usize, vertices: &[VertexId]) {
         let mut map = lock_unpoisoned(&self.best_known);
         let entry = map.entry(k).or_default();
         if vertices.len() > entry.len() {
@@ -289,7 +312,7 @@ impl Session {
     }
 
     /// A memoized proven-optimal result for `key`, if any.
-    fn cached_result(&self, key: &SolveKey) -> Option<Solution> {
+    pub(crate) fn cached_result(&self, key: &SolveKey) -> Option<Solution> {
         let found = lock_unpoisoned(&self.results).get(key).cloned();
         if found.is_some() {
             self.result_hits.fetch_add(1, Ordering::Relaxed);
@@ -301,7 +324,7 @@ impl Session {
     /// The resident CTCP reducer for `key`, built on first use and resumed
     /// from then on; returns `(reducer, resumed)`. Evicts the
     /// least-recently-used slot when the cache is full.
-    fn ctcp_state(&self, key: CtcpKey) -> (Arc<Mutex<Ctcp>>, bool) {
+    pub(crate) fn ctcp_state(&self, key: CtcpKey) -> (Arc<Mutex<Ctcp>>, bool) {
         let mut cache = lock_unpoisoned(&self.ctcp);
         cache.tick += 1;
         let tick = cache.tick;
@@ -339,6 +362,57 @@ impl Session {
             last_used: tick,
         });
         (fresh, false)
+    }
+
+    /// Every `(k, size)` pair the proven-optimal memo can vouch for, for
+    /// pre-seeding a batch sweep's upper-bound caps. Sizes are
+    /// preset-independent (every exact preset agrees on the optimum), so
+    /// duplicate k entries across presets collapse to one pair.
+    pub(crate) fn memoized_optimal_sizes(&self) -> Vec<(usize, usize)> {
+        let results = lock_unpoisoned(&self.results);
+        let mut sizes: HashMap<usize, usize> = HashMap::new();
+        for (key, solution) in results.iter() {
+            sizes.insert(key.k, solution.vertices.len());
+        }
+        let mut out: Vec<(usize, usize)> = sizes.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Inserts a proven-optimal solution into the result memo.
+    pub(crate) fn memoize_result(&self, key: SolveKey, solution: Solution) {
+        lock_unpoisoned(&self.results).insert(key, solution);
+    }
+
+    /// Counts one real (non-memo) search, on the session and its registry
+    /// twin.
+    pub(crate) fn note_real_solve(&self) {
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        session_obs().solves.inc();
+    }
+
+    /// Folds one finished batch's shared-work counters into the session
+    /// atomics and their registry twins.
+    pub(crate) fn note_batch_shared_work(&self, shares: u64, seeds: u64, dedups: u64) {
+        self.batch_ctcp_shares.fetch_add(shares, Ordering::Relaxed);
+        self.batch_witness_seeds.fetch_add(seeds, Ordering::Relaxed);
+        self.batch_memo_dedups.fetch_add(dedups, Ordering::Relaxed);
+        let obs = session_obs();
+        obs.batch_ctcp_shares.add(shares);
+        obs.batch_witness_seeds.add(seeds);
+        obs.batch_memo_dedups.add(dedups);
+    }
+
+    /// Session-lifetime reducer eviction count, as sampled into
+    /// [`CacheInfo::ctcp_evictions`].
+    pub(crate) fn ctcp_evictions_snapshot(&self) -> u64 {
+        self.ctcp_evictions.load(Ordering::Relaxed)
+    }
+
+    /// The thread count a budget is allowed to spend (see
+    /// [`Budget::threads`]; clamped server-side).
+    pub(crate) fn clamped_threads(budget: &Budget) -> usize {
+        budget.threads.min(MAX_SOLVE_THREADS)
     }
 
     /// Convenience wrapper: [`Session::run`] with `Solve { k }` and default
@@ -405,11 +479,39 @@ impl Session {
         observer: Option<Arc<dyn Observer>>,
         trace: Option<kdc_obs::Tracer>,
     ) -> Result<Outcome, String> {
-        let outcome = match *query {
-            Query::Solve { k } => self.run_solve(k, budget, options, observer.clone(), trace),
-            Query::Enumerate { k } => self.run_top_r(k, usize::MAX, false, budget, options),
-            Query::TopR { k, r, diversify } => self.run_top_r(k, r, diversify, budget, options),
-            Query::Count { k, min_size } => self.run_count(k, min_size, budget),
+        let outcome = match query {
+            Query::Solve { k } => self.run_solve(*k, budget, options, observer.clone(), trace),
+            Query::Enumerate { k } => self.run_top_r(*k, usize::MAX, false, budget, options),
+            Query::TopR { k, r, diversify } => self.run_top_r(*k, *r, *diversify, budget, options),
+            Query::Count { k, min_size } => self.run_count(*k, *min_size, budget),
+            // A batch folds into one Outcome for the uniform `run` surface:
+            // one primary witness per sub-query (input order), the most
+            // severe status, summed search stats. Callers wanting the
+            // per-sub-query outcomes and shared-work counters use
+            // `Session::run_batch` directly.
+            Query::Batch(subs) => {
+                let t0 = Instant::now();
+                let batch =
+                    self.run_batch_observed(subs, budget, options, observer.clone(), trace)?;
+                let status = batch.status();
+                let mut stats = kdc::SearchStats::default();
+                let mut witnesses = Vec::with_capacity(batch.outcomes.len());
+                for outcome in &batch.outcomes {
+                    stats.absorb(&outcome.stats);
+                    witnesses.push(outcome.best().unwrap_or_default().to_vec());
+                }
+                Ok(Outcome {
+                    witnesses,
+                    counts: None,
+                    status,
+                    stats,
+                    cache: CacheInfo {
+                        ctcp_evictions: self.ctcp_evictions.load(Ordering::Relaxed),
+                        ..CacheInfo::default()
+                    },
+                    elapsed: t0.elapsed(),
+                })
+            }
         }?;
         if let Some(obs) = &observer {
             obs.event(&Event::Done {
@@ -505,7 +607,7 @@ impl Session {
         })
     }
 
-    fn run_top_r(
+    pub(crate) fn run_top_r(
         &self,
         k: usize,
         r: usize,
@@ -572,7 +674,7 @@ impl Session {
 /// Installs a budget's limits on a config. Budget values win when present;
 /// values an embedder set on an [`Options::custom`] configuration survive
 /// an unlimited (default) budget instead of being silently clobbered.
-fn apply_budget(config: &mut kdc::SolverConfig, budget: &Budget) {
+pub(crate) fn apply_budget(config: &mut kdc::SolverConfig, budget: &Budget) {
     if budget.time_limit.is_some() {
         config.time_limit = budget.time_limit;
     }

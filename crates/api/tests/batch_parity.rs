@@ -1,0 +1,116 @@
+//! Batch-parity suite: a [`Session::run_batch`] sweep must answer
+//! **byte-identical witnesses and statuses** to fresh-session individual
+//! solves of the same sub-queries — the batch layer adds cross-`k` seeds,
+//! upper-bound caps and shared reducer passes, never a different answer.
+//! The caps are checked only against the incumbent (never used to prune),
+//! so sharing work cannot change which witness is reported.
+//!
+//! Run in release mode by CI alongside the session-parity step.
+
+use kdc_api::{Budget, Options, Outcome, Session, SubQuery};
+use kdc_graph::{gen, Graph};
+
+const PRESETS: [&str; 2] = ["kdc", "kdc_t"];
+const K_MAX: usize = 4;
+
+/// Planted instances: a dense defective clique inside sparse noise, so
+/// the optimum witness is unique and parity is byte-exact by construction.
+fn test_graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = gen::seeded_rng(20_240_808);
+    vec![
+        (
+            "planted120",
+            gen::planted_defective_clique(120, 10, 2, 0.05, &mut rng).0,
+        ),
+        (
+            "planted160",
+            gen::planted_defective_clique(160, 12, 3, 0.05, &mut rng).0,
+        ),
+    ]
+}
+
+/// One cold reference answer: a fresh session solving exactly one query.
+fn cold_solve(g: &Graph, k: usize, preset: &str) -> Outcome {
+    Session::new(g.clone())
+        .run(
+            &kdc_api::Query::Solve { k },
+            &Budget::default(),
+            &Options::preset(preset).unwrap(),
+        )
+        .unwrap()
+}
+
+#[test]
+fn batch_sweep_is_byte_identical_to_individual_solves() {
+    for (name, g) in test_graphs() {
+        for preset in PRESETS {
+            let reference: Vec<Outcome> = (0..=K_MAX).map(|k| cold_solve(&g, k, preset)).collect();
+            let session = Session::new(g.clone());
+            let subs: Vec<SubQuery> = (0..=K_MAX).map(SubQuery::solve).collect();
+            let batch = session
+                .run_batch(&subs, &Budget::default(), &Options::preset(preset).unwrap())
+                .unwrap();
+            assert_eq!(batch.outcomes.len(), K_MAX + 1, "{name} {preset}");
+            for (k, (got, want)) in batch.outcomes.iter().zip(&reference).enumerate() {
+                assert_eq!(got.status, want.status, "{name} {preset} k={k}");
+                assert_eq!(
+                    got.witnesses, want.witnesses,
+                    "{name} {preset} k={k}: batch must be byte-identical"
+                );
+            }
+            // The sweep must actually have shared work, not just agreed:
+            // every k > 0 entry is seeded by an earlier optimum and its
+            // reducer consumed batch-contributed bounds.
+            assert!(batch.batch_witness_seeds >= 1, "{name} {preset}");
+            assert!(batch.batch_ctcp_shares >= 1, "{name} {preset}");
+        }
+    }
+}
+
+#[test]
+fn batch_answers_match_under_duplicates_and_shuffled_order() {
+    // Input order and duplicates must not change any answer: the planner
+    // sorts the sweep and fans duplicates out from one search.
+    let (_, g) = &test_graphs()[0];
+    let reference: Vec<Outcome> = (0..=K_MAX).map(|k| cold_solve(g, k, "kdc")).collect();
+    let session = Session::new(g.clone());
+    // Descending, with k=2 duplicated.
+    let subs: Vec<SubQuery> = [4, 3, 2, 2, 1, 0].map(SubQuery::solve).to_vec();
+    let batch = session
+        .run_batch(&subs, &Budget::default(), &Options::default())
+        .unwrap();
+    for (i, sub) in subs.iter().enumerate() {
+        let want = &reference[sub.k];
+        assert_eq!(batch.outcomes[i].status, want.status, "idx={i} k={}", sub.k);
+        assert_eq!(
+            batch.outcomes[i].witnesses, want.witnesses,
+            "idx={i} k={}",
+            sub.k
+        );
+    }
+    assert_eq!(batch.batch_memo_dedups, 1, "one duplicate fanned out");
+}
+
+#[test]
+fn warm_batch_after_individual_solves_stays_byte_identical() {
+    // A batch on an already-warm session (memo holds some k's) must agree
+    // with the cold reference for every k — memo-answered and searched
+    // sub-queries alike.
+    let (_, g) = &test_graphs()[0];
+    let reference: Vec<Outcome> = (0..=K_MAX).map(|k| cold_solve(g, k, "kdc")).collect();
+    let session = Session::new(g.clone());
+    let warm = session.solve(2);
+    assert!(warm.is_optimal());
+    let subs: Vec<SubQuery> = (0..=K_MAX).map(SubQuery::solve).collect();
+    let batch = session
+        .run_batch(&subs, &Budget::default(), &Options::default())
+        .unwrap();
+    for (k, (got, want)) in batch.outcomes.iter().zip(&reference).enumerate() {
+        assert_eq!(got.status, want.status, "k={k}");
+        assert_eq!(got.witnesses, want.witnesses, "k={k}");
+    }
+    assert!(
+        batch.outcomes[2].cache.result_memo_hit,
+        "k=2 answers from the warm memo"
+    );
+}

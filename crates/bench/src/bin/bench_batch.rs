@@ -1,0 +1,288 @@
+//! `bench-batch`: the machine-readable baseline of the batched-execution
+//! layer, written to `BENCH_7.json`.
+//!
+//! One case: the `planted-200-k3` snapshot instance swept as a single
+//! batch over `k = 0..=4` (one shared universe, one reducer schedule,
+//! cross-`k` witness seeds and upper-bound caps) versus five fresh-session
+//! cold solves of the same sub-queries. The run itself asserts the batch
+//! contract — answers byte-identical to the cold solves, at least one
+//! `batch_ctcp_shares` and one `batch_witness_seeds`, and batch nodes
+//! below 70% of the summed cold nodes — so a silent loss of sharing fails
+//! even without a
+//! committed baseline. `--check` additionally gates both node counts
+//! against `BENCH_7.json` with the usual 5% tolerance; wall-clock is
+//! recorded for trend reading but never gated, because CI hardware varies.
+//!
+//! Usage: `bench-batch [--out PATH] [--check [PATH]] [--reps N]`.
+
+use kdc_api::{Budget, Options, Outcome, Query, Session, SubQuery};
+use kdc_graph::Graph;
+use std::time::Instant;
+
+/// Default snapshot path, relative to the invocation directory (the
+/// workspace root under `cargo run`).
+const DEFAULT_PATH: &str = "BENCH_7.json";
+
+/// Allowed relative node-count growth before `--check` fails.
+const NODE_TOLERANCE: f64 = 0.05;
+
+/// The batch must explore strictly fewer than this fraction of the nodes
+/// the summed cold solves explore — the headline sharing guarantee.
+const SHARING_CEILING: f64 = 0.70;
+
+/// The swept defect budgets.
+const K_SWEEP: std::ops::RangeInclusive<usize> = 0..=4;
+
+/// One measured case: a name plus ordered numeric metrics.
+struct CaseResult {
+    name: String,
+    median_ns: u128,
+    runs: usize,
+    metrics: Vec<(String, u64)>,
+}
+
+/// Runs `f` `reps` times and returns the median duration in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// One fresh-session cold solve — the unshared reference execution.
+fn cold_solve(g: &Graph, k: usize) -> Outcome {
+    Session::new(g.clone())
+        .run(
+            &Query::Solve { k },
+            &Budget::default(),
+            &Options::preset("kdc").unwrap(),
+        )
+        .expect("cold solve")
+}
+
+fn collect(reps: usize) -> Vec<CaseResult> {
+    let (name, g, _) = kdc_bench::collections::planted_snapshot_cases().remove(0);
+    let subs: Vec<SubQuery> = K_SWEEP.map(SubQuery::solve).collect();
+
+    // Reference run: per-k cold solves, summed.
+    let reference: Vec<Outcome> = K_SWEEP.map(|k| cold_solve(&g, k)).collect();
+    let cold_nodes: u64 = reference.iter().map(|o| o.stats.nodes).sum();
+    let cold_median = median_ns(reps, || {
+        for k in K_SWEEP {
+            let out = cold_solve(&g, k);
+            assert_eq!(
+                out.stats.nodes, reference[k].stats.nodes,
+                "{name}: cold node counts must be deterministic"
+            );
+        }
+    });
+
+    // Batched run: one fresh session sweeping the same sub-queries.
+    let batch = Session::new(g.clone())
+        .run_batch(&subs, &Budget::default(), &Options::preset("kdc").unwrap())
+        .expect("batch sweep");
+    for (k, (got, want)) in batch.outcomes.iter().zip(&reference).enumerate() {
+        assert_eq!(got.status, want.status, "{name} k={k}: status parity");
+        assert_eq!(
+            got.witnesses, want.witnesses,
+            "{name} k={k}: batch answers must be byte-identical to cold solves"
+        );
+    }
+    assert!(
+        batch.batch_ctcp_shares >= 1,
+        "{name}: sweep must share at least one reducer pass"
+    );
+    assert!(
+        batch.batch_witness_seeds >= 1,
+        "{name}: sweep must seed at least one lower bound from a witness"
+    );
+    let batch_nodes = batch.total_nodes();
+    let ceiling = (cold_nodes as f64 * SHARING_CEILING) as u64;
+    assert!(
+        batch_nodes < ceiling,
+        "{name}: batch explored {batch_nodes} nodes, \
+         >= {SHARING_CEILING:.0}% of the {cold_nodes} summed cold nodes"
+    );
+    let batch_median = median_ns(reps, || {
+        let again = Session::new(g.clone())
+            .run_batch(&subs, &Budget::default(), &Options::preset("kdc").unwrap())
+            .expect("batch sweep");
+        assert_eq!(
+            again.total_nodes(),
+            batch_nodes,
+            "{name}: batch node counts must be deterministic"
+        );
+    });
+
+    let sizes: Vec<(String, u64)> = reference
+        .iter()
+        .enumerate()
+        .map(|(k, o)| (format!("size_k{k}"), o.best().map_or(0, |w| w.len()) as u64))
+        .collect();
+    let mut batch_metrics = vec![
+        ("nodes".to_string(), batch_nodes),
+        ("cold_nodes".to_string(), cold_nodes),
+        ("ctcp_shares".to_string(), batch.batch_ctcp_shares),
+        ("witness_seeds".to_string(), batch.batch_witness_seeds),
+        ("memo_dedups".to_string(), batch.batch_memo_dedups),
+    ];
+    batch_metrics.extend(sizes.iter().cloned());
+    let mut cold_metrics = vec![("nodes".to_string(), cold_nodes)];
+    cold_metrics.extend(sizes);
+    vec![
+        CaseResult {
+            name: format!("batch/{name}/sweep-k0-4"),
+            median_ns: batch_median,
+            runs: reps,
+            metrics: batch_metrics,
+        },
+        CaseResult {
+            name: format!("cold/{name}/sweep-k0-4"),
+            median_ns: cold_median,
+            runs: reps,
+            metrics: cold_metrics,
+        },
+    ]
+}
+
+fn render(cases: &[CaseResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"BENCH_7\",\n  \"schema\": 1,\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"runs\": {}",
+            c.name, c.median_ns, c.runs
+        ));
+        for (k, v) in &c.metrics {
+            s.push_str(&format!(", \"{k}\": {v}"));
+        }
+        s.push_str(if i + 1 == cases.len() { "}\n" } else { "},\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts a `"key": value` numeric field from a one-case JSON line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the `"name"` field from a one-case JSON line.
+fn field_name(line: &str) -> Option<String> {
+    let pat = "\"name\": \"";
+    let at = line.find(pat)? + pat.len();
+    let rest = &line[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// `--check`: re-measure and compare against the committed snapshot. Node
+/// counts gate; wall-clock deltas are only reported. The sharing-contract
+/// assertions already ran inside [`collect`].
+fn check(baseline_path: &str, cases: &[CaseResult]) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline: Vec<(String, u128, Option<u64>)> = text
+        .lines()
+        .filter_map(|line| {
+            let name = field_name(line)?;
+            let median = field_u64(line, "median_ns")? as u128;
+            Some((name, median, field_u64(line, "nodes")))
+        })
+        .collect();
+    if baseline.is_empty() {
+        return Err(format!("baseline {baseline_path} contains no cases"));
+    }
+    let mut failures = Vec::new();
+    for (name, base_ns, base_nodes) in &baseline {
+        let Some(case) = cases.iter().find(|c| &c.name == name) else {
+            failures.push(format!("case {name} missing from this run"));
+            continue;
+        };
+        let ratio = case.median_ns as f64 / *base_ns as f64;
+        println!(
+            "{name}: wall {:.2}x of baseline ({} ns vs {} ns)",
+            ratio, case.median_ns, base_ns
+        );
+        let now = case
+            .metrics
+            .iter()
+            .find(|(k, _)| k == "nodes")
+            .map(|&(_, v)| v);
+        if let (Some(base), Some(now)) = (*base_nodes, now) {
+            let limit = (base as f64 * (1.0 + NODE_TOLERANCE)).floor() as u64;
+            if now > limit {
+                failures.push(format!(
+                    "case {name}: nodes regressed {base} -> {now} (> {:.0}% tolerance)",
+                    NODE_TOLERANCE * 100.0
+                ));
+            } else {
+                println!("{name}: nodes {now} (baseline {base}) ok");
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("bench-batch check passed ({} cases)", baseline.len());
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = DEFAULT_PATH.to_string();
+    let mut check_mode = false;
+    let mut reps = 5usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            "--check" => {
+                check_mode = true;
+                if let Some(path) = args.get(i + 1) {
+                    if !path.starts_with("--") {
+                        i += 1;
+                        out = path.clone();
+                    }
+                }
+            }
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|r| r.parse().ok())
+                    .expect("--reps needs a positive integer");
+                assert!(reps > 0, "--reps needs a positive integer");
+            }
+            other => panic!("unknown argument {other:?} (see --out/--check/--reps)"),
+        }
+        i += 1;
+    }
+
+    let cases = collect(reps);
+    if check_mode {
+        if let Err(e) = check(&out, &cases) {
+            eprintln!("bench-batch check FAILED:\n{e}");
+            std::process::exit(1);
+        }
+    } else {
+        let text = render(&cases);
+        std::fs::write(&out, &text).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        print!("{text}");
+        println!("wrote {out} ({} cases)", cases.len());
+    }
+}

@@ -100,6 +100,144 @@ pub fn solve(args: &[String]) -> Result<ExitCode, String> {
     solve_on_session(&session, &solve_args)
 }
 
+/// `kdc batch <file> --k <LO..HI> [--r R] [--preset P] [--limit S]
+/// [--nodes N] [--parallel] [--threads N] [--watch]`
+///
+/// Answers the whole `k = LO..=HI` sweep as one planned batch
+/// ([`Session::run_batch`]): ascending-k execution where each proven
+/// optimum seeds and caps the next solves, one shared reducer pass per
+/// sub-solve, duplicate sub-queries answered once. Prints one line per k
+/// plus the batch's shared-work counters. `--r R` enumerates a top-R pool
+/// per k instead of solving for one maximum. `--limit` bounds the whole
+/// batch; `--nodes` bounds each sub-solve. `--watch` streams sub-query
+/// completions (and incumbent improvements) as they land.
+///
+/// Returns exit code `0` when every sub-query is proven optimal,
+/// [`crate::EXIT_BEST_EFFORT`] when any limit expired first.
+pub fn batch(args: &[String]) -> Result<ExitCode, String> {
+    let p = parse(args)?;
+    let path = p.positional(0, "graph-file")?;
+    let raw_k = p.raw("k").ok_or("batch requires --k <LO..HI>")?;
+    let (k_lo, k_hi) = parse_k_range(raw_k)?;
+    let r: Option<usize> = p.optional("r")?;
+    if r == Some(0) {
+        return Err("--r must be positive".to_string());
+    }
+    let options = Options::preset(p.string_or("preset", "kdc"))?;
+    let budget = Budget {
+        time_limit: p
+            .raw("limit")
+            .map(kdc::config::parse_time_limit_arg)
+            .transpose()?,
+        node_limit: p
+            .raw("nodes")
+            .map(kdc::config::parse_node_limit_arg)
+            .transpose()?,
+        threads: match p.optional("threads")? {
+            Some(n) => n,
+            None if p.has("parallel") => 0,
+            None => 1,
+        },
+        cancel: None,
+    };
+    let observer: Option<Arc<dyn Observer>> = p.has("watch").then(|| {
+        Arc::new(|e: &Event| match *e {
+            Event::Incumbent { size } => println!("watch: incumbent size={size}"),
+            Event::SubDone {
+                index,
+                k,
+                size,
+                status,
+            } => println!(
+                "watch: sub-done idx={index} k={k} size={size} status={}",
+                status_word(status)
+            ),
+            _ => {}
+        }) as Arc<dyn Observer>
+    });
+
+    let g = load_graph(path)?;
+    let session = Session::new(g);
+    let subs: Vec<kdc_api::SubQuery> = (k_lo..=k_hi)
+        .map(|k| kdc_api::SubQuery { k, r, preset: None })
+        .collect();
+    let batch = session.run_batch_with(&subs, &budget, &options, observer)?;
+
+    for (sub, outcome) in subs.iter().zip(&batch.outcomes) {
+        match sub.r {
+            None => println!(
+                "k={}: size={} status={} vertices={:?}",
+                sub.k,
+                outcome.size(),
+                status_word(outcome.status),
+                outcome.best().unwrap_or_default()
+            ),
+            Some(_) => println!(
+                "k={}: pool={} sizes={:?} status={}",
+                sub.k,
+                outcome.witnesses.len(),
+                outcome.witnesses.iter().map(Vec::len).collect::<Vec<_>>(),
+                status_word(outcome.status)
+            ),
+        }
+    }
+    let status = batch.status();
+    println!(
+        "batch: status={} subs={} ctcp-shares={} witness-seeds={} memo-dedups={}",
+        status_report(status),
+        batch.outcomes.len(),
+        batch.batch_ctcp_shares,
+        batch.batch_witness_seeds,
+        batch.batch_memo_dedups
+    );
+    println!("nodes: {} (all searches)", batch.total_nodes());
+    println!("time: {:.3}s", batch.elapsed.as_secs_f64());
+    Ok(if status == Status::Optimal {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(crate::EXIT_BEST_EFFORT)
+    })
+}
+
+/// Parses `--k`'s value for `kdc batch`: `<LO>..<HI>` (inclusive) or a
+/// single `<K>` — the CLI twin of the daemon's `MSOLVE k=` grammar.
+fn parse_k_range(raw: &str) -> Result<(usize, usize), String> {
+    let parse_one = |s: &str| -> Result<usize, String> {
+        s.parse()
+            .map_err(|_| format!("invalid k bound {s:?} in --k {raw}"))
+    };
+    let (lo, hi) = match raw.split_once("..") {
+        Some((lo, hi)) => (parse_one(lo)?, parse_one(hi)?),
+        None => {
+            let k = parse_one(raw)?;
+            (k, k)
+        }
+    };
+    if hi < lo {
+        return Err(format!("empty k range {raw} (upper bound below lower)"));
+    }
+    Ok((lo, hi))
+}
+
+/// One-word rendering of a termination status for `watch:` lines.
+fn status_word(status: Status) -> &'static str {
+    match status {
+        Status::Optimal => "optimal",
+        Status::TimedOut => "timeout",
+        Status::NodeLimitReached => "node-limit",
+        Status::Cancelled => "cancelled",
+    }
+}
+
+/// The `status:` report line body: the one-word status, flagged
+/// best-effort when the answer is not proven optimal.
+fn status_report(status: Status) -> String {
+    match status {
+        Status::Optimal => "optimal".to_string(),
+        other => format!("{} (best-effort)", status_word(other)),
+    }
+}
+
 /// Runs one solve against a (possibly held, possibly warm) session and
 /// prints the report. Split out of [`solve`] so the warm path is testable:
 /// a second call on the same session must reuse the resident reducer.
@@ -118,6 +256,17 @@ pub(crate) fn solve_on_session(session: &Session, a: &SolveArgs) -> Result<ExitC
                 println!("watch: retighten removed-vertices={vertices} removed-edges={edges}")
             }
             Event::Restart { universe } => println!("watch: restart universe={universe}"),
+            Event::SubDone {
+                index,
+                k,
+                size,
+                status,
+            } => {
+                println!(
+                    "watch: sub-done idx={index} k={k} size={size} status={}",
+                    status_word(status)
+                )
+            }
             Event::Done { .. } => {}
         }) as Arc<dyn Observer>
     });
@@ -140,12 +289,7 @@ pub(crate) fn solve_on_session(session: &Session, a: &SolveArgs) -> Result<ExitC
         std::fs::write(out, cert.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("certificate: {out}");
     }
-    match outcome.status {
-        Status::Optimal => println!("status: optimal"),
-        Status::TimedOut => println!("status: timeout (best-effort)"),
-        Status::NodeLimitReached => println!("status: node-limit (best-effort)"),
-        Status::Cancelled => println!("status: cancelled (best-effort)"),
-    }
+    println!("status: {}", status_report(outcome.status));
     println!("size: {}", outcome.size());
     println!("vertices: {:?}", witness);
     println!(

@@ -4,6 +4,8 @@
 //! kdc solve <graph-file> --k <K> [--preset kdc|kdc_t|kdbb|madec] [--limit S]
 //!           [--nodes N] [--parallel] [--threads N] [--stats] [--watch]
 //!           [--profile]
+//! kdc batch <graph-file> --k <LO..HI> [--r R] [--preset P] [--limit S]
+//!           [--nodes N] [--parallel] [--threads N] [--watch]
 //! kdc enumerate <graph-file> --k <K> [--top R] [--diversify]
 //! kdc count <graph-file> --k <K> [--min-size S]
 //! kdc stats <graph-file>
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
     };
     let result: Result<ExitCode, String> = match command.as_str() {
         "solve" => commands::solve(rest),
+        "batch" => commands::batch(rest),
         "enumerate" => commands::enumerate(rest).map(|()| ExitCode::SUCCESS),
         "count" => commands::count(rest).map(|()| ExitCode::SUCCESS),
         "verify" => commands::verify(rest).map(|()| ExitCode::SUCCESS),
@@ -72,6 +75,9 @@ USAGE:
   kdc solve <graph-file> --k <K> [--preset kdc|kdc_t|kdbb|madec|rds]
             [--limit <seconds>] [--nodes <N>] [--parallel] [--threads <N>]
             [--stats] [--watch] [--cert <out-file>] [--profile]
+  kdc batch <graph-file> --k <LO..HI> [--r <R>] [--preset <P>]
+            [--limit <seconds>] [--nodes <N>] [--parallel] [--threads <N>]
+            [--watch]
   kdc enumerate <graph-file> --k <K> [--top <R>] [--diversify]
   kdc count <graph-file> --k <K> [--min-size <S>]
   kdc verify <graph-file> <certificate-file>
@@ -94,6 +100,8 @@ streams EVENT lines before the final OK):
   LOAD <path> AS <name>
   SOLVE <name> k=<K> [preset=..] [limit=..] [nodes=..] [threads=..]
         [verbose=0|1]
+  MSOLVE <name> k=<LO>..<HI> [r=..] [preset=..] [limit=..] [nodes=..]
+         [threads=..]                # one batched sweep; streams RESULT lines
   ENUMERATE <name> k=<K> top=<R>
   COUNT <name> k=<K> [min=<S>]
   STATS [<name>] | UNLOAD <name> | JOBS | CANCEL <id>

@@ -263,6 +263,17 @@ pub struct SolverConfig {
     /// tight as every earlier solve — which in turn makes `shared_ctcp`'s
     /// accumulated removals sound for this run.
     pub seed_solution: Option<Vec<VertexId>>,
+    /// An externally *proven* upper bound on the optimum size. The search
+    /// terminates with [`crate::Status::Optimal`] as soon as the incumbent
+    /// reaches it, instead of exhausting the tree to prove what the caller
+    /// already knows. Soundness is the caller's responsibility: batch
+    /// k-sweeps derive it from the adjacent-k optimum (any k-defective
+    /// clique is (k+1)-defective, and dropping a vertex incident to a
+    /// missing edge turns a (k+1)-defective clique into a k-defective one,
+    /// so `opt(k) ≤ opt(k') ≤ opt(k) + (k' − k)` for `k ≤ k'`). The cap
+    /// only ever stops the search early — it never alters pruning — so the
+    /// reported witness is identical to an uncapped run's.
+    pub known_ub: Option<usize>,
     /// Progress callback, fired at incumbent improvements, retightens and
     /// search restarts (see [`SolveEvent`]). `None` disables event emission
     /// entirely.
@@ -300,6 +311,7 @@ impl SolverConfig {
             shared_peeling: None,
             shared_ctcp: None,
             seed_solution: None,
+            known_ub: None,
             on_event: None,
             trace: None,
         }
@@ -331,6 +343,7 @@ impl SolverConfig {
             shared_peeling: None,
             shared_ctcp: None,
             seed_solution: None,
+            known_ub: None,
             on_event: None,
             trace: None,
         }
@@ -411,6 +424,7 @@ impl SolverConfig {
             shared_peeling: None,
             shared_ctcp: None,
             seed_solution: None,
+            known_ub: None,
             on_event: None,
             trace: None,
         }
@@ -441,6 +455,7 @@ impl SolverConfig {
             shared_peeling: None,
             shared_ctcp: None,
             seed_solution: None,
+            known_ub: None,
             on_event: None,
             trace: None,
         }
@@ -511,6 +526,13 @@ impl SolverConfig {
     /// [`SolverConfig::seed_solution`]).
     pub fn with_seed_solution(mut self, seed: Vec<VertexId>) -> Self {
         self.seed_solution = Some(seed);
+        self
+    }
+
+    /// Builder-style installation of a proven upper-bound cap (see
+    /// [`SolverConfig::known_ub`]).
+    pub fn with_known_ub(mut self, ub: usize) -> Self {
+        self.known_ub = Some(ub);
         self
     }
 

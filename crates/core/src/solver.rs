@@ -106,6 +106,14 @@ impl<'g> Solver<'g> {
         let t_search = Instant::now();
         let status;
         loop {
+            // A caller-proven upper bound met by the incumbent ends the
+            // search: nothing larger exists, so the incumbent is optimal.
+            // Checked before each (re)build, so a capped warm solve seeded
+            // at the cap never extracts a universe at all.
+            if config.known_ub.is_some_and(|ub| best.len() >= ub) {
+                status = Status::Optimal;
+                break;
+            }
             // Atomically verify-and-extract: a resident reducer may have
             // been tightened past our incumbent by a concurrent solve, in
             // which case its universe no longer contains every solution
@@ -144,6 +152,7 @@ impl<'g> Solver<'g> {
             let hook_removed = Arc::clone(&removed);
             let hook_events = config.on_event.clone();
             let hook_trace = trace.clone();
+            let hook_cap = config.known_ub;
             engine.set_improve_hook(Box::new(move |new_lb| {
                 if let Some(events) = &hook_events {
                     events.emit(SolveEvent::Incumbent { size: new_lb });
@@ -163,7 +172,10 @@ impl<'g> Solver<'g> {
                     }
                     true
                 } else {
-                    false
+                    // Reaching the known upper bound aborts the engine via
+                    // the rebuild path; the loop head then declares
+                    // optimality instead of rebuilding.
+                    hook_cap.is_some_and(|ub| new_lb >= ub)
                 }
             }));
             let branch_span = trace.as_ref().map(|t| t.span("branch"));
@@ -517,6 +529,41 @@ mod tests {
             let sol = Solver::new(&g, 2, cfg).solve();
             assert_eq!(sol.size(), first.size());
             assert!(sol.is_optimal());
+        }
+    }
+
+    #[test]
+    fn known_ub_cap_stops_early_with_identical_witness() {
+        let mut rng = gen::seeded_rng(94);
+        let g = gen::gnp(45, 0.4, &mut rng);
+        for k in [0usize, 2] {
+            let cold = Solver::new(&g, k, SolverConfig::kdc()).solve();
+            assert!(cold.is_optimal());
+            let opt = cold.size();
+
+            // Cap at the true optimum: the search stops the moment the
+            // incumbent gets there, and the witness is byte-identical to
+            // the uncapped run (the cap never alters pruning).
+            let capped = Solver::new(&g, k, SolverConfig::kdc().with_known_ub(opt)).solve();
+            assert!(capped.is_optimal());
+            assert_eq!(capped.vertices, cold.vertices, "k = {k}");
+            assert!(capped.stats.nodes <= cold.stats.nodes);
+
+            // Seeded *at* the cap: the whole search is skipped — no
+            // universe is ever extracted, no node is ever visited.
+            let skip_cfg = SolverConfig::kdc()
+                .with_seed_solution(cold.vertices.clone())
+                .with_known_ub(opt);
+            let skipped = Solver::new(&g, k, skip_cfg).solve();
+            assert!(skipped.is_optimal());
+            assert_eq!(skipped.vertices, cold.vertices);
+            assert_eq!(skipped.stats.nodes, 0, "capped seed skips the search");
+            assert_eq!(skipped.stats.universe_rebuilds, 0);
+
+            // A cap above the optimum never fires and changes nothing.
+            let loose = Solver::new(&g, k, SolverConfig::kdc().with_known_ub(opt + 1)).solve();
+            assert!(loose.is_optimal());
+            assert_eq!(loose.vertices, cold.vertices);
         }
     }
 

@@ -285,10 +285,13 @@ impl Ctcp {
     /// semantically identical to calling `tighten` once per entry (in any
     /// order — tighten clamps to the running maximum; parity-tested in
     /// `tests/ctcp_prop.rs`) but pays one bucket sweep and one propagation
-    /// pass instead of one per step. Callers holding several pending
-    /// incumbent improvements (a decompose worker draining a shared
-    /// incumbent, a warm service folding queued bounds) hand them over
-    /// without pre-reducing; an empty slice is a no-op.
+    /// pass instead of one per step. The schedule may arrive unsorted and
+    /// with duplicates: reducing by maximum subsumes any sort + dedup, so
+    /// callers holding several pending incumbent improvements (a decompose
+    /// worker draining a shared incumbent, a batch sweep merging the
+    /// witness sizes of its sub-queries, a warm service folding queued
+    /// bounds) hand them over without pre-reducing; an empty slice is a
+    /// no-op.
     pub fn tighten_batch(&mut self, lbs: &[usize]) -> Removals {
         match lbs.iter().copied().max() {
             Some(lb) => self.tighten(lb),
@@ -682,6 +685,42 @@ mod tests {
                 let (adj_a, _) = batched.extract_universe();
                 let (adj_b, _) = sequential.extract_universe();
                 assert_eq!(adj_a, adj_b, "universes differ: trial {trial} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn tighten_batch_accepts_unsorted_and_duplicate_schedules() {
+        // The merged schedules a batch sweep hands over arrive in sub-query
+        // completion order with repeated witness sizes; the reducer state
+        // must be byte-identical to the canonical sorted + deduped call.
+        let mut rng = gen::seeded_rng(304);
+        for trial in 0..6 {
+            let g = gen::gnp(40, 0.3, &mut rng);
+            for k in 0..3usize {
+                let messy = [5usize, 3, 5, 8, 3, 8, 4];
+                let mut sorted: Vec<usize> = messy.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+
+                let mut a = Ctcp::new(&g, k);
+                let rem_a = a.tighten_batch(&messy);
+                let mut b = Ctcp::new(&g, k);
+                let rem_b = b.tighten_batch(&sorted);
+
+                assert_eq!(a.lb(), b.lb(), "trial {trial} k {k}");
+                assert_eq!(a.alive_vertices(), b.alive_vertices());
+                assert_eq!(rem_a.edges, rem_b.edges, "trial {trial} k {k}");
+                let mut va = rem_a.vertices.clone();
+                let mut vb = rem_b.vertices.clone();
+                va.sort_unstable();
+                vb.sort_unstable();
+                assert_eq!(va, vb, "trial {trial} k {k}");
+                assert_eq!(
+                    a.extract_universe(),
+                    b.extract_universe(),
+                    "trial {trial} k {k}"
+                );
             }
         }
     }

@@ -26,6 +26,10 @@ fn good(reg: &Registry) -> usize {
     reg.register_counter("kdc_session_hits_total")
         + reg.register_gauge("kdc_service_queue_depth")
         + reg.register_counter("kdc_core_bound_ns_total")
+        // The batch-execution trio registered by the session layer.
+        + reg.register_counter("kdc_session_batch_ctcp_shares_total")
+        + reg.register_counter("kdc_session_batch_witness_seeds_total")
+        + reg.register_counter("kdc_session_batch_memo_dedups_total")
         // kdc-lint: allow(metric_names) — grandfathered external scrape name.
         + reg.register_counter("legacy_scrape_name")
 }

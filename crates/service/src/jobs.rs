@@ -16,7 +16,7 @@
 use crate::cache::GraphEntry;
 use crate::sync::{rank, TrackedMutex};
 use kdc::{CancelFlag, Status};
-use kdc_api::{Budget, Observer, Options, Outcome, Query};
+use kdc_api::{BatchOutcome, Budget, Observer, Options, Outcome, Query, SubQuery};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
@@ -56,6 +56,33 @@ pub enum JobSpec {
         /// log; the queue keeps a clone on the job record.
         trace: Option<kdc_obs::Tracer>,
     },
+    /// A batched k-sweep (`MSOLVE`): one job answering `k_lo..=k_hi` as a
+    /// planned [`kdc_api::BatchPlan`] sweep with shared seeds/bounds. One
+    /// `CANCEL` aborts the whole sweep; a draining shutdown lets all of it
+    /// finish.
+    Batch {
+        /// Cached graph to sweep on.
+        entry: Arc<GraphEntry>,
+        /// First k of the inclusive sweep.
+        k_lo: usize,
+        /// Last k of the inclusive sweep.
+        k_hi: usize,
+        /// When set, each sub-query enumerates a top-`r` pool.
+        r: Option<usize>,
+        /// Preset name shared by every sub-query.
+        preset: String,
+        /// Batch-wide wall-clock deadline.
+        limit: Option<Duration>,
+        /// Per-sub-query branch-and-bound node limit.
+        nodes: Option<u64>,
+        /// Solver threads per sub-solve (same semantics as `Solve`).
+        threads: usize,
+        /// Event stream carrying the per-sub-query
+        /// [`kdc_api::Event::SubDone`] completions (`RESULT` lines).
+        observer: Option<JobObserver>,
+        /// Phase-span recorder, as for `Solve`.
+        trace: Option<kdc_obs::Tracer>,
+    },
     /// Top-r maximal k-defective clique enumeration.
     Enumerate {
         /// Cached graph to enumerate on.
@@ -77,10 +104,10 @@ pub enum JobSpec {
 }
 
 impl JobSpec {
-    /// The job's tracer, if one was attached (`Solve` only).
+    /// The job's tracer, if one was attached (`Solve`/`Batch` only).
     fn trace(&self) -> Option<kdc_obs::Tracer> {
         match self {
-            JobSpec::Solve { trace, .. } => trace.clone(),
+            JobSpec::Solve { trace, .. } | JobSpec::Batch { trace, .. } => trace.clone(),
             _ => None,
         }
     }
@@ -89,7 +116,9 @@ impl JobSpec {
     /// don't are the watchdog's prey: nothing else bounds them.
     fn has_deadline(&self) -> bool {
         match self {
-            JobSpec::Solve { limit, nodes, .. } => limit.is_some() || nodes.is_some(),
+            JobSpec::Solve { limit, nodes, .. } | JobSpec::Batch { limit, nodes, .. } => {
+                limit.is_some() || nodes.is_some()
+            }
             JobSpec::Enumerate { .. } | JobSpec::Count { .. } => false,
         }
     }
@@ -100,6 +129,13 @@ impl JobSpec {
             JobSpec::Solve {
                 entry, k, preset, ..
             } => format!("solve({},k={k},preset={preset})", entry.name),
+            JobSpec::Batch {
+                entry,
+                k_lo,
+                k_hi,
+                preset,
+                ..
+            } => format!("batch({},k={k_lo}..{k_hi},preset={preset})", entry.name),
             JobSpec::Enumerate { entry, k, top } => {
                 format!("enumerate({},k={k},top={top})", entry.name)
             }
@@ -145,6 +181,9 @@ pub enum JobOutcome {
     /// [`kdc_api::Outcome::status`]). Boxed: an `Outcome` carries witness
     /// vectors and full search statistics, far larger than the error arm.
     Done(Box<Outcome>),
+    /// A batched sweep finished: per-sub-query outcomes plus the batch's
+    /// shared-work counters. Boxed for the same reason as `Done`.
+    Batch(Box<BatchOutcome>),
     /// The job failed before producing a result.
     Error(String),
 }
@@ -603,6 +642,46 @@ pub fn run_job(spec: &JobSpec, cancel: CancelFlag) -> JobOutcome {
                 observer.as_ref().map(|o| o.0.clone()),
             )
         }
+        // A batch is dispatched through `Session::run_batch_observed`
+        // directly — not the folded `Query::Batch` surface — so the
+        // per-sub-query outcomes and shared-work counters survive into the
+        // `JobOutcome::Batch` the MSOLVE handler reports.
+        JobSpec::Batch {
+            entry,
+            k_lo,
+            k_hi,
+            r,
+            preset,
+            limit,
+            nodes,
+            threads,
+            observer,
+            ..
+        } => {
+            let options = match Options::preset(preset) {
+                Ok(options) => options,
+                Err(e) => return JobOutcome::Error(e),
+            };
+            let mut budget = Budget::default().with_threads(*threads).with_cancel(cancel);
+            budget.time_limit = *limit;
+            budget.node_limit = *nodes;
+            let subs: Vec<SubQuery> = (*k_lo..=*k_hi)
+                .map(|k| SubQuery {
+                    k,
+                    r: *r,
+                    preset: None,
+                })
+                .collect();
+            let observer = observer.as_ref().map(|o| o.0.clone());
+            let observer = with_solve_node_faults(observer, fault_cancel);
+            return match entry
+                .session()
+                .run_batch_observed(&subs, &budget, &options, observer, trace)
+            {
+                Ok(batch) => JobOutcome::Batch(Box::new(batch)),
+                Err(e) => JobOutcome::Error(e),
+            };
+        }
         JobSpec::Enumerate { entry, k, top } => (
             entry,
             Query::TopR {
@@ -710,8 +789,9 @@ fn worker_loop(queue: &JobQueue) {
         });
         let state_after = match &outcome {
             JobOutcome::Done(outcome) if outcome.status == Status::Cancelled => JobState::Cancelled,
+            JobOutcome::Batch(batch) if batch.status() == Status::Cancelled => JobState::Cancelled,
             JobOutcome::Error(_) => JobState::Failed,
-            JobOutcome::Done(_) => JobState::Done,
+            JobOutcome::Done(_) | JobOutcome::Batch(_) => JobState::Done,
         };
         queue.finish(id, state_after, outcome);
     }

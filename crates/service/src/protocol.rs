@@ -8,6 +8,8 @@
 //! LOAD <path> AS <name>
 //! SOLVE <name> k=<K> [preset=<kdc|kdc_t|kdclub|kdbb|madec>] [limit=<seconds>]
 //!       [nodes=<N>] [threads=<N>] [verbose=<0|1>]
+//! MSOLVE <name> k=<LO>..<HI> [r=<R>] [preset=..] [limit=<seconds>]
+//!        [nodes=<N>] [threads=<N>]
 //! ENUMERATE <name> k=<K> top=<R>
 //! COUNT <name> k=<K> [min=<S>]
 //! STATS [<name>]
@@ -24,6 +26,20 @@
 //! key=value ...` lines streamed while the search runs (incumbent
 //! improvements, reducer retightens, restarts); the final line is the usual
 //! `OK`/`ERR`. Clients must read until a non-`EVENT` line.
+//!
+//! `MSOLVE` answers a whole batched k-sweep as **one job**: the daemon
+//! plans `k = LO..=HI` (inclusive; `k=<K>` alone means a single k) as a
+//! [`kdc_api::Query::Batch`] sharing one universe, cross-`k` witness seeds
+//! and upper-bound caps, then streams one `RESULT idx=<I> k=<K> size=<S>
+//! status=<..>` line per sub-query — in completion order, before the final
+//! `OK` — so clients see answers as they land. Clients must read until a
+//! non-`RESULT` line. With `r=<R>`, every sub-query enumerates a top-`R`
+//! pool instead of solving for one maximum. The final `OK` reports the
+//! folded status plus the batch's shared-work counters; the witness vertex
+//! sets are retrievable per `k` via follow-up `SOLVE` calls, which answer
+//! from the proven-optimal memo without searching. A running `MSOLVE` is
+//! one job: one `CANCEL <id>` aborts the remaining sub-queries, and a
+//! draining shutdown lets the whole sweep finish.
 //!
 //! `METRICS` similarly streams the process-global registry in Prometheus
 //! text exposition format, one `METRIC <sample-or-header>` line per
@@ -103,6 +119,28 @@ pub enum Command {
         threads: usize,
         /// Stream `EVENT` lines while the search runs.
         verbose: bool,
+    },
+    /// `MSOLVE <name> k=<LO>..<HI> [r=..] [preset=..] [limit=..]
+    /// [nodes=..] [threads=..]` — a batched k-sweep answered as one job,
+    /// streaming `RESULT` lines per sub-query before the final `OK`.
+    MSolve {
+        /// Cache key of the graph to sweep on.
+        graph: String,
+        /// First k of the inclusive sweep.
+        k_lo: usize,
+        /// Last k of the inclusive sweep (`k_lo` for a single-k batch).
+        k_hi: usize,
+        /// When set, each sub-query enumerates a top-`r` pool instead of
+        /// solving for one maximum witness.
+        r: Option<usize>,
+        /// Solver preset (`kdc` when omitted).
+        preset: Option<String>,
+        /// Batch-wide wall-clock deadline (shared by all sub-queries).
+        limit: Option<Duration>,
+        /// Per-sub-query branch-and-bound node limit.
+        nodes: Option<u64>,
+        /// Solver threads per sub-solve (same semantics as `SOLVE`).
+        threads: usize,
     },
     /// `ENUMERATE <name> k=<K> top=<R>` — the r largest maximal k-defective
     /// cliques.
@@ -212,6 +250,40 @@ fn parse_option<T: std::str::FromStr>(
     }
 }
 
+/// Widest `k=<LO>..<HI>` sweep `MSOLVE` accepts: a protocol-edge guard so
+/// a hostile `k=0..99999999` is an `ERR` line, not a 100M-entry batch.
+pub const MAX_MSOLVE_SWEEP: usize = 256;
+
+/// Parses `MSOLVE`'s `k=` value: `<LO>..<HI>` (inclusive) or a single
+/// `<K>` (meaning `K..K`).
+fn parse_k_range(raw: &str) -> Result<(usize, usize), String> {
+    let (lo, hi) = match raw.split_once("..") {
+        Some((lo, hi)) => {
+            let parse = |s: &str, side: &str| -> Result<usize, String> {
+                s.parse()
+                    .map_err(|_| format!("invalid {side} bound {s:?} in k={raw}"))
+            };
+            (parse(lo, "lower")?, parse(hi, "upper")?)
+        }
+        None => {
+            let k = raw
+                .parse()
+                .map_err(|_| format!("invalid value {raw:?} for k= (want <K> or <LO>..<HI>)"))?;
+            (k, k)
+        }
+    };
+    if hi < lo {
+        return Err(format!("empty k range {raw} (upper bound below lower)"));
+    }
+    if hi - lo + 1 > MAX_MSOLVE_SWEEP {
+        return Err(format!(
+            "k range {raw} spans {} values (max {MAX_MSOLVE_SWEEP})",
+            hi - lo + 1
+        ));
+    }
+    Ok((lo, hi))
+}
+
 /// Parses one request line into a [`Command`].
 pub fn parse_command(line: &str) -> Result<Command, String> {
     let tokens: Vec<&str> = line.split_whitespace().collect();
@@ -295,6 +367,38 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 nodes,
                 threads: parse_option(&options, "threads")?.unwrap_or(1),
                 verbose,
+            })
+        }
+        "MSOLVE" => {
+            known_options(&["k", "r", "preset", "limit", "nodes", "threads"])?;
+            positional_count(
+                1,
+                "MSOLVE <name> k=<LO>..<HI> [r=..] [preset=..] [limit=..] [nodes=..] \
+                 [threads=..]",
+            )?;
+            let raw = options.get("k").ok_or("MSOLVE requires k=<LO>..<HI>")?;
+            let (k_lo, k_hi) = parse_k_range(raw)?;
+            let limit = options
+                .get("limit")
+                .map(|raw| kdc::config::parse_time_limit_arg(raw))
+                .transpose()?;
+            let nodes = options
+                .get("nodes")
+                .map(|raw| kdc::config::parse_node_limit_arg(raw))
+                .transpose()?;
+            let r = parse_option::<usize>(&options, "r")?;
+            if r == Some(0) {
+                return Err("r= must be positive".to_string());
+            }
+            Ok(Command::MSolve {
+                graph: positional[0].clone(),
+                k_lo,
+                k_hi,
+                r,
+                preset: options.get("preset").cloned(),
+                limit,
+                nodes,
+                threads: parse_option(&options, "threads")?.unwrap_or(1),
             })
         }
         "ENUMERATE" => {
@@ -471,6 +575,60 @@ mod tests {
                 verbose: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_msolve_sweeps() {
+        let cmd = parse_command("MSOLVE g1 k=0..4 r=3 preset=kdc_t limit=2.5 nodes=500 threads=2")
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::MSolve {
+                graph: "g1".into(),
+                k_lo: 0,
+                k_hi: 4,
+                r: Some(3),
+                preset: Some("kdc_t".into()),
+                limit: Some(Duration::from_secs_f64(2.5)),
+                nodes: Some(500),
+                threads: 2,
+            }
+        );
+        // A bare k is a single-entry sweep.
+        let single = parse_command("msolve g1 k=3").unwrap();
+        assert_eq!(
+            single,
+            Command::MSolve {
+                graph: "g1".into(),
+                k_lo: 3,
+                k_hi: 3,
+                r: None,
+                preset: None,
+                limit: None,
+                nodes: None,
+                threads: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn msolve_rejects_hostile_ranges() {
+        assert!(parse_command("MSOLVE g1").is_err(), "k= is required");
+        assert!(parse_command("MSOLVE g1 k=4..0").is_err(), "empty range");
+        assert!(
+            parse_command("MSOLVE g1 k=0..99999999").is_err(),
+            "too wide"
+        );
+        assert!(parse_command("MSOLVE g1 k=a..b").is_err());
+        assert!(parse_command("MSOLVE g1 k=1..").is_err());
+        assert!(parse_command("MSOLVE g1 k=1..2 r=0").is_err(), "zero pool");
+        assert!(
+            parse_command("MSOLVE g1 k=1..2 verbose=1").is_err(),
+            "MSOLVE streams RESULT lines unconditionally; verbose= is not an option"
+        );
+        // The widest allowed sweep parses; one wider does not.
+        assert!(parse_command(&format!("MSOLVE g1 k=0..{}", MAX_MSOLVE_SWEEP - 1)).is_ok());
+        assert!(parse_command(&format!("MSOLVE g1 k=0..{MAX_MSOLVE_SWEEP}")).is_err());
     }
 
     #[test]

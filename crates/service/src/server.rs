@@ -482,6 +482,29 @@ fn execute(command: Command, daemon: &Daemon, writer: &mut TcpStream) -> (String
             },
             writer,
         ),
+        Command::MSolve {
+            graph,
+            k_lo,
+            k_hi,
+            r,
+            preset,
+            limit,
+            nodes,
+            threads,
+        } => msolve(
+            daemon,
+            &graph,
+            MSolveParams {
+                k_lo,
+                k_hi,
+                r,
+                preset,
+                limit,
+                nodes,
+                threads,
+            },
+            writer,
+        ),
         Command::Enumerate { graph, k, top } => enumerate(daemon, &graph, k, top),
         Command::Count { graph, k, min_size } => count(daemon, &graph, k, min_size),
         Command::Stats { graph } => stats(daemon, graph.as_deref()),
@@ -628,6 +651,18 @@ fn event_line(event: &Event) -> String {
             format!("EVENT type=retighten removed_v={vertices} removed_e={edges}")
         }
         Event::Restart { universe } => format!("EVENT type=restart universe={universe}"),
+        // Batch sub-query completions get their own streamed prefix (the
+        // MSOLVE handler turns them into `RESULT` lines); as a plain EVENT
+        // they carry the same fields for verbose non-batch observers.
+        Event::SubDone {
+            index,
+            k,
+            size,
+            status,
+        } => format!(
+            "EVENT type=subdone idx={index} k={k} size={size} status={}",
+            status_token(status)
+        ),
         Event::Done { status } => format!("EVENT type=done status={}", status_token(status)),
     }
 }
@@ -728,6 +763,107 @@ fn solve(
                 .field("universe_rebuilds", outcome.stats.universe_rebuilds)
                 .render())
         }
+        JobOutcome::Batch(_) => Err("internal: solve job returned a batch".to_string()),
+        JobOutcome::Error(e) => Err(e),
+    }
+}
+
+/// Parameters of one `MSOLVE` request.
+struct MSolveParams {
+    k_lo: usize,
+    k_hi: usize,
+    r: Option<usize>,
+    preset: Option<String>,
+    limit: Option<Duration>,
+    nodes: Option<u64>,
+    threads: usize,
+}
+
+fn msolve(
+    daemon: &Daemon,
+    graph: &str,
+    params: MSolveParams,
+    writer: &mut TcpStream,
+) -> Result<String, String> {
+    let entry = daemon
+        .cache
+        .get(graph)
+        .ok_or_else(|| format!("no graph named {graph:?} (LOAD it first)"))?;
+    let preset = params.preset.unwrap_or_else(|| "kdc".to_string());
+    Options::preset(&preset)?;
+    // The whole sweep is one job, but answers stream as they land: the
+    // job's observer forwards each sub-query completion into a channel and
+    // this handler writes them as `RESULT` lines until the worker drops
+    // its sender, then falls through to the final OK. Same mpsc pattern as
+    // `SOLVE verbose=1`; non-SubDone solver events are dropped at the
+    // source so a chatty search cannot stall on a slow client.
+    let (tx, rx) = mpsc::channel::<Event>();
+    let tx = Mutex::new(tx);
+    let observer: Arc<dyn Observer> = Arc::new(move |e: &Event| {
+        if matches!(e, Event::SubDone { .. }) {
+            if let Ok(tx) = tx.lock() {
+                let _ = tx.send(*e);
+            }
+        }
+    });
+    let trace = kdc_obs::Tracer::new();
+    let id = submit_checked(
+        daemon,
+        JobSpec::Batch {
+            entry,
+            k_lo: params.k_lo,
+            k_hi: params.k_hi,
+            r: params.r,
+            preset,
+            limit: params.limit,
+            nodes: params.nodes,
+            threads: params.threads,
+            observer: Some(JobObserver(observer)),
+            trace: Some(trace.clone()),
+        },
+    )?;
+    while let Ok(event) = rx.recv() {
+        if let Event::SubDone {
+            index,
+            k,
+            size,
+            status,
+        } = event
+        {
+            // A dead client cannot be told; keep draining so the job is
+            // never blocked on the channel.
+            let _ = writer
+                .write_all(
+                    format!(
+                        "RESULT idx={index} k={k} size={size} status={}\n",
+                        status_token(status)
+                    )
+                    .as_bytes(),
+                )
+                .and_then(|()| writer.flush());
+        }
+    }
+    match daemon.queue.wait(id) {
+        JobOutcome::Batch(batch) => {
+            let sizes: Vec<String> = batch
+                .outcomes
+                .iter()
+                .map(|o| o.size().to_string())
+                .collect();
+            Ok(OkLine::new()
+                .field("job", id)
+                .field("graph", graph)
+                .field("status", status_token(batch.status()))
+                .field("subs", batch.outcomes.len())
+                .field("sizes", sizes.join(","))
+                .field("ctcp_shares", batch.batch_ctcp_shares)
+                .field("witness_seeds", batch.batch_witness_seeds)
+                .field("memo_dedups", batch.batch_memo_dedups)
+                .field("nodes", batch.total_nodes())
+                .field("elapsed_ms", batch.elapsed.as_millis())
+                .render())
+        }
+        JobOutcome::Done(_) => Err("internal: batch job returned a single outcome".to_string()),
         JobOutcome::Error(e) => Err(e),
     }
 }
@@ -761,6 +897,7 @@ fn enumerate(daemon: &Daemon, graph: &str, k: usize, top: usize) -> Result<Strin
                 .field("elapsed_ms", outcome.elapsed.as_millis())
                 .render())
         }
+        JobOutcome::Batch(_) => Err("internal: enumerate job returned a batch".to_string()),
         JobOutcome::Error(e) => Err(e),
     }
 }
@@ -793,6 +930,7 @@ fn count(daemon: &Daemon, graph: &str, k: usize, min_size: usize) -> Result<Stri
                 .field("elapsed_ms", outcome.elapsed.as_millis())
                 .render())
         }
+        JobOutcome::Batch(_) => Err("internal: count job returned a batch".to_string()),
         JobOutcome::Error(e) => Err(e),
     }
 }
@@ -833,10 +971,11 @@ fn stats(daemon: &Daemon, graph: Option<&str>) -> Result<String, String> {
 }
 
 /// One-shot client helper: connect, send one command line, read the
-/// response. Any `EVENT` lines streamed by a `verbose=1` solve, and any
-/// `METRIC` lines streamed by `METRICS`, are included (newline-separated)
-/// before the final `OK`/`ERR` line, which is always the last line of the
-/// returned string. Used by `kdc client` and the tests.
+/// response. Any `EVENT` lines streamed by a `verbose=1` solve, any
+/// `METRIC` lines streamed by `METRICS`, and any `RESULT` lines streamed
+/// by `MSOLVE`, are included (newline-separated) before the final
+/// `OK`/`ERR` line, which is always the last line of the returned string.
+/// Used by `kdc client` and the tests.
 pub fn request(addr: &str, command: &str) -> std::io::Result<String> {
     exchange(TcpStream::connect(addr)?, command)
 }
@@ -855,7 +994,9 @@ fn exchange(mut stream: TcpStream, command: &str) -> std::io::Result<String> {
             break; // server hung up mid-stream; return what arrived
         }
         let trimmed = line.trim_end().to_string();
-        let streamed = trimmed.starts_with("EVENT ") || trimmed.starts_with("METRIC ");
+        let streamed = trimmed.starts_with("EVENT ")
+            || trimmed.starts_with("METRIC ")
+            || trimmed.starts_with("RESULT ");
         lines.push(trimmed);
         if !streamed {
             break;
