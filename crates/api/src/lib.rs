@@ -69,9 +69,16 @@
 //! them once and lets every later query start from the tightened state:
 //! repeat solves answer from the memo, solves at new `k` or under new
 //! presets resume the incremental CTCP reducer and are seeded with the best
-//! known witness. The reducer cache is bounded (LRU, default
-//! [`session::DEFAULT_CTCP_CAPACITY`]) so a long-lived session cannot
-//! accumulate unbounded per-`(k, rules)` state.
+//! known witness. The reducer cache and the proven-optimal result memo are
+//! both bounded (LRU, defaults [`session::DEFAULT_CTCP_CAPACITY`] and
+//! [`session::DEFAULT_MEMO_CAPACITY`]) so a long-lived session cannot
+//! accumulate unbounded per-`(k, rules)` or per-`(k, preset)` state.
+//!
+//! The warm state is also *portable*: [`Session::export_state`] captures
+//! the witnesses and memos as a [`SessionState`], and
+//! [`Session::import_state`] rehydrates them into a fresh session after
+//! revalidating every entry against its graph — the mechanism behind the
+//! daemon's crash recovery (`kdc serve --state-dir`, see `kdc_store`).
 
 pub mod batch;
 pub mod query;
@@ -79,4 +86,4 @@ pub mod session;
 
 pub use batch::{BatchExec, BatchOutcome, BatchPlan, SubQuery};
 pub use query::{Budget, CacheInfo, Event, Observer, Options, Outcome, Query};
-pub use session::{CtcpKey, Session, SessionCounters, SolveKey};
+pub use session::{CtcpKey, Session, SessionCounters, SessionState, SolveKey};

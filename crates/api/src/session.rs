@@ -33,6 +33,9 @@ pub(crate) struct SessionObs {
     ctcp_builds: kdc_obs::Counter,
     ctcp_resumes: kdc_obs::Counter,
     ctcp_evictions: kdc_obs::Counter,
+    memo_evictions: kdc_obs::Counter,
+    recovered_witnesses: kdc_obs::Counter,
+    recovered_memos: kdc_obs::Counter,
     pub(crate) batch_ctcp_shares: kdc_obs::Counter,
     pub(crate) batch_witness_seeds: kdc_obs::Counter,
     pub(crate) batch_memo_dedups: kdc_obs::Counter,
@@ -53,6 +56,9 @@ pub(crate) fn session_obs() -> &'static SessionObs {
             ctcp_builds: r.register_counter("kdc_session_ctcp_builds_total"),
             ctcp_resumes: r.register_counter("kdc_session_ctcp_resumes_total"),
             ctcp_evictions: r.register_counter("kdc_session_ctcp_evictions_total"),
+            memo_evictions: r.register_counter("kdc_session_memo_evictions_total"),
+            recovered_witnesses: r.register_counter("kdc_session_recovered_witnesses_total"),
+            recovered_memos: r.register_counter("kdc_session_recovered_memos_total"),
             batch_ctcp_shares: r.register_counter("kdc_session_batch_ctcp_shares_total"),
             batch_witness_seeds: r.register_counter("kdc_session_batch_witness_seeds_total"),
             batch_memo_dedups: r.register_counter("kdc_session_batch_memo_dedups_total"),
@@ -101,6 +107,12 @@ const MAX_SOLVE_THREADS: usize = 256;
 /// [`Session::with_ctcp_capacity`]).
 pub const DEFAULT_CTCP_CAPACITY: usize = 8;
 
+/// Default cap on memoized proven-optimal results (see
+/// [`Session::with_memo_capacity`]). Deliberately generous: a memo entry is
+/// one witness plus counters, so hundreds are cheap — the cap exists to
+/// stop unbounded growth under long-lived k/preset churn, not to be felt.
+pub const DEFAULT_MEMO_CAPACITY: usize = 512;
+
 /// Memo key for a proven-optimal solve result: the answer depends only on
 /// the graph, `k` and the algorithm variant (all exact presets agree on the
 /// *size*, but the key includes the preset so the reported vertex set is
@@ -148,6 +160,25 @@ pub struct SessionCounters {
     /// Batch sub-queries answered without a search of their own (in-batch
     /// duplicates fanned out plus proven-optimal memo hits).
     pub batch_memo_dedups: u64,
+    /// Proven-optimal memo entries evicted from the bounded LRU memo.
+    pub memo_evictions: u64,
+    /// Witnesses rehydrated from the durable store at recovery.
+    pub recovered_witnesses: u64,
+    /// Proven-optimal memo entries rehydrated from the durable store at
+    /// recovery.
+    pub recovered_memos: u64,
+}
+
+/// The exportable warm state of a [`Session`]: everything the durable
+/// store persists and recovery feeds back through
+/// [`Session::import_state`]. Witnesses are `(k, vertices)` pairs; memos
+/// pair a [`SolveKey`] with its proven solution.
+#[derive(Clone, Debug, Default)]
+pub struct SessionState {
+    /// Best-known witness per defect budget, ascending `k`.
+    pub witnesses: Vec<(usize, Vec<VertexId>)>,
+    /// Proven-optimal memo entries, ascending `(k, preset)`.
+    pub memos: Vec<(SolveKey, Solution)>,
 }
 
 /// One resident reducer slot of the bounded LRU cache.
@@ -162,6 +193,21 @@ struct CtcpCache {
     cap: usize,
     tick: u64,
     slots: Vec<CtcpSlot>,
+}
+
+/// One memoized proven-optimal result with its recency stamp.
+struct MemoSlot {
+    solution: Solution,
+    last_used: u64,
+}
+
+/// The bounded result memo: a hash map with LRU eviction at `cap`. The
+/// scan to find the eviction victim is linear, which at the default cap is
+/// still nanoseconds next to the solves the memo is summarizing.
+struct MemoCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<SolveKey, MemoSlot>,
 }
 
 /// A resident solver session over one graph.
@@ -181,7 +227,7 @@ pub struct Session {
     graph: Arc<Graph>,
     peeling: OnceLock<Arc<Peeling>>,
     ctcp: Mutex<CtcpCache>,
-    results: Mutex<HashMap<SolveKey, Solution>>,
+    results: Mutex<MemoCache>,
     best_known: Mutex<HashMap<usize, Vec<VertexId>>>,
     peel_builds: AtomicU64,
     solves: AtomicU64,
@@ -189,6 +235,9 @@ pub struct Session {
     ctcp_builds: AtomicU64,
     ctcp_resumes: AtomicU64,
     ctcp_evictions: AtomicU64,
+    memo_evictions: AtomicU64,
+    recovered_witnesses: AtomicU64,
+    recovered_memos: AtomicU64,
     batch_ctcp_shares: AtomicU64,
     batch_witness_seeds: AtomicU64,
     batch_memo_dedups: AtomicU64,
@@ -221,7 +270,11 @@ impl Session {
                 tick: 0,
                 slots: Vec::new(),
             }),
-            results: Mutex::new(HashMap::new()),
+            results: Mutex::new(MemoCache {
+                cap: DEFAULT_MEMO_CAPACITY,
+                tick: 0,
+                map: HashMap::new(),
+            }),
             best_known: Mutex::new(HashMap::new()),
             peel_builds: AtomicU64::new(0),
             solves: AtomicU64::new(0),
@@ -229,6 +282,9 @@ impl Session {
             ctcp_builds: AtomicU64::new(0),
             ctcp_resumes: AtomicU64::new(0),
             ctcp_evictions: AtomicU64::new(0),
+            memo_evictions: AtomicU64::new(0),
+            recovered_witnesses: AtomicU64::new(0),
+            recovered_memos: AtomicU64::new(0),
             batch_ctcp_shares: AtomicU64::new(0),
             batch_witness_seeds: AtomicU64::new(0),
             batch_memo_dedups: AtomicU64::new(0),
@@ -254,6 +310,22 @@ impl Session {
     /// `0` disables reducer residency entirely — every solve builds fresh.
     pub fn with_ctcp_capacity(self, cap: usize) -> Self {
         lock_unpoisoned(&self.ctcp).cap = cap;
+        self
+    }
+
+    /// Caps the proven-optimal result memo (default
+    /// [`DEFAULT_MEMO_CAPACITY`]); beyond it the least-recently-used entry
+    /// is evicted (counted in [`SessionCounters::memo_evictions`]). A cap
+    /// of `0` disables result memoization entirely.
+    pub fn with_memo_capacity(self, cap: usize) -> Self {
+        let mut memo = lock_unpoisoned(&self.results);
+        memo.cap = cap;
+        while memo.map.len() > cap {
+            evict_lru_memo(&mut memo);
+            self.memo_evictions.fetch_add(1, Ordering::Relaxed);
+            session_obs().memo_evictions.inc();
+        }
+        drop(memo);
         self
     }
 
@@ -291,7 +363,81 @@ impl Session {
             batch_ctcp_shares: self.batch_ctcp_shares.load(Ordering::Relaxed),
             batch_witness_seeds: self.batch_witness_seeds.load(Ordering::Relaxed),
             batch_memo_dedups: self.batch_memo_dedups.load(Ordering::Relaxed),
+            memo_evictions: self.memo_evictions.load(Ordering::Relaxed),
+            recovered_witnesses: self.recovered_witnesses.load(Ordering::Relaxed),
+            recovered_memos: self.recovered_memos.load(Ordering::Relaxed),
         }
+    }
+
+    /// Exports the session's warm state — best-known witnesses and the
+    /// proven-optimal memo — in a deterministic order, for the durable
+    /// store to snapshot.
+    pub fn export_state(&self) -> SessionState {
+        let mut witnesses: Vec<(usize, Vec<VertexId>)> = lock_unpoisoned(&self.best_known)
+            .iter()
+            .filter(|(_, w)| !w.is_empty())
+            .map(|(&k, w)| (k, w.clone()))
+            .collect();
+        witnesses.sort_unstable_by_key(|&(k, _)| k);
+        let mut memos: Vec<(SolveKey, Solution)> = lock_unpoisoned(&self.results)
+            .map
+            .iter()
+            .map(|(key, slot)| (key.clone(), slot.solution.clone()))
+            .collect();
+        memos.sort_unstable_by(|(a, _), (b, _)| {
+            (a.k, a.preset.as_str()).cmp(&(b.k, b.preset.as_str()))
+        });
+        SessionState { witnesses, memos }
+    }
+
+    /// Rehydrates warm state exported by [`Session::export_state`] (usually
+    /// via the durable store after a restart). Every entry is revalidated
+    /// against *this* session's graph — a witness must be a strictly
+    /// ascending in-range k-defective clique, a memo additionally a proven
+    /// [`kdc::Status::Optimal`] under a known preset — and anything that
+    /// fails is silently dropped: recovered state is a hint, never an
+    /// oracle. Accepted witnesses seed [`Session::best_known`]; accepted
+    /// memos answer later queries `cached`. Returns
+    /// `(witnesses_accepted, memos_accepted)`, also tracked by
+    /// [`SessionCounters::recovered_witnesses`] /
+    /// [`SessionCounters::recovered_memos`].
+    pub fn import_state(&self, state: &SessionState) -> (u64, u64) {
+        let valid = |vertices: &[VertexId], k: usize| -> bool {
+            !vertices.is_empty()
+                && vertices.windows(2).all(|pair| pair[0] < pair[1])
+                && vertices.iter().all(|&v| (v as usize) < self.graph.n())
+                && self.graph.is_k_defective_clique(vertices, k)
+        };
+        let mut witnesses = 0u64;
+        for (k, vertices) in &state.witnesses {
+            if valid(vertices, *k) {
+                self.record_best_known(*k, vertices);
+                witnesses += 1;
+            }
+        }
+        let mut memos = 0u64;
+        for (key, solution) in &state.memos {
+            if solution.status != kdc::Status::Optimal
+                || Options::preset(&key.preset).is_err()
+                || !valid(&solution.vertices, key.k)
+            {
+                continue;
+            }
+            // A proven optimum is also the best witness for its k.
+            self.record_best_known(key.k, &solution.vertices);
+            self.memoize_result(key.clone(), solution.clone());
+            memos += 1;
+        }
+        if witnesses > 0 {
+            self.recovered_witnesses
+                .fetch_add(witnesses, Ordering::Relaxed);
+            session_obs().recovered_witnesses.add(witnesses);
+        }
+        if memos > 0 {
+            self.recovered_memos.fetch_add(memos, Ordering::Relaxed);
+            session_obs().recovered_memos.add(memos);
+        }
+        (witnesses, memos)
     }
 
     /// The best known solution for `k`, if any (cloned; seeds warm solves).
@@ -311,9 +457,17 @@ impl Session {
         }
     }
 
-    /// A memoized proven-optimal result for `key`, if any.
+    /// A memoized proven-optimal result for `key`, if any. A hit refreshes
+    /// the entry's LRU stamp.
     pub(crate) fn cached_result(&self, key: &SolveKey) -> Option<Solution> {
-        let found = lock_unpoisoned(&self.results).get(key).cloned();
+        let mut memo = lock_unpoisoned(&self.results);
+        memo.tick += 1;
+        let tick = memo.tick;
+        let found = memo.map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            slot.solution.clone()
+        });
+        drop(memo);
         if found.is_some() {
             self.result_hits.fetch_add(1, Ordering::Relaxed);
             session_obs().result_hits.inc();
@@ -371,17 +525,40 @@ impl Session {
     pub(crate) fn memoized_optimal_sizes(&self) -> Vec<(usize, usize)> {
         let results = lock_unpoisoned(&self.results);
         let mut sizes: HashMap<usize, usize> = HashMap::new();
-        for (key, solution) in results.iter() {
-            sizes.insert(key.k, solution.vertices.len());
+        for (key, slot) in results.map.iter() {
+            sizes.insert(key.k, slot.solution.vertices.len());
         }
         let mut out: Vec<(usize, usize)> = sizes.into_iter().collect();
         out.sort_unstable();
         out
     }
 
-    /// Inserts a proven-optimal solution into the result memo.
+    /// Inserts a proven-optimal solution into the bounded result memo,
+    /// evicting the least-recently-used entry at capacity.
     pub(crate) fn memoize_result(&self, key: SolveKey, solution: Solution) {
-        lock_unpoisoned(&self.results).insert(key, solution);
+        let mut memo = lock_unpoisoned(&self.results);
+        if memo.cap == 0 {
+            return;
+        }
+        memo.tick += 1;
+        let tick = memo.tick;
+        if let Some(slot) = memo.map.get_mut(&key) {
+            slot.solution = solution;
+            slot.last_used = tick;
+            return;
+        }
+        if memo.map.len() >= memo.cap {
+            evict_lru_memo(&mut memo);
+            self.memo_evictions.fetch_add(1, Ordering::Relaxed);
+            session_obs().memo_evictions.inc();
+        }
+        memo.map.insert(
+            key,
+            MemoSlot {
+                solution,
+                last_used: tick,
+            },
+        );
     }
 
     /// Counts one real (non-memo) search, on the session and its registry
@@ -588,7 +765,7 @@ impl Session {
         );
         if solution.is_optimal() {
             if let Some(key) = memo_key {
-                lock_unpoisoned(&self.results).insert(key, solution.clone());
+                self.memoize_result(key, solution.clone());
             }
         }
         Ok(Outcome {
@@ -668,6 +845,19 @@ impl Session {
             },
             elapsed: t0.elapsed(),
         })
+    }
+}
+
+/// Removes the least-recently-used entry of a full memo. Callers count the
+/// eviction on the session and its registry twin.
+fn evict_lru_memo(memo: &mut MemoCache) {
+    let victim = memo
+        .map
+        .iter()
+        .min_by_key(|(_, slot)| slot.last_used)
+        .map(|(key, _)| key.clone());
+    if let Some(key) = victim {
+        memo.map.remove(&key);
     }
 }
 
@@ -781,6 +971,108 @@ mod tests {
             )
             .unwrap();
         assert_eq!(session.counters().ctcp_resumes, 1);
+    }
+
+    #[test]
+    fn memo_lru_cap_evicts_least_recently_used_result() {
+        let session = Session::new(named::figure2()).with_memo_capacity(2);
+        session.solve(0);
+        session.solve(1);
+        assert_eq!(session.counters().memo_evictions, 0);
+        session.solve(2);
+        assert_eq!(
+            session.counters().memo_evictions,
+            1,
+            "third key evicts the LRU memo entry"
+        );
+        // k=1 and k=2 stayed memoized; k=0 was evicted and re-solves.
+        assert!(session.solve(1).cache.result_memo_hit);
+        assert!(session.solve(2).cache.result_memo_hit);
+        let solves_before = session.counters().solves;
+        assert!(!session.solve(0).cache.result_memo_hit);
+        assert_eq!(session.counters().solves, solves_before + 1);
+    }
+
+    #[test]
+    fn zero_memo_capacity_disables_memoization() {
+        let session = Session::new(named::figure2()).with_memo_capacity(0);
+        session.solve(1);
+        assert!(!session.solve(1).cache.result_memo_hit);
+        let c = session.counters();
+        assert_eq!(c.result_hits, 0);
+        assert_eq!(c.memo_evictions, 0, "nothing cached, nothing evicted");
+        assert_eq!(c.solves, 2);
+    }
+
+    #[test]
+    fn export_import_state_rehydrates_a_fresh_session() {
+        let session = Session::new(named::figure2());
+        let original = session.solve(2);
+        let state = session.export_state();
+        assert_eq!(state.witnesses.len(), 1, "{state:?}");
+        assert_eq!(state.memos.len(), 1, "{state:?}");
+
+        let fresh = Session::new(named::figure2());
+        assert_eq!(fresh.import_state(&state), (1, 1));
+        let hit = fresh.solve(2);
+        assert!(hit.cache.result_memo_hit, "recovered memo answers cached");
+        assert_eq!(hit.witnesses, original.witnesses, "byte-identical answer");
+        let c = fresh.counters();
+        assert_eq!(c.solves, 0, "no search ran on the rehydrated session");
+        assert_eq!((c.recovered_witnesses, c.recovered_memos), (1, 1));
+        assert_eq!(
+            fresh.best_known(2).unwrap().len(),
+            original.size(),
+            "recovered witness seeds the incumbent"
+        );
+    }
+
+    #[test]
+    fn import_state_rejects_foreign_and_malformed_entries() {
+        let session = Session::new(named::figure2());
+        session.solve(2);
+        let state = session.export_state();
+
+        // A graph the witness is not a clique of (edgeless) rejects it,
+        // and a tiny graph rejects out-of-range ids without panicking.
+        let mut rng = gen::seeded_rng(5);
+        let edgeless = Session::new(gen::gnp(30, 0.0, &mut rng));
+        assert_eq!(edgeless.import_state(&state), (0, 0));
+        let tiny = Session::new(gen::gnp(3, 0.0, &mut rng));
+        assert_eq!(tiny.import_state(&state), (0, 0));
+
+        // Unsorted witnesses, non-optimal memos and unknown presets are
+        // dropped one by one, not trusted.
+        let bogus = SessionState {
+            witnesses: vec![(2, vec![5, 1])],
+            memos: vec![
+                (
+                    SolveKey {
+                        k: 2,
+                        preset: "kdc".to_string(),
+                    },
+                    Solution {
+                        vertices: vec![0, 1],
+                        status: Status::TimedOut,
+                        stats: kdc::SearchStats::default(),
+                    },
+                ),
+                (
+                    SolveKey {
+                        k: 2,
+                        preset: "no_such_preset".to_string(),
+                    },
+                    Solution {
+                        vertices: vec![0, 1],
+                        status: Status::Optimal,
+                        stats: kdc::SearchStats::default(),
+                    },
+                ),
+            ],
+        };
+        let clean = Session::new(named::figure2());
+        assert_eq!(clean.import_state(&bogus), (0, 0));
+        assert_eq!(clean.counters().recovered_witnesses, 0);
     }
 
     #[test]

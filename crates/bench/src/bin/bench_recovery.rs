@@ -1,0 +1,317 @@
+//! `bench-recovery`: the machine-readable baseline of the durable session
+//! store's warm-restart path, written to `BENCH_8.json`.
+//!
+//! One case pair on the `planted-200-k3` snapshot instance: a cold solve
+//! in a fresh session versus a *restart* — the proven state is persisted
+//! through a real [`kdc_store::Store`] (snapshot on disk), then a new
+//! session is rebuilt from a replay of that state dir and asked the same
+//! query. The run itself asserts the durability contract — the recovered
+//! memo answers without a search, byte-identical to the cold solve — and
+//! gates the headline payoff: the warm path must re-explore fewer than
+//! 50% of the cold solve's nodes (with an intact store it re-explores
+//! zero; a silent recovery failure falls cold and trips the gate).
+//! `--check` additionally compares node counts against `BENCH_8.json`
+//! with the usual 5% tolerance; wall-clock is recorded for trend reading
+//! but never gated, because CI hardware varies.
+//!
+//! Usage: `bench-recovery [--out PATH] [--check [PATH]] [--reps N]`.
+
+use kdc_api::{Outcome, Session};
+use kdc_graph::Graph;
+use kdc_service::{export_graph_state, import_graph_state};
+use kdc_store::Store;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Default snapshot path, relative to the invocation directory (the
+/// workspace root under `cargo run`).
+const DEFAULT_PATH: &str = "BENCH_8.json";
+
+/// Allowed relative node-count growth before `--check` fails.
+const NODE_TOLERANCE: f64 = 0.05;
+
+/// The warm restart must re-explore strictly fewer than this fraction of
+/// the cold solve's nodes — the headline durability guarantee.
+const REEXPLORE_CEILING: f64 = 0.50;
+
+/// The benchmarked defect budget.
+const K: usize = 3;
+
+/// One measured case: a name plus ordered numeric metrics.
+struct CaseResult {
+    name: String,
+    median_ns: u128,
+    runs: usize,
+    metrics: Vec<(String, u64)>,
+}
+
+/// Runs `f` `reps` times and returns the median duration in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Scratch directory for this benchmark process.
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kdc_bench_recovery_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// One full warm restart: replay the state dir, rebuild a session from the
+/// recovered state, and re-ask the benchmarked query. Returns the outcome
+/// plus how many witnesses/memos the import accepted.
+fn warm_restart(state_dir: &Path, g: &Graph) -> (Outcome, u64, u64) {
+    let (_store, recovered) = Store::open(state_dir).expect("reopen state dir");
+    let gs = recovered
+        .iter()
+        .find(|gs| gs.name == "bench")
+        .expect("persisted graph state survived the restart");
+    let session = Session::new(g.clone());
+    let (witnesses, memos) = session.import_state(&import_graph_state(gs));
+    (session.solve(K), witnesses, memos)
+}
+
+fn collect(reps: usize) -> Vec<CaseResult> {
+    let (name, g, _) = kdc_bench::collections::planted_snapshot_cases().remove(0);
+    let dir = scratch();
+    let state_dir = dir.join("state");
+    let graph_path = dir.join("bench.clq");
+    kdc_graph::io::write_dimacs(&g, &graph_path).expect("write graph file");
+    let content_hash =
+        kdc_store::content_hash(&std::fs::read(&graph_path).expect("reread graph file"));
+
+    // Cold reference: a fresh session proves the query from nothing.
+    let cold_session = Session::new(g.clone());
+    let reference = cold_session.solve(K);
+    assert!(
+        reference.is_optimal(),
+        "{name}: cold solve must prove k={K}"
+    );
+    let cold_nodes = reference.stats.nodes;
+    let cold_median = median_ns(reps, || {
+        let again = Session::new(g.clone()).solve(K);
+        assert_eq!(
+            again.stats.nodes, cold_nodes,
+            "{name}: cold node counts must be deterministic"
+        );
+    });
+
+    // Persist the proven state the way the daemon would — one snapshot in
+    // a real store — then restart from disk: replay, import, re-solve.
+    let state = cold_session.export_state();
+    let gs = export_graph_state(
+        "bench",
+        &graph_path.display().to_string(),
+        content_hash,
+        &state,
+    );
+    {
+        let (store, _) = Store::open(&state_dir).expect("create state dir");
+        store
+            .compact(std::slice::from_ref(&gs))
+            .expect("write snapshot");
+    }
+
+    let (first, witnesses, memos) = warm_restart(&state_dir, &g);
+    assert!(
+        witnesses >= 1 && memos >= 1,
+        "{name}: restart must recover the persisted state \
+         (witnesses={witnesses} memos={memos})"
+    );
+    assert_eq!(first.status, reference.status, "{name}: status parity");
+    assert_eq!(
+        first.best(),
+        reference.best(),
+        "{name}: warm answer must be byte-identical to the cold solve"
+    );
+    // A memo hit replays the original proof's stats; the restarted search
+    // itself explored nothing.
+    let warm_reexplored = if first.cache.result_memo_hit {
+        0
+    } else {
+        first.stats.nodes
+    };
+    let ceiling = ((cold_nodes as f64) * REEXPLORE_CEILING) as u64;
+    assert!(
+        warm_reexplored < ceiling.max(1),
+        "{name}: warm restart re-explored {warm_reexplored} nodes, \
+         >= {REEXPLORE_CEILING:.0}% of the {cold_nodes} cold nodes"
+    );
+    let warm_median = median_ns(reps, || {
+        let (out, _, _) = warm_restart(&state_dir, &g);
+        assert!(
+            out.cache.result_memo_hit,
+            "{name}: the recovered memo must answer the warm solve"
+        );
+    });
+
+    let size = reference.best().map_or(0, |w| w.len()) as u64;
+    vec![
+        CaseResult {
+            name: format!("warm/{name}/restart-solve-k{K}"),
+            median_ns: warm_median,
+            runs: reps,
+            metrics: vec![
+                ("nodes".to_string(), warm_reexplored),
+                ("cold_nodes".to_string(), cold_nodes),
+                ("recovered_witnesses".to_string(), witnesses),
+                ("recovered_memos".to_string(), memos),
+                (format!("size_k{K}"), size),
+            ],
+        },
+        CaseResult {
+            name: format!("cold/{name}/solve-k{K}"),
+            median_ns: cold_median,
+            runs: reps,
+            metrics: vec![
+                ("nodes".to_string(), cold_nodes),
+                (format!("size_k{K}"), size),
+            ],
+        },
+    ]
+}
+
+fn render(cases: &[CaseResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"BENCH_8\",\n  \"schema\": 1,\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"runs\": {}",
+            c.name, c.median_ns, c.runs
+        ));
+        for (k, v) in &c.metrics {
+            s.push_str(&format!(", \"{k}\": {v}"));
+        }
+        s.push_str(if i + 1 == cases.len() { "}\n" } else { "},\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts a `"key": value` numeric field from a one-case JSON line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the `"name"` field from a one-case JSON line.
+fn field_name(line: &str) -> Option<String> {
+    let pat = "\"name\": \"";
+    let at = line.find(pat)? + pat.len();
+    let rest = &line[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// `--check`: re-measure and compare against the committed snapshot. Node
+/// counts gate; wall-clock deltas are only reported. The durability
+/// assertions (memo hit, <50% re-exploration) already ran in [`collect`].
+fn check(baseline_path: &str, cases: &[CaseResult]) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline: Vec<(String, u128, Option<u64>)> = text
+        .lines()
+        .filter_map(|line| {
+            let name = field_name(line)?;
+            let median = field_u64(line, "median_ns")? as u128;
+            Some((name, median, field_u64(line, "nodes")))
+        })
+        .collect();
+    if baseline.is_empty() {
+        return Err(format!("baseline {baseline_path} contains no cases"));
+    }
+    let mut failures = Vec::new();
+    for (name, base_ns, base_nodes) in &baseline {
+        let Some(case) = cases.iter().find(|c| &c.name == name) else {
+            failures.push(format!("case {name} missing from this run"));
+            continue;
+        };
+        let ratio = case.median_ns as f64 / *base_ns as f64;
+        println!(
+            "{name}: wall {:.2}x of baseline ({} ns vs {} ns)",
+            ratio, case.median_ns, base_ns
+        );
+        let now = case
+            .metrics
+            .iter()
+            .find(|(k, _)| k == "nodes")
+            .map(|&(_, v)| v);
+        if let (Some(base), Some(now)) = (*base_nodes, now) {
+            let limit = (base as f64 * (1.0 + NODE_TOLERANCE)).floor() as u64;
+            if now > limit {
+                failures.push(format!(
+                    "case {name}: nodes regressed {base} -> {now} (> {:.0}% tolerance)",
+                    NODE_TOLERANCE * 100.0
+                ));
+            } else {
+                println!("{name}: nodes {now} (baseline {base}) ok");
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("bench-recovery check passed ({} cases)", baseline.len());
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = DEFAULT_PATH.to_string();
+    let mut check_mode = false;
+    let mut reps = 5usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            "--check" => {
+                check_mode = true;
+                if let Some(path) = args.get(i + 1) {
+                    if !path.starts_with("--") {
+                        i += 1;
+                        out = path.clone();
+                    }
+                }
+            }
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|r| r.parse().ok())
+                    .expect("--reps needs a positive integer");
+                assert!(reps > 0, "--reps needs a positive integer");
+            }
+            other => panic!("unknown argument {other:?} (see --out/--check/--reps)"),
+        }
+        i += 1;
+    }
+
+    let cases = collect(reps);
+    if check_mode {
+        if let Err(e) = check(&out, &cases) {
+            eprintln!("bench-recovery check FAILED:\n{e}");
+            std::process::exit(1);
+        }
+    } else {
+        let text = render(&cases);
+        std::fs::write(&out, &text).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        print!("{text}");
+        println!("wrote {out} ({} cases)", cases.len());
+    }
+}

@@ -472,6 +472,11 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     if let Some(cap) = p.optional::<usize>("cache-cap")? {
         server = server.with_cache_capacity(cap);
     }
+    if let Some(dir) = p.optional::<String>("state-dir")? {
+        server = server
+            .with_state_dir(&dir)
+            .map_err(|e| format!("--state-dir {dir}: {e}"))?;
+    }
     let armed = kdc_faults::install_from_env().map_err(|e| format!("KDC_FAULTS: {e}"))?;
     if armed > 0 {
         eprintln!("kdc serve: {armed} fault rule(s) armed from KDC_FAULTS");
@@ -484,7 +489,9 @@ pub fn serve(args: &[String]) -> Result<(), String> {
 /// one protocol line to a running daemon and print its response. Exits `0`
 /// on `OK`, `1` on `ERR`. With `--retries`, connect failures and `ERR busy`
 /// replies are retried with decorrelated-jitter backoff (base
-/// `--backoff-ms`, default 50); other errors are never retried.
+/// `--backoff-ms`, default 50); torn replies and mid-exchange errors are
+/// additionally retried for the idempotent read verbs
+/// (`SOLVE`/`STATS`/`METRICS`); other errors are never retried.
 pub fn client(args: &[String]) -> Result<ExitCode, String> {
     // Protocol tokens are `key=value`, not `--flags`, so the retry flags
     // are stripped by hand off the front and the rest stays raw.

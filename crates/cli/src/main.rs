@@ -13,7 +13,7 @@
 //! kdc gamma [max_k]
 //! kdc serve [--addr A] [--workers N] [--slow-ms T] [--idle-secs S]
 //!           [--watchdog-secs S] [--max-conns N] [--max-queue N]
-//!           [--cache-cap N]
+//!           [--cache-cap N] [--state-dir DIR]
 //! kdc client [--retries N] [--backoff-ms M] <addr> <command...>
 //! kdc metrics <addr>
 //! ```
@@ -86,7 +86,7 @@ USAGE:
   kdc gamma [max_k]
   kdc serve [--addr <host:port>] [--workers <N>] [--slow-ms <T>]
             [--idle-secs <S>] [--watchdog-secs <S>] [--max-conns <N>]
-            [--max-queue <N>] [--cache-cap <N>]
+            [--max-queue <N>] [--cache-cap <N>] [--state-dir <DIR>]
   kdc client [--retries <N>] [--backoff-ms <M>] <host:port> <command...>
   kdc metrics <host:port>
 
@@ -110,8 +110,14 @@ streams EVENT lines before the final OK):
   FAULTS [<plan>|off]                 # debug builds; KDC_FAULTS env anywhere
 
 Overloaded daemons (started with --max-conns/--max-queue) answer
-`ERR busy ... retry_after_ms=<M>`; `kdc client --retries` retries exactly
-connect failures and busy replies, nothing else."
+`ERR busy ... retry_after_ms=<M>`; `kdc client --retries` retries connect
+failures and busy replies on every verb, plus torn replies on the
+idempotent read verbs (SOLVE/STATS/METRICS), nothing else.
+
+A daemon started with --state-dir journals every newly proven result to a
+crash-safe snapshot/journal store and restarts warm from it: recovered
+solves answer cached=true after the witnesses and memos revalidate
+against the graph file's content hash."
 }
 
 /// Loads a graph file with a friendly error.

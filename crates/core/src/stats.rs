@@ -17,6 +17,35 @@ pub enum Status {
     Cancelled,
 }
 
+impl Status {
+    /// The stable wire/storage token for this status (also used by the
+    /// daemon protocol and the durable store).
+    pub fn as_token(self) -> &'static str {
+        match self {
+            Status::Optimal => "optimal",
+            Status::TimedOut => "timeout",
+            Status::NodeLimitReached => "node-limit",
+            Status::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a token produced by [`Status::as_token`].
+    ///
+    /// # Errors
+    /// Returns the list of valid tokens when `s` is not one of them.
+    pub fn parse_token(s: &str) -> Result<Status, String> {
+        match s {
+            "optimal" => Ok(Status::Optimal),
+            "timeout" => Ok(Status::TimedOut),
+            "node-limit" => Ok(Status::NodeLimitReached),
+            "cancelled" => Ok(Status::Cancelled),
+            other => Err(format!(
+                "unknown status token {other:?} (optimal | timeout | node-limit | cancelled)"
+            )),
+        }
+    }
+}
+
 /// A solve result: the best k-defective clique found plus bookkeeping.
 #[derive(Clone, Debug)]
 pub struct Solution {
@@ -169,6 +198,106 @@ impl SearchStats {
         self.universe_rebuilds += other.universe_rebuilds;
         self.ego_subproblems += other.ego_subproblems;
     }
+
+    /// Serializes the counters as one compact `key=value` line (durations
+    /// as nanoseconds, per-bound telemetry as `bc<i>=inv:prunes:ns`) — the
+    /// opaque stats string the durable store journals alongside a memo.
+    pub fn encode_compact(&self) -> String {
+        let mut s = format!(
+            "nodes={} leaves={} max_depth={} rr1={} rr2={} rr3={} rr4={} rr5={} \
+             bound_prunes={} ub1_prunes={} kdclub_prunes={} s_vertex_prunes={} \
+             init_size={} pre_n={} pre_m={} ctcp_v={} ctcp_e={} arena={} \
+             rebuilds={} ego={} pre_ns={} search_ns={}",
+            self.nodes,
+            self.leaves,
+            self.max_depth,
+            self.rr1_removals,
+            self.rr2_additions,
+            self.rr3_removals,
+            self.rr4_removals,
+            self.rr5_removals,
+            self.bound_prunes,
+            self.ub1_prunes,
+            self.kdclub_prunes,
+            self.s_vertex_prunes,
+            self.initial_solution_size,
+            self.preprocessed_n,
+            self.preprocessed_m,
+            self.ctcp_vertex_removals,
+            self.ctcp_edge_removals,
+            self.arena_reuses,
+            self.universe_rebuilds,
+            self.ego_subproblems,
+            self.preprocess_time.as_nanos(),
+            self.search_time.as_nanos(),
+        );
+        for (i, bc) in self.bound_costs.iter().enumerate() {
+            s.push_str(&format!(
+                " bc{i}={}:{}:{}",
+                bc.invocations, bc.prunes, bc.ns
+            ));
+        }
+        s
+    }
+
+    /// Parses a line produced by [`SearchStats::encode_compact`]. Tolerant
+    /// by design: unknown keys are ignored and missing keys default to
+    /// zero, so records written by one version replay under another.
+    ///
+    /// # Errors
+    /// Only a syntactically broken field (`key=value` with a non-numeric
+    /// value) is an error.
+    pub fn decode_compact(s: &str) -> Result<SearchStats, String> {
+        let mut out = SearchStats::default();
+        for field in s.split_whitespace() {
+            let Some((key, value)) = field.split_once('=') else {
+                return Err(format!("stats field {field:?} is not key=value"));
+            };
+            let num = |v: &str| -> Result<u64, String> {
+                v.parse()
+                    .map_err(|_| format!("bad numeric value {v:?} for stats key {key:?}"))
+            };
+            match key {
+                "nodes" => out.nodes = num(value)?,
+                "leaves" => out.leaves = num(value)?,
+                "max_depth" => out.max_depth = num(value)? as usize,
+                "rr1" => out.rr1_removals = num(value)?,
+                "rr2" => out.rr2_additions = num(value)?,
+                "rr3" => out.rr3_removals = num(value)?,
+                "rr4" => out.rr4_removals = num(value)?,
+                "rr5" => out.rr5_removals = num(value)?,
+                "bound_prunes" => out.bound_prunes = num(value)?,
+                "ub1_prunes" => out.ub1_prunes = num(value)?,
+                "kdclub_prunes" => out.kdclub_prunes = num(value)?,
+                "s_vertex_prunes" => out.s_vertex_prunes = num(value)?,
+                "init_size" => out.initial_solution_size = num(value)? as usize,
+                "pre_n" => out.preprocessed_n = num(value)? as usize,
+                "pre_m" => out.preprocessed_m = num(value)? as usize,
+                "ctcp_v" => out.ctcp_vertex_removals = num(value)?,
+                "ctcp_e" => out.ctcp_edge_removals = num(value)?,
+                "arena" => out.arena_reuses = num(value)?,
+                "rebuilds" => out.universe_rebuilds = num(value)?,
+                "ego" => out.ego_subproblems = num(value)?,
+                "pre_ns" => out.preprocess_time = Duration::from_nanos(num(value)?),
+                "search_ns" => out.search_time = Duration::from_nanos(num(value)?),
+                _ if key.starts_with("bc") => {
+                    let Ok(i) = key[2..].parse::<usize>() else {
+                        continue;
+                    };
+                    if i >= bound::COUNT {
+                        continue;
+                    }
+                    let mut parts = value.splitn(3, ':');
+                    let mut next = || num(parts.next().unwrap_or("0"));
+                    out.bound_costs[i].invocations = next()?;
+                    out.bound_costs[i].prunes = next()?;
+                    out.bound_costs[i].ns = next()?;
+                }
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +318,68 @@ mod tests {
             ..s
         };
         assert!(!t.is_optimal());
+    }
+
+    #[test]
+    fn status_tokens_roundtrip() {
+        for status in [
+            Status::Optimal,
+            Status::TimedOut,
+            Status::NodeLimitReached,
+            Status::Cancelled,
+        ] {
+            assert_eq!(Status::parse_token(status.as_token()).unwrap(), status);
+        }
+        assert!(Status::parse_token("done").is_err());
+    }
+
+    #[test]
+    fn stats_encode_decode_roundtrips() {
+        let mut stats = SearchStats {
+            nodes: 42,
+            leaves: 7,
+            max_depth: 9,
+            rr1_removals: 1,
+            rr2_additions: 2,
+            rr3_removals: 3,
+            rr4_removals: 4,
+            rr5_removals: 5,
+            bound_prunes: 6,
+            ub1_prunes: 7,
+            kdclub_prunes: 8,
+            s_vertex_prunes: 9,
+            initial_solution_size: 10,
+            preprocessed_n: 11,
+            preprocessed_m: 12,
+            ctcp_vertex_removals: 13,
+            ctcp_edge_removals: 14,
+            arena_reuses: 15,
+            universe_rebuilds: 16,
+            ego_subproblems: 17,
+            preprocess_time: Duration::from_nanos(123_456),
+            search_time: Duration::from_nanos(789_012),
+            ..Default::default()
+        };
+        stats.bound_costs[bound::UB1] = BoundCost {
+            invocations: 100,
+            prunes: 40,
+            ns: 5_000,
+        };
+        let line = stats.encode_compact();
+        let back = SearchStats::decode_compact(&line).unwrap();
+        assert_eq!(back.encode_compact(), line);
+        assert_eq!(back.nodes, 42);
+        assert_eq!(back.bound_costs[bound::UB1].prunes, 40);
+        assert_eq!(back.search_time, Duration::from_nanos(789_012));
+    }
+
+    #[test]
+    fn stats_decode_is_tolerant_of_missing_and_unknown_keys() {
+        let sparse = SearchStats::decode_compact("nodes=5 future_key=9").unwrap();
+        assert_eq!(sparse.nodes, 5);
+        assert_eq!(sparse.leaves, 0);
+        assert!(SearchStats::decode_compact("nodes=abc").is_err());
+        assert!(SearchStats::decode_compact("naked").is_err());
     }
 
     #[test]

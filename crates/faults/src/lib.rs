@@ -29,14 +29,15 @@
 //! KDC_FAULTS=<rule>[,<rule>...]
 //! rule    := <point>:<action>[:<trigger>]
 //! point   := accept | conn_read | conn_write | job_start | solve_node
-//!          | cache_insert
-//! action  := error | delay=<ms> | panic | drop
+//!          | cache_insert | store_write | store_read
+//! action  := error | delay=<ms> | panic | drop | torn
 //! trigger := p=<0..1> | n=<N>          (default p=1, i.e. every hit)
 //! ```
 //!
 //! Examples: `conn_read:error:p=0.01` fails 1% of request-line reads;
 //! `job_start:delay=50:p=0.2` stalls a fifth of job pickups by 50 ms;
-//! `cache_insert:panic:n=3` panics exactly on the third insertion.
+//! `cache_insert:panic:n=3` panics exactly on the third insertion;
+//! `store_write:torn:n=1` truncates the first journal append mid-record.
 //!
 //! The crate decides *whether* and *what* to inject; the call site decides
 //! *how* (a connection handler maps [`Action::DropConnection`] to a socket
@@ -62,17 +63,23 @@ pub enum Point {
     SolveNode,
     /// Graph-cache insertion (`LOAD` and direct inserts).
     CacheInsert,
+    /// Durable-store write: each journal append and snapshot write.
+    StoreWrite,
+    /// Durable-store read: startup replay of snapshot + journal.
+    StoreRead,
 }
 
 impl Point {
     /// Every point, in declaration order.
-    pub const ALL: [Point; 6] = [
+    pub const ALL: [Point; 8] = [
         Point::Accept,
         Point::ConnRead,
         Point::ConnWrite,
         Point::JobStart,
         Point::SolveNode,
         Point::CacheInsert,
+        Point::StoreWrite,
+        Point::StoreRead,
     ];
 
     /// The wire name used by plans and `FAULTS` output.
@@ -84,6 +91,8 @@ impl Point {
             Point::JobStart => "job_start",
             Point::SolveNode => "solve_node",
             Point::CacheInsert => "cache_insert",
+            Point::StoreWrite => "store_write",
+            Point::StoreRead => "store_read",
         }
     }
 
@@ -113,6 +122,10 @@ pub enum Action {
     Panic,
     /// Sever the connection; non-connection points treat this as [`Action::Error`].
     DropConnection,
+    /// Truncate the write mid-record, leaving a torn tail on disk
+    /// (`store_write` only); every other point treats this as
+    /// [`Action::Error`].
+    TornWrite,
 }
 
 /// How an armed point decides whether a given hit fires.
@@ -129,6 +142,7 @@ const ACTION_ERROR: u8 = 1;
 const ACTION_DELAY: u8 = 2;
 const ACTION_PANIC: u8 = 3;
 const ACTION_DROP: u8 = 4;
+const ACTION_TORN: u8 = 5;
 
 /// Per-point armed state. Everything is a relaxed atomic: arming and
 /// checking never take a lock, and a disarmed point costs one `u8` load
@@ -161,7 +175,9 @@ impl PointState {
     }
 }
 
-static POINTS: [PointState; 6] = [
+static POINTS: [PointState; 8] = [
+    PointState::idle(),
+    PointState::idle(),
     PointState::idle(),
     PointState::idle(),
     PointState::idle(),
@@ -234,6 +250,7 @@ fn check_armed(point: Point) -> Option<Action> {
         ACTION_ERROR => Action::Error,
         ACTION_DELAY => Action::Delay(Duration::from_millis(s.delay_ms.load(Ordering::Relaxed))),
         ACTION_PANIC => Action::Panic,
+        ACTION_TORN => Action::TornWrite,
         _ => Action::DropConnection,
     })
 }
@@ -255,6 +272,7 @@ pub fn arm(point: Point, action: Action, trigger: Trigger) {
         Action::Delay(d) => (ACTION_DELAY, d.as_millis().min(u128::from(u64::MAX)) as u64),
         Action::Panic => (ACTION_PANIC, 0),
         Action::DropConnection => (ACTION_DROP, 0),
+        Action::TornWrite => (ACTION_TORN, 0),
     };
     match trigger {
         Trigger::Probability(p) => {
@@ -306,9 +324,10 @@ fn parse_rule(rule: &str) -> Result<Rule, String> {
             "error" => Action::Error,
             "panic" => Action::Panic,
             "drop" => Action::DropConnection,
+            "torn" => Action::TornWrite,
             other => {
                 return Err(format!(
-                    "unknown fault action {other:?} (error | delay=<ms> | panic | drop)"
+                    "unknown fault action {other:?} (error | delay=<ms> | panic | drop | torn)"
                 ))
             }
         },
@@ -320,7 +339,7 @@ fn parse_rule(rule: &str) -> Result<Rule, String> {
         }
         Some((other, _)) => {
             return Err(format!(
-                "unknown fault action {other:?} (error | delay=<ms> | panic | drop)"
+                "unknown fault action {other:?} (error | delay=<ms> | panic | drop | torn)"
             ))
         }
     };
@@ -404,6 +423,7 @@ pub fn status() -> String {
             ACTION_ERROR => "error".to_string(),
             ACTION_DELAY => format!("delay={}", s.delay_ms.load(Ordering::Relaxed)),
             ACTION_PANIC => "panic".to_string(),
+            ACTION_TORN => "torn".to_string(),
             _ => "drop".to_string(),
         };
         let nth = s.nth.load(Ordering::Relaxed);
@@ -515,16 +535,18 @@ mod tests {
     fn plan_grammar_roundtrips() {
         let _g = locked();
         let n = install_plan(
-            "accept:delay=5:p=0.5, conn_read:error, job_start:panic:n=2, cache_insert:drop:p=0.01",
+            "accept:delay=5:p=0.5, conn_read:error, job_start:panic:n=2, \
+             cache_insert:drop:p=0.01, store_write:torn:n=1",
         )
         .unwrap();
-        assert_eq!(n, 4);
+        assert_eq!(n, 5);
         assert!(enabled());
         let s = status();
         assert!(s.contains("accept=delay=5/p=0.5"), "{s}");
         assert!(s.contains("conn_read=error/p=1"), "{s}");
         assert!(s.contains("job_start=panic/n=2"), "{s}");
         assert!(s.contains("cache_insert=drop/p=0.01"), "{s}");
+        assert!(s.contains("store_write=torn/n=1"), "{s}");
         assert!(!s.contains(' '), "status must be a single token: {s}");
         assert_eq!(install_plan("").unwrap(), 0);
         assert!(!enabled());

@@ -30,6 +30,12 @@ fn good(reg: &Registry) -> usize {
         + reg.register_counter("kdc_session_batch_ctcp_shares_total")
         + reg.register_counter("kdc_session_batch_witness_seeds_total")
         + reg.register_counter("kdc_session_batch_memo_dedups_total")
+        // The durable-store family registered by kdc_store.
+        + reg.register_counter("kdc_store_journal_appends_total")
+        + reg.register_counter("kdc_store_snapshot_writes_total")
+        + reg.register_counter("kdc_store_recoveries_total")
+        + reg.register_counter("kdc_store_torn_records_dropped_total")
+        + reg.register_counter("kdc_store_corrupt_records_dropped_total")
         // kdc-lint: allow(metric_names) — grandfathered external scrape name.
         + reg.register_counter("legacy_scrape_name")
 }

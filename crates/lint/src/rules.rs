@@ -2,7 +2,7 @@
 //!
 //! | rule             | scope                       | what it flags |
 //! |------------------|-----------------------------|---------------|
-//! | `no_panic`       | `kdc_service`, `kdc_api`, `kdc_faults` | `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` outside tests |
+//! | `no_panic`       | `kdc_service`, `kdc_api`, `kdc_faults`, `kdc_store` | `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` outside tests |
 //! | `no_unsafe`      | whole tree                  | any `unsafe` token; missing `#![forbid(unsafe_code)]` in a library crate root |
 //! | `lock_order`     | whole tree                  | acquiring a lower-ranked lock (per `LOCK_ORDER.md`) while a higher-ranked guard is live |
 //! | `hot_path_alloc` | `// kdc-lint: hot-path` fns | allocating calls (`Vec::new`, `with_capacity`, `to_vec`, `collect()`, `format!`, …) |
@@ -49,6 +49,7 @@ fn in_daemon_scope(path: &str) -> bool {
     path.starts_with("crates/service/src/")
         || path.starts_with("crates/api/src/")
         || path.starts_with("crates/faults/src/")
+        || path.starts_with("crates/store/src/")
 }
 
 /// L1 — no panics in daemon request/job paths. A worker that panics on a

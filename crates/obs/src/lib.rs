@@ -12,7 +12,7 @@
 //! - Naming: every series follows `kdc_<subsystem>_<name>` snake-case,
 //!   enforced by the `metric_names` rule in `kdc_lint`.
 //!
-//! The registry's internal lock is rank 8 in `LOCK_ORDER.md`: it is a leaf
+//! The registry's internal lock is rank 9 in `LOCK_ORDER.md`: it is a leaf
 //! lock — no other lock in the workspace is ever acquired while it is held.
 
 #![forbid(unsafe_code)]

@@ -4,7 +4,7 @@
 //! Series are registered by name (optionally with one label pair) and the
 //! returned handles are cheap clones sharing the underlying atomics, so hot
 //! paths record without touching the registry lock. The registry lock (the
-//! `series` mutex, rank 8 in `LOCK_ORDER.md`) is only taken by
+//! `series` mutex, rank 9 in `LOCK_ORDER.md`) is only taken by
 //! `register_*` calls and by [`Registry::render_prometheus`].
 
 use std::collections::BTreeMap;

@@ -15,7 +15,7 @@ use kdc_api::Session;
 use kdc_graph::Graph;
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,16 +30,31 @@ pub struct GraphEntry {
     hits: AtomicU64,
     /// Logical-clock stamp of the last lookup or insert, for LRU eviction.
     last_used: AtomicU64,
+    /// Where the graph was parsed from plus the FNV-1a hash of the raw
+    /// file bytes — the identity recovery revalidates against. `None` for
+    /// entries inserted directly from memory (tests, benches), which the
+    /// durable store therefore never persists.
+    source: Option<(String, u64)>,
+    /// Whether this entry's `Graph` meta record has been journaled this
+    /// process (a lock-free once-latch; see `persist`).
+    meta_journaled: AtomicBool,
 }
 
 impl GraphEntry {
-    fn new(name: String, graph: Graph, parse_time: Duration) -> Self {
+    fn new(
+        name: String,
+        graph: Graph,
+        parse_time: Duration,
+        source: Option<(String, u64)>,
+    ) -> Self {
         GraphEntry {
             name,
             parse_time,
             session: Session::new(graph),
             hits: AtomicU64::new(0),
             last_used: AtomicU64::new(0),
+            source,
+            meta_journaled: AtomicBool::new(false),
         }
     }
 
@@ -57,6 +72,16 @@ impl GraphEntry {
     /// Successful cache lookups of this entry.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Source path and content hash, when the entry came from a file.
+    pub fn source(&self) -> Option<(&str, u64)> {
+        self.source.as_ref().map(|(p, h)| (p.as_str(), *h))
+    }
+
+    /// Flips the once-per-process meta-journal latch; `true` exactly once.
+    pub fn claim_meta_journal(&self) -> bool {
+        !self.meta_journaled.swap(true, Ordering::Relaxed)
     }
 }
 
@@ -129,9 +154,9 @@ impl GraphCache {
                 std::thread::sleep(d);
                 Ok(())
             }
-            kdc_faults::Action::Error | kdc_faults::Action::DropConnection => {
-                Err("fault injected at cache_insert".to_string())
-            }
+            kdc_faults::Action::Error
+            | kdc_faults::Action::DropConnection
+            | kdc_faults::Action::TornWrite => Err("fault injected at cache_insert".to_string()),
             kdc_faults::Action::Panic => kdc_faults::panic_now(kdc_faults::Point::CacheInsert),
         }
     }
@@ -166,14 +191,34 @@ impl GraphCache {
     }
 
     /// Parses `path` and stores it under `name`, replacing any previous
-    /// entry of that name. Returns the new entry.
+    /// entry of that name — *unless* the resident entry was parsed from
+    /// the same path and the file's bytes still hash identically, in
+    /// which case the entry (and all its warm session state, including
+    /// anything recovered from the durable store) is kept and returned:
+    /// re-`LOAD`ing unchanged content is idempotent, never state loss.
+    /// The raw file bytes are hashed first so the entry carries the
+    /// identity recovery revalidates against. Returns the entry.
     pub fn load(&self, path: &str, name: &str) -> Result<Arc<GraphEntry>, String> {
         self.insert_fault()?;
         let t0 = Instant::now();
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let content_hash = kdc_store::content_hash(&bytes);
+        if let Some(existing) = self.entries.read().get(name) {
+            if existing.source() == Some((path, content_hash)) {
+                let existing = existing.clone();
+                self.touch(&existing);
+                return Ok(existing);
+            }
+        }
         let graph = kdc_graph::io::read_graph(Path::new(path))
             .map_err(|e| format!("cannot read {path}: {e}"))?;
         self.parses.fetch_add(1, Ordering::Relaxed);
-        let entry = Arc::new(GraphEntry::new(name.to_string(), graph, t0.elapsed()));
+        let entry = Arc::new(GraphEntry::new(
+            name.to_string(),
+            graph,
+            t0.elapsed(),
+            Some((path.to_string(), content_hash)),
+        ));
         self.store(entry.clone());
         Ok(entry)
     }
@@ -186,6 +231,7 @@ impl GraphCache {
             name.to_string(),
             graph,
             Duration::default(),
+            None,
         ));
         self.store(entry.clone());
         entry
@@ -302,6 +348,33 @@ mod tests {
         }
         assert_eq!(cache.names().len(), 4);
         assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn reloading_unchanged_content_keeps_the_entry_and_its_state() {
+        let dir = std::env::temp_dir().join(format!("kdc_cache_reload_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig2.clq");
+        kdc_graph::io::write_dimacs(&named::figure2(), &path).unwrap();
+        let path = path.to_string_lossy().into_owned();
+
+        let cache = GraphCache::new();
+        let first = cache.load(&path, "fig2").unwrap();
+        assert!(first.session().solve(2).is_optimal());
+        assert_eq!(first.session().counters().solves, 1);
+
+        // Same name, same path, same bytes: the warm entry survives.
+        let again = cache.load(&path, "fig2").unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "entry must be kept");
+        assert!(again.session().solve(2).cache.result_memo_hit);
+        assert_eq!(cache.parses(), 1, "unchanged reload must not re-parse");
+
+        // Changed bytes under the same name: a genuine replacement.
+        kdc_graph::io::write_dimacs(&kdc_graph::gen::complete(5), Path::new(&path)).unwrap();
+        let replaced = cache.load(&path, "fig2").unwrap();
+        assert!(!Arc::ptr_eq(&first, &replaced), "changed file must reload");
+        assert_eq!(replaced.graph().n(), 5);
+        assert_eq!(cache.parses(), 2);
     }
 
     #[test]

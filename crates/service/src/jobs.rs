@@ -601,7 +601,9 @@ fn with_solve_node_faults(
             counter.inc();
             match action {
                 kdc_faults::Action::Delay(d) => std::thread::sleep(d),
-                kdc_faults::Action::Error | kdc_faults::Action::DropConnection => cancel.cancel(),
+                kdc_faults::Action::Error
+                | kdc_faults::Action::DropConnection
+                | kdc_faults::Action::TornWrite => cancel.cancel(),
                 kdc_faults::Action::Panic => kdc_faults::panic_now(kdc_faults::Point::SolveNode),
             }
         }
@@ -771,7 +773,9 @@ fn worker_loop(queue: &JobQueue) {
                 queue.faults_injected.inc();
                 match action {
                     kdc_faults::Action::Delay(d) => std::thread::sleep(d),
-                    kdc_faults::Action::Error | kdc_faults::Action::DropConnection => {
+                    kdc_faults::Action::Error
+                    | kdc_faults::Action::DropConnection
+                    | kdc_faults::Action::TornWrite => {
                         return JobOutcome::Error(format!("job {id}: fault injected at job_start"));
                     }
                     kdc_faults::Action::Panic => kdc_faults::panic_now(kdc_faults::Point::JobStart),

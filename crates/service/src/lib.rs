@@ -87,17 +87,26 @@
 //!   default deadline and surfaced as `failed reason=watchdog`
 //!   (`kdc_service_watchdog_kills_total`).
 //! * **Client retry** ([`server::request_with_retry`], `kdc client
-//!   --retries`) — retries *only* connect failures and busy replies, with
-//!   decorrelated-jitter backoff.
+//!   --retries`) — retries connect failures and busy replies for every
+//!   verb, plus torn replies / mid-exchange errors for the idempotent
+//!   read verbs (`SOLVE`/`STATS`/`METRICS`), with decorrelated-jitter
+//!   backoff.
+//! * **Durable session state** ([`persist`], `kdc serve --state-dir`) —
+//!   every newly proven outcome is journaled to a crash-safe
+//!   snapshot/journal store (the `kdc_store` crate: CRC-framed records,
+//!   atomic tmp-write + rename compaction); a killed daemon restarts
+//!   warm, revalidating each recovered graph against its source file's
+//!   content hash and answering recovered queries `cached=true`.
 //! * **Fault injection** (the `kdc_faults` crate) — named injection points
 //!   (`accept`, `conn_read`, `conn_write`, `job_start`, `solve_node`,
-//!   `cache_insert`) armed via `KDC_FAULTS` or the debug-only `FAULTS`
-//!   verb drive all of the above in the chaos soak test
-//!   (`kdc_service_faults_injected_total`); disarmed, each point is one
-//!   relaxed atomic load.
+//!   `cache_insert`, `store_write`, `store_read`) armed via `KDC_FAULTS`
+//!   or the debug-only `FAULTS` verb drive all of the above in the chaos
+//!   soak test (`kdc_service_faults_injected_total`); disarmed, each
+//!   point is one relaxed atomic load.
 
 pub mod cache;
 pub mod jobs;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod sync;
@@ -106,5 +115,6 @@ pub use cache::{GraphCache, GraphEntry};
 pub use jobs::{
     JobInfo, JobObserver, JobOutcome, JobQueue, JobSpec, JobState, SubmitError, WorkerPool,
 };
+pub use persist::{export_graph_state, import_graph_state};
 pub use protocol::{parse_command, Command, ShutdownMode};
 pub use server::{request, request_with_retry, Server, ServerHandle, DEFAULT_SLOW_THRESHOLD};

@@ -9,6 +9,7 @@
 
 use crate::cache::GraphCache;
 use crate::jobs::{JobObserver, JobOutcome, JobQueue, JobSpec, SubmitError, WorkerPool};
+use crate::persist::{Persist, PersistHandle};
 use crate::protocol::{err_line, parse_command, render_vertices, Command, OkLine, ShutdownMode};
 use kdc::Status;
 use kdc_api::{Event, Observer, Options};
@@ -16,7 +17,7 @@ use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// The `retry_after_ms` hint attached to `ERR busy` replies. A constant,
@@ -59,6 +60,9 @@ struct Daemon {
     conn_errors: kdc_obs::Counter,
     /// Faults injected at the connection-level points (accept/read/write).
     faults_injected: kdc_obs::Counter,
+    /// Durable session state, armed by [`Server::with_state_dir`]; absent
+    /// (the default) the daemon runs purely in-memory as before.
+    persist: OnceLock<PersistHandle>,
 }
 
 impl Daemon {
@@ -137,9 +141,33 @@ impl Server {
                 conn_timeouts: r.register_counter("kdc_service_conn_timeouts_total"),
                 conn_errors: r.register_counter("kdc_service_conn_errors_total"),
                 faults_injected: r.register_counter("kdc_service_faults_injected_total"),
+                persist: OnceLock::new(),
             }),
             workers,
         })
+    }
+
+    /// Arms durable session state: opens (or creates) the snapshot/journal
+    /// store in `dir`, replays whatever a previous process left there —
+    /// including a torn tail from a mid-write kill, which is truncated to
+    /// the last valid record — rehydrates every recovered graph whose
+    /// source file still hashes to the snapshot's content hash, and from
+    /// then on journals each newly proven outcome. See the `persist`
+    /// module and the `kdc_store` crate.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the state directory cannot be created or its files
+    /// cannot be read; a *damaged* store is not an error (the damaged
+    /// suffix is dropped and counted in `kdc_store_*_dropped_total`).
+    pub fn with_state_dir(self, dir: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let (store, recovered) = kdc_store::Store::open(dir.as_ref())?;
+        let persist = Arc::new(Persist::new(store));
+        persist.recover(&self.daemon.cache, &recovered);
+        if self.daemon.persist.set(persist).is_err() {
+            return Err("state directory already configured".to_string());
+        }
+        Ok(self)
     }
 
     /// Sets the slow-query threshold (default [`DEFAULT_SLOW_THRESHOLD`]):
@@ -256,6 +284,12 @@ impl Server {
             stop.store(true, Ordering::Relaxed);
             let _ = thread.join();
         }
+        // Final fold: every worker has finished, so the snapshot written
+        // here captures the complete end-of-life session state (best
+        // effort, like every other store write).
+        if let Some(persist) = daemon.persist.get() {
+            persist.compact_now(&daemon.cache);
+        }
         Ok(())
     }
 
@@ -330,7 +364,7 @@ fn handle_connection(stream: TcpStream, daemon: &Daemon) {
         daemon.faults_injected.inc();
         match action {
             kdc_faults::Action::Delay(d) => std::thread::sleep(d),
-            kdc_faults::Action::Error => {
+            kdc_faults::Action::Error | kdc_faults::Action::TornWrite => {
                 let mut stream = stream;
                 let _ = stream
                     .write_all(format!("{}\n", err_line("fault injected at accept")).as_bytes());
@@ -393,7 +427,7 @@ fn handle_connection(stream: TcpStream, daemon: &Daemon) {
             daemon.faults_injected.inc();
             match action {
                 kdc_faults::Action::Delay(d) => std::thread::sleep(d),
-                kdc_faults::Action::Error => {
+                kdc_faults::Action::Error | kdc_faults::Action::TornWrite => {
                     injected = Some(err_line("fault injected at conn_read"));
                 }
                 kdc_faults::Action::DropConnection => return,
@@ -415,7 +449,9 @@ fn handle_connection(stream: TcpStream, daemon: &Daemon) {
             daemon.faults_injected.inc();
             match action {
                 kdc_faults::Action::Delay(d) => std::thread::sleep(d),
-                kdc_faults::Action::Error | kdc_faults::Action::DropConnection => return,
+                kdc_faults::Action::Error
+                | kdc_faults::Action::DropConnection
+                | kdc_faults::Action::TornWrite => return,
                 kdc_faults::Action::Panic => kdc_faults::panic_now(kdc_faults::Point::ConnWrite),
             }
         }
@@ -707,7 +743,7 @@ fn solve(
     let id = submit_checked(
         daemon,
         JobSpec::Solve {
-            entry,
+            entry: entry.clone(),
             k: params.k,
             preset: preset.clone(),
             limit: params.limit,
@@ -743,6 +779,22 @@ fn solve(
                     outcome.elapsed.as_millis(),
                     phases.join(" ")
                 );
+            }
+            // Journal newly proven outcomes only: a memo hit was journaled
+            // when it was first proven (possibly by an earlier process).
+            if outcome.status == Status::Optimal && !outcome.cache.result_memo_hit {
+                if let Some(persist) = daemon.persist.get() {
+                    let key = kdc_api::SolveKey {
+                        k: params.k,
+                        preset: preset.clone(),
+                    };
+                    let solution = kdc::Solution {
+                        vertices: outcome.best().unwrap_or_default().to_vec(),
+                        status: outcome.status,
+                        stats: outcome.stats.clone(),
+                    };
+                    persist.record_solve(&daemon.cache, &entry, &key, &solution);
+                }
             }
             Ok(OkLine::new()
                 .field("job", id)
@@ -810,7 +862,7 @@ fn msolve(
     let id = submit_checked(
         daemon,
         JobSpec::Batch {
-            entry,
+            entry: entry.clone(),
             k_lo: params.k_lo,
             k_hi: params.k_hi,
             r: params.r,
@@ -845,6 +897,12 @@ fn msolve(
     }
     match daemon.queue.wait(id) {
         JobOutcome::Batch(batch) => {
+            // One sweep proves many (k, preset) rows at once; journal the
+            // session's whole exported state (replay folds last-wins, so
+            // re-journaling rows already on disk is harmless).
+            if let Some(persist) = daemon.persist.get() {
+                persist.record_session(&daemon.cache, &entry);
+            }
             let sizes: Vec<String> = batch
                 .outcomes
                 .iter()
@@ -959,6 +1017,9 @@ fn stats(daemon: &Daemon, graph: Option<&str>) -> Result<String, String> {
                 .field("ctcp_builds", counters.ctcp_builds)
                 .field("ctcp_resumes", counters.ctcp_resumes)
                 .field("ctcp_evictions", counters.ctcp_evictions)
+                .field("memo_evictions", counters.memo_evictions)
+                .field("recovered_witnesses", counters.recovered_witnesses)
+                .field("recovered_memos", counters.recovered_memos)
                 .render())
         }
         None => Ok(OkLine::new()
@@ -966,6 +1027,13 @@ fn stats(daemon: &Daemon, graph: Option<&str>) -> Result<String, String> {
             .field("parses", daemon.cache.parses())
             .field("jobs", daemon.queue.list().len())
             .field("cache_evictions", daemon.cache.evictions())
+            .field(
+                "recovered_graphs",
+                daemon
+                    .persist
+                    .get()
+                    .map_or(0, |persist| persist.recovered_graphs()),
+            )
             .render()),
     }
 }
@@ -1006,8 +1074,9 @@ fn exchange(mut stream: TcpStream, command: &str) -> std::io::Result<String> {
 }
 
 /// Whether a reply is the daemon's typed overload refusal (its final line
-/// starts with `ERR busy`) — the only *reply* worth retrying: any other
-/// `ERR` is deterministic and will fail identically on every attempt.
+/// starts with `ERR busy`) — the only *reply* worth retrying on every
+/// verb: any other `ERR` is deterministic and will fail identically on
+/// every attempt.
 fn is_busy_reply(reply: &str) -> bool {
     reply
         .lines()
@@ -1015,11 +1084,37 @@ fn is_busy_reply(reply: &str) -> bool {
         .is_some_and(|line| line.starts_with("ERR busy"))
 }
 
+/// Whether a reply was torn mid-stream: the daemon hung up (or the
+/// transport died) before the final `OK`/`ERR` line arrived, leaving only
+/// streamed `EVENT`/`METRIC`/`RESULT` lines — or nothing at all.
+fn is_torn_reply(reply: &str) -> bool {
+    !reply
+        .lines()
+        .last()
+        .is_some_and(|line| line.starts_with("OK") || line.starts_with("ERR"))
+}
+
+/// Whether a command's first word is one of the idempotent *read* verbs —
+/// `SOLVE` (answers from the session memo / resident state without
+/// mutating what a retry would observe), `STATS` and `METRICS`. Only
+/// these are safe to re-send after a torn reply or a mid-exchange I/O
+/// error: the first attempt may have executed server-side.
+fn is_idempotent_verb(command: &str) -> bool {
+    command.split_whitespace().next().is_some_and(|verb| {
+        verb.eq_ignore_ascii_case("SOLVE")
+            || verb.eq_ignore_ascii_case("STATS")
+            || verb.eq_ignore_ascii_case("METRICS")
+    })
+}
+
 /// [`request`] with client-side retry, the contract `kdc client --retries`
-/// exposes: up to `retries` extra attempts, retrying **only** on a connect
-/// failure (daemon restarting) or a busy reply (admission control) — never
-/// on other errors, which are deterministic, and never on a mid-exchange
-/// I/O error, which may have had side effects.
+/// exposes: up to `retries` extra attempts, retrying on a connect failure
+/// (daemon restarting) or a busy reply (admission control) for every verb,
+/// and additionally on a torn reply or mid-exchange I/O error for the
+/// idempotent read verbs (`SOLVE`/`STATS`/`METRICS`) — a daemon killed or
+/// fault-injected mid-write re-answers those identically. Non-idempotent
+/// verbs never retry a torn exchange: the first attempt may have had side
+/// effects (a `LOAD`, an `UNLOAD`, a `CANCEL`).
 ///
 /// Backoff is decorrelated jitter: each sleep is drawn uniformly from
 /// `backoff..3 * previous_sleep` (capped at 64x `backoff`), so a thundering
@@ -1033,6 +1128,7 @@ pub fn request_with_retry(
     use rand::{rngs::SmallRng, RngExt, SeedableRng};
     let base_ms = (backoff.as_millis().min(u128::from(u64::MAX)) as u64).max(1);
     let cap_ms = base_ms.saturating_mul(64);
+    let idempotent = is_idempotent_verb(command);
     // Wall-clock + pid seed: retry jitter must differ *between* client
     // processes; within one, reproducibility is worthless.
     let seed = std::time::SystemTime::now()
@@ -1048,7 +1144,9 @@ pub fn request_with_retry(
             Err(e) => Err(e),
             Ok(stream) => match exchange(stream, command) {
                 Ok(reply) if is_busy_reply(&reply) => Ok(reply),
-                // Success or a deterministic/mid-exchange failure: final.
+                Ok(reply) if idempotent && is_torn_reply(&reply) => Ok(reply),
+                Err(e) if idempotent => Err(e),
+                // Success, or a failure this verb must not repeat: final.
                 other => return other,
             },
         };

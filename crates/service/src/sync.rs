@@ -32,12 +32,17 @@ pub mod rank {
     pub const JOB_QUEUE: u8 = 1;
     /// `GraphCache::entries` — the name-keyed graph cache map.
     pub const GRAPH_CACHE: u8 = 2;
-    /// `Registry::series` — the `kdc_obs` metrics registry map. A leaf
-    /// lock (rank 8, after the solver-side ranks 3–7): `register_*` and
-    /// exposition rendering never call out while holding it. The obs crate
-    /// is std-only and cannot depend on [`super::TrackedMutex`], so this
-    /// rank is enforced statically by the `lock_order` lint only.
-    pub const OBS_REGISTRY: u8 = 8;
+    /// `Store::store` — the `kdc_store` journal/snapshot writer mutex.
+    /// Near-leaf (rank 8, after the solver-side ranks 3–7): appends and
+    /// compaction collect their data *before* locking and only do file
+    /// I/O while holding it. The store crate is std-only and cannot
+    /// depend on [`super::TrackedMutex`], so this rank is enforced
+    /// statically by the `lock_order` lint only.
+    pub const STORE: u8 = 8;
+    /// `Registry::series` — the `kdc_obs` metrics registry map. A strict
+    /// leaf (rank 9): `register_*` and exposition rendering never call
+    /// out while holding it. Like [`STORE`], lint-enforced only.
+    pub const OBS_REGISTRY: u8 = 9;
 }
 
 #[cfg(debug_assertions)]

@@ -175,6 +175,62 @@ fn chaos_soak_daemon_survives_and_recovers() {
     handle.join().expect("clean server exit");
 }
 
+/// `request_with_retry` retries a torn reply — the daemon dropping the
+/// connection mid-write — but only for the idempotent read verbs
+/// (`SOLVE`/`STATS`/`METRICS`); any other verb surfaces the tear to the
+/// caller because the first attempt may already have had side effects.
+#[test]
+fn torn_replies_retry_only_for_idempotent_verbs() {
+    let _scope = FAULT_SCOPE.lock().unwrap();
+    kdc_faults::disarm_all();
+    let handle = kdc_service::Server::bind("127.0.0.1:0", 2)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn accept loop");
+    let addr = handle.addr().to_string();
+
+    // Deterministic tear: exactly the next reply write is dropped, so the
+    // first attempt comes back torn and the single retry lands clean.
+    // (Arming resets the point's fired counter, so sample after arming.)
+    kdc_faults::install_plan("conn_write:drop:n=1").expect("valid plan");
+    let before = kdc_faults::injected_total();
+    let reply = kdc_service::request_with_retry(&addr, "STATS", 2, Duration::from_millis(1))
+        .expect("idempotent verb must retry through the torn reply");
+    assert!(
+        reply.starts_with("OK "),
+        "retry must land a full reply: {reply:?}"
+    );
+    assert_eq!(
+        kdc_faults::injected_total() - before,
+        1,
+        "exactly one torn write injected, then the retry succeeded"
+    );
+
+    // The same tear on a non-idempotent verb is surfaced as-is — one
+    // injection, no second attempt.
+    kdc_faults::install_plan("conn_write:drop:n=1").expect("valid plan");
+    let before = kdc_faults::injected_total();
+    let reply = kdc_service::request_with_retry(&addr, "JOBS", 2, Duration::from_millis(1))
+        .expect("a torn reply is not a transport error");
+    assert!(
+        !reply
+            .lines()
+            .last()
+            .is_some_and(|l| l.starts_with("OK") || l.starts_with("ERR")),
+        "non-idempotent verb must surface the torn reply: {reply:?}"
+    );
+    assert_eq!(
+        kdc_faults::injected_total() - before,
+        1,
+        "no retry means no second injection"
+    );
+    kdc_faults::disarm_all();
+
+    let resp = chaos_exchange(&addr, "SHUTDOWN mode=drain").expect("shutdown reply");
+    assert_eq!(resp, "OK shutdown=ok mode=drain");
+    handle.join().expect("clean server exit");
+}
+
 /// The `FAULTS` verb end to end: arm over the wire, watch a fault fire,
 /// disarm. Debug builds only — release daemons refuse the verb.
 #[test]

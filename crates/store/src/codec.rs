@@ -1,0 +1,432 @@
+//! The on-disk record codec: CRC-framed, length-prefixed records behind an
+//! 8-byte file header, shared by the snapshot and the journal.
+//!
+//! ## File layout
+//!
+//! ```text
+//! file   := header frame*
+//! header := magic(7) version(1)            -- b"KDCSTOR" 0x01
+//! frame  := len(u32 LE) crc(u32 LE) payload(len bytes)
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE polynomial) over the payload alone. [`replay`]
+//! walks frames in order and **stops at the first bad frame**: a frame that
+//! runs past end-of-file is *torn* (an interrupted append), a complete frame
+//! whose checksum or payload does not parse is *corrupt*. Either way the
+//! valid prefix before the bad frame is returned intact and the tail is
+//! reported dropped, never propagated — a single byte of damage can only
+//! ever cost the records at and after the damage, which the journal
+//! contract (append-only, compacted into snapshots) already tolerates.
+//!
+//! ## Payload encoding
+//!
+//! Record payloads are a line of UTF-8 fields separated by `\x1f` (unit
+//! separator), the first field being the record tag. Strings embedded in a
+//! record (paths, presets, opaque stats) must not contain `\x1f`, which
+//! [`encode_record`] enforces by replacing it with `?` — the store never
+//! produces such strings itself.
+
+/// File magic: seven bytes of magic plus one format-version byte.
+pub const HEADER: [u8; 8] = *b"KDCSTOR\x01";
+
+/// Upper bound on a single record payload; a `len` beyond this is treated
+/// as corruption rather than an instruction to allocate gigabytes.
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// Field separator inside a payload (ASCII unit separator).
+const SEP: char = '\x1f';
+
+/// One durable fact. The store's files are a sequence of these; later
+/// records override earlier ones record-by-record (last write wins).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// Identity of a graph the daemon solved on: cache name, the file it
+    /// was parsed from, and the FNV-1a hash of that file's bytes.
+    Graph {
+        /// Cache name the graph was registered under.
+        name: String,
+        /// Source path the graph was parsed from.
+        source_path: String,
+        /// [`content_hash`](crate::content_hash) of the source file bytes.
+        content_hash: u64,
+    },
+    /// A best-known k-defective clique witness for `graph` at defect
+    /// budget `k`.
+    Witness {
+        /// Cache name of the graph this witness belongs to.
+        graph: String,
+        /// Defect budget the witness was found under.
+        k: u64,
+        /// Witness vertex ids.
+        vertices: Vec<u64>,
+    },
+    /// A proven-optimal memo entry for `(graph, k, preset)`.
+    Memo {
+        /// Cache name of the graph this memo belongs to.
+        graph: String,
+        /// Defect budget of the memoized query.
+        k: u64,
+        /// Options preset the proof ran under.
+        preset: String,
+        /// Optimal witness vertex ids.
+        vertices: Vec<u64>,
+        /// Solve status token (see `kdc::Status::as_token`).
+        status: String,
+        /// Opaque compact-encoded search stats.
+        stats: String,
+    },
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Strips the field separator out of an embedded string so a hostile path
+/// or preset cannot smuggle extra fields into a payload.
+fn clean(s: &str) -> String {
+    if s.contains(SEP) {
+        s.replace(SEP, "?")
+    } else {
+        s.to_string()
+    }
+}
+
+fn push_ids(out: &mut String, ids: &[u64]) {
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&id.to_string());
+    }
+}
+
+/// Encodes one record payload (no framing).
+pub fn encode_record(rec: &Record) -> Vec<u8> {
+    let mut s = String::new();
+    match rec {
+        Record::Graph {
+            name,
+            source_path,
+            content_hash,
+        } => {
+            s.push('G');
+            s.push(SEP);
+            s.push_str(&clean(name));
+            s.push(SEP);
+            s.push_str(&clean(source_path));
+            s.push(SEP);
+            s.push_str(&content_hash.to_string());
+        }
+        Record::Witness { graph, k, vertices } => {
+            s.push('W');
+            s.push(SEP);
+            s.push_str(&clean(graph));
+            s.push(SEP);
+            s.push_str(&k.to_string());
+            s.push(SEP);
+            push_ids(&mut s, vertices);
+        }
+        Record::Memo {
+            graph,
+            k,
+            preset,
+            vertices,
+            status,
+            stats,
+        } => {
+            s.push('M');
+            s.push(SEP);
+            s.push_str(&clean(graph));
+            s.push(SEP);
+            s.push_str(&k.to_string());
+            s.push(SEP);
+            s.push_str(&clean(preset));
+            s.push(SEP);
+            push_ids(&mut s, vertices);
+            s.push(SEP);
+            s.push_str(&clean(status));
+            s.push(SEP);
+            s.push_str(&clean(stats));
+        }
+    }
+    s.into_bytes()
+}
+
+fn parse_ids(field: &str) -> Result<Vec<u64>, String> {
+    if field.is_empty() {
+        return Ok(Vec::new());
+    }
+    field
+        .split(' ')
+        .map(|t| t.parse::<u64>().map_err(|_| format!("bad vertex id {t:?}")))
+        .collect()
+}
+
+/// Decodes one record payload.
+///
+/// # Errors
+/// Describes the malformation; [`replay`] maps any error here to a corrupt
+/// record.
+pub fn decode_record(payload: &[u8]) -> Result<Record, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+    let fields: Vec<&str> = text.split(SEP).collect();
+    match fields.as_slice() {
+        ["G", name, source_path, hash] => Ok(Record::Graph {
+            name: (*name).to_string(),
+            source_path: (*source_path).to_string(),
+            content_hash: hash
+                .parse()
+                .map_err(|_| format!("bad content hash {hash:?}"))?,
+        }),
+        ["W", graph, k, ids] => Ok(Record::Witness {
+            graph: (*graph).to_string(),
+            k: k.parse().map_err(|_| format!("bad k {k:?}"))?,
+            vertices: parse_ids(ids)?,
+        }),
+        ["M", graph, k, preset, ids, status, stats] => Ok(Record::Memo {
+            graph: (*graph).to_string(),
+            k: k.parse().map_err(|_| format!("bad k {k:?}"))?,
+            preset: (*preset).to_string(),
+            vertices: parse_ids(ids)?,
+            status: (*status).to_string(),
+            stats: (*stats).to_string(),
+        }),
+        _ => Err(format!(
+            "unknown record shape (tag {:?}, {} fields)",
+            fields.first().copied().unwrap_or(""),
+            fields.len()
+        )),
+    }
+}
+
+/// Wraps an encoded payload in its `len`+`crc` frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes and frames one record.
+pub fn frame_record(rec: &Record) -> Vec<u8> {
+    frame(&encode_record(rec))
+}
+
+/// Renders a complete store file: header plus one frame per record.
+pub fn render_file(records: &[Record]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&HEADER);
+    for rec in records {
+        out.extend_from_slice(&frame_record(rec));
+    }
+    out
+}
+
+/// What [`replay`] recovered and what it had to drop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records recovered (the valid prefix).
+    pub records: usize,
+    /// 1 when the file ended inside a frame (an interrupted append).
+    pub torn_dropped: u64,
+    /// 1 when a complete frame failed its checksum or did not parse
+    /// (includes a missing or foreign header).
+    pub corrupt_dropped: u64,
+    /// Byte length of the valid prefix (header plus intact frames).
+    pub valid_len: usize,
+}
+
+/// Replays a store file, returning the longest valid prefix of records and
+/// a report on anything dropped. Never panics on arbitrary input.
+pub fn replay(bytes: &[u8]) -> (Vec<Record>, ReplayReport) {
+    let mut report = ReplayReport::default();
+    let mut records = Vec::new();
+    if bytes.len() < HEADER.len() {
+        // An empty file (first boot) is clean; a short non-empty one is torn.
+        if !bytes.is_empty() {
+            report.torn_dropped = 1;
+        }
+        return (records, report);
+    }
+    if bytes[..HEADER.len()] != HEADER {
+        report.corrupt_dropped = 1;
+        return (records, report);
+    }
+    let mut at = HEADER.len();
+    report.valid_len = at;
+    loop {
+        let rest = &bytes[at..];
+        if rest.is_empty() {
+            break;
+        }
+        if rest.len() < 8 {
+            report.torn_dropped = 1;
+            break;
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let want = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > MAX_RECORD_LEN {
+            report.corrupt_dropped = 1;
+            break;
+        }
+        let end = 8 + len as usize;
+        if rest.len() < end {
+            report.torn_dropped = 1;
+            break;
+        }
+        let payload = &rest[8..end];
+        if crc32(payload) != want {
+            report.corrupt_dropped = 1;
+            break;
+        }
+        match decode_record(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => {
+                report.corrupt_dropped = 1;
+                break;
+            }
+        }
+        at += end;
+        report.valid_len = at;
+    }
+    report.records = records.len();
+    (records, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Graph {
+                name: "pg".to_string(),
+                source_path: "/tmp/pg.dimacs".to_string(),
+                content_hash: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            Record::Witness {
+                graph: "pg".to_string(),
+                k: 3,
+                vertices: vec![0, 5, 7, 12],
+            },
+            Record::Memo {
+                graph: "pg".to_string(),
+                k: 3,
+                preset: "kdc".to_string(),
+                vertices: vec![0, 5, 7, 12],
+                status: "optimal".to_string(),
+                stats: "nodes=42 leaves=7".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip_through_payloads() {
+        for rec in sample_records() {
+            let payload = encode_record(&rec);
+            assert_eq!(decode_record(&payload).unwrap(), rec);
+        }
+        // Empty witness sets survive too.
+        let empty = Record::Witness {
+            graph: "g".to_string(),
+            k: 0,
+            vertices: Vec::new(),
+        };
+        assert_eq!(decode_record(&encode_record(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn replay_recovers_a_clean_file() {
+        let recs = sample_records();
+        let bytes = render_file(&recs);
+        let (got, report) = replay(&bytes);
+        assert_eq!(got, recs);
+        assert_eq!(
+            report,
+            ReplayReport {
+                records: 3,
+                torn_dropped: 0,
+                corrupt_dropped: 0,
+                valid_len: bytes.len(),
+            }
+        );
+    }
+
+    #[test]
+    fn replay_truncates_a_torn_tail() {
+        let recs = sample_records();
+        let bytes = render_file(&recs);
+        // Cut mid-way through the final frame.
+        let cut = bytes.len() - 3;
+        let (got, report) = replay(&bytes[..cut]);
+        assert_eq!(got, recs[..2]);
+        assert_eq!(report.torn_dropped, 1);
+        assert_eq!(report.corrupt_dropped, 0);
+    }
+
+    #[test]
+    fn replay_stops_at_a_corrupt_frame() {
+        let recs = sample_records();
+        let mut bytes = render_file(&recs);
+        // Flip a payload byte of the second frame.
+        let first_end = HEADER.len() + 8 + encode_record(&recs[0]).len();
+        bytes[first_end + 8] ^= 0x40;
+        let (got, report) = replay(&bytes);
+        assert_eq!(got, recs[..1]);
+        assert_eq!(report.corrupt_dropped, 1);
+        assert_eq!(report.torn_dropped, 0);
+    }
+
+    #[test]
+    fn replay_rejects_a_foreign_header_without_panicking() {
+        let (got, report) = replay(b"NOTASTORE-FILE");
+        assert!(got.is_empty());
+        assert_eq!(report.corrupt_dropped, 1);
+        let (got, report) = replay(b"");
+        assert!(got.is_empty());
+        assert_eq!(report, ReplayReport::default());
+        let (got, report) = replay(b"KDC");
+        assert!(got.is_empty());
+        assert_eq!(report.torn_dropped, 1);
+    }
+
+    #[test]
+    fn oversized_length_is_corruption_not_allocation() {
+        let mut bytes = Vec::from(HEADER);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let (got, report) = replay(&bytes);
+        assert!(got.is_empty());
+        assert_eq!(report.corrupt_dropped, 1);
+    }
+}
